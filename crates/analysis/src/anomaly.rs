@@ -1,0 +1,252 @@
+//! Streaming anomaly detection over node metrics.
+//!
+//! The paper's introduction motivates MonSTer with the need to "quickly
+//! understand the system status, detect anomalies in time, and provide
+//! guidance for finding and solving problems". This module provides the
+//! detector the deployment runs over collected series: a per-signal
+//! exponentially-weighted mean/variance tracker flagging observations that
+//! sit far outside the signal's recent behaviour, with hysteresis so a
+//! single noisy sample neither raises nor clears an alarm.
+
+use monster_util::EpochSecs;
+use std::collections::HashMap;
+
+/// Detector tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct AnomalyConfig {
+    /// EWMA decay per observation (0 < alpha ≤ 1); smaller = longer memory.
+    pub alpha: f64,
+    /// Flag when |x − mean| exceeds this many EW standard deviations.
+    pub threshold_sigma: f64,
+    /// Consecutive outliers required to raise an alarm.
+    pub raise_after: u32,
+    /// Consecutive inliers required to clear it.
+    pub clear_after: u32,
+    /// Observations to absorb before flagging anything (warm-up).
+    pub warmup: u32,
+    /// Absolute deviation floor: differences smaller than this are never
+    /// anomalous, however tight the variance (guards near-constant
+    /// signals).
+    pub min_deviation: f64,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> Self {
+        AnomalyConfig {
+            alpha: 0.15,
+            threshold_sigma: 4.0,
+            raise_after: 2,
+            clear_after: 3,
+            warmup: 10,
+            min_deviation: 1.0,
+        }
+    }
+}
+
+/// An alarm transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalyEvent {
+    /// Signal key (e.g. `"1-31/power"`).
+    pub signal: String,
+    /// When the transition happened.
+    pub time: EpochSecs,
+    /// The observation that completed the transition.
+    pub value: f64,
+    /// The tracker's mean at that moment.
+    pub expected: f64,
+    /// True = alarm raised; false = alarm cleared.
+    pub raised: bool,
+}
+
+#[derive(Debug, Clone)]
+struct SignalState {
+    mean: f64,
+    var: f64,
+    seen: u32,
+    outlier_run: u32,
+    inlier_run: u32,
+    alarmed: bool,
+}
+
+/// The detector: independent trackers per signal key.
+#[derive(Debug, Default)]
+pub struct AnomalyDetector {
+    config: AnomalyConfig,
+    signals: HashMap<String, SignalState>,
+}
+
+impl AnomalyDetector {
+    /// A detector with the given tuning.
+    pub fn new(config: AnomalyConfig) -> Self {
+        AnomalyDetector { config, signals: HashMap::new() }
+    }
+
+    /// Whether a signal is currently alarmed.
+    pub fn is_alarmed(&self, signal: &str) -> bool {
+        self.signals.get(signal).map(|s| s.alarmed).unwrap_or(false)
+    }
+
+    /// Number of signals tracked.
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Feed one observation; returns an event on an alarm transition.
+    pub fn observe(&mut self, signal: &str, time: EpochSecs, value: f64) -> Option<AnomalyEvent> {
+        let c = self.config;
+        let s = self.signals.entry(signal.to_string()).or_insert(SignalState {
+            mean: value,
+            var: 0.0,
+            seen: 0,
+            outlier_run: 0,
+            inlier_run: 0,
+            alarmed: false,
+        });
+        s.seen += 1;
+        let deviation = (value - s.mean).abs();
+        let sigma = s.var.sqrt().max(c.min_deviation / c.threshold_sigma);
+        let is_outlier = s.seen > c.warmup
+            && deviation > c.threshold_sigma * sigma
+            && deviation > c.min_deviation;
+
+        let mut event = None;
+        if is_outlier {
+            s.outlier_run += 1;
+            s.inlier_run = 0;
+            if !s.alarmed && s.outlier_run >= c.raise_after {
+                s.alarmed = true;
+                event = Some(AnomalyEvent {
+                    signal: signal.to_string(),
+                    time,
+                    value,
+                    expected: s.mean,
+                    raised: true,
+                });
+            }
+            // Outliers do not pollute the baseline.
+        } else {
+            s.inlier_run += 1;
+            s.outlier_run = 0;
+            if s.alarmed && s.inlier_run >= c.clear_after {
+                s.alarmed = false;
+                event = Some(AnomalyEvent {
+                    signal: signal.to_string(),
+                    time,
+                    value,
+                    expected: s.mean,
+                    raised: false,
+                });
+            }
+            // EW update on inliers only.
+            let delta = value - s.mean;
+            s.mean += c.alpha * delta;
+            s.var = (1.0 - c.alpha) * (s.var + c.alpha * delta * delta);
+        }
+        event
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> AnomalyDetector {
+        AnomalyDetector::new(AnomalyConfig::default())
+    }
+
+    fn feed(
+        d: &mut AnomalyDetector,
+        signal: &str,
+        values: impl IntoIterator<Item = f64>,
+    ) -> Vec<AnomalyEvent> {
+        values
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, v)| d.observe(signal, EpochSecs::new(i as i64 * 60), v))
+            .collect()
+    }
+
+    #[test]
+    fn steady_signal_never_alarms() {
+        let mut d = detector();
+        let events = feed(
+            &mut d,
+            "1-1/power",
+            (0..200).map(|i| 273.0 + ((i % 7) as f64) * 0.3),
+        );
+        assert!(events.is_empty(), "{events:?}");
+        assert!(!d.is_alarmed("1-1/power"));
+    }
+
+    #[test]
+    fn step_change_raises_then_clears() {
+        let mut d = detector();
+        // 50 quiet samples, 5 hot samples, then quiet again.
+        let series: Vec<f64> = (0..50)
+            .map(|i| 270.0 + (i % 5) as f64)
+            .chain((0..5).map(|_| 430.0))
+            .chain((0..50).map(|i| 270.0 + (i % 5) as f64))
+            .collect();
+        let events = feed(&mut d, "1-2/power", series);
+        assert_eq!(events.len(), 2, "{events:?}");
+        assert!(events[0].raised);
+        assert!(events[0].value > 400.0);
+        assert!(!events[1].raised);
+        assert!(!d.is_alarmed("1-2/power"));
+    }
+
+    #[test]
+    fn single_spike_is_debounced() {
+        let mut d = detector();
+        let series: Vec<f64> = (0..40)
+            .map(|i| if i == 25 { 450.0 } else { 272.0 + (i % 3) as f64 })
+            .collect();
+        let events = feed(&mut d, "s", series);
+        assert!(events.is_empty(), "one-sample glitch alarmed: {events:?}");
+    }
+
+    #[test]
+    fn warmup_suppresses_early_flags() {
+        let mut d = detector();
+        // Wild values inside the warm-up window must not alarm.
+        let events = feed(&mut d, "s", [100.0, 900.0, 50.0, 800.0, 120.0]);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn slow_drift_tracks_without_alarm() {
+        let mut d = detector();
+        // +0.5 W per sample: the EWMA follows.
+        let events = feed(&mut d, "s", (0..300).map(|i| 200.0 + i as f64 * 0.5));
+        assert!(events.is_empty(), "drift alarmed: {events:?}");
+    }
+
+    #[test]
+    fn signals_are_independent() {
+        let mut d = detector();
+        for i in 0..60 {
+            d.observe("a", EpochSecs::new(i * 60), 100.0 + (i % 3) as f64);
+            d.observe("b", EpochSecs::new(i * 60), 300.0 + (i % 3) as f64);
+        }
+        // Blow up only "a".
+        for i in 60..65 {
+            d.observe("a", EpochSecs::new(i * 60), 500.0);
+            d.observe("b", EpochSecs::new(i * 60), 300.0);
+        }
+        assert!(d.is_alarmed("a"));
+        assert!(!d.is_alarmed("b"));
+        assert_eq!(d.signal_count(), 2);
+    }
+
+    #[test]
+    fn alarm_baseline_frozen_during_incident() {
+        // The baseline must not chase the anomalous level, or the alarm
+        // would self-clear while the incident persists.
+        let mut d = detector();
+        let mut series: Vec<f64> = (0..50).map(|i| 270.0 + (i % 5) as f64).collect();
+        series.extend(std::iter::repeat_n(430.0, 40));
+        let events = feed(&mut d, "s", series);
+        assert_eq!(events.len(), 1, "alarm self-cleared: {events:?}");
+        assert!(d.is_alarmed("s"));
+    }
+}

@@ -1,0 +1,248 @@
+//! Principal component analysis for node-profile layout.
+//!
+//! HiperJobViz positions high-dimensional node glyphs on a 2-D canvas; the
+//! paper cites Glyphboard's "glyphs with dimensionality reduction"
+//! approach. This is the reduction: PCA over the fleet's nine-dimensional
+//! profiles via power iteration with deflation — dependency-free, exact
+//! enough for layout, and deterministic.
+
+// Symmetric-matrix arithmetic reads better indexed than with iterator
+// chains; silence the pedantic loop lint for this module.
+#![allow(clippy::needless_range_loop)]
+
+use monster_sim::SimRng;
+
+/// A fitted PCA model.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Per-dimension means (centering vector).
+    pub means: Vec<f64>,
+    /// Principal axes, each unit-length, strongest first (`k × dims`).
+    pub components: Vec<Vec<f64>>,
+    /// Variance captured along each axis.
+    pub explained: Vec<f64>,
+}
+
+/// Iterations per component; power iteration converges fast on separated
+/// eigenvalues and layout tolerates the rest.
+const ITERS: usize = 200;
+
+impl Pca {
+    /// Fit `k` components to `data` (`n × dims`). Panics on empty or
+    /// ragged input.
+    pub fn fit(data: &[Vec<f64>], k: usize) -> Pca {
+        assert!(!data.is_empty(), "cannot fit PCA on zero rows");
+        let dims = data[0].len();
+        assert!(data.iter().all(|r| r.len() == dims), "ragged input");
+        let k = k.min(dims);
+        let n = data.len() as f64;
+
+        let mut means = vec![0.0; dims];
+        for row in data {
+            for (m, x) in means.iter_mut().zip(row) {
+                *m += x;
+            }
+        }
+        for m in means.iter_mut() {
+            *m /= n;
+        }
+        let centered: Vec<Vec<f64>> = data
+            .iter()
+            .map(|row| row.iter().zip(&means).map(|(x, m)| x - m).collect())
+            .collect();
+
+        // Covariance matrix (dims × dims).
+        let mut cov = vec![vec![0.0; dims]; dims];
+        for row in &centered {
+            for i in 0..dims {
+                for j in i..dims {
+                    cov[i][j] += row[i] * row[j];
+                }
+            }
+        }
+        for i in 0..dims {
+            for j in i..dims {
+                cov[i][j] /= n;
+                cov[j][i] = cov[i][j];
+            }
+        }
+
+        let mut rng = SimRng::derive(0x9CA, "pca-init");
+        let mut components: Vec<Vec<f64>> = Vec::with_capacity(k);
+        let mut explained = Vec::with_capacity(k);
+        let mut work = cov;
+        for _ in 0..k {
+            let mut v: Vec<f64> = (0..dims).map(|_| rng.normal(0.0, 1.0)).collect();
+            normalize(&mut v);
+            let mut eigval = 0.0;
+            for _ in 0..ITERS {
+                let mut next = mat_vec(&work, &v);
+                eigval = norm(&next);
+                if eigval < 1e-12 {
+                    break;
+                }
+                for x in next.iter_mut() {
+                    *x /= eigval;
+                }
+                v = next;
+            }
+            // Deflate: remove the found component from the matrix.
+            for i in 0..dims {
+                for j in 0..dims {
+                    work[i][j] -= eigval * v[i] * v[j];
+                }
+            }
+            components.push(v);
+            explained.push(eigval);
+        }
+        Pca { means, components, explained }
+    }
+
+    /// Project one observation onto the fitted axes.
+    pub fn project(&self, row: &[f64]) -> Vec<f64> {
+        let centered: Vec<f64> = row.iter().zip(&self.means).map(|(x, m)| x - m).collect();
+        self.components.iter().map(|c| dot(c, &centered)).collect()
+    }
+
+    /// Fraction of total variance the kept components capture, given the
+    /// data they were fitted on.
+    pub fn explained_fraction(&self, data: &[Vec<f64>]) -> f64 {
+        let dims = self.means.len();
+        let n = data.len() as f64;
+        let mut total = 0.0;
+        for row in data {
+            for d in 0..dims {
+                let c = row[d] - self.means[d];
+                total += c * c;
+            }
+        }
+        total /= n;
+        if total <= 0.0 {
+            return 1.0;
+        }
+        self.explained.iter().sum::<f64>() / total
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm(v: &[f64]) -> f64 {
+    dot(v, v).sqrt()
+}
+
+fn normalize(v: &mut [f64]) {
+    let n = norm(v);
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+fn mat_vec(m: &[Vec<f64>], v: &[f64]) -> Vec<f64> {
+    m.iter().map(|row| dot(row, v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Data stretched 10:1 along the (1,1)/√2 direction in 2-D.
+    fn anisotropic() -> Vec<Vec<f64>> {
+        let mut rng = SimRng::derive(5, "pca-test");
+        (0..400)
+            .map(|_| {
+                let main = rng.normal(0.0, 10.0);
+                let cross = rng.normal(0.0, 1.0);
+                let s = std::f64::consts::FRAC_1_SQRT_2;
+                vec![3.0 + main * s - cross * s, -2.0 + main * s + cross * s]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_principal_axis() {
+        let data = anisotropic();
+        let pca = Pca::fit(&data, 2);
+        let c = &pca.components[0];
+        // First axis ≈ ±(1,1)/√2.
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let alignment = (c[0] * s + c[1] * s).abs();
+        assert!(alignment > 0.99, "axis {c:?}, alignment {alignment}");
+        // Eigenvalues ordered and in the right ratio (~100:1).
+        assert!(pca.explained[0] > pca.explained[1]);
+        let ratio = pca.explained[0] / pca.explained[1];
+        assert!(ratio > 25.0, "variance ratio {ratio}");
+        // Means recovered.
+        assert!((pca.means[0] - 3.0).abs() < 1.5);
+        assert!((pca.means[1] + 2.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let data = anisotropic();
+        let pca = Pca::fit(&data, 2);
+        let c0 = &pca.components[0];
+        let c1 = &pca.components[1];
+        assert!((norm(c0) - 1.0).abs() < 1e-6);
+        assert!((norm(c1) - 1.0).abs() < 1e-6);
+        assert!(dot(c0, c1).abs() < 1e-4, "not orthogonal: {}", dot(c0, c1));
+    }
+
+    #[test]
+    fn two_components_capture_all_2d_variance() {
+        let data = anisotropic();
+        let pca = Pca::fit(&data, 2);
+        let frac = pca.explained_fraction(&data);
+        assert!(frac > 0.999, "explained {frac}");
+    }
+
+    #[test]
+    fn projection_separates_clusters() {
+        // Two 9-D blobs differing along one axis: their 1-D projections
+        // must be separable.
+        let mut rng = SimRng::derive(7, "pca-clusters");
+        let mut data = Vec::new();
+        for c in 0..2 {
+            for _ in 0..50 {
+                let mut row = vec![0.0; 9];
+                for (d, item) in row.iter_mut().enumerate() {
+                    *item = rng.normal(0.0, 0.5) + if d == 4 { c as f64 * 20.0 } else { 0.0 };
+                }
+                data.push(row);
+            }
+        }
+        let pca = Pca::fit(&data, 1);
+        let proj: Vec<f64> = data.iter().map(|r| pca.project(r)[0]).collect();
+        let a = &proj[..50];
+        let b = &proj[50..];
+        let (amin, amax) = (a.iter().cloned().fold(f64::MAX, f64::min), a.iter().cloned().fold(f64::MIN, f64::max));
+        let (bmin, bmax) = (b.iter().cloned().fold(f64::MAX, f64::min), b.iter().cloned().fold(f64::MIN, f64::max));
+        assert!(amax < bmin || bmax < amin, "clusters overlap in projection");
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = anisotropic();
+        let a = Pca::fit(&data, 2);
+        let b = Pca::fit(&data, 2);
+        assert_eq!(a.components, b.components);
+        assert_eq!(a.explained, b.explained);
+    }
+
+    #[test]
+    fn degenerate_constant_data() {
+        let data = vec![vec![5.0, 5.0]; 10];
+        let pca = Pca::fit(&data, 2);
+        assert!(pca.explained.iter().all(|&e| e < 1e-9));
+        assert_eq!(pca.project(&[5.0, 5.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rows")]
+    fn empty_input_panics() {
+        Pca::fit(&[], 2);
+    }
+}

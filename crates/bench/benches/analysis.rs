@@ -1,0 +1,53 @@
+//! Wall-clock benchmarks for the analysis layer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use monster_analysis::kmeans::{KMeans, KMeansConfig};
+use monster_analysis::radar::{fleet_normalized, RadarProfile};
+use monster_sim::SimRng;
+
+fn fleet(n: usize) -> Vec<Vec<f64>> {
+    let mut rng = SimRng::derive(3, "bench-fleet");
+    (0..n)
+        .map(|_| {
+            let load = rng.uniform01();
+            vec![
+                36.0 + 48.0 * load + rng.normal(0.0, 1.0),
+                36.0 + 48.0 * load + rng.normal(0.0, 1.0),
+                rng.uniform(17.0, 23.0),
+                4200.0 + 9000.0 * load,
+                4200.0 + 9000.0 * load,
+                4200.0 + 9000.0 * load,
+                4200.0 + 9000.0 * load,
+                118.0 + 270.0 * load,
+                load,
+            ]
+        })
+        .collect()
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis");
+    g.sample_size(20);
+    let data = fleet(467);
+    g.bench_function("kmeans_k7_467_nodes", |b| {
+        b.iter(|| KMeans::fit(&data, &KMeansConfig::default()))
+    });
+    let km = KMeans::fit(&data, &KMeansConfig::default());
+    g.bench_function("kmeans_predict", |b| b.iter(|| km.predict(&data[13])));
+    let raw: Vec<[f64; 9]> = data
+        .iter()
+        .map(|r| {
+            let mut a = [0.0; 9];
+            a.copy_from_slice(r);
+            a
+        })
+        .collect();
+    g.bench_function("fleet_normalize_467", |b| b.iter(|| fleet_normalized(&raw)));
+    g.bench_function("radar_profile_build", |b| {
+        b.iter(|| RadarProfile::new("1-31", raw[0]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

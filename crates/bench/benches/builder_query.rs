@@ -1,0 +1,68 @@
+//! Wall-clock benchmarks for the Metrics Builder pipeline: plan building,
+//! sequential vs concurrent execution, response encoding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use monster_builder::{build_plan, exec::execute, BuilderRequest, ExecMode};
+use monster_collector::SchemaVersion;
+use monster_sim::NetModel;
+use monster_tsdb::{Aggregation, DataPoint, Db, DbConfig};
+use monster_util::{EpochSecs, NodeId};
+use std::sync::Arc;
+
+fn seeded(nodes: usize, hours: i64) -> (Arc<Db>, Vec<NodeId>) {
+    let db = Db::new(DbConfig::default());
+    let ids = NodeId::enumerate(nodes, 4);
+    let mut batch = Vec::new();
+    for i in 0..(hours * 60) {
+        for &n in &ids {
+            batch.push(
+                DataPoint::new("Power", EpochSecs::new(i * 60))
+                    .tag("NodeId", n.bmc_addr())
+                    .tag("Label", "NodePower")
+                    .field_f64("Reading", 250.0 + (i % 31) as f64),
+            );
+            batch.push(
+                DataPoint::new("UGE", EpochSecs::new(i * 60))
+                    .tag("NodeId", n.bmc_addr())
+                    .field_f64("CPUUsage", (i % 10) as f64 / 10.0)
+                    .field_f64("MemUsed", 90.0),
+            );
+        }
+    }
+    db.write_batch(&batch).unwrap();
+    (Arc::new(db), ids)
+}
+
+fn bench_builder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("builder");
+    g.sample_size(15);
+    let (db, ids) = seeded(16, 24);
+    let t0 = EpochSecs::new(0);
+    let req = BuilderRequest::new(t0, t0 + 86_400, 300, Aggregation::Max).unwrap();
+
+    g.bench_function("build_plan_16_nodes", |b| {
+        b.iter(|| build_plan(SchemaVersion::Optimized, &ids, &req))
+    });
+    let plan = build_plan(SchemaVersion::Optimized, &ids, &req);
+    g.bench_function("execute_sequential", |b| {
+        b.iter(|| execute(&db, &plan, ExecMode::Sequential).unwrap())
+    });
+    g.bench_function("execute_concurrent_8", |b| {
+        b.iter(|| execute(&db, &plan, ExecMode::Concurrent { workers: 8 }).unwrap())
+    });
+    let outcome = execute(&db, &plan, ExecMode::Sequential).unwrap();
+    g.bench_function("encode_response_compressed", |b| {
+        b.iter(|| {
+            monster_builder::encode_response(
+                &outcome,
+                true,
+                monster_compress::Level::default(),
+                &NetModel::CAMPUS,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_builder);
+criterion_main!(benches);

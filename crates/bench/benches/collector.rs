@@ -1,0 +1,58 @@
+//! Wall-clock benchmarks for the collection pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use monster_collector::schema::{bmc_points, uge_points};
+use monster_collector::{Collector, CollectorConfig, SchemaVersion};
+use monster_redfish::bmc::BmcConfig;
+use monster_redfish::cluster::{ClusterConfig, SimulatedCluster};
+use monster_redfish::NodeReading;
+use monster_scheduler::host::LoadReport;
+use monster_scheduler::{Qmaster, QmasterConfig};
+use monster_util::{EpochSecs, JobId, NodeId};
+
+fn bench_collector(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collector");
+    g.sample_size(15);
+
+    let reading = NodeReading::Thermal {
+        cpu_temps: vec![54.2, 55.9],
+        inlet: 21.0,
+        fans: vec![4400.0, 4410.0, 4390.0, 4420.0],
+    };
+    let node = NodeId::new(1, 1);
+    let t = EpochSecs::new(1_587_340_800);
+    g.bench_function("schema_points_optimized", |b| {
+        b.iter(|| bmc_points(SchemaVersion::Optimized, node, &reading, t))
+    });
+    g.bench_function("schema_points_previous", |b| {
+        b.iter(|| bmc_points(SchemaVersion::Previous, node, &reading, t))
+    });
+    let report = LoadReport {
+        node,
+        cpu_usage: 0.5,
+        mem_total_gib: 192.0,
+        mem_used_gib: 96.0,
+        swap_total_gib: 4.0,
+        swap_used_gib: 0.0,
+        job_list: vec![JobId(1_291_784), JobId(1_318_962)],
+    };
+    g.bench_function("uge_points_optimized", |b| {
+        b.iter(|| uge_points(SchemaVersion::Optimized, &report, t))
+    });
+
+    // A full 64-node interval through the wire layer.
+    let cluster = SimulatedCluster::new(ClusterConfig {
+        nodes: 64,
+        bmc: BmcConfig { failure_rate: 0.0, stall_rate: 0.0, ..BmcConfig::default() },
+        ..ClusterConfig::small(64, 5)
+    });
+    let qm = Qmaster::new(QmasterConfig { nodes: 64, ..QmasterConfig::default() });
+    g.bench_function("collect_interval_64_nodes", |b| {
+        let mut col = Collector::new(CollectorConfig::default());
+        b.iter(|| col.collect_interval(&cluster, &qm, EpochSecs::new(1_587_340_860)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_collector);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Wall-clock benchmarks for the mzlib codec on representative payloads.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use monster_compress::{adler32, compress, decompress, Level};
+
+fn builder_json(points: usize) -> Vec<u8> {
+    let mut doc = String::from("{\"10.101.1.1\":{\"power\":[");
+    for i in 0..points {
+        if i > 0 {
+            doc.push(',');
+        }
+        doc.push_str(&format!(
+            "{{\"time\":{},\"label\":\"NodePower\",\"value\":{}.{}}}",
+            1_587_340_800 + i * 300,
+            250 + i % 40,
+            i % 10
+        ));
+    }
+    doc.push_str("]}}");
+    doc.into_bytes()
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compress");
+    g.sample_size(20);
+    let payload = builder_json(4096);
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    for level in [Level::FAST, Level::default(), Level::BEST] {
+        g.bench_function(format!("compress_level{}", level.get()), |b| {
+            b.iter(|| compress(&payload, level))
+        });
+    }
+    let packed = compress(&payload, Level::default());
+    g.bench_function("decompress", |b| b.iter(|| decompress(&packed).unwrap()));
+    g.bench_function("adler32", |b| b.iter(|| adler32(&payload)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_compress);
+criterion_main!(benches);

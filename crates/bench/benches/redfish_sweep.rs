@@ -1,0 +1,39 @@
+//! Wall-clock benchmarks for the Redfish substrate: payload construction,
+//! parsing, and full-fleet sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use monster_redfish::bmc::BmcConfig;
+use monster_redfish::cluster::{ClusterConfig, SimulatedCluster};
+use monster_redfish::{Category, RedfishClient};
+use monster_sim::SimRng;
+
+fn bench_redfish(c: &mut Criterion) {
+    let mut g = c.benchmark_group("redfish");
+    g.sample_size(15);
+
+    let mut rng = SimRng::derive(1, "bench-sensors");
+    let sensors = monster_redfish::sensors::NodeSensors::new(&mut rng);
+    let node = monster_util::NodeId::new(1, 1);
+    g.bench_function("thermal_payload_build", |b| {
+        b.iter(|| monster_redfish::model::payload(Category::Thermal, node, &sensors))
+    });
+    let payload = monster_redfish::model::payload(Category::Thermal, node, &sensors);
+    g.bench_function("thermal_payload_parse", |b| {
+        b.iter(|| monster_redfish::model::parse_reading(Category::Thermal, &payload).unwrap())
+    });
+
+    let cluster = SimulatedCluster::new(ClusterConfig {
+        nodes: 467,
+        bmc: BmcConfig { failure_rate: 0.0, stall_rate: 0.0, ..BmcConfig::default() },
+        ..ClusterConfig::default()
+    });
+    let client = RedfishClient::default();
+    g.bench_function("full_sweep_467_nodes", |b| b.iter(|| client.sweep(&cluster)));
+    g.bench_function("cluster_step_467_nodes", |b| {
+        b.iter(|| cluster.step(60.0, |_| 0.5))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_redfish);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Wall-clock benchmarks for the TSDB: codecs, ingest, query.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use monster_tsdb::query::Aggregation;
+use monster_tsdb::{DataPoint, Db, DbConfig, Query};
+use monster_util::EpochSecs;
+
+fn batch(nodes: usize, samples: i64) -> Vec<DataPoint> {
+    let mut out = Vec::new();
+    for i in 0..samples {
+        for n in 0..nodes {
+            out.push(
+                DataPoint::new("Power", EpochSecs::new(i * 60))
+                    .tag("NodeId", format!("10.101.1.{n}"))
+                    .tag("Label", "NodePower")
+                    .field_f64("Reading", 250.0 + (i % 40) as f64 * 1.3),
+            );
+        }
+    }
+    out
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tsdb/codec");
+    let ts: Vec<i64> = (0..4096).map(|i| 1_583_792_296 + i * 60).collect();
+    g.throughput(Throughput::Elements(ts.len() as u64));
+    g.bench_function("timestamps_encode", |b| {
+        b.iter(|| monster_tsdb::encode::timestamps::encode(&ts))
+    });
+    let enc = monster_tsdb::encode::timestamps::encode(&ts);
+    g.bench_function("timestamps_decode", |b| {
+        b.iter(|| monster_tsdb::encode::timestamps::decode(&enc, ts.len()).unwrap())
+    });
+    let vals: Vec<f64> = (0..4096).map(|i| 273.8 + (i % 60) as f64 * 0.1).collect();
+    g.bench_function("floats_encode", |b| {
+        b.iter(|| monster_tsdb::encode::floats::encode(&vals))
+    });
+    let fenc = monster_tsdb::encode::floats::encode(&vals);
+    g.bench_function("floats_decode", |b| {
+        b.iter(|| monster_tsdb::encode::floats::decode(&fenc, vals.len()).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tsdb/ingest");
+    g.sample_size(20);
+    let points = batch(16, 600); // 9600 points ≈ one collection interval
+    g.throughput(Throughput::Elements(points.len() as u64));
+    g.bench_function("write_batch_10k", |b| {
+        b.iter_batched(
+            || (Db::new(DbConfig::default()), points.clone()),
+            |(db, pts)| db.write_batch(&pts).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tsdb/query");
+    g.sample_size(30);
+    let db = Db::new(DbConfig::default());
+    db.write_batch(&batch(16, 1440)).unwrap(); // one day
+    let q = Query::select("Power", "Reading", EpochSecs::new(0), EpochSecs::new(86_400))
+        .aggregate(Aggregation::Max)
+        .where_tag("NodeId", "10.101.1.1")
+        .group_by_time(300);
+    g.bench_function("aggregate_one_node_day", |b| b.iter(|| db.query(&q).unwrap()));
+    let q_all = Query::select("Power", "Reading", EpochSecs::new(0), EpochSecs::new(86_400))
+        .aggregate(Aggregation::Mean)
+        .group_by_time(300);
+    g.bench_function("aggregate_fleet_day", |b| b.iter(|| db.query(&q_all).unwrap()));
+    g.bench_function("parse_query_string", |b| {
+        b.iter(|| {
+            monster_tsdb::query::parse_query(
+                "SELECT max(Reading) FROM Power WHERE NodeId='10.101.1.1' AND \
+                 Label='NodePower' AND time >= '2020-04-20T12:00:00Z' AND \
+                 time < '2020-04-21T12:00:00Z' GROUP BY time(5m)",
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codecs, bench_ingest, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! §III-B1 collection statistics: mean Redfish request time and the full
+//! asynchronous sweep makespan. Paper: 4.29 s mean, ~55 s for the 1868-URL
+//! pool over 467 nodes.
+
+use monster_redfish::cluster::{ClusterConfig, SimulatedCluster};
+use monster_redfish::RedfishClient;
+
+fn main() {
+    println!("COLLECTION SWEEP — 467 nodes x 4 categories = 1868 requests\n");
+    let cluster = SimulatedCluster::new(ClusterConfig::default());
+    let client = RedfishClient::default();
+
+    for sweep_no in 1..=3 {
+        let sweep = client.sweep(&cluster);
+        println!(
+            "sweep {}: mean request {:.2} s | makespan {:.1} s | ok {}/{} | retries {}",
+            sweep_no,
+            sweep.mean_request_secs(),
+            sweep.makespan.as_secs_f64(),
+            sweep.successes(),
+            sweep.results.len(),
+            sweep.retries(),
+        );
+    }
+    println!("\npaper: \"a Redfish API request takes 4.29 seconds on average.");
+    println!("        Asynchronous request for all metrics from all nodes takes about 55 seconds.\"");
+}

@@ -1,0 +1,81 @@
+//! Fig. 9 — host groups (k-means, k = 7) and the per-user symmetric
+//! histogram matrix of resource usage.
+
+use monster_analysis::histogram::UsageMatrix;
+use monster_analysis::kmeans::{KMeans, KMeansConfig};
+use monster_analysis::radar::fleet_normalized;
+use monster_analysis::METRIC_NAMES;
+use monster_bench::fixture_workload;
+use monster_core::{Monster, MonsterConfig};
+use monster_redfish::bmc::BmcConfig;
+
+fn main() {
+    let mut m = Monster::new(MonsterConfig {
+        nodes: 64,
+        bmc: BmcConfig { failure_rate: 0.0, stall_rate: 0.0, ..BmcConfig::default() },
+        workload: Some(fixture_workload()),
+        horizon_secs: 6 * 3600,
+        ..MonsterConfig::default()
+    });
+
+    // Six hours of activity, observing who is on which node every 10 min.
+    let mut matrix = UsageMatrix::new();
+    let mut final_snapshot: Vec<[f64; 9]> = Vec::new();
+    for step in 0..36 {
+        m.run_intervals_bulk(10);
+        let snapshot: Vec<[f64; 9]> = m
+            .node_ids()
+            .iter()
+            .map(|&n| m.cluster().sensors(n).expect("node").nine_metrics())
+            .collect();
+        let normed = fleet_normalized(&snapshot);
+        for (i, &node) in m.node_ids().iter().enumerate() {
+            if let Ok(report) = m.qmaster().load_report(node) {
+                for jid in report.job_list {
+                    if let Some(job) = m.qmaster().job(jid) {
+                        matrix.observe(&job.spec.user, &normed[i]);
+                    }
+                }
+            }
+        }
+        if step == 35 {
+            final_snapshot = snapshot;
+        }
+    }
+
+    println!("FIG. 9 — HOST GROUPS + PER-USER USAGE HISTOGRAMS\n");
+
+    // Left panel: the k=7 host groups of the final snapshot.
+    let data: Vec<Vec<f64>> = final_snapshot.iter().map(|r| r.to_vec()).collect();
+    let km = KMeans::fit(&data, &KMeansConfig { k: 7, ..KMeansConfig::default() });
+    let sizes = km.cluster_sizes();
+    println!("host groups (k = 7):");
+    for (g, size) in sizes.iter().enumerate() {
+        let bar = "#".repeat(*size);
+        println!("  group {}: {size:3} |{bar}", g + 1);
+    }
+    let biggest = sizes.iter().enumerate().max_by_key(|(_, &s)| s).unwrap().0 + 1;
+    println!("  → group {biggest} is the dominant (normal-status) cluster, like the paper's blue Group 7\n");
+
+    // Right panel: users sorted by power consumption (dimension 7).
+    println!("per-user usage matrix, sorted by power (top 8 users):");
+    println!("{:<10} {:>8} {:>8} {:>8}   histogram(power)", "user", "samples", "power", "cpu1");
+    for row in matrix.rows_sorted_by(7).into_iter().take(8) {
+        let hist = row.histograms[7]
+            .normalized()
+            .iter()
+            .map(|v| char::from_u32(0x2581 + (v * 7.0) as u32).unwrap())
+            .collect::<String>();
+        println!(
+            "{:<10} {:>8} {:>8.2} {:>8.2}   {hist}",
+            row.user.as_str(),
+            row.samples,
+            row.means[7],
+            row.means[0],
+        );
+    }
+    println!(
+        "\ndimensions available for sorting: {}",
+        METRIC_NAMES.join(", ")
+    );
+}

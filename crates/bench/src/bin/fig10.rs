@@ -1,0 +1,46 @@
+//! Fig. 10 — query & processing time at different time intervals over
+//! different time ranges, on the **original** configuration: previous
+//! schema, HDD storage, sequential querying.
+//!
+//! Paper shape: times grow with range, shrink with interval; even the best
+//! case is ~50 s (Metrics Builder "is not a responsive service"), the
+//! worst ~260 s.
+
+use monster_bench::{populated, query_grid, secs, INTERVALS, RANGES_DAYS};
+use monster_builder::ExecMode;
+use monster_collector::SchemaVersion;
+use monster_sim::DiskModel;
+
+fn main() {
+    eprintln!("populating 7 days of history (previous schema, HDD)...");
+    let m = populated(SchemaVersion::Previous, DiskModel::HDD, 7, 60);
+    let stats = m.db().stats();
+    eprintln!(
+        "  {} points, {} series, {} at rest",
+        stats.points,
+        stats.cardinality,
+        monster_util::bytesize::ByteSize(stats.encoded_bytes as u64)
+    );
+
+    println!("FIG. 10 — QUERY & PROCESSING TIME (previous schema, HDD, sequential)\n");
+    println!("simulated seconds at 467-node scale; rows = time range (days), cols = interval\n");
+    print!("{:>6}", "days");
+    for &iv in &INTERVALS {
+        print!("{:>10}", monster_util::time::format_interval(iv));
+    }
+    println!();
+    let grid = query_grid(&m, &RANGES_DAYS, &INTERVALS, ExecMode::Sequential);
+    for &days in &RANGES_DAYS {
+        print!("{days:>6}");
+        for &iv in &INTERVALS {
+            let t = grid
+                .iter()
+                .find(|(d, i, _)| *d == days && *i == iv)
+                .map(|(_, _, t)| *t)
+                .expect("grid cell");
+            print!("{:>10}", secs(t));
+        }
+        println!();
+    }
+    println!("\npaper: ~50 s best case, ~260 s at 7 days / 5 min; grows with range, shrinks with interval");
+}

@@ -1,0 +1,50 @@
+//! Fig. 11 — time consumption breakdown for querying and processing data
+//! points: BMC-related queries ≈80 %, UGE ≈10 %, the rest shared
+//! processing.
+//!
+//! Methodology mirrors the paper's cProfile run: the total middleware time
+//! attributable to each query group (its queries *and* the marshalling of
+//! their results) is measured by executing each group's sub-plan.
+
+use monster_bench::{data_start, populated};
+use monster_builder::{build_plan, exec::execute, BuilderRequest, ExecMode, QueryGroup};
+use monster_collector::SchemaVersion;
+use monster_sim::DiskModel;
+use monster_tsdb::Aggregation;
+
+fn main() {
+    eprintln!("populating 3 days of history (previous schema, HDD)...");
+    let m = populated(SchemaVersion::Previous, DiskModel::HDD, 3, 60);
+    let t0 = data_start();
+    let req = BuilderRequest::new(t0, t0 + 3 * 86_400, 300, Aggregation::Max).unwrap();
+    let plan = build_plan(SchemaVersion::Previous, &m.node_ids(), &req);
+
+    let full = execute(m.db(), &plan, ExecMode::Sequential).expect("full plan");
+    let total = full.query_processing_time().as_secs_f64();
+
+    println!("FIG. 11 — TIME CONSUMPTION BREAKDOWN (3-day query, 5 m windows)\n");
+    let mut accounted = 0.0;
+    let mut bmc_share = 0.0;
+    for group in [QueryGroup::Bmc, QueryGroup::Uge, QueryGroup::Jobs] {
+        let sub: Vec<_> = plan.iter().filter(|p| p.group == group).cloned().collect();
+        let out = execute(m.db(), &sub, ExecMode::Sequential).expect("sub plan");
+        let t = out.query_processing_time().as_secs_f64();
+        let share = t / total * 100.0;
+        accounted += share;
+        if group == QueryGroup::Bmc {
+            bmc_share = share;
+        }
+        let bar = "#".repeat((share / 2.0) as usize);
+        println!("{:<6} {:7.1} s  {:5.1}%  |{bar}", group.name(), t, share);
+    }
+    let rest = (100.0 - accounted).max(0.0);
+    println!(
+        "other  {:7.1} s  {:5.1}%  |{}  (shared planning/merge overheads)",
+        total * rest / 100.0,
+        rest,
+        "#".repeat((rest / 2.0) as usize)
+    );
+    println!("\ntotal: {total:.1} s");
+    println!("paper: BMC ≈80%, UGE ≈10%; queries together ≈90% of total");
+    assert!(bmc_share > 55.0, "BMC share collapsed: {bmc_share:.1}%");
+}

@@ -1,0 +1,25 @@
+//! Fig. 12 — query & processing time using HDDs vs SSDs (previous schema,
+//! sequential). Paper: SSDs help, but only 1.5–2.1× — "the performance
+//! gains are limited".
+
+use monster_bench::{populated, query_grid, secs, RANGES_DAYS};
+use monster_builder::ExecMode;
+use monster_collector::SchemaVersion;
+use monster_sim::DiskModel;
+
+fn main() {
+    eprintln!("populating 7 days (previous schema) on HDD and SSD...");
+    let hdd = populated(SchemaVersion::Previous, DiskModel::HDD, 7, 60);
+    let ssd = populated(SchemaVersion::Previous, DiskModel::SSD, 7, 60);
+
+    println!("FIG. 12 — HDD vs SSD (previous schema, sequential, 5 m windows)\n");
+    println!("{:>6} {:>10} {:>10} {:>9}", "days", "HDD (s)", "SSD (s)", "speedup");
+    let intervals = [300i64];
+    let g_hdd = query_grid(&hdd, &RANGES_DAYS, &intervals, ExecMode::Sequential);
+    let g_ssd = query_grid(&ssd, &RANGES_DAYS, &intervals, ExecMode::Sequential);
+    for (h, s) in g_hdd.iter().zip(&g_ssd) {
+        let speedup = h.2.as_secs_f64() / s.2.as_secs_f64();
+        println!("{:>6} {:>10} {:>10} {:>8.2}x", h.0, secs(h.2), secs(s.2), speedup);
+    }
+    println!("\npaper: 1.5x–2.1x — faster storage alone does not make the service responsive");
+}

@@ -1,0 +1,24 @@
+//! Fig. 14 — query & processing time: previous schema vs optimized schema,
+//! both on SSD, sequential. Paper: 1.6–1.76× from the schema redesign.
+
+use monster_bench::{populated, query_grid, secs, RANGES_DAYS};
+use monster_builder::ExecMode;
+use monster_collector::SchemaVersion;
+use monster_sim::DiskModel;
+
+fn main() {
+    eprintln!("populating 7 days under each schema (SSD)...");
+    let old = populated(SchemaVersion::Previous, DiskModel::SSD, 7, 60);
+    let new = populated(SchemaVersion::Optimized, DiskModel::SSD, 7, 60);
+
+    println!("FIG. 14 — PREVIOUS vs OPTIMIZED SCHEMA (SSD, sequential, 5 m windows)\n");
+    println!("{:>6} {:>12} {:>12} {:>9}", "days", "old (s)", "new (s)", "speedup");
+    let intervals = [300i64];
+    let g_old = query_grid(&old, &RANGES_DAYS, &intervals, ExecMode::Sequential);
+    let g_new = query_grid(&new, &RANGES_DAYS, &intervals, ExecMode::Sequential);
+    for (o, n) in g_old.iter().zip(&g_new) {
+        let speedup = o.2.as_secs_f64() / n.2.as_secs_f64();
+        println!("{:>6} {:>12} {:>12} {:>8.2}x", o.0, secs(o.2), secs(n.2), speedup);
+    }
+    println!("\npaper: 1.6x–1.76x — \"database schema plays a vital role\"");
+}

@@ -1,0 +1,38 @@
+//! Fig. 18 — data volumes of uncompressed vs compressed responses.
+//! Paper: compressed ≈5 % of uncompressed (zlib on JSON).
+
+use monster_bench::{data_start, populated};
+use monster_builder::{BuilderRequest, ExecMode};
+use monster_collector::SchemaVersion;
+use monster_compress::{compress, Level};
+use monster_sim::DiskModel;
+use monster_tsdb::Aggregation;
+use monster_util::bytesize::ByteSize;
+
+fn main() {
+    eprintln!("populating 7 days (optimized schema, SSD)...");
+    let m = populated(SchemaVersion::Optimized, DiskModel::SSD, 7, 60);
+    let t0 = data_start();
+
+    println!("FIG. 18 — RESPONSE VOLUME, UNCOMPRESSED vs COMPRESSED\n");
+    println!(
+        "{:>7} {:>14} {:>14} {:>8}",
+        "hours", "uncompressed", "compressed", "ratio"
+    );
+    for h in [6i64, 24, 72, 168] {
+        let req = BuilderRequest::new(t0, t0 + h * 3600, 300, Aggregation::Max).unwrap();
+        let out = m
+            .builder_query(&req, ExecMode::Concurrent { workers: 16 })
+            .unwrap();
+        let json = out.document.to_string_compact();
+        let packed = compress(json.as_bytes(), Level::default());
+        println!(
+            "{:>7} {:>14} {:>14} {:>7.1}%",
+            h,
+            ByteSize(json.len() as u64).to_string(),
+            ByteSize(packed.len() as u64).to_string(),
+            packed.len() as f64 / json.len() as f64 * 100.0
+        );
+    }
+    println!("\npaper: compressed volume ≈5% of uncompressed");
+}

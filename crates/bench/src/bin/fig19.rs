@@ -1,0 +1,51 @@
+//! Fig. 19 — end-to-end response time with and without compression.
+//! Paper: compression makes the overall response ≈2× faster even though
+//! query-processing rises slightly (the compression work itself).
+
+use monster_bench::{data_start, populated};
+use monster_builder::{BuilderRequest, ExecMode};
+use monster_collector::SchemaVersion;
+use monster_compress::{compress, Level};
+use monster_sim::{DiskModel, NetModel, VDuration};
+use monster_tsdb::Aggregation;
+
+/// Compression throughput on one builder-host core.
+const COMPRESS_BYTES_PER_SEC: f64 = 180.0e6;
+
+fn main() {
+    eprintln!("populating 7 days (optimized schema, SSD)...");
+    let m = populated(SchemaVersion::Optimized, DiskModel::SSD, 7, 60);
+    let t0 = data_start();
+    let amp = m.db().config().cost.amplification;
+    let net = NetModel::CAMPUS;
+
+    println!("FIG. 19 — RESPONSE TIME, UNCOMPRESSED vs COMPRESSED (campus consumer)\n");
+    println!(
+        "{:>7} {:>14} {:>14} {:>9}",
+        "hours", "plain (s)", "compressed (s)", "speedup"
+    );
+    for h in [6i64, 24, 72, 168] {
+        let req = BuilderRequest::new(t0, t0 + h * 3600, 300, Aggregation::Max).unwrap();
+        let out = m
+            .builder_query(&req, ExecMode::Concurrent { workers: 16 })
+            .unwrap();
+        let qp = out.query_processing_time();
+        let json = out.document.to_string_compact();
+        let packed = compress(json.as_bytes(), Level::default());
+        let full_raw = (json.len() as f64 * amp) as u64;
+        let full_packed = (packed.len() as f64 * amp) as u64;
+
+        let t_plain = qp + net.transfer_cost(full_raw);
+        let t_comp = qp
+            + VDuration::from_secs_f64(full_raw as f64 / COMPRESS_BYTES_PER_SEC)
+            + net.transfer_cost(full_packed);
+        println!(
+            "{:>7} {:>14.2} {:>14.2} {:>8.2}x",
+            h,
+            t_plain.as_secs_f64(),
+            t_comp.as_secs_f64(),
+            t_plain.as_secs_f64() / t_comp.as_secs_f64()
+        );
+    }
+    println!("\npaper: ≈2x faster overall with compression on long ranges");
+}

@@ -1,0 +1,53 @@
+//! Table II — selective metrics collected from UGE.
+//!
+//! Pulls one accounting snapshot from the simulated qmaster and prints the
+//! node-level and job-level metric inventory.
+
+use monster_scheduler::accounting::{job_document, node_document};
+use monster_scheduler::{JobShape, JobSpec, Qmaster, QmasterConfig};
+use monster_util::UserName;
+
+fn main() {
+    let cfg = QmasterConfig { nodes: 4, ..QmasterConfig::default() };
+    let t0 = cfg.start_time;
+    let mut qm = Qmaster::new(cfg);
+    qm.submit_at(
+        t0 + 1,
+        JobSpec {
+            user: UserName::new("jieyao"),
+            name: "mpi.sh".into(),
+            shape: JobShape::Parallel { nodes: 2 },
+            runtime_secs: 7200,
+            priority: 0,
+            mem_per_slot_gib: 2.0,
+        },
+    );
+    qm.run_until(t0 + 120);
+
+    println!("TABLE II — SELECTIVE METRICS COLLECTED FROM UGE\n");
+    let node = qm.node_ids()[0];
+    let report = qm.load_report(node).expect("node");
+    println!("Category   Metrics");
+    println!("{}", "-".repeat(60));
+    println!("CPU        CPU Usage                 = {:.2}", report.cpu_usage);
+    println!("Memory     Used Memory               = {:.1} GiB", report.mem_used_gib);
+    println!("           Free Memory               = {:.1} GiB", report.mem_free_gib());
+    println!("Swap       Used Swap                 = {:.1} GiB", report.swap_used_gib);
+    println!("           Free Swap                 = {:.1} GiB", report.swap_free_gib());
+    let job = qm.running_jobs()[0];
+    let doc = job_document(job, 36);
+    println!("Job        Job Owner                 = {}", doc.get("owner").unwrap().as_str().unwrap());
+    println!("           Job Submission Time       = {}", doc.get("submission_time").unwrap().as_i64().unwrap());
+    println!("           Job Start Time            = {}", doc.get("start_time").unwrap().as_i64().unwrap());
+    println!("           Job Slots                 = {}", doc.get("slots").unwrap().as_i64().unwrap());
+    println!(
+        "Relationship  Job List on Node       = {:?}",
+        report.job_list.iter().map(|j| j.to_string()).collect::<Vec<_>>()
+    );
+
+    let nd = node_document(&report);
+    println!("\nFull node accounting document carries {} fields; full job document {} fields",
+        nd.as_object().unwrap().len(),
+        doc.as_object().unwrap().len(),
+    );
+}

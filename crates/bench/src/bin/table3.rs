@@ -1,0 +1,30 @@
+//! Table III — host hardware specifications (the simulation's host
+//! profiles, which parameterize every cost model).
+
+use monster_sim::hosts::{table3, STORAGE_HOST_SSD};
+
+fn main() {
+    println!("TABLE III — HOST HARDWARE SPECIFICATIONS\n");
+    for host in table3() {
+        println!("{}:", host.name);
+        println!("  CPU:     {} hardware threads", host.cores);
+        println!("  RAM:     {} GB", host.ram_gib);
+        println!(
+            "  STORAGE: {} ({:.0} MB/s read, {:.1} ms access)",
+            host.disk.name,
+            host.disk.read_bw / 1e6,
+            host.disk.access_latency * 1e3
+        );
+        println!(
+            "  NETWORK: {} ({:.0} Mbit/s effective, {:.1} ms RTT)\n",
+            host.net.name,
+            host.net.bandwidth * 8.0 / 1e6,
+            host.net.rtt * 1e3
+        );
+    }
+    println!(
+        "After the §IV-B1 migration the storage host uses its SSD: {} ({:.0} MB/s).",
+        STORAGE_HOST_SSD.disk.name,
+        STORAGE_HOST_SSD.disk.read_bw / 1e6
+    );
+}

@@ -1,0 +1,34 @@
+//! `monster-collector` — the Metrics Collector service.
+//!
+//! The centralized collecting agent of §III-B: every interval (60 s) it
+//! fans requests out to all BMCs, pulls node/job accounting from the
+//! resource manager, **pre-processes** the raw readings (§III-B3), builds
+//! data points against a storage schema, and batch-writes them to the
+//! TSDB.
+//!
+//! Two complete schema generations are implemented because the paper's
+//! Fig. 13/14 experiments compare them:
+//!
+//! * [`schema::SchemaVersion::Previous`] — the original deployment's
+//!   layout: per-metric measurements carrying threshold metadata and
+//!   human-readable date/health strings, **plus** the coexisting second
+//!   iteration (a unified metric measurement and one dedicated measurement
+//!   per job), exactly the cardinality accident §IV-B2 describes;
+//! * [`schema::SchemaVersion::Optimized`] — the redesigned layout: binary
+//!   health codes stored only when abnormal, integer epoch times,
+//!   consolidated measurements (`Health`, `Power`, `Thermal`, `UGE`,
+//!   `JobsInfo`, `NodeJobs` — the §III-C inventory).
+//!
+//! Pre-processing ([`preprocess`]) implements the §III-B3 rules: health
+//! string → binary code (abnormal-only retention), date string → epoch
+//! int, job-list diffing to estimate finish times UGE does not report, and
+//! derived per-job core/node counts.
+
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod preprocess;
+pub mod schema;
+
+pub use collector::{Collector, CollectorConfig, IntervalOutput};
+pub use schema::SchemaVersion;

@@ -1,0 +1,401 @@
+//! Storage schemas: the original layout and the §IV-B2 redesign.
+//!
+//! Schema choice is the paper's single biggest storage/performance lever
+//! (Fig. 13: the optimized schema holds the same information in 28 % of
+//! the volume; Fig. 14: queries run 1.6–1.76× faster). Both generations
+//! are implemented end-to-end so those comparisons measure real bytes and
+//! real series cardinality.
+
+use crate::preprocess::health_code_if_abnormal;
+use monster_redfish::{HealthState, NodeReading};
+use monster_scheduler::host::LoadReport;
+use monster_scheduler::{Job, JobState};
+use monster_tsdb::DataPoint;
+use monster_util::{EpochSecs, NodeId};
+
+/// Which schema generation to build points for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemaVersion {
+    /// The original deployment: version-1 per-metric measurements with
+    /// threshold metadata and string timestamps/health, coexisting with
+    /// the version-2 unified measurement and per-job dedicated
+    /// measurements. High cardinality, high volume.
+    Previous,
+    /// The redesign: consolidated measurements, binary health codes kept
+    /// only when abnormal, integer epoch times.
+    Optimized,
+}
+
+/// Build the points for one node's BMC reading.
+pub fn bmc_points(
+    schema: SchemaVersion,
+    node: NodeId,
+    reading: &NodeReading,
+    t: EpochSecs,
+) -> Vec<DataPoint> {
+    match schema {
+        SchemaVersion::Optimized => optimized_bmc(node, reading, t),
+        SchemaVersion::Previous => previous_bmc(node, reading, t),
+    }
+}
+
+fn labeled(measurement: &str, node: NodeId, label: &str, v: f64, t: EpochSecs) -> DataPoint {
+    DataPoint::new(measurement, t)
+        .tag("NodeId", node.bmc_addr())
+        .tag("Label", label)
+        .field_f64("Reading", v)
+}
+
+fn optimized_bmc(node: NodeId, reading: &NodeReading, t: EpochSecs) -> Vec<DataPoint> {
+    match reading {
+        NodeReading::Thermal { cpu_temps, inlet, fans } => {
+            let mut pts = Vec::with_capacity(cpu_temps.len() + 1 + fans.len());
+            for (i, temp) in cpu_temps.iter().enumerate() {
+                pts.push(labeled("Thermal", node, &format!("CPU{} Temp", i + 1), *temp, t));
+            }
+            pts.push(labeled("Thermal", node, "Inlet Temp", *inlet, t));
+            for (i, rpm) in fans.iter().enumerate() {
+                pts.push(labeled("Thermal", node, &format!("Fan {}", i + 1), *rpm, t));
+            }
+            pts
+        }
+        NodeReading::Power { usage_watts, voltages } => {
+            // The Fig. 4 sample point: Power measurement, Label tag so
+            // "the power consumption of other components can also be
+            // saved to the Power measurement".
+            let mut pts = vec![labeled("Power", node, "NodePower", *usage_watts, t)];
+            for (i, v) in voltages.iter().enumerate() {
+                pts.push(labeled("Power", node, &format!("Voltage {}", i + 1), *v, t));
+            }
+            pts
+        }
+        NodeReading::Manager { health } => health_point(node, "BMC", *health, t),
+        NodeReading::System { health } => health_point(node, "System", *health, t),
+    }
+}
+
+fn health_point(node: NodeId, label: &str, h: HealthState, t: EpochSecs) -> Vec<DataPoint> {
+    // Abnormal-only retention: "we keep only abnormal status ... as the
+    // majority of systems is usually healthy."
+    match health_code_if_abnormal(h) {
+        Some(code) => vec![DataPoint::new("Health", t)
+            .tag("NodeId", node.bmc_addr())
+            .tag("Label", label)
+            .field_i64("Code", code)],
+        None => Vec::new(),
+    }
+}
+
+/// Version-1 point: its own measurement per metric, with threshold
+/// metadata fields and a redundant human-readable timestamp string. The
+/// `Sensor` tag separates same-timestamp instances (fan 1..4, CPU 1..2)
+/// within one measurement.
+fn v1_point(measurement: &str, node: NodeId, value: f64, t: EpochSecs, units: &str) -> DataPoint {
+    v1_point_tagged(measurement, node, "0", value, t, units)
+}
+
+fn v1_point_tagged(
+    measurement: &str,
+    node: NodeId,
+    sensor: &str,
+    value: f64,
+    t: EpochSecs,
+    units: &str,
+) -> DataPoint {
+    DataPoint::new(measurement, t)
+        .tag("NodeId", node.bmc_addr())
+        .tag("Sensor", sensor)
+        .field_f64("Reading", value)
+        .field_str("Units", units)
+        .field_f64("UpperThresholdCritical", value.abs() * 2.0 + 100.0)
+        .field_f64("UpperThresholdNonCritical", value.abs() * 1.5 + 50.0)
+        .field_f64("LowerThresholdCritical", -10.0)
+        .field_str("CollectedAt", t.to_rfc3339())
+}
+
+/// Version-2 point: the unified measurement, `MetricName` as a tag.
+fn v2_point(metric: &str, node: NodeId, value: f64, t: EpochSecs) -> DataPoint {
+    DataPoint::new("Metrics", t)
+        .tag("NodeId", node.bmc_addr())
+        .tag("MetricName", metric)
+        .field_f64("Value", value)
+}
+
+fn previous_bmc(node: NodeId, reading: &NodeReading, t: EpochSecs) -> Vec<DataPoint> {
+    // Both coexisting generations are written ("both versions of the
+    // schema coexist in the same database").
+    let mut pts = Vec::new();
+    let mut both = |measurement: &str, sensor: &str, metric: &str, v: f64, units: &str| {
+        pts.push(v1_point_tagged(measurement, node, sensor, v, t, units));
+        pts.push(v2_point(metric, node, v, t));
+    };
+    match reading {
+        NodeReading::Thermal { cpu_temps, inlet, fans } => {
+            for (i, temp) in cpu_temps.iter().enumerate() {
+                let n = (i + 1).to_string();
+                both("CPUTemperature", &n, &format!("cpu{}_temp", i + 1), *temp, "Celsius");
+            }
+            both("InletTemperature", "0", "inlet_temp", *inlet, "Celsius");
+            for (i, rpm) in fans.iter().enumerate() {
+                let n = (i + 1).to_string();
+                both("FanSpeed", &n, &format!("fan{}_rpm", i + 1), *rpm, "RPM");
+            }
+        }
+        NodeReading::Power { usage_watts, voltages } => {
+            both("PowerUsage", "0", "node_power", *usage_watts, "Watts");
+            for (i, v) in voltages.iter().enumerate() {
+                let n = (i + 1).to_string();
+                both("Voltage", &n, &format!("voltage_{}", i + 1), *v, "Volts");
+            }
+        }
+        NodeReading::Manager { health } => {
+            // v1 stored every health sample, as a string.
+            pts.push(
+                DataPoint::new("BMCHealth", t)
+                    .tag("NodeId", node.bmc_addr())
+                    .field_str("Health", health.as_str())
+                    .field_str("CollectedAt", t.to_rfc3339()),
+            );
+            pts.push(v2_point("bmc_health", node, health.code() as f64, t));
+        }
+        NodeReading::System { health } => {
+            pts.push(
+                DataPoint::new("SystemHealth", t)
+                    .tag("NodeId", node.bmc_addr())
+                    .field_str("Health", health.as_str())
+                    .field_str("CollectedAt", t.to_rfc3339()),
+            );
+            pts.push(v2_point("system_health", node, health.code() as f64, t));
+        }
+    }
+    pts
+}
+
+/// Build the points for one node's resource-manager report.
+pub fn uge_points(schema: SchemaVersion, report: &LoadReport, t: EpochSecs) -> Vec<DataPoint> {
+    let node = report.node;
+    let joblist = format!(
+        "[{}]",
+        report
+            .job_list
+            .iter()
+            .map(|j| format!("'{j}'"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    match schema {
+        SchemaVersion::Optimized => vec![
+            DataPoint::new("UGE", t)
+                .tag("NodeId", node.bmc_addr())
+                .field_f64("CPUUsage", report.cpu_usage)
+                .field_f64("MemUsed", report.mem_used_gib)
+                .field_f64("MemTotal", report.mem_total_gib)
+                .field_f64("MemUsage", crate::preprocess::memory_usage_fraction(
+                    report.mem_used_gib,
+                    report.mem_total_gib,
+                ))
+                .field_f64("UsedSwap", report.swap_used_gib)
+                .field_f64("FreeSwap", report.swap_free_gib()),
+            // The Fig. 5 sample point: stringified job list, because
+            // "data types in InfluxDB do not include array".
+            DataPoint::new("NodeJobs", t)
+                .tag("NodeId", node.bmc_addr())
+                .field_str("JobList", joblist),
+        ],
+        SchemaVersion::Previous => vec![
+            v1_point("CPUUsage", node, report.cpu_usage, t, "Fraction"),
+            v1_point("MemoryUsed", node, report.mem_used_gib, t, "GiB"),
+            v1_point("MemoryTotal", node, report.mem_total_gib, t, "GiB"),
+            v1_point("SwapUsed", node, report.swap_used_gib, t, "GiB"),
+            v1_point("SwapFree", node, report.swap_free_gib(), t, "GiB"),
+            v2_point("cpu_usage", node, report.cpu_usage, t),
+            v2_point("mem_used", node, report.mem_used_gib, t),
+            DataPoint::new("NodeJobList", t)
+                .tag("NodeId", node.bmc_addr())
+                .field_str("JobList", joblist.clone())
+                .field_str("CollectedAt", t.to_rfc3339()),
+        ],
+    }
+}
+
+/// Build the points describing one job.
+pub fn job_points(schema: SchemaVersion, job: &Job, t: EpochSecs) -> Vec<DataPoint> {
+    let (state_code, start, end) = match &job.state {
+        JobState::Pending => (0i64, None, None),
+        JobState::Running { start, .. } => (1, Some(*start), None),
+        JobState::Done { start, end, .. } => (2, Some(*start), Some(*end)),
+        JobState::Failed { start, end, .. } => (3, Some(*start), Some(*end)),
+    };
+    let slots = job.total_slots(monster_scheduler::host::SLOTS_PER_NODE) as i64;
+    let nodes = job.hosts().len() as i64;
+    match schema {
+        SchemaVersion::Optimized => {
+            let mut p = DataPoint::new("JobsInfo", t)
+                .tag("JobId", job.id.to_string())
+                .field_str("User", job.spec.user.as_str())
+                .field_i64("SubmitTime", job.submit_time.as_secs())
+                .field_i64("State", state_code)
+                .field_i64("TotalCores", slots)
+                .field_i64("TotalNodes", nodes);
+            if let Some(s) = start {
+                p = p.field_i64("StartTime", s.as_secs());
+            }
+            if let Some(e) = end {
+                p = p.field_i64("FinishTime", e.as_secs());
+            }
+            vec![p]
+        }
+        SchemaVersion::Previous => {
+            // "each job information is stored into a dedicated
+            // measurement" — the v2 cardinality accident: measurement
+            // name carries the job id.
+            let mut p = DataPoint::new(format!("Job_{}", job.id), t)
+                .tag("Owner", job.spec.user.as_str())
+                .field_str("User", job.spec.user.as_str())
+                .field_str("SubmitTime", job.submit_time.to_rfc3339())
+                .field_str("State", format!("{state_code}"))
+                .field_i64("TotalCores", slots)
+                .field_i64("TotalNodes", nodes)
+                .field_str("JobName", job.spec.name.as_str());
+            if let Some(s) = start {
+                p = p.field_str("StartTime", s.to_rfc3339());
+            }
+            if let Some(e) = end {
+                p = p.field_str("FinishTime", e.to_rfc3339());
+            }
+            vec![p]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monster_scheduler::{JobShape, JobSpec};
+    use monster_util::{JobId, UserName};
+
+    fn t() -> EpochSecs {
+        EpochSecs::new(1_583_792_296)
+    }
+
+    fn node() -> NodeId {
+        NodeId::new(1, 1)
+    }
+
+    fn thermal() -> NodeReading {
+        NodeReading::Thermal {
+            cpu_temps: vec![54.0, 56.5],
+            inlet: 21.0,
+            fans: vec![4400.0, 4410.0, 4390.0, 4420.0],
+        }
+    }
+
+    #[test]
+    fn optimized_power_point_matches_fig4() {
+        let r = NodeReading::Power { usage_watts: 273.8, voltages: vec![12.0, 5.0, 3.3] };
+        let pts = bmc_points(SchemaVersion::Optimized, node(), &r, t());
+        let p = &pts[0];
+        assert_eq!(p.measurement, "Power");
+        assert_eq!(p.get_tag("NodeId"), Some("10.101.1.1"));
+        assert_eq!(p.get_tag("Label"), Some("NodePower"));
+        assert_eq!(p.get_field("Reading").unwrap().as_f64(), Some(273.8));
+        assert_eq!(p.time, t());
+        assert_eq!(pts.len(), 4); // power + 3 voltages
+    }
+
+    #[test]
+    fn optimized_health_stores_only_abnormal() {
+        let ok = NodeReading::Manager { health: HealthState::Ok };
+        assert!(bmc_points(SchemaVersion::Optimized, node(), &ok, t()).is_empty());
+        let warn = NodeReading::System { health: HealthState::Warning };
+        let pts = bmc_points(SchemaVersion::Optimized, node(), &warn, t());
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].measurement, "Health");
+        assert_eq!(pts[0].get_field("Code").unwrap().as_i64(), Some(1));
+    }
+
+    #[test]
+    fn previous_stores_all_health_as_strings() {
+        let ok = NodeReading::Manager { health: HealthState::Ok };
+        let pts = bmc_points(SchemaVersion::Previous, node(), &ok, t());
+        assert_eq!(pts.len(), 2); // v1 string point + v2 unified point
+        assert_eq!(pts[0].get_field("Health").unwrap().as_str(), Some("OK"));
+    }
+
+    #[test]
+    fn previous_schema_is_much_heavier() {
+        let r = thermal();
+        let old: usize = bmc_points(SchemaVersion::Previous, node(), &r, t())
+            .iter()
+            .map(DataPoint::wire_size)
+            .sum();
+        let new: usize = bmc_points(SchemaVersion::Optimized, node(), &r, t())
+            .iter()
+            .map(DataPoint::wire_size)
+            .sum();
+        // Raw wire volume should be several times larger (Fig. 13's ~3.6x
+        // comes from this plus the health/job effects).
+        assert!(old > new * 3, "old={old} new={new}");
+    }
+
+    #[test]
+    fn previous_job_measurement_carries_job_id() {
+        let job = Job {
+            id: JobId(1_291_784),
+            spec: JobSpec {
+                user: UserName::new("jieyao"),
+                name: "mpi.sh".into(),
+                shape: JobShape::Parallel { nodes: 58 },
+                runtime_secs: 3600,
+                priority: 0,
+                mem_per_slot_gib: 2.0,
+            },
+            submit_time: EpochSecs::new(1_583_790_000),
+            state: JobState::Pending,
+        };
+        let pts = job_points(SchemaVersion::Previous, &job, t());
+        assert_eq!(pts[0].measurement, "Job_1291784");
+        // String timestamps in the old schema.
+        assert!(pts[0].get_field("SubmitTime").unwrap().as_str().is_some());
+        let pts = job_points(SchemaVersion::Optimized, &job, t());
+        assert_eq!(pts[0].measurement, "JobsInfo");
+        assert_eq!(
+            pts[0].get_field("SubmitTime").unwrap().as_i64(),
+            Some(1_583_790_000)
+        );
+        assert_eq!(pts[0].get_field("TotalCores").unwrap().as_i64(), Some(2088));
+    }
+
+    #[test]
+    fn uge_points_cover_table2() {
+        let report = LoadReport {
+            node: node(),
+            cpu_usage: 0.5,
+            mem_total_gib: 192.0,
+            mem_used_gib: 96.0,
+            swap_total_gib: 4.0,
+            swap_used_gib: 1.0,
+            job_list: vec![JobId(1_291_784), JobId(1_318_962)],
+        };
+        let pts = uge_points(SchemaVersion::Optimized, &report, t());
+        assert_eq!(pts.len(), 2);
+        let uge = &pts[0];
+        assert_eq!(uge.get_field("CPUUsage").unwrap().as_f64(), Some(0.5));
+        assert_eq!(uge.get_field("MemUsage").unwrap().as_f64(), Some(0.5));
+        assert_eq!(uge.get_field("FreeSwap").unwrap().as_f64(), Some(3.0));
+        // The Fig. 5 stringified job list.
+        let nj = &pts[1];
+        assert_eq!(nj.measurement, "NodeJobs");
+        assert_eq!(
+            nj.get_field("JobList").unwrap().as_str(),
+            Some("['1291784', '1318962']")
+        );
+    }
+
+    #[test]
+    fn thermal_point_counts() {
+        let r = thermal();
+        assert_eq!(bmc_points(SchemaVersion::Optimized, node(), &r, t()).len(), 7);
+        assert_eq!(bmc_points(SchemaVersion::Previous, node(), &r, t()).len(), 14);
+    }
+}

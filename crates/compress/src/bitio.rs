@@ -1,0 +1,143 @@
+//! LSB-first bit-level I/O, as used by the DEFLATE family.
+
+use monster_util::{Error, Result};
+
+/// Accumulates bits least-significant-first into a byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// A fresh writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Append the low `n` bits of `bits` (n ≤ 57).
+    pub fn write(&mut self, bits: u64, n: u32) {
+        debug_assert!(n <= 57, "write chunk too wide");
+        debug_assert!(n == 64 || bits < (1u64 << n), "value wider than bit count");
+        self.acc |= bits << self.nbits;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.out.push((self.acc & 0xFF) as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Pad to a byte boundary with zero bits and return the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.out.push((self.acc & 0xFF) as u8);
+        }
+        self.out
+    }
+
+    /// Bits written so far (including unflushed).
+    pub fn bit_len(&self) -> usize {
+        self.out.len() * 8 + self.nbits as usize
+    }
+}
+
+/// Reads bits least-significant-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    byte_pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Read from `data` starting at its first byte.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, byte_pos: 0, acc: 0, nbits: 0 }
+    }
+
+    fn refill(&mut self) {
+        while self.nbits <= 56 && self.byte_pos < self.data.len() {
+            self.acc |= (self.data[self.byte_pos] as u64) << self.nbits;
+            self.byte_pos += 1;
+            self.nbits += 8;
+        }
+    }
+
+    /// Read `n` bits (n ≤ 57); errors at end of stream.
+    pub fn read(&mut self, n: u32) -> Result<u64> {
+        debug_assert!(n <= 57);
+        if n == 0 {
+            return Ok(0);
+        }
+        self.refill();
+        if self.nbits < n {
+            return Err(Error::Corrupt("bit stream exhausted".into()));
+        }
+        let v = self.acc & ((1u64 << n) - 1);
+        self.acc >>= n;
+        self.nbits -= n;
+        Ok(v)
+    }
+
+    /// Read a single bit.
+    pub fn read_bit(&mut self) -> Result<u32> {
+        Ok(self.read(1)? as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write(0b101, 3);
+        w.write(0xABCD, 16);
+        w.write(1, 1);
+        w.write(0x3FFFF, 18);
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.read(3).unwrap(), 0b101);
+        assert_eq!(r.read(16).unwrap(), 0xABCD);
+        assert_eq!(r.read(1).unwrap(), 1);
+        assert_eq!(r.read(18).unwrap(), 0x3FFFF);
+    }
+
+    #[test]
+    fn lsb_first_layout() {
+        let mut w = BitWriter::new();
+        w.write(1, 1); // bit 0 of byte 0
+        w.write(0, 1);
+        w.write(1, 1); // bit 2
+        let buf = w.finish();
+        assert_eq!(buf, vec![0b0000_0101]);
+    }
+
+    #[test]
+    fn exhaustion_is_an_error() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read(8).unwrap(), 0xFF);
+        assert!(r.read(1).is_err());
+    }
+
+    #[test]
+    fn zero_width_reads_ok() {
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.read(0).unwrap(), 0);
+        assert!(r.read(1).is_err());
+    }
+
+    #[test]
+    fn bit_len_counts_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write(0b11, 2);
+        assert_eq!(w.bit_len(), 2);
+        w.write(0xFF, 8);
+        assert_eq!(w.bit_len(), 10);
+    }
+}

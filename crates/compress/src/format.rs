@@ -1,0 +1,393 @@
+//! The "MZ1" container: header, Huffman-coded token blocks, checksum.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic "MZ1\0" | level u8 | orig_len varint | mode u8
+//! mode 0 (stored): raw bytes
+//! mode 1 (coded):  litlen code lengths (4b each, 286 syms)
+//!                  dist code lengths   (4b each, 30 syms)
+//!                  bit-packed token stream, EOB-terminated
+//! adler32 of original data (4 bytes LE)
+//! ```
+//!
+//! Length/distance symbols use DEFLATE's alphabets (29 length codes with
+//! extra bits, 30 distance codes), so ratios are comparable to zlib's.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::huffman::{code_lengths, Decoder, Encoder};
+use crate::lz77::{detokenize, tokenize, Level, Token, MAX_MATCH, MIN_MATCH};
+use crate::adler::adler32;
+use monster_util::{Error, Result};
+
+const MAGIC: &[u8; 4] = b"MZ1\0";
+/// 256 literals + EOB + 29 length codes.
+const NUM_LITLEN: usize = 286;
+const EOB: usize = 256;
+const NUM_DIST: usize = 30;
+
+/// (base length, extra bits) per length code 257..=285.
+const LEN_TABLE: [(u16, u8); 29] = [
+    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
+    (11, 1), (13, 1), (15, 1), (17, 1), (19, 2), (23, 2), (27, 2), (31, 2),
+    (35, 3), (43, 3), (51, 3), (59, 3), (67, 4), (83, 4), (99, 4), (115, 4),
+    (131, 5), (163, 5), (195, 5), (227, 5), (258, 0),
+];
+
+/// (base distance, extra bits) per distance code 0..=29.
+const DIST_TABLE: [(u16, u8); 30] = [
+    (1, 0), (2, 0), (3, 0), (4, 0), (5, 1), (7, 1), (9, 2), (13, 2),
+    (17, 3), (25, 3), (33, 4), (49, 4), (65, 5), (97, 5), (129, 6), (193, 6),
+    (257, 7), (385, 7), (513, 8), (769, 8), (1025, 9), (1537, 9),
+    (2049, 10), (3073, 10), (4097, 11), (6145, 11), (8193, 12), (12289, 12),
+    (16385, 13), (24577, 13),
+];
+
+fn len_to_sym(len: u16) -> (usize, u16, u8) {
+    debug_assert!((MIN_MATCH as u16..=MAX_MATCH as u16).contains(&len));
+    // Find the last code whose base <= len.
+    let mut idx = LEN_TABLE.len() - 1;
+    for (i, &(base, _)) in LEN_TABLE.iter().enumerate() {
+        if base > len {
+            idx = i - 1;
+            break;
+        }
+    }
+    let (base, extra) = LEN_TABLE[idx];
+    (257 + idx, len - base, extra)
+}
+
+fn dist_to_sym(dist: u16) -> (usize, u16, u8) {
+    debug_assert!(dist >= 1);
+    let mut idx = DIST_TABLE.len() - 1;
+    for (i, &(base, _)) in DIST_TABLE.iter().enumerate() {
+        if base > dist {
+            idx = i - 1;
+            break;
+        }
+    }
+    let (base, extra) = DIST_TABLE[idx];
+    (idx, dist - base, extra)
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn read_varint(data: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0;
+    loop {
+        let b = *data
+            .get(*pos)
+            .ok_or_else(|| Error::Corrupt("truncated varint".into()))?;
+        *pos += 1;
+        v |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(Error::Corrupt("varint too long".into()));
+        }
+    }
+}
+
+/// Statistics from a compression run (ratio reporting for Fig. 18).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressStats {
+    /// Input size in bytes.
+    pub input_bytes: usize,
+    /// Output (container) size in bytes.
+    pub output_bytes: usize,
+}
+
+impl CompressStats {
+    /// `output / input`, i.e. ≈0.05 for the paper's JSON payloads.
+    pub fn ratio(&self) -> f64 {
+        if self.input_bytes == 0 {
+            1.0
+        } else {
+            self.output_bytes as f64 / self.input_bytes as f64
+        }
+    }
+}
+
+/// Compress `data` into an MZ1 container.
+pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
+    let tokens = tokenize(data, level);
+
+    // Frequency pass.
+    let mut lit_freq = [0u64; NUM_LITLEN];
+    let mut dist_freq = [0u64; NUM_DIST];
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => lit_freq[b as usize] += 1,
+            Token::Match { len, dist } => {
+                lit_freq[len_to_sym(len).0] += 1;
+                dist_freq[dist_to_sym(dist).0] += 1;
+            }
+        }
+    }
+    lit_freq[EOB] += 1;
+
+    let lit_lens = code_lengths(&lit_freq);
+    let dist_lens = code_lengths(&dist_freq);
+    let lit_enc = Encoder::from_lengths(&lit_lens);
+    let dist_enc = Encoder::from_lengths(&dist_lens);
+
+    let mut w = BitWriter::new();
+    // Code length tables: 4 bits per symbol.
+    for &l in &lit_lens {
+        w.write(l as u64, 4);
+    }
+    for &l in &dist_lens {
+        w.write(l as u64, 4);
+    }
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => lit_enc.encode(&mut w, b as usize),
+            Token::Match { len, dist } => {
+                let (sym, extra_val, extra_bits) = len_to_sym(len);
+                lit_enc.encode(&mut w, sym);
+                w.write(extra_val as u64, extra_bits as u32);
+                let (dsym, dextra_val, dextra_bits) = dist_to_sym(dist);
+                dist_enc.encode(&mut w, dsym);
+                w.write(dextra_val as u64, dextra_bits as u32);
+            }
+        }
+    }
+    lit_enc.encode(&mut w, EOB);
+    let body = w.finish();
+
+    let mut out = Vec::with_capacity(body.len() + 16);
+    out.extend_from_slice(MAGIC);
+    out.push(level.get());
+    write_varint(&mut out, data.len() as u64);
+    if body.len() >= data.len() {
+        // Stored mode: coding did not help (tiny or incompressible input).
+        out.push(0);
+        out.extend_from_slice(data);
+    } else {
+        out.push(1);
+        out.extend_from_slice(&body);
+    }
+    out.extend_from_slice(&adler32(data).to_le_bytes());
+    out
+}
+
+/// Decompress an MZ1 container, verifying the checksum.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+    if data.len() < MAGIC.len() + 2 + 4 || &data[..4] != MAGIC {
+        return Err(Error::Corrupt("bad MZ1 magic".into()));
+    }
+    let mut pos = 5; // magic + level byte
+    let orig_len = read_varint(data, &mut pos)? as usize;
+    let mode = *data
+        .get(pos)
+        .ok_or_else(|| Error::Corrupt("truncated header".into()))?;
+    pos += 1;
+    if data.len() < pos + 4 {
+        return Err(Error::Corrupt("missing checksum".into()));
+    }
+    let (body, sum_bytes) = data[pos..].split_at(data.len() - pos - 4);
+    let expect_sum = u32::from_le_bytes(sum_bytes.try_into().expect("4 bytes"));
+
+    let out = match mode {
+        0 => {
+            if body.len() != orig_len {
+                return Err(Error::Corrupt("stored length mismatch".into()));
+            }
+            body.to_vec()
+        }
+        1 => {
+            let mut r = BitReader::new(body);
+            let mut lit_lens = vec![0u32; NUM_LITLEN];
+            for l in lit_lens.iter_mut() {
+                *l = r.read(4)? as u32;
+            }
+            let mut dist_lens = vec![0u32; NUM_DIST];
+            for l in dist_lens.iter_mut() {
+                *l = r.read(4)? as u32;
+            }
+            let lit_dec = Decoder::from_lengths(&lit_lens)?;
+            // An all-literal stream legally has no distance codes.
+            let dist_dec = Decoder::from_lengths(&dist_lens).ok();
+            let mut tokens: Vec<Token> = Vec::new();
+            loop {
+                let sym = lit_dec.decode(&mut r)? as usize;
+                if sym == EOB {
+                    break;
+                }
+                if sym < 256 {
+                    tokens.push(Token::Literal(sym as u8));
+                    continue;
+                }
+                let idx = sym - 257;
+                if idx >= LEN_TABLE.len() {
+                    return Err(Error::Corrupt(format!("bad length symbol {sym}")));
+                }
+                let (base, extra) = LEN_TABLE[idx];
+                let len = base + r.read(extra as u32)? as u16;
+                let dd = dist_dec
+                    .as_ref()
+                    .ok_or_else(|| Error::Corrupt("match without distance table".into()))?;
+                let dsym = dd.decode(&mut r)? as usize;
+                if dsym >= DIST_TABLE.len() {
+                    return Err(Error::Corrupt(format!("bad distance symbol {dsym}")));
+                }
+                let (dbase, dextra) = DIST_TABLE[dsym];
+                let dist = dbase + r.read(dextra as u32)? as u16;
+                tokens.push(Token::Match { len, dist });
+            }
+            detokenize(&tokens, orig_len)?
+        }
+        m => return Err(Error::Corrupt(format!("unknown mode {m}"))),
+    };
+
+    if out.len() != orig_len {
+        return Err(Error::Corrupt(format!(
+            "length mismatch: header {orig_len}, decoded {}",
+            out.len()
+        )));
+    }
+    if adler32(&out) != expect_sum {
+        return Err(Error::Corrupt("adler32 mismatch".into()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(data: &[u8], level: Level) -> CompressStats {
+        let packed = compress(data, level);
+        let back = decompress(&packed).expect("decompress");
+        assert_eq!(back, data);
+        CompressStats { input_bytes: data.len(), output_bytes: packed.len() }
+    }
+
+    #[test]
+    fn round_trips_representative_payloads() {
+        for l in [Level::FAST, Level::default(), Level::BEST] {
+            rt(b"", l);
+            rt(b"x", l);
+            rt(b"hello hello hello hello", l);
+            rt(&vec![0u8; 4096], l);
+            rt(&(0u16..=255).map(|b| b as u8).collect::<Vec<_>>(), l);
+        }
+    }
+
+    #[test]
+    fn json_payload_reaches_paper_like_ratio() {
+        // Metrics Builder responses are highly repetitive JSON; the paper
+        // observed ~5% compressed size (Fig. 18).
+        let mut doc = String::from("[");
+        for i in 0..2000 {
+            doc.push_str(&format!(
+                r#"{{"time":{},"NodeId":"10.101.{}.{}","Label":"NodePower","Reading":{}.{}}},"#,
+                1_583_792_296 + i * 60,
+                i % 118 + 1,
+                i % 4 + 1,
+                250 + i % 60,
+                i % 10,
+            ));
+        }
+        doc.push(']');
+        let stats = rt(doc.as_bytes(), Level::default());
+        assert!(
+            stats.ratio() < 0.10,
+            "expected <10% ratio on repetitive JSON, got {:.3}",
+            stats.ratio()
+        );
+    }
+
+    #[test]
+    fn stored_mode_for_incompressible_input() {
+        let mut x: u64 = 42;
+        let data: Vec<u8> = (0..256)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 56) as u8
+            })
+            .collect();
+        let packed = compress(&data, Level::BEST);
+        // Container overhead only: magic(4)+level(1)+varint(2)+mode(1)+sum(4).
+        assert!(packed.len() <= data.len() + 12);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let data = b"some payload worth protecting".repeat(20);
+        let packed = compress(&data, Level::default());
+        // Flip a byte somewhere in the body.
+        for idx in [6, packed.len() / 2, packed.len() - 1] {
+            let mut bad = packed.clone();
+            bad[idx] ^= 0x40;
+            assert!(decompress(&bad).is_err(), "corruption at {idx} not caught");
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let packed = compress(b"abcabcabcabc", Level::default());
+        for cut in [0, 3, 5, packed.len() - 1] {
+            assert!(decompress(&packed[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        assert!(decompress(b"NOPE\x06\x00\x00\x00\x00\x00\x00").is_err());
+    }
+
+    #[test]
+    fn higher_levels_do_not_regress_much() {
+        let unit = br#"{"a":1,"b":"xyz","c":[1,2,3]}"#;
+        let data = unit.repeat(500);
+        let fast = rt(&data, Level::FAST).output_bytes;
+        let best = rt(&data, Level::BEST).output_bytes;
+        assert!(best as f64 <= fast as f64 * 1.02, "best {best} fast {fast}");
+    }
+
+    #[test]
+    fn symbol_tables_cover_extremes() {
+        assert_eq!(len_to_sym(3), (257, 0, 0));
+        assert_eq!(len_to_sym(258).0, 285);
+        assert_eq!(len_to_sym(10), (264, 0, 0));
+        assert_eq!(len_to_sym(11), (265, 0, 1));
+        assert_eq!(len_to_sym(12), (265, 1, 1));
+        assert_eq!(dist_to_sym(1), (0, 0, 0));
+        assert_eq!(dist_to_sym(32768).0, 29);
+        assert_eq!(dist_to_sym(5), (4, 0, 1));
+        assert_eq!(dist_to_sym(6), (4, 1, 1));
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn stats_ratio() {
+        let s = CompressStats { input_bytes: 1000, output_bytes: 50 };
+        assert!((s.ratio() - 0.05).abs() < 1e-12);
+        assert_eq!(CompressStats { input_bytes: 0, output_bytes: 0 }.ratio(), 1.0);
+    }
+}

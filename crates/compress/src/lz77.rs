@@ -1,0 +1,330 @@
+//! LZ77 sliding-window match search with hash chains and lazy matching.
+
+/// Compression effort level, 1 (fastest) to 9 (best ratio).
+///
+/// Level tunes the hash-chain search depth and whether lazy matching
+/// (deferring a match by one byte when the next position matches longer)
+/// is enabled — the same dials zlib's levels turn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Level(u8);
+
+impl Level {
+    /// Construct a level, clamped into 1..=9.
+    pub fn new(level: u8) -> Self {
+        Level(level.clamp(1, 9))
+    }
+
+    /// Fastest (level 1).
+    pub const FAST: Level = Level(1);
+    /// Best ratio (level 9).
+    pub const BEST: Level = Level(9);
+
+    /// The numeric level.
+    pub fn get(self) -> u8 {
+        self.0
+    }
+
+    /// Maximum hash-chain positions examined per match attempt.
+    fn max_chain(self) -> usize {
+        match self.0 {
+            1 => 4,
+            2 => 8,
+            3 => 16,
+            4 => 32,
+            5 => 64,
+            6 => 128,
+            7 => 256,
+            8 => 512,
+            _ => 1024,
+        }
+    }
+
+    /// Lazy matching kicks in from level 4.
+    fn lazy(self) -> bool {
+        self.0 >= 4
+    }
+
+    /// Stop searching early once a match of this length is found.
+    fn good_enough(self) -> usize {
+        match self.0 {
+            1..=3 => 16,
+            4..=6 => 64,
+            _ => MAX_MATCH,
+        }
+    }
+}
+
+impl Default for Level {
+    /// Level 6, zlib's default trade-off.
+    fn default() -> Self {
+        Level(6)
+    }
+}
+
+/// Window size: matches may reach back this far.
+pub const WINDOW: usize = 32 * 1024;
+/// Minimum match length worth emitting.
+pub const MIN_MATCH: usize = 3;
+/// Maximum match length (DEFLATE's cap).
+pub const MAX_MATCH: usize = 258;
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A literal byte.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes starting `dist` bytes back.
+    Match {
+        /// Match length, `MIN_MATCH..=MAX_MATCH`.
+        len: u16,
+        /// Backward distance, `1..=WINDOW`.
+        dist: u16,
+    },
+}
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], 0]);
+    ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HASH_BITS)) as usize
+}
+
+/// Tokenize `data` with the given effort level.
+pub fn tokenize(data: &[u8], level: Level) -> Vec<Token> {
+    let n = data.len();
+    let mut tokens = Vec::with_capacity(n / 3 + 8);
+    if n < MIN_MATCH + 1 {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+
+    // head[h] = most recent position with hash h; prev[i % WINDOW] = previous
+    // position in the chain. usize::MAX = empty.
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; WINDOW];
+    let max_chain = level.max_chain();
+    let good = level.good_enough();
+
+    let insert = |head: &mut [usize], prev: &mut [usize], data: &[u8], i: usize| {
+        if i + MIN_MATCH <= data.len() {
+            let h = hash3(data, i);
+            prev[i % WINDOW] = head[h];
+            head[h] = i;
+        }
+    };
+
+    let find_match = |head: &[usize], prev: &[usize], data: &[u8], i: usize| -> (usize, usize) {
+        if i + MIN_MATCH > data.len() {
+            return (0, 0);
+        }
+        let max_len = MAX_MATCH.min(data.len() - i);
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let mut cand = head[hash3(data, i)];
+        let mut chain = 0usize;
+        while cand != usize::MAX && chain < max_chain {
+            if cand >= i || i - cand > WINDOW {
+                break;
+            }
+            // Quick reject: check the byte one past the current best.
+            if best_len == 0 || data[cand + best_len] == data[i + best_len] {
+                let mut l = 0usize;
+                while l < max_len && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - cand;
+                    if l >= good || l == max_len {
+                        break;
+                    }
+                }
+            }
+            let next = prev[cand % WINDOW];
+            // Stale chain entries (overwritten ring slots) go backwards.
+            if next != usize::MAX && next >= cand {
+                break;
+            }
+            cand = next;
+            chain += 1;
+        }
+        if best_len >= MIN_MATCH {
+            (best_len, best_dist)
+        } else {
+            (0, 0)
+        }
+    };
+
+    let mut i = 0usize;
+    while i < n {
+        let (len, dist) = find_match(&head, &prev, data, i);
+        if len == 0 {
+            tokens.push(Token::Literal(data[i]));
+            insert(&mut head, &mut prev, data, i);
+            i += 1;
+            continue;
+        }
+        // Lazy matching: if the next position has a strictly longer match,
+        // emit this byte as a literal instead.
+        if level.lazy() && len < MAX_MATCH && i + 1 < n {
+            insert(&mut head, &mut prev, data, i);
+            let (next_len, _) = find_match(&head, &prev, data, i + 1);
+            if next_len > len {
+                tokens.push(Token::Literal(data[i]));
+                i += 1;
+                continue;
+            }
+            // Keep the current match; positions inside it still enter the
+            // dictionary below (starting from i+1 since i was inserted).
+            for j in i + 1..(i + len).min(n) {
+                insert(&mut head, &mut prev, data, j);
+            }
+        } else {
+            for j in i..(i + len).min(n) {
+                insert(&mut head, &mut prev, data, j);
+            }
+        }
+        tokens.push(Token::Match { len: len as u16, dist: dist as u16 });
+        i += len;
+    }
+    tokens
+}
+
+/// Expand tokens back into bytes. `hint` pre-sizes the output buffer.
+pub fn detokenize(tokens: &[Token], hint: usize) -> Result<Vec<u8>, monster_util::Error> {
+    let mut out: Vec<u8> = Vec::with_capacity(hint);
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let dist = dist as usize;
+                let len = len as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err(monster_util::Error::Corrupt(format!(
+                        "match distance {dist} exceeds output {}",
+                        out.len()
+                    )));
+                }
+                let start = out.len() - dist;
+                // Overlapping copies are the point (RLE via dist < len).
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(data: &[u8], level: Level) {
+        let toks = tokenize(data, level);
+        let back = detokenize(&toks, data.len()).unwrap();
+        assert_eq!(back, data, "round trip failed at level {:?}", level);
+    }
+
+    #[test]
+    fn round_trips_all_levels() {
+        let data = b"the quick brown fox jumps over the lazy dog; the quick brown fox again";
+        for l in 1..=9 {
+            rt(data, Level::new(l));
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        rt(b"", Level::default());
+        rt(b"a", Level::default());
+        rt(b"ab", Level::default());
+        rt(b"abc", Level::default());
+    }
+
+    #[test]
+    fn long_runs_compress_to_few_tokens() {
+        let data = vec![b'x'; 10_000];
+        let toks = tokenize(&data, Level::default());
+        // A run compresses to ~1 literal + len/MAX_MATCH matches.
+        assert!(toks.len() < 60, "got {} tokens", toks.len());
+        rt(&data, Level::default());
+    }
+
+    #[test]
+    fn repeated_json_finds_long_matches() {
+        let unit = br#"{"NodeId":"10.101.1.1","Reading":273.8},"#;
+        let data = unit.repeat(200);
+        let toks = tokenize(&data, Level::default());
+        let match_tokens = toks
+            .iter()
+            .filter(|t| matches!(t, Token::Match { .. }))
+            .count();
+        assert!(match_tokens > 0);
+        assert!(toks.len() < data.len() / 10);
+        rt(&data, Level::default());
+    }
+
+    #[test]
+    fn incompressible_data_round_trips() {
+        // Pseudo-random bytes: few matches, mostly literals.
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        let data: Vec<u8> = (0..5000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x & 0xFF) as u8
+            })
+            .collect();
+        for l in [1, 6, 9] {
+            rt(&data, Level::new(l));
+        }
+    }
+
+    #[test]
+    fn higher_level_never_many_more_tokens() {
+        let unit = b"abcdefgh-abcdefgh==abcdefgh";
+        let data = unit.repeat(300);
+        let fast = tokenize(&data, Level::FAST).len();
+        let best = tokenize(&data, Level::BEST).len();
+        assert!(best <= fast, "best {best} vs fast {fast}");
+    }
+
+    #[test]
+    fn detokenize_rejects_bad_distance() {
+        let toks = [Token::Match { len: 3, dist: 5 }];
+        assert!(detokenize(&toks, 8).is_err());
+        let toks = [Token::Literal(1), Token::Match { len: 3, dist: 0 }];
+        assert!(detokenize(&toks, 8).is_err());
+    }
+
+    #[test]
+    fn level_clamps() {
+        assert_eq!(Level::new(0).get(), 1);
+        assert_eq!(Level::new(99).get(), 9);
+        assert_eq!(Level::default().get(), 6);
+    }
+
+    #[test]
+    fn matches_beyond_window_are_not_used() {
+        // A repeated prefix separated by > WINDOW junk cannot be referenced.
+        let mut data = b"SIGNATURE-BLOCK".to_vec();
+        let mut x: u64 = 12345;
+        for _ in 0..(WINDOW + 1000) {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            data.push((x >> 33) as u8 | 0x80); // avoid accidental ASCII matches
+        }
+        data.extend_from_slice(b"SIGNATURE-BLOCK");
+        rt(&data, Level::BEST);
+        let toks = tokenize(&data, Level::BEST);
+        for t in &toks {
+            if let Token::Match { dist, .. } = t {
+                assert!((*dist as usize) <= WINDOW);
+            }
+        }
+    }
+}

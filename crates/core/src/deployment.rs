@@ -1,0 +1,480 @@
+//! The deployment driver: cluster + scheduler + collector + storage +
+//! builder, advanced in lock-step.
+
+use monster_builder::{build_plan, encode_response, BuilderRequest, ExecMode};
+use monster_collector::{Collector, CollectorConfig, SchemaVersion};
+use monster_compress::Level;
+use monster_redfish::bmc::BmcConfig;
+use monster_redfish::cluster::{ClusterConfig, SimulatedCluster};
+use monster_scheduler::{Qmaster, QmasterConfig, WorkloadConfig, WorkloadGenerator};
+use monster_sim::{DiskModel, VDuration};
+use monster_builder::rollup::RollupRoute;
+use monster_tsdb::retention::ContinuousQuery;
+use monster_tsdb::{Aggregation, CostParams, Db, DbConfig};
+use monster_util::{EpochSecs, NodeId, Result};
+use std::sync::Arc;
+
+/// Quanah's size; amplification defaults scale against it.
+pub const QUANAH_NODES: usize = 467;
+
+/// Deployment configuration.
+#[derive(Debug, Clone)]
+pub struct MonsterConfig {
+    /// Cluster size. Experiments may run scaled down; set
+    /// `amplify_to_quanah` to keep simulated timings at 467-node scale.
+    pub nodes: usize,
+    /// Master seed for all stochastic components.
+    pub seed: u64,
+    /// Storage schema generation.
+    pub schema: SchemaVersion,
+    /// Collection interval (the paper's 60 s).
+    pub interval_secs: i64,
+    /// Storage device backing the TSDB.
+    pub disk: DiskModel,
+    /// BMC behaviour model.
+    pub bmc: BmcConfig,
+    /// Synthetic workload (`None` leaves the cluster idle).
+    pub workload: Option<WorkloadConfig>,
+    /// How much simulated time the workload generator pre-populates.
+    pub horizon_secs: i64,
+    /// When true, query-cost counters are scaled by `467 / nodes` so a
+    /// scaled-down deployment reports full-Quanah simulated timings.
+    pub amplify_to_quanah: bool,
+}
+
+impl Default for MonsterConfig {
+    fn default() -> Self {
+        MonsterConfig {
+            nodes: QUANAH_NODES,
+            seed: 2020,
+            schema: SchemaVersion::Optimized,
+            interval_secs: 60,
+            disk: DiskModel::HDD,
+            bmc: BmcConfig::default(),
+            workload: Some(WorkloadConfig::default()),
+            horizon_secs: 86_400,
+            amplify_to_quanah: false,
+        }
+    }
+}
+
+/// Summary of one collection interval.
+#[derive(Debug, Clone)]
+pub struct IntervalSummary {
+    /// Interval timestamp.
+    pub time: EpochSecs,
+    /// Points written.
+    pub points: usize,
+    /// Simulated sweep makespan (zero on the direct/bulk path).
+    pub collection_time: VDuration,
+    /// BMC requests that failed after retries (zero on the direct path).
+    pub bmc_failures: usize,
+}
+
+/// A running MonSTer deployment.
+pub struct Monster {
+    config: MonsterConfig,
+    cluster: SimulatedCluster,
+    qmaster: Qmaster,
+    collector: Collector,
+    db: Arc<Db>,
+    now: EpochSecs,
+    intervals_run: usize,
+    /// Maintained continuous-query roll-ups plus their routing table.
+    rollups: Option<(Vec<ContinuousQuery>, Vec<RollupRoute>)>,
+}
+
+impl Monster {
+    /// Assemble a deployment and pre-generate its workload.
+    pub fn new(config: MonsterConfig) -> Monster {
+        let cluster = SimulatedCluster::new(ClusterConfig {
+            nodes: config.nodes,
+            slots_per_chassis: 4,
+            seed: config.seed,
+            bmc: config.bmc.clone(),
+        });
+        let qm_config = QmasterConfig { nodes: config.nodes, ..QmasterConfig::default() };
+        let start = qm_config.start_time;
+        let mut qmaster = Qmaster::new(qm_config);
+        if let Some(wl) = &config.workload {
+            let mut gen = WorkloadGenerator::new(WorkloadConfig {
+                seed: config.seed ^ 0x5EED,
+                ..wl.clone()
+            });
+            gen.drive(&mut qmaster, start, start + config.horizon_secs);
+        }
+        let amplification = if config.amplify_to_quanah {
+            QUANAH_NODES as f64 / config.nodes as f64
+        } else {
+            1.0
+        };
+        let db = Arc::new(Db::new(DbConfig {
+            shard_duration: 86_400,
+            disk: config.disk,
+            cost: CostParams::default().with_amplification(amplification),
+        }));
+        let collector = Collector::new(CollectorConfig {
+            schema: config.schema,
+            interval_secs: config.interval_secs,
+            ..CollectorConfig::default()
+        });
+        Monster { config, cluster, qmaster, collector, db, now: start, intervals_run: 0, rollups: None }
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &MonsterConfig {
+        &self.config
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> EpochSecs {
+        self.now
+    }
+
+    /// Collection intervals executed so far.
+    pub fn intervals_run(&self) -> usize {
+        self.intervals_run
+    }
+
+    /// The storage layer.
+    pub fn db(&self) -> &Arc<Db> {
+        &self.db
+    }
+
+    /// The simulated fleet.
+    pub fn cluster(&self) -> &SimulatedCluster {
+        &self.cluster
+    }
+
+    /// The scheduler.
+    pub fn qmaster(&self) -> &Qmaster {
+        &self.qmaster
+    }
+
+    /// Mutable scheduler access (failure injection, extra submissions).
+    pub fn qmaster_mut(&mut self) -> &mut Qmaster {
+        &mut self.qmaster
+    }
+
+    /// Node inventory.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.cluster.node_ids().to_vec()
+    }
+
+    fn advance_world(&mut self) {
+        let next = self.now + self.config.interval_secs;
+        self.qmaster.run_until(next);
+        let qm = &self.qmaster;
+        self.cluster
+            .step(self.config.interval_secs as f64, |n| qm.utilization(n));
+        self.now = next;
+    }
+
+    /// Run one full collection interval through the Redfish wire layer.
+    pub fn run_interval(&mut self) -> Result<IntervalSummary> {
+        self.advance_world();
+        let out =
+            self.collector
+                .collect_and_store(&self.cluster, &self.qmaster, self.now, &self.db)?;
+        self.intervals_run += 1;
+        self.maintain_rollups();
+        Ok(IntervalSummary {
+            time: self.now,
+            points: out.points.len(),
+            collection_time: out.simulated_collection_time,
+            bmc_failures: out.sweep.failures(),
+        })
+    }
+
+    /// Run `n` full intervals.
+    pub fn run_intervals(&mut self, n: usize) -> Vec<IntervalSummary> {
+        (0..n)
+            .map(|_| self.run_interval().expect("schema-consistent writes"))
+            .collect()
+    }
+
+    /// Run `n` intervals on the bulk-load path (no Redfish wire layer) —
+    /// used to populate days of history for the query experiments.
+    pub fn run_intervals_bulk(&mut self, n: usize) -> usize {
+        let mut total = 0;
+        for _ in 0..n {
+            self.advance_world();
+            let points =
+                self.collector
+                    .collect_interval_direct(&self.cluster, &self.qmaster, self.now);
+            total += points.len();
+            for chunk in points.chunks(10_000) {
+                self.db.write_batch(chunk).expect("schema-consistent writes");
+            }
+            self.intervals_run += 1;
+            self.maintain_rollups();
+        }
+        total
+    }
+
+    /// Run `n` intervals with the Telemetry Service enabled: the cluster
+    /// physics advance in `sample_interval_secs` sub-steps, the service
+    /// records each, and the collector lands the batched samples — the
+    /// §VI "upcoming telemetry model" upgrade. Returns total points
+    /// written.
+    pub fn run_intervals_telemetry(
+        &mut self,
+        telemetry: &mut monster_redfish::telemetry::TelemetryService,
+        n: usize,
+    ) -> Result<usize> {
+        let sample = telemetry.config().sample_interval_secs;
+        assert!(
+            sample > 0 && self.config.interval_secs % sample == 0,
+            "collection interval must be a multiple of the telemetry cadence"
+        );
+        let substeps = self.config.interval_secs / sample;
+        let mut total = 0;
+        for _ in 0..n {
+            for _ in 0..substeps {
+                let next = self.now + sample;
+                self.qmaster.run_until(next);
+                let qm = &self.qmaster;
+                self.cluster.step(sample as f64, |node| qm.utilization(node));
+                self.now = next;
+                telemetry.record(&self.cluster, self.now);
+            }
+            let points = self.collector.collect_interval_telemetry(
+                telemetry,
+                &self.cluster,
+                &self.qmaster,
+                self.now,
+            )?;
+            total += points.len();
+            for chunk in points.chunks(10_000) {
+                self.db.write_batch(chunk)?;
+            }
+            self.intervals_run += 1;
+            self.maintain_rollups();
+        }
+        Ok(total)
+    }
+
+    /// Maintain hourly `max` roll-ups of the sensor measurements (the
+    /// InfluxDB downsampling pattern of §III-C). Once enabled, each
+    /// collection interval advances the roll-ups, and coarse `max`
+    /// requests route to them automatically.
+    pub fn enable_rollups(&mut self, window_secs: i64) -> Result<()> {
+        let suffix = monster_util::time::format_interval(window_secs);
+        let mut cqs = Vec::new();
+        let mut routes = Vec::new();
+        for (source, field) in [("Power", "Reading"), ("Thermal", "Reading"), ("UGE", "CPUUsage")] {
+            let target = format!("{source}{}_{suffix}", if field == "CPUUsage" { "Cpu" } else { "" });
+            cqs.push(ContinuousQuery::new(
+                source,
+                field,
+                target.clone(),
+                Aggregation::Max,
+                window_secs,
+                self.now,
+            )?);
+            routes.push(RollupRoute {
+                source: source.to_string(),
+                field: field.to_string(),
+                target,
+                window_secs,
+            });
+        }
+        self.rollups = Some((cqs, routes));
+        Ok(())
+    }
+
+    fn maintain_rollups(&mut self) {
+        if let Some((cqs, _)) = &mut self.rollups {
+            for cq in cqs {
+                cq.run(&self.db, self.now).expect("rollup over own schema");
+            }
+        }
+    }
+
+    /// Execute a Metrics Builder request against this deployment's data.
+    /// Requests that can be answered exactly from maintained roll-ups are
+    /// rerouted to them.
+    pub fn builder_query(
+        &self,
+        req: &BuilderRequest,
+        mode: ExecMode,
+    ) -> Result<monster_builder::BuilderOutcome> {
+        let mut plan = build_plan(self.config.schema, self.cluster.node_ids(), req);
+        if let Some((_, routes)) = &self.rollups {
+            monster_builder::rollup::reroute(&mut plan, routes);
+        }
+        monster_builder::exec::execute(&self.db, &plan, mode)
+    }
+
+    /// Execute a request and encode the response for a consumer on `net`.
+    pub fn builder_respond(
+        &self,
+        req: &BuilderRequest,
+        mode: ExecMode,
+        net: &monster_sim::NetModel,
+    ) -> Result<monster_builder::response::EncodedResponse> {
+        let outcome = self.builder_query(req, mode)?;
+        Ok(encode_response(&outcome, req.compress, Level::default(), net))
+    }
+
+    /// Serve the Metrics Builder HTTP API for this deployment.
+    pub fn serve_api(&self, port: u16) -> Result<monster_http::Server> {
+        let router = monster_builder::service::router(
+            Arc::clone(&self.db),
+            self.node_ids(),
+            monster_builder::service::ServiceConfig {
+                schema: self.config.schema,
+                ..monster_builder::service::ServiceConfig::default()
+            },
+        );
+        monster_http::Server::spawn(port, router)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monster_tsdb::Aggregation;
+
+    fn small(nodes: usize) -> Monster {
+        Monster::new(MonsterConfig {
+            nodes,
+            bmc: BmcConfig { failure_rate: 0.0, stall_rate: 0.0, ..BmcConfig::default() },
+            ..MonsterConfig::default()
+        })
+    }
+
+    #[test]
+    fn full_interval_pipeline_lands_points() {
+        let mut m = small(8);
+        let summaries = m.run_intervals(3);
+        assert_eq!(summaries.len(), 3);
+        assert!(summaries.iter().all(|s| s.points > 0));
+        assert!(m.db().stats().points > 0);
+        assert_eq!(m.intervals_run(), 3);
+        // Time advanced 3 intervals.
+        let t0 = QmasterConfig::default().start_time;
+        assert_eq!(m.now() - t0, 180);
+    }
+
+    #[test]
+    fn bulk_path_matches_schema_of_wire_path() {
+        let mut a = small(4);
+        a.run_intervals(2);
+        let mut b = small(4);
+        b.run_intervals_bulk(2);
+        let ma = a.db().measurements();
+        let mb = b.db().measurements();
+        // Same measurement inventory from both paths (modulo Health,
+        // which only appears when a node is abnormal).
+        let core = |v: &Vec<String>| {
+            v.iter().filter(|m| m.as_str() != "Health").cloned().collect::<Vec<_>>()
+        };
+        assert_eq!(core(&ma), core(&mb));
+    }
+
+    #[test]
+    fn builder_queries_see_collected_data() {
+        let mut m = small(6);
+        m.run_intervals_bulk(30);
+        let t0 = QmasterConfig::default().start_time;
+        let req = BuilderRequest::new(t0, t0 + 1800, 300, Aggregation::Max).unwrap();
+        let outcome = m.builder_query(&req, ExecMode::Sequential).unwrap();
+        assert!(outcome.points_out > 0);
+        let node = outcome.document.get("10.101.1.1").expect("node in doc");
+        assert!(!node.get("power").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn api_serves_over_sockets() {
+        let mut m = small(3);
+        m.run_intervals_bulk(10);
+        let server = m.serve_api(0).unwrap();
+        let client = monster_http::Client::new();
+        let resp = client
+            .send_ok(
+                server.addr(),
+                &monster_http::Request::get("/v1/nodes"),
+            )
+            .unwrap();
+        assert_eq!(
+            resp.json_body().unwrap().get("nodes").unwrap().as_array().unwrap().len(),
+            3
+        );
+    }
+
+    #[test]
+    fn amplification_scales_simulated_time() {
+        let mk = |amp: bool| {
+            let mut m = Monster::new(MonsterConfig {
+                nodes: 8,
+                amplify_to_quanah: amp,
+                bmc: BmcConfig { failure_rate: 0.0, stall_rate: 0.0, ..BmcConfig::default() },
+                ..MonsterConfig::default()
+            });
+            m.run_intervals_bulk(20);
+            let t0 = QmasterConfig::default().start_time;
+            let req = BuilderRequest::new(t0, t0 + 1200, 300, Aggregation::Max).unwrap();
+            let out = m.builder_query(&req, ExecMode::Sequential).unwrap();
+            out.query_processing_time()
+        };
+        let plain = mk(false);
+        let amplified = mk(true);
+        assert!(
+            amplified.as_secs_f64() > plain.as_secs_f64() * 2.0,
+            "plain {plain}, amplified {amplified}"
+        );
+    }
+
+    #[test]
+    fn rollups_answer_coarse_queries_identically_but_cheaper() {
+        let build = |rollups: bool| {
+            let mut m = small(6);
+            if rollups {
+                m.enable_rollups(3600).unwrap();
+            }
+            // 3 hours of 60 s data.
+            m.run_intervals_bulk(180);
+            m
+        };
+        let raw = build(false);
+        let rolled = build(true);
+        let t0 = QmasterConfig::default().start_time;
+        let req = BuilderRequest::new(t0, t0 + 3 * 3600, 3600, Aggregation::Max).unwrap();
+        let out_raw = raw.builder_query(&req, ExecMode::Sequential).unwrap();
+        let out_rolled = rolled.builder_query(&req, ExecMode::Sequential).unwrap();
+        // Identical answers for node power at hourly max...
+        let series = |o: &monster_builder::BuilderOutcome| {
+            o.document
+                .get("10.101.1.1")
+                .and_then(|n| n.get("power"))
+                .cloned()
+                .expect("power series")
+        };
+        assert_eq!(series(&out_raw), series(&out_rolled));
+        // ...from far fewer scanned points.
+        assert!(
+            out_rolled.cost.points * 5 < out_raw.cost.points,
+            "rolled {} raw {}",
+            out_rolled.cost.points,
+            out_raw.cost.points
+        );
+    }
+
+    #[test]
+    fn workload_drives_cluster_load() {
+        let mut m = Monster::new(MonsterConfig {
+            nodes: 32,
+            bmc: BmcConfig { failure_rate: 0.0, stall_rate: 0.0, ..BmcConfig::default() },
+            ..MonsterConfig::default()
+        });
+        // Run 2 hours of bulk collection; the default workload should put
+        // jobs on the cluster.
+        m.run_intervals_bulk(120);
+        assert!(
+            !m.qmaster().running_jobs().is_empty()
+                || !m.qmaster().finished_jobs().is_empty(),
+            "no jobs appeared"
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! `monster-core` — the MonSTer system, assembled.
+//!
+//! This crate wires the paper's architecture (Fig. 1) into one object: a
+//! simulated cluster (BMCs + sensors), a UGE qmaster with a synthetic
+//! workload, the Metrics Collector, the time-series database, the Metrics
+//! Builder, and the analysis layer — everything a deployment of MonSTer
+//! comprises.
+//!
+//! ```
+//! use monster_core::{Monster, MonsterConfig};
+//!
+//! // A small deployment: 16 nodes, default workload.
+//! let mut m = Monster::new(MonsterConfig { nodes: 16, ..MonsterConfig::default() });
+//! m.run_intervals(5);               // five 60 s collection intervals
+//! assert!(m.db().stats().points > 0);
+//! ```
+//!
+//! The [`Monster`] deployment advances three coupled simulations in
+//! lock-step each interval: the scheduler (jobs arrive, run, finish), the
+//! cluster physics (temperatures/power follow scheduler load), and the
+//! collection pipeline (sweep → pre-process → batch write).
+
+#![warn(missing_docs)]
+
+pub mod deployment;
+
+pub use deployment::{IntervalSummary, Monster, MonsterConfig};
+
+// The full system surface, re-exported for applications.
+pub use monster_analysis as analysis;
+pub use monster_builder as builder;
+pub use monster_collector as collector;
+pub use monster_compress as mzlib;
+pub use monster_http as http;
+pub use monster_json as json;
+pub use monster_redfish as redfish;
+pub use monster_scheduler as scheduler;
+pub use monster_sim as sim;
+pub use monster_tsdb as tsdb;
+pub use monster_util as util;

@@ -1,0 +1,372 @@
+//! HTTP message types: methods, statuses, headers, requests, responses.
+
+use monster_json::Value;
+use std::fmt;
+
+/// Request methods MonSTer uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Resource reads (Redfish queries, Metrics Builder API).
+    Get,
+    /// Writes (TSDB batch ingest endpoint).
+    Post,
+    /// Deletes (administrative endpoints).
+    Delete,
+}
+
+impl Method {
+    /// Parse from the request-line token.
+    pub fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "DELETE" => Some(Method::Delete),
+            _ => None,
+        }
+    }
+
+    /// The wire token.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Delete => "DELETE",
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Response status codes MonSTer emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status(pub u16);
+
+impl Status {
+    /// 200.
+    pub const OK: Status = Status(200);
+    /// 204.
+    pub const NO_CONTENT: Status = Status(204);
+    /// 400.
+    pub const BAD_REQUEST: Status = Status(400);
+    /// 404.
+    pub const NOT_FOUND: Status = Status(404);
+    /// 405.
+    pub const METHOD_NOT_ALLOWED: Status = Status(405);
+    /// 500.
+    pub const INTERNAL_ERROR: Status = Status(500);
+    /// 503 — what an overloaded iDRAC answers (§III-B1's retry motivation).
+    pub const SERVICE_UNAVAILABLE: Status = Status(503);
+
+    /// Canonical reason phrase.
+    pub fn reason(&self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            204 => "No Content",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// 2xx check.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.0)
+    }
+}
+
+/// Case-insensitive header multimap (last write wins per name).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Headers {
+    entries: Vec<(String, String)>,
+}
+
+impl Headers {
+    /// Empty header set.
+    pub fn new() -> Self {
+        Headers::default()
+    }
+
+    /// Set a header, replacing any existing value for the same
+    /// (case-insensitive) name.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        let value = value.into();
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|(n, _)| n.eq_ignore_ascii_case(&name))
+        {
+            e.1 = value;
+        } else {
+            self.entries.push((name, value));
+        }
+    }
+
+    /// Case-insensitive lookup.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// Number of headers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no headers are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Path component (no scheme/host), e.g. `/redfish/v1/Chassis/...`.
+    pub path: String,
+    /// Raw query string (without `?`), empty if none.
+    pub query: String,
+    /// Headers.
+    pub headers: Headers,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// Request connection reuse after this exchange (`Connection:
+    /// keep-alive`). Default: close.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// A GET request for `path` (optionally with `?query`).
+    pub fn get(path_and_query: &str) -> Request {
+        let (path, query) = split_query(path_and_query);
+        Request {
+            method: Method::Get,
+            path,
+            query,
+            headers: Headers::new(),
+            body: Vec::new(),
+            keep_alive: false,
+        }
+    }
+
+    /// Request connection reuse after this exchange.
+    pub fn keep_alive(mut self) -> Request {
+        self.keep_alive = true;
+        self
+    }
+
+    /// A POST with a JSON body.
+    pub fn post_json(path_and_query: &str, v: &Value) -> Request {
+        let (path, query) = split_query(path_and_query);
+        let body = v.to_string_compact().into_bytes();
+        let mut headers = Headers::new();
+        headers.set("Content-Type", "application/json");
+        Request { method: Method::Post, path, query, headers, body, keep_alive: false }
+    }
+
+    /// Decode one query parameter (`key=value`, percent-decoding not needed
+    /// for MonSTer's token-only parameters).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+
+    /// Serialize onto the wire.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 256);
+        let target = if self.query.is_empty() {
+            self.path.clone()
+        } else {
+            format!("{}?{}", self.path, self.query)
+        };
+        out.extend_from_slice(format!("{} {} HTTP/1.1\r\n", self.method, target).as_bytes());
+        for (n, v) in self.headers.iter() {
+            out.extend_from_slice(format!("{n}: {v}\r\n").as_bytes());
+        }
+        out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        if self.keep_alive {
+            out.extend_from_slice(b"Connection: keep-alive\r\n\r\n");
+        } else {
+            out.extend_from_slice(b"Connection: close\r\n\r\n");
+        }
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+fn split_query(s: &str) -> (String, String) {
+    match s.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (s.to_string(), String::new()),
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Status code.
+    pub status: Status,
+    /// Headers.
+    pub headers: Headers,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// 200 with a JSON body.
+    pub fn json(v: &Value) -> Response {
+        let mut headers = Headers::new();
+        headers.set("Content-Type", "application/json");
+        Response { status: Status::OK, headers, body: v.to_string_compact().into_bytes() }
+    }
+
+    /// 200 with raw bytes and a content type.
+    pub fn bytes(body: Vec<u8>, content_type: &str) -> Response {
+        let mut headers = Headers::new();
+        headers.set("Content-Type", content_type.to_string());
+        Response { status: Status::OK, headers, body }
+    }
+
+    /// An error response with a plain-text body.
+    pub fn error(status: Status, msg: &str) -> Response {
+        let mut headers = Headers::new();
+        headers.set("Content-Type", "text/plain");
+        Response { status, headers, body: msg.as_bytes().to_vec() }
+    }
+
+    /// Parse the body as JSON (after transparent `mz1` decoding if the
+    /// `Content-Encoding` header says so).
+    pub fn json_body(&self) -> monster_util::Result<Value> {
+        let body = self.decoded_body()?;
+        monster_json::parse(std::str::from_utf8(&body).map_err(|_| {
+            monster_util::Error::parse("response body is not UTF-8")
+        })?)
+    }
+
+    /// The body with any `mz1` content-encoding removed.
+    pub fn decoded_body(&self) -> monster_util::Result<Vec<u8>> {
+        if self.headers.get("Content-Encoding") == Some("mz1") {
+            monster_compress::decompress(&self.body)
+        } else {
+            Ok(self.body.clone())
+        }
+    }
+
+    /// Compress the body in place with `mz1` and tag the header.
+    pub fn compressed(mut self, level: monster_compress::Level) -> Response {
+        self.body = monster_compress::compress(&self.body, level);
+        self.headers.set("Content-Encoding", "mz1");
+        self
+    }
+
+    /// Serialize onto the wire with `Connection: close`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.encode(false)
+    }
+
+    /// Serialize onto the wire with `Connection: keep-alive`.
+    pub fn to_bytes_keep_alive(&self) -> Vec<u8> {
+        self.encode(true)
+    }
+
+    fn encode(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 128);
+        out.extend_from_slice(
+            format!("HTTP/1.1 {} {}\r\n", self.status.0, self.status.reason()).as_bytes(),
+        );
+        for (n, v) in self.headers.iter() {
+            out.extend_from_slice(format!("{n}: {v}\r\n").as_bytes());
+        }
+        out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        if keep_alive {
+            out.extend_from_slice(b"Connection: keep-alive\r\n\r\n");
+        } else {
+            out.extend_from_slice(b"Connection: close\r\n\r\n");
+        }
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monster_json::jobj;
+
+    #[test]
+    fn headers_are_case_insensitive_and_replace() {
+        let mut h = Headers::new();
+        h.set("Content-Type", "a");
+        h.set("content-type", "b");
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.get("CONTENT-TYPE"), Some("b"));
+        assert_eq!(h.get("missing"), None);
+    }
+
+    #[test]
+    fn query_param_extraction() {
+        let r = Request::get("/v1/metrics?start=2020-04-20T12:00:00Z&interval=5m&agg=max");
+        assert_eq!(r.path, "/v1/metrics");
+        assert_eq!(r.query_param("interval"), Some("5m"));
+        assert_eq!(r.query_param("agg"), Some("max"));
+        assert_eq!(r.query_param("nope"), None);
+    }
+
+    #[test]
+    fn request_wire_format() {
+        let r = Request::get("/redfish/v1/Chassis/System.Embedded.1/Thermal/");
+        let s = String::from_utf8(r.to_bytes()).unwrap();
+        assert!(s.starts_with("GET /redfish/v1/Chassis/System.Embedded.1/Thermal/ HTTP/1.1\r\n"));
+        assert!(s.contains("Content-Length: 0\r\n"));
+        assert!(s.ends_with("\r\n\r\n"));
+    }
+
+    #[test]
+    fn response_json_round_trip() {
+        let v = jobj! { "Reading" => 273.8 };
+        let resp = Response::json(&v);
+        assert_eq!(resp.json_body().unwrap(), v);
+        assert!(resp.status.is_success());
+    }
+
+    #[test]
+    fn compressed_response_decodes_transparently() {
+        let v = jobj! { "data" => "x".repeat(2000) };
+        let resp = Response::json(&v).compressed(monster_compress::Level::default());
+        assert_eq!(resp.headers.get("Content-Encoding"), Some("mz1"));
+        assert!(resp.body.len() < 500);
+        assert_eq!(resp.json_body().unwrap(), v);
+    }
+
+    #[test]
+    fn status_reasons() {
+        assert_eq!(Status::OK.reason(), "OK");
+        assert_eq!(Status::SERVICE_UNAVAILABLE.reason(), "Service Unavailable");
+        assert!(!Status::NOT_FOUND.is_success());
+    }
+
+    #[test]
+    fn method_parsing() {
+        assert_eq!(Method::parse("GET"), Some(Method::Get));
+        assert_eq!(Method::parse("POST"), Some(Method::Post));
+        assert_eq!(Method::parse("PATCH"), None);
+    }
+}

@@ -1,0 +1,185 @@
+//! A thread-per-connection HTTP server.
+//!
+//! Serves a [`Router`] on a TCP listener. Each connection serves one
+//! exchange by default, or a sequence of them under `Connection:
+//! keep-alive`. Shutdown is cooperative: a flag plus a self-connect to
+//! unblock `accept`.
+
+use crate::message::{Response, Status};
+use crate::parse::{parse_request, read_message};
+use crate::router::Router;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running HTTP server.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind to `127.0.0.1:port` (port 0 picks a free port) and serve
+    /// `router` until [`Server::shutdown`] or drop.
+    pub fn spawn(port: u16, router: Router) -> monster_util::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let router = Arc::new(router);
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let router = Arc::clone(&router);
+                // A thread per connection is plenty for the monitoring
+                // workload: a handful of persistent peers plus occasional
+                // one-shot consumers.
+                std::thread::spawn(move || {
+                    handle_connection(stream, &router);
+                });
+            }
+        });
+        Ok(Server { addr, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Base URL (`http://127.0.0.1:PORT`).
+    pub fn base_url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// Stop accepting and join the accept thread.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, router: &Router) {
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
+    // Serve exchanges until the client closes, asks to close, or errors.
+    loop {
+        let (response, keep_alive) =
+            match read_message(&mut stream).and_then(|raw| parse_request(&raw)) {
+                Ok(req) => {
+                    let keep = req.keep_alive;
+                    (router.dispatch(&req), keep)
+                }
+                Err(monster_util::Error::Network(_)) => return, // client went away
+                Err(e) => (Response::error(Status::BAD_REQUEST, &e.to_string()), false),
+            };
+        let wire = if keep_alive {
+            response.to_bytes_keep_alive()
+        } else {
+            response.to_bytes()
+        };
+        if stream.write_all(&wire).is_err() || stream.flush().is_err() {
+            return;
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::message::{Method, Request};
+    use monster_json::jobj;
+
+    fn test_router() -> Router {
+        Router::new()
+            .route(Method::Get, "/ping", |_, _| {
+                Response::json(&jobj! { "pong" => true })
+            })
+            .route(Method::Post, "/echo", |req, _| {
+                Response::bytes(req.body.clone(), "application/octet-stream")
+            })
+    }
+
+    #[test]
+    fn serves_and_shuts_down() {
+        let mut server = Server::spawn(0, test_router()).unwrap();
+        let client = Client::new();
+        let resp = client
+            .send(server.addr(), &Request::get("/ping"))
+            .unwrap();
+        assert_eq!(resp.status, Status::OK);
+        assert_eq!(resp.json_body().unwrap(), jobj! { "pong" => true });
+        server.shutdown();
+        // Idempotent shutdown.
+        server.shutdown();
+    }
+
+    #[test]
+    fn post_bodies_echo() {
+        let server = Server::spawn(0, test_router()).unwrap();
+        let client = Client::new();
+        let payload = jobj! { "xs" => vec![1i64, 2, 3] };
+        let resp = client
+            .send(server.addr(), &Request::post_json("/echo", &payload))
+            .unwrap();
+        assert_eq!(resp.body, payload.to_string_compact().into_bytes());
+    }
+
+    #[test]
+    fn unknown_route_is_404() {
+        let server = Server::spawn(0, test_router()).unwrap();
+        let client = Client::new();
+        let resp = client
+            .send(server.addr(), &Request::get("/missing"))
+            .unwrap();
+        assert_eq!(resp.status, Status::NOT_FOUND);
+    }
+
+    #[test]
+    fn concurrent_requests_all_answered() {
+        let server = Server::spawn(0, test_router()).unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let client = Client::new();
+                    client.send(addr, &Request::get("/ping")).unwrap().status
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), Status::OK);
+        }
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        let server = Server::spawn(0, test_router()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let raw = read_message(&mut stream).unwrap();
+        let resp = crate::parse::parse_response(&raw).unwrap();
+        assert_eq!(resp.status, Status::BAD_REQUEST);
+    }
+}

@@ -1,0 +1,125 @@
+//! Insertion-ordered JSON object.
+
+use crate::Value;
+
+/// A JSON object that preserves member insertion order.
+///
+/// Backed by a `Vec` of pairs plus linear search: MonSTer's documents are
+/// small (a Redfish Thermal payload has a few dozen members), so a vector
+/// beats a hash map on both memory and iteration determinism.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Object {
+    members: Vec<(String, Value)>,
+}
+
+impl Object {
+    /// An empty object.
+    pub fn new() -> Self {
+        Object { members: Vec::new() }
+    }
+
+    /// An empty object with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Object { members: Vec::with_capacity(cap) }
+    }
+
+    /// Insert or replace a member. Replacement keeps the member's original
+    /// position (JSON objects are keyed, not multisets).
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<Value>) {
+        let key = key.into();
+        let value = value.into();
+        if let Some(slot) = self.members.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.members.push((key, value));
+        }
+    }
+
+    /// Look a member up by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.members.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Remove a member, returning its value if present.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.members.iter().position(|(k, _)| k == key)?;
+        Some(self.members.remove(idx).1)
+    }
+
+    /// Whether a member with this key exists.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the object has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Iterate members in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.members.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterate keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.members.iter().map(|(k, _)| k.as_str())
+    }
+}
+
+impl FromIterator<(String, Value)> for Object {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut obj = Object::new();
+        for (k, v) in iter {
+            obj.insert(k, v);
+        }
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_insertion_order() {
+        let mut o = Object::new();
+        o.insert("z", 1i64);
+        o.insert("a", 2i64);
+        o.insert("m", 3i64);
+        let keys: Vec<_> = o.keys().collect();
+        assert_eq!(keys, vec!["z", "a", "m"]);
+    }
+
+    #[test]
+    fn insert_replaces_in_place() {
+        let mut o = Object::new();
+        o.insert("a", 1i64);
+        o.insert("b", 2i64);
+        o.insert("a", 10i64);
+        assert_eq!(o.len(), 2);
+        assert_eq!(o.get("a").unwrap().as_i64(), Some(10));
+        assert_eq!(o.keys().next(), Some("a"));
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut o = Object::new();
+        o.insert("a", 1i64);
+        assert!(o.contains_key("a"));
+        assert_eq!(o.remove("a").unwrap().as_i64(), Some(1));
+        assert!(!o.contains_key("a"));
+        assert!(o.remove("a").is_none());
+        assert!(o.is_empty());
+    }
+}

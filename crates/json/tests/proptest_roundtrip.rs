@@ -1,0 +1,60 @@
+//! Property tests: any generated JSON value survives serialize → parse,
+//! in both compact and pretty form.
+
+use monster_json::{parse, Object, Value};
+use proptest::prelude::*;
+
+/// Strategy for arbitrary JSON values with bounded depth/size.
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only: NaN/inf intentionally do not round-trip.
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Value::Float),
+        "[ -~]{0,20}".prop_map(Value::Str),   // printable ASCII
+        "\\PC{0,8}".prop_map(Value::Str),     // arbitrary printable unicode
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+            prop::collection::vec(("[a-zA-Z0-9_]{1,8}", inner), 0..6).prop_map(|pairs| {
+                let mut obj = Object::new();
+                for (k, v) in pairs {
+                    obj.insert(k, v);
+                }
+                Value::Object(obj)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn compact_round_trips(v in arb_value()) {
+        let s = v.to_string_compact();
+        let back = parse(&s).expect("reparse compact");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_round_trips(v in arb_value()) {
+        let s = v.to_string_pretty();
+        let back = parse(&s).expect("reparse pretty");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,64}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn strings_round_trip_exactly(s in "\\PC{0,64}") {
+        let v = Value::Str(s.clone());
+        let parsed = parse(&v.to_string_compact()).unwrap();
+        prop_assert_eq!(parsed.as_str(), Some(s.as_str()));
+    }
+}

@@ -1,0 +1,262 @@
+//! The Redfish polling client.
+//!
+//! Implements §III-B1's collection mechanics: build the request pool (467
+//! nodes × 4 categories = 1868 URLs), issue everything asynchronously,
+//! enforce connection/read timeouts, and retry transient failures. Each
+//! request's *simulated* elapsed time accumulates across attempts (a
+//! stalled BMC costs a full read timeout before the retry fires); the sweep
+//! makespan bin-packs request times onto the client's in-flight channel
+//! budget, which is what bounds the paper's ~55 s full sweep.
+
+use crate::bmc::BmcResponse;
+use crate::cluster::SimulatedCluster;
+use crate::model::parse_reading;
+use crate::types::{Category, NodeReading};
+use monster_sim::VDuration;
+use monster_util::pool::ThreadPool;
+use monster_util::NodeId;
+
+/// Client tunables.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Read timeout per attempt: a stalled BMC costs exactly this long.
+    pub read_timeout: VDuration,
+    /// Retries after the first attempt (the paper's "retry mechanisms").
+    pub max_retries: usize,
+    /// Simultaneous in-flight requests the collector host sustains
+    /// (connection-pool limit). Default calibrated so a 1868-URL sweep
+    /// lands near the paper's ~55 s.
+    pub max_inflight: usize,
+    /// Real worker threads used to execute the sweep.
+    pub pool_workers: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            read_timeout: VDuration::from_secs(15),
+            max_retries: 2,
+            max_inflight: 150,
+            pool_workers: 8,
+        }
+    }
+}
+
+/// Outcome of a single request (including its retries).
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    /// Target node.
+    pub node: NodeId,
+    /// Category queried.
+    pub category: Category,
+    /// Parsed reading; `None` after exhausting retries.
+    pub reading: Option<NodeReading>,
+    /// Total attempts made (1 = first try succeeded).
+    pub attempts: usize,
+    /// Simulated elapsed time across all attempts.
+    pub elapsed: VDuration,
+}
+
+/// Outcome of a full sweep.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Per-request outcomes, in request-pool order.
+    pub results: Vec<RequestOutcome>,
+    /// Simulated wall time for the sweep under the in-flight budget.
+    pub makespan: VDuration,
+}
+
+impl SweepOutcome {
+    /// Requests that delivered a reading.
+    pub fn successes(&self) -> usize {
+        self.results.iter().filter(|r| r.reading.is_some()).count()
+    }
+
+    /// Requests that exhausted retries.
+    pub fn failures(&self) -> usize {
+        self.results.len() - self.successes()
+    }
+
+    /// Extra attempts beyond the first, summed.
+    pub fn retries(&self) -> usize {
+        self.results.iter().map(|r| r.attempts - 1).sum()
+    }
+
+    /// Mean simulated time of *successful first-attempt* requests — the
+    /// statistic the paper reports as "a Redfish API request takes 4.29
+    /// seconds on average".
+    pub fn mean_request_secs(&self) -> f64 {
+        let firsts: Vec<f64> = self
+            .results
+            .iter()
+            .filter(|r| r.reading.is_some() && r.attempts == 1)
+            .map(|r| r.elapsed.as_secs_f64())
+            .collect();
+        monster_util::stats::mean(&firsts)
+    }
+}
+
+/// The polling client.
+#[derive(Debug, Clone, Default)]
+pub struct RedfishClient {
+    config: ClientConfig,
+}
+
+impl RedfishClient {
+    /// Client with explicit configuration.
+    pub fn new(config: ClientConfig) -> Self {
+        RedfishClient { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    /// The request pool for a fleet: every (node, category) pair.
+    pub fn request_pool(cluster: &SimulatedCluster) -> Vec<(NodeId, Category)> {
+        cluster
+            .node_ids()
+            .iter()
+            .flat_map(|&n| Category::ALL.into_iter().map(move |c| (n, c)))
+            .collect()
+    }
+
+    /// Execute one request with the retry policy against the simulated
+    /// fleet.
+    pub fn fetch(&self, cluster: &SimulatedCluster, node: NodeId, category: Category) -> RequestOutcome {
+        let mut elapsed = VDuration::ZERO;
+        let mut attempts = 0;
+        while attempts <= self.config.max_retries {
+            attempts += 1;
+            match cluster.request(node, category) {
+                Ok(BmcResponse::Ok(payload, latency)) => {
+                    elapsed += latency;
+                    let reading = parse_reading(category, &payload).ok();
+                    return RequestOutcome { node, category, reading, attempts, elapsed };
+                }
+                Ok(BmcResponse::Refused(latency)) => {
+                    elapsed += latency;
+                }
+                Ok(BmcResponse::Stalled) => {
+                    elapsed += self.config.read_timeout;
+                }
+                Err(_) => {
+                    // Unknown node: not retryable.
+                    return RequestOutcome { node, category, reading: None, attempts, elapsed };
+                }
+            }
+        }
+        RequestOutcome { node, category, reading: None, attempts, elapsed }
+    }
+
+    /// Sweep the whole fleet: fan the request pool out on the worker pool,
+    /// then compute the simulated makespan on the in-flight budget
+    /// (longest-processing-time-first onto the least loaded channel).
+    pub fn sweep(&self, cluster: &SimulatedCluster) -> SweepOutcome {
+        let pool_items = Self::request_pool(cluster);
+        let pool = ThreadPool::new(self.config.pool_workers);
+        let results = pool.scope_map(pool_items, |(n, c)| self.fetch(cluster, n, c));
+
+        let mut times: Vec<VDuration> = results.iter().map(|r| r.elapsed).collect();
+        times.sort_unstable_by(|a, b| b.cmp(a));
+        let channels = self.config.max_inflight.max(1);
+        let mut bins = vec![VDuration::ZERO; channels.min(times.len().max(1))];
+        for t in times {
+            let min = bins.iter_mut().min().expect("non-empty bins");
+            *min += t;
+        }
+        let makespan = bins.into_iter().max().unwrap_or(VDuration::ZERO);
+        SweepOutcome { results, makespan }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bmc::BmcConfig;
+    use crate::cluster::ClusterConfig;
+
+    fn small_cluster(nodes: usize, seed: u64) -> SimulatedCluster {
+        SimulatedCluster::new(ClusterConfig::small(nodes, seed))
+    }
+
+    #[test]
+    fn request_pool_covers_all_pairs() {
+        let c = small_cluster(10, 1);
+        let pool = RedfishClient::request_pool(&c);
+        assert_eq!(pool.len(), 40);
+        // Quanah-sized pool matches the paper's 1868.
+        let full = SimulatedCluster::new(ClusterConfig::default());
+        assert_eq!(RedfishClient::request_pool(&full).len(), 1868);
+    }
+
+    #[test]
+    fn fetch_retries_through_refusals() {
+        // A BMC that refuses often but never stalls: retries should lift
+        // the success rate well above the single-attempt rate.
+        let cfg = ClusterConfig {
+            nodes: 30,
+            bmc: BmcConfig { failure_rate: 0.3, stall_rate: 0.0, ..BmcConfig::default() },
+            ..ClusterConfig::small(30, 2)
+        };
+        let cluster = SimulatedCluster::new(cfg);
+        let client = RedfishClient::default();
+        let outcomes: Vec<_> = cluster
+            .node_ids()
+            .iter()
+            .map(|&n| client.fetch(&cluster, n, Category::Power))
+            .collect();
+        let ok = outcomes.iter().filter(|o| o.reading.is_some()).count();
+        // P(fail all 3 attempts) = 0.3^3 ≈ 2.7%.
+        assert!(ok >= 27, "ok {ok}/30");
+        assert!(outcomes.iter().any(|o| o.attempts > 1), "no retries exercised");
+    }
+
+    #[test]
+    fn stall_costs_full_read_timeout() {
+        let cluster = small_cluster(1, 3);
+        let node = cluster.node_ids()[0];
+        cluster.set_bmc_alive(node, false).unwrap();
+        let client = RedfishClient::default();
+        let o = client.fetch(&cluster, node, Category::Thermal);
+        assert!(o.reading.is_none());
+        assert_eq!(o.attempts, 3);
+        // 3 attempts x 15 s timeout.
+        assert_eq!(o.elapsed, VDuration::from_secs(45));
+    }
+
+    #[test]
+    fn sweep_makespan_matches_paper_scale() {
+        // Full Quanah-sized sweep: mean request ≈4.3 s, 1868 requests over
+        // 150 channels → makespan in the paper's ~55 s neighbourhood.
+        let cluster = SimulatedCluster::new(ClusterConfig::default());
+        let client = RedfishClient::default();
+        let sweep = client.sweep(&cluster);
+        assert_eq!(sweep.results.len(), 1868);
+        assert!(sweep.successes() as f64 / 1868.0 > 0.97, "successes {}", sweep.successes());
+        let mean = sweep.mean_request_secs();
+        assert!((3.9..4.7).contains(&mean), "mean request {mean:.2}s");
+        let makespan = sweep.makespan.as_secs_f64();
+        assert!((45.0..70.0).contains(&makespan), "makespan {makespan:.1}s");
+    }
+
+    #[test]
+    fn sweep_on_tiny_cluster_is_fast() {
+        let cluster = small_cluster(4, 4);
+        let client = RedfishClient::default();
+        let sweep = client.sweep(&cluster);
+        assert_eq!(sweep.results.len(), 16);
+        // 16 requests over 150 channels: makespan ≈ slowest single request.
+        assert!(sweep.makespan < VDuration::from_secs(50));
+    }
+
+    #[test]
+    fn unknown_node_fetch_fails_cleanly() {
+        let cluster = small_cluster(2, 5);
+        let client = RedfishClient::default();
+        let o = client.fetch(&cluster, NodeId::new(40, 1), Category::Power);
+        assert!(o.reading.is_none());
+        assert_eq!(o.attempts, 1);
+    }
+}

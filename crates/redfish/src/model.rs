@@ -1,0 +1,266 @@
+//! Redfish resource payloads.
+//!
+//! Builds JSON documents shaped like real iDRAC Redfish responses (DMTF
+//! Redfish 1.x schemas, trimmed to the members MonSTer reads) and parses
+//! them back into [`NodeReading`]s. Keeping both directions here means the
+//! collector is tested against the same payload shapes a real BMC would
+//! produce.
+
+use crate::sensors::{NodeSensors, VOLTAGE_RAILS};
+use crate::types::{Category, HealthState, NodeReading};
+use monster_json::{jobj, Object, Value};
+use monster_util::{Error, NodeId, Result};
+
+/// Build the JSON payload for one category from a node's sensor state.
+pub fn payload(category: Category, node: NodeId, s: &NodeSensors) -> Value {
+    match category {
+        Category::Thermal => thermal(node, s),
+        Category::Power => power(node, s),
+        Category::Manager => manager(node, s),
+        Category::System => system(node, s),
+    }
+}
+
+fn status(health: HealthState) -> Value {
+    jobj! { "State" => "Enabled", "Health" => health.as_str() }
+}
+
+fn thermal(node: NodeId, s: &NodeSensors) -> Value {
+    let mut temps: Vec<Value> = Vec::new();
+    for (i, t) in s.cpu_temps.iter().enumerate() {
+        temps.push(jobj! {
+            "Name" => format!("CPU{} Temp", i + 1),
+            "ReadingCelsius" => round1(*t),
+            "Status" => status(s.host_health),
+        });
+    }
+    temps.push(jobj! {
+        "Name" => "System Board Inlet Temp",
+        "ReadingCelsius" => round1(s.inlet),
+        "Status" => status(HealthState::Ok),
+    });
+    let fans: Vec<Value> = s
+        .fans
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            jobj! {
+                "Name" => format!("Fan {}", i + 1),
+                "Reading" => round1(*f),
+                "ReadingUnits" => "RPM",
+                "Status" => status(HealthState::Ok),
+            }
+        })
+        .collect();
+    jobj! {
+        "@odata.id" => format!("/redfish/v1/Chassis/System.Embedded.1/Thermal"),
+        "Id" => "Thermal",
+        "Name" => format!("Thermal ({})", node.bmc_addr()),
+        "Temperatures" => Value::Array(temps),
+        "Fans" => Value::Array(fans),
+    }
+}
+
+fn power(node: NodeId, s: &NodeSensors) -> Value {
+    let voltages: Vec<Value> = VOLTAGE_RAILS
+        .iter()
+        .map(|v| {
+            jobj! {
+                "Name" => format!("PS Voltage {v}V"),
+                "ReadingVolts" => round2(*v),
+                "Status" => status(HealthState::Ok),
+            }
+        })
+        .collect();
+    jobj! {
+        "@odata.id" => "/redfish/v1/Chassis/System.Embedded.1/Power",
+        "Id" => "Power",
+        "Name" => format!("Power ({})", node.bmc_addr()),
+        "PowerControl" => Value::Array(vec![jobj! {
+            "Name" => "System Power Control",
+            "PowerConsumedWatts" => round1(s.power),
+        }]),
+        "Voltages" => Value::Array(voltages),
+    }
+}
+
+fn manager(node: NodeId, s: &NodeSensors) -> Value {
+    jobj! {
+        "@odata.id" => "/redfish/v1/Managers/iDRAC.Embedded.1",
+        "Id" => "iDRAC.Embedded.1",
+        "Name" => format!("Manager ({})", node.bmc_addr()),
+        "ManagerType" => "BMC",
+        "Model" => "13G DCS",
+        "FirmwareVersion" => "2.63.60.61",
+        "Status" => status(s.bmc_health),
+    }
+}
+
+fn system(node: NodeId, s: &NodeSensors) -> Value {
+    jobj! {
+        "@odata.id" => "/redfish/v1/Systems/System.Embedded.1",
+        "Id" => "System.Embedded.1",
+        "Name" => format!("System ({})", node.label()),
+        "Model" => "PowerEdge C6320",
+        "Status" => status(s.host_health),
+        "ProcessorSummary" => jobj! { "Count" => 2i64, "LogicalProcessorCount" => 36i64 },
+    }
+}
+
+fn round1(v: f64) -> f64 {
+    (v * 10.0).round() / 10.0
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+/// Parse a category payload back into a [`NodeReading`].
+pub fn parse_reading(category: Category, v: &Value) -> Result<NodeReading> {
+    let bad = |what: &str| Error::parse(format!("redfish {category} payload missing {what}"));
+    match category {
+        Category::Thermal => {
+            let temps = v.get("Temperatures").and_then(Value::as_array).ok_or_else(|| bad("Temperatures"))?;
+            let mut cpu_temps = Vec::new();
+            let mut inlet = None;
+            for t in temps {
+                let name = t.get("Name").and_then(Value::as_str).unwrap_or("");
+                let reading = t
+                    .get("ReadingCelsius")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| bad("ReadingCelsius"))?;
+                if name.starts_with("CPU") {
+                    cpu_temps.push(reading);
+                } else if name.contains("Inlet") {
+                    inlet = Some(reading);
+                }
+            }
+            let fans = v
+                .get("Fans")
+                .and_then(Value::as_array)
+                .ok_or_else(|| bad("Fans"))?
+                .iter()
+                .map(|f| f.get("Reading").and_then(Value::as_f64).ok_or_else(|| bad("Fan Reading")))
+                .collect::<Result<Vec<f64>>>()?;
+            Ok(NodeReading::Thermal {
+                cpu_temps,
+                inlet: inlet.ok_or_else(|| bad("Inlet Temp"))?,
+                fans,
+            })
+        }
+        Category::Power => {
+            let usage = v
+                .pointer("PowerControl/0/PowerConsumedWatts")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| bad("PowerConsumedWatts"))?;
+            let voltages = v
+                .get("Voltages")
+                .and_then(Value::as_array)
+                .ok_or_else(|| bad("Voltages"))?
+                .iter()
+                .map(|x| {
+                    x.get("ReadingVolts")
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| bad("ReadingVolts"))
+                })
+                .collect::<Result<Vec<f64>>>()?;
+            Ok(NodeReading::Power { usage_watts: usage, voltages })
+        }
+        Category::Manager => Ok(NodeReading::Manager { health: parse_health(v)? }),
+        Category::System => Ok(NodeReading::System { health: parse_health(v)? }),
+    }
+}
+
+fn parse_health(v: &Value) -> Result<HealthState> {
+    v.pointer("Status/Health")
+        .and_then(Value::as_str)
+        .and_then(HealthState::parse)
+        .ok_or_else(|| Error::parse("redfish payload missing Status/Health"))
+}
+
+/// An `Object` helper exported for gateway error bodies.
+pub fn redfish_error(message: &str) -> Value {
+    let mut o = Object::new();
+    o.insert("error", jobj! { "message" => message });
+    Value::Object(o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monster_sim::SimRng;
+
+    fn sample() -> NodeSensors {
+        let mut rng = SimRng::derive(1, "model-test");
+        let mut s = NodeSensors::new(&mut rng);
+        for _ in 0..20 {
+            s.step(0.6, 60.0, &mut rng);
+        }
+        s
+    }
+
+    #[test]
+    fn thermal_payload_round_trips() {
+        let s = sample();
+        let v = payload(Category::Thermal, NodeId::new(1, 1), &s);
+        match parse_reading(Category::Thermal, &v).unwrap() {
+            NodeReading::Thermal { cpu_temps, inlet, fans } => {
+                assert_eq!(cpu_temps.len(), 2);
+                assert_eq!(fans.len(), 4);
+                assert!((inlet - s.inlet).abs() < 0.06); // 0.1 rounding
+                assert!((cpu_temps[0] - s.cpu_temps[0]).abs() < 0.06);
+            }
+            other => panic!("wrong reading {other:?}"),
+        }
+    }
+
+    #[test]
+    fn power_payload_round_trips() {
+        let s = sample();
+        let v = payload(Category::Power, NodeId::new(2, 3), &s);
+        match parse_reading(Category::Power, &v).unwrap() {
+            NodeReading::Power { usage_watts, voltages } => {
+                assert!((usage_watts - s.power).abs() < 0.06);
+                assert_eq!(voltages, vec![12.0, 5.0, 3.3]);
+            }
+            other => panic!("wrong reading {other:?}"),
+        }
+    }
+
+    #[test]
+    fn health_payloads_expose_paper_firmware() {
+        let s = sample();
+        let v = payload(Category::Manager, NodeId::new(1, 1), &s);
+        // The firmware version quoted in §III-B1.
+        assert_eq!(v.get("FirmwareVersion").unwrap().as_str(), Some("2.63.60.61"));
+        assert_eq!(v.get("Model").unwrap().as_str(), Some("13G DCS"));
+        assert!(matches!(
+            parse_reading(Category::Manager, &v).unwrap(),
+            NodeReading::Manager { .. }
+        ));
+        let v = payload(Category::System, NodeId::new(1, 1), &s);
+        // 36 logical processors per node (Quanah's spec).
+        assert_eq!(
+            v.pointer("ProcessorSummary/LogicalProcessorCount").unwrap().as_i64(),
+            Some(36)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_payloads() {
+        let junk = jobj! { "nothing" => true };
+        for c in Category::ALL {
+            assert!(parse_reading(c, &junk).is_err(), "category {c}");
+        }
+    }
+
+    #[test]
+    fn payloads_serialize_to_realistic_sizes() {
+        // Sanity: a thermal payload is O(1 KB), like a real trimmed
+        // Redfish response.
+        let s = sample();
+        let v = payload(Category::Thermal, NodeId::new(1, 1), &s);
+        let len = v.to_string_compact().len();
+        assert!((300..4096).contains(&len), "payload {len} bytes");
+    }
+}

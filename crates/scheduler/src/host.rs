@@ -1,0 +1,227 @@
+//! Execution hosts: slot accounting and the per-node resource model.
+//!
+//! Each host runs an execution daemon that reports load to the qmaster
+//! every 40 s (the UGE default the paper cites). The resource model turns
+//! the set of running jobs into the CPU/memory/swap numbers Table II lists.
+
+use crate::job::JobId;
+use monster_util::{EpochSecs, NodeId};
+use std::collections::BTreeMap;
+
+/// Quanah node profile: 36 cores, 192 GiB RAM, 4 GiB swap.
+pub const SLOTS_PER_NODE: u32 = 36;
+/// Total RAM per node in GiB.
+pub const MEM_TOTAL_GIB: f64 = 192.0;
+/// Total swap per node in GiB.
+pub const SWAP_TOTAL_GIB: f64 = 4.0;
+/// Baseline OS memory footprint in GiB.
+const MEM_BASE_GIB: f64 = 6.0;
+
+/// One execution host.
+#[derive(Debug, Clone)]
+pub struct ExecHost {
+    /// The node this daemon runs on.
+    pub node: NodeId,
+    /// Slots in use, keyed by job id (a job may hold several slots).
+    allocations: BTreeMap<JobId, HostAllocation>,
+    /// Whether the execd is responding. The qmaster marks hosts `false`
+    /// after missed load reports and stops scheduling onto them.
+    pub alive: bool,
+    /// Last load-report time the qmaster received.
+    pub last_report: EpochSecs,
+}
+
+/// A job's footprint on one host.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostAllocation {
+    /// Slots held.
+    pub slots: u32,
+    /// Memory held, GiB.
+    pub mem_gib: f64,
+}
+
+/// A load report, as the execd sends and the collector later reads
+/// (Table II's node-level metrics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Reporting node.
+    pub node: NodeId,
+    /// CPU utilization 0..=1 (allocated slots / total, which is how UGE's
+    /// np_load_avg looks for compute-bound HPC jobs).
+    pub cpu_usage: f64,
+    /// Total RAM, GiB.
+    pub mem_total_gib: f64,
+    /// RAM in use, GiB.
+    pub mem_used_gib: f64,
+    /// Total swap, GiB.
+    pub swap_total_gib: f64,
+    /// Swap in use, GiB.
+    pub swap_used_gib: f64,
+    /// Jobs currently on the node.
+    pub job_list: Vec<JobId>,
+}
+
+impl ExecHost {
+    /// A fresh, idle host.
+    pub fn new(node: NodeId) -> Self {
+        ExecHost {
+            node,
+            allocations: BTreeMap::new(),
+            alive: true,
+            last_report: EpochSecs::new(0),
+        }
+    }
+
+    /// Slots currently allocated.
+    pub fn slots_used(&self) -> u32 {
+        self.allocations.values().map(|a| a.slots).sum()
+    }
+
+    /// Slots free for new work.
+    pub fn slots_free(&self) -> u32 {
+        SLOTS_PER_NODE - self.slots_used()
+    }
+
+    /// Jobs on this host.
+    pub fn job_ids(&self) -> Vec<JobId> {
+        self.allocations.keys().copied().collect()
+    }
+
+    /// Whether `slots` more slots fit.
+    pub fn fits(&self, slots: u32) -> bool {
+        self.alive && self.slots_free() >= slots
+    }
+
+    /// Allocate slots to a job. Panics if it does not fit (schedulers must
+    /// check [`fits`](Self::fits) first).
+    pub fn allocate(&mut self, job: JobId, slots: u32, mem_gib: f64) {
+        assert!(self.fits(slots), "over-allocating host {}", self.node);
+        let prev = self
+            .allocations
+            .insert(job, HostAllocation { slots, mem_gib });
+        assert!(prev.is_none(), "job {job} double-allocated on {}", self.node);
+    }
+
+    /// Release a job's slots (no-op if absent, e.g. already cleaned up).
+    pub fn release(&mut self, job: JobId) {
+        self.allocations.remove(&job);
+    }
+
+    /// Memory in use: OS baseline plus per-job footprints, capped so
+    /// overflow spills into swap.
+    fn memory_model(&self) -> (f64, f64) {
+        let wanted = MEM_BASE_GIB
+            + self
+                .allocations
+                .values()
+                .map(|a| a.mem_gib)
+                .sum::<f64>();
+        if wanted <= MEM_TOTAL_GIB {
+            (wanted, 0.0)
+        } else {
+            let spill = (wanted - MEM_TOTAL_GIB).min(SWAP_TOTAL_GIB);
+            (MEM_TOTAL_GIB, spill)
+        }
+    }
+
+    /// Produce the load report the execd would send at `now`.
+    pub fn load_report(&self, now: EpochSecs) -> LoadReport {
+        let (mem_used, swap_used) = self.memory_model();
+        LoadReport {
+            node: self.node,
+            cpu_usage: self.slots_used() as f64 / SLOTS_PER_NODE as f64,
+            mem_total_gib: MEM_TOTAL_GIB,
+            mem_used_gib: mem_used,
+            swap_total_gib: SWAP_TOTAL_GIB,
+            swap_used_gib: swap_used,
+            job_list: self.job_ids(),
+        }
+        .stamped(now)
+    }
+}
+
+impl LoadReport {
+    fn stamped(self, _now: EpochSecs) -> LoadReport {
+        self
+    }
+
+    /// Free memory, GiB (Table II lists both used and free).
+    pub fn mem_free_gib(&self) -> f64 {
+        self.mem_total_gib - self.mem_used_gib
+    }
+
+    /// Free swap, GiB.
+    pub fn swap_free_gib(&self) -> f64 {
+        self.swap_total_gib - self.swap_used_gib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host() -> ExecHost {
+        ExecHost::new(NodeId::new(1, 1))
+    }
+
+    #[test]
+    fn slot_accounting() {
+        let mut h = host();
+        assert_eq!(h.slots_free(), 36);
+        h.allocate(JobId(1), 4, 8.0);
+        h.allocate(JobId(2), 32, 64.0);
+        assert_eq!(h.slots_used(), 36);
+        assert_eq!(h.slots_free(), 0);
+        assert!(!h.fits(1));
+        h.release(JobId(1));
+        assert!(h.fits(4));
+        assert_eq!(h.job_ids(), vec![JobId(2)]);
+        h.release(JobId(99)); // releasing unknown is a no-op
+    }
+
+    #[test]
+    #[should_panic(expected = "over-allocating")]
+    fn over_allocation_panics() {
+        let mut h = host();
+        h.allocate(JobId(1), 36, 1.0);
+        h.allocate(JobId(2), 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double-allocated")]
+    fn double_allocation_panics() {
+        let mut h = host();
+        h.allocate(JobId(1), 1, 1.0);
+        h.allocate(JobId(1), 1, 1.0);
+    }
+
+    #[test]
+    fn dead_host_never_fits() {
+        let mut h = host();
+        h.alive = false;
+        assert!(!h.fits(1));
+    }
+
+    #[test]
+    fn load_report_reflects_allocations() {
+        let mut h = host();
+        h.allocate(JobId(1), 18, 30.0);
+        let r = h.load_report(EpochSecs::new(100));
+        assert_eq!(r.cpu_usage, 0.5);
+        assert_eq!(r.mem_used_gib, 36.0);
+        assert_eq!(r.mem_free_gib(), 156.0);
+        assert_eq!(r.swap_used_gib, 0.0);
+        assert_eq!(r.job_list, vec![JobId(1)]);
+    }
+
+    #[test]
+    fn memory_overflow_spills_to_swap() {
+        let mut h = host();
+        h.allocate(JobId(1), 36, 200.0);
+        let r = h.load_report(EpochSecs::new(0));
+        assert_eq!(r.mem_used_gib, MEM_TOTAL_GIB);
+        assert!(r.swap_used_gib > 0.0);
+        assert!(r.swap_used_gib <= SWAP_TOTAL_GIB);
+        assert_eq!(r.mem_free_gib(), 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Slurm-flavoured facade.
+//!
+//! §III-B2: "Metrics Collector also supports query metrics from Slurm".
+//! MonSTer is scheduler-agnostic by speaking to a small trait; this module
+//! provides the Slurm dialect over the same simulated cluster state, with
+//! payloads shaped like `slurmrestd` (`/slurm/v0.0.36/nodes`, `/jobs`).
+
+use crate::host::LoadReport;
+use crate::job::{Job, JobState};
+use crate::qmaster::Qmaster;
+use monster_json::{jobj, Value};
+
+/// The scheduler-agnostic surface the collector consumes. UGE implements
+/// it natively on [`Qmaster`]; [`SlurmView`] adapts the same state.
+pub trait ResourceManager {
+    /// Node-level load reports.
+    fn node_reports(&self) -> Vec<LoadReport>;
+    /// All known jobs.
+    fn job_table(&self) -> Vec<&Job>;
+    /// Scheduler dialect name ("uge" / "slurm").
+    fn dialect(&self) -> &'static str;
+}
+
+impl ResourceManager for Qmaster {
+    fn node_reports(&self) -> Vec<LoadReport> {
+        self.all_load_reports()
+    }
+
+    fn job_table(&self) -> Vec<&Job> {
+        self.jobs().collect()
+    }
+
+    fn dialect(&self) -> &'static str {
+        "uge"
+    }
+}
+
+/// A Slurm-dialect view over a qmaster.
+pub struct SlurmView<'a> {
+    qm: &'a Qmaster,
+}
+
+impl<'a> SlurmView<'a> {
+    /// Wrap a qmaster.
+    pub fn new(qm: &'a Qmaster) -> Self {
+        SlurmView { qm }
+    }
+
+    /// `GET /slurm/v0.0.36/nodes` equivalent.
+    pub fn nodes_payload(&self) -> Value {
+        let nodes: Vec<Value> = self
+            .qm
+            .all_load_reports()
+            .iter()
+            .map(|r| {
+                jobj! {
+                    "name" => r.node.label(),
+                    "address" => r.node.bmc_addr(),
+                    "state" => if self.qm.host_available(r.node) {
+                        if r.cpu_usage > 0.0 { "allocated" } else { "idle" }
+                    } else {
+                        "down"
+                    },
+                    "cpus" => 36i64,
+                    "alloc_cpus" => (r.cpu_usage * 36.0).round() as i64,
+                    "real_memory" => (r.mem_total_gib * 1024.0) as i64,
+                    "alloc_memory" => (r.mem_used_gib * 1024.0) as i64,
+                }
+            })
+            .collect();
+        jobj! { "nodes" => Value::Array(nodes) }
+    }
+
+    /// `GET /slurm/v0.0.36/jobs` equivalent.
+    pub fn jobs_payload(&self) -> Value {
+        let jobs: Vec<Value> = self
+            .qm
+            .jobs()
+            .map(|j| {
+                let state = match &j.state {
+                    JobState::Pending => "PENDING",
+                    JobState::Running { .. } => "RUNNING",
+                    JobState::Done { .. } => "COMPLETED",
+                    JobState::Failed { .. } => "NODE_FAIL",
+                };
+                let (start, end) = match &j.state {
+                    JobState::Pending => (None, None),
+                    JobState::Running { start, .. } => (Some(*start), None),
+                    JobState::Done { start, end, .. }
+                    | JobState::Failed { start, end, .. } => (Some(*start), Some(*end)),
+                };
+                jobj! {
+                    "job_id" => j.id.as_u64() as i64,
+                    "user_name" => j.spec.user.as_str(),
+                    "name" => j.spec.name.as_str(),
+                    "job_state" => state,
+                    "submit_time" => j.submit_time.as_secs(),
+                    "start_time" => start.map(|t| t.as_secs()),
+                    "end_time" => end.map(|t| t.as_secs()),
+                    "cpus" => j.total_slots(crate::host::SLOTS_PER_NODE) as i64,
+                    "nodes" => j.hosts().iter().map(|h| h.label()).collect::<Vec<_>>().join(","),
+                }
+            })
+            .collect();
+        jobj! { "jobs" => Value::Array(jobs) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobShape, JobSpec};
+    use crate::qmaster::QmasterConfig;
+    use monster_util::UserName;
+
+    fn qm() -> Qmaster {
+        let cfg = QmasterConfig { nodes: 4, ..QmasterConfig::default() };
+        let t0 = cfg.start_time;
+        let mut qm = Qmaster::new(cfg);
+        qm.submit_at(
+            t0 + 1,
+            JobSpec {
+                user: UserName::new("slurmfan"),
+                name: "a.sh".into(),
+                shape: JobShape::Serial { slots: 18 },
+                runtime_secs: 50,
+                priority: 0,
+                mem_per_slot_gib: 1.0,
+            },
+        );
+        qm.submit_at(
+            t0 + 2,
+            JobSpec {
+                user: UserName::new("slurmfan"),
+                name: "b.sh".into(),
+                shape: JobShape::Serial { slots: 18 },
+                runtime_secs: 100_000,
+                priority: 0,
+                mem_per_slot_gib: 1.0,
+            },
+        );
+        qm.run_until(t0 + 600);
+        qm
+    }
+
+    #[test]
+    fn nodes_payload_shape() {
+        let qm = qm();
+        let v = SlurmView::new(&qm).nodes_payload();
+        let nodes = v.get("nodes").unwrap().as_array().unwrap();
+        assert_eq!(nodes.len(), 4);
+        let busy = nodes
+            .iter()
+            .filter(|n| n.get("state").unwrap().as_str() == Some("allocated"))
+            .count();
+        assert_eq!(busy, 1);
+        assert_eq!(nodes[0].get("cpus").unwrap().as_i64(), Some(36));
+    }
+
+    #[test]
+    fn jobs_payload_tracks_states() {
+        let qm = qm();
+        let v = SlurmView::new(&qm).jobs_payload();
+        let jobs = v.get("jobs").unwrap().as_array().unwrap();
+        assert_eq!(jobs.len(), 2);
+        let states: Vec<&str> = jobs
+            .iter()
+            .map(|j| j.get("job_state").unwrap().as_str().unwrap())
+            .collect();
+        assert!(states.contains(&"COMPLETED"));
+        assert!(states.contains(&"RUNNING"));
+    }
+
+    #[test]
+    fn trait_unifies_dialects() {
+        let qm = qm();
+        let rm: &dyn ResourceManager = &qm;
+        assert_eq!(rm.dialect(), "uge");
+        assert_eq!(rm.node_reports().len(), 4);
+        assert_eq!(rm.job_table().len(), 2);
+    }
+}

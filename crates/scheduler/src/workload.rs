@@ -1,0 +1,252 @@
+//! Synthetic user population and arrival process.
+//!
+//! Reproduces the workload texture visible in the paper's Fig. 6 timeline:
+//! a handful of MPI users submitting multi-node jobs (user "jieyao": 2 jobs
+//! × 58 hosts), array-job users flooding the queue with single-core tasks
+//! (user "abdumal": 997 jobs on 29 hosts), and a long tail of serial users.
+//! Arrivals are Poisson per user with day/night modulation.
+
+use crate::job::{JobId, JobShape, JobSpec};
+use crate::qmaster::Qmaster;
+use monster_sim::SimRng;
+use monster_util::{EpochSecs, UserName};
+
+/// A user's behavioural profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UserProfile {
+    /// Multi-node MPI jobs, long runtimes.
+    Mpi,
+    /// Large array jobs of short single-core tasks.
+    Array,
+    /// Small serial/threaded jobs.
+    Serial,
+}
+
+/// Workload generator configuration.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// MPI users.
+    pub mpi_users: usize,
+    /// Array-job users.
+    pub array_users: usize,
+    /// Serial users.
+    pub serial_users: usize,
+    /// Mean submissions per user per day (before array fan-out).
+    pub submissions_per_user_day: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            mpi_users: 4,
+            array_users: 3,
+            serial_users: 18,
+            submissions_per_user_day: 6.0,
+            seed: 2019,
+        }
+    }
+}
+
+/// Generates submissions and feeds them to a qmaster.
+pub struct WorkloadGenerator {
+    users: Vec<(UserName, UserProfile)>,
+    rng: SimRng,
+    config: WorkloadConfig,
+    /// Array-parent counter for ArrayTask shapes.
+    next_array_parent: u64,
+}
+
+/// Paper-cast user names for the first few generated users, so examples
+/// and the Fig. 6 reproduction read like the original.
+const MPI_NAMES: [&str; 4] = ["jieyao", "mariegrl", "dchen", "tngo"];
+const ARRAY_NAMES: [&str; 3] = ["abdumal", "ghazali", "jhass"];
+
+impl WorkloadGenerator {
+    /// Build the user population.
+    pub fn new(config: WorkloadConfig) -> Self {
+        let mut users = Vec::new();
+        for i in 0..config.mpi_users {
+            let name = MPI_NAMES
+                .get(i)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| format!("mpi{i}"));
+            users.push((UserName::new(name), UserProfile::Mpi));
+        }
+        for i in 0..config.array_users {
+            let name = ARRAY_NAMES
+                .get(i)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| format!("arr{i}"));
+            users.push((UserName::new(name), UserProfile::Array));
+        }
+        for i in 0..config.serial_users {
+            users.push((UserName::new(format!("user{i:02}")), UserProfile::Serial));
+        }
+        let rng = SimRng::derive(config.seed, "workload");
+        WorkloadGenerator { users, rng, config, next_array_parent: 900_000 }
+    }
+
+    /// The user population.
+    pub fn users(&self) -> &[(UserName, UserProfile)] {
+        &self.users
+    }
+
+    /// Generate all submissions in `[start, end)` and enqueue them on the
+    /// qmaster. Returns the number of jobs submitted (array tasks counted
+    /// individually, as UGE's qstat does).
+    pub fn drive(&mut self, qm: &mut Qmaster, start: EpochSecs, end: EpochSecs) -> usize {
+        let mut submitted = 0;
+        let horizon = end - start;
+        let users = self.users.clone();
+        for (user, profile) in users {
+            // Poisson arrivals: exponential gaps with day/night modulation.
+            let mean_gap = 86_400.0 / self.config.submissions_per_user_day;
+            let mut t = start + self.rng.exponential(mean_gap * 0.5) as i64;
+            while t < end {
+                submitted += self.submit_one(qm, &user, profile, t);
+                let hour = (t.as_secs() % 86_400) / 3_600;
+                // Nights are quieter: stretch the gap.
+                let night_factor = if (1..7).contains(&hour) { 2.5 } else { 1.0 };
+                t = t + (self.rng.exponential(mean_gap) * night_factor) as i64 + 1;
+            }
+            let _ = horizon;
+        }
+        submitted
+    }
+
+    fn submit_one(
+        &mut self,
+        qm: &mut Qmaster,
+        user: &UserName,
+        profile: UserProfile,
+        at: EpochSecs,
+    ) -> usize {
+        match profile {
+            UserProfile::Mpi => {
+                let nodes = *self.rng.pick(&[4u32, 8, 16, 29, 58]);
+                qm.submit_at(
+                    at,
+                    JobSpec {
+                        user: user.clone(),
+                        name: format!("mpi_{nodes}n.sh"),
+                        shape: JobShape::Parallel { nodes },
+                        runtime_secs: self.rng.lognormal(7_200.0, 0.8) as i64 + 60,
+                        priority: 0,
+                        mem_per_slot_gib: self.rng.uniform(1.0, 3.0),
+                    },
+                );
+                1
+            }
+            UserProfile::Array => {
+                let tasks = *self.rng.pick(&[50usize, 100, 250, 500, 997]);
+                let parent = JobId(self.next_array_parent);
+                self.next_array_parent += 1;
+                let runtime = self.rng.lognormal(1_200.0, 0.6) as i64 + 30;
+                let mem = self.rng.uniform(0.3, 1.5);
+                for i in 0..tasks {
+                    qm.submit_at(
+                        at,
+                        JobSpec {
+                            user: user.clone(),
+                            name: format!("array_{parent}.{i}"),
+                            shape: JobShape::ArrayTask { parent, index: i as u32 },
+                            runtime_secs: runtime,
+                            priority: 0,
+                            mem_per_slot_gib: mem,
+                        },
+                    );
+                }
+                tasks
+            }
+            UserProfile::Serial => {
+                let slots = *self.rng.pick(&[1u32, 1, 2, 4, 8, 12]);
+                qm.submit_at(
+                    at,
+                    JobSpec {
+                        user: user.clone(),
+                        name: "serial.sh".into(),
+                        shape: JobShape::Serial { slots },
+                        runtime_secs: self.rng.lognormal(3_600.0, 1.0) as i64 + 30,
+                        priority: 0,
+                        mem_per_slot_gib: self.rng.uniform(0.5, 4.0),
+                    },
+                );
+                1
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qmaster::QmasterConfig;
+
+    fn run_day(nodes: usize, seed: u64) -> (Qmaster, usize) {
+        let cfg = QmasterConfig { nodes, ..QmasterConfig::default() };
+        let t0 = cfg.start_time;
+        let mut qm = Qmaster::new(cfg);
+        let mut gen = WorkloadGenerator::new(WorkloadConfig { seed, ..WorkloadConfig::default() });
+        let n = gen.drive(&mut qm, t0, t0 + 86_400);
+        qm.run_until(t0 + 86_400);
+        (qm, n)
+    }
+
+    #[test]
+    fn population_has_paper_cast() {
+        let gen = WorkloadGenerator::new(WorkloadConfig::default());
+        let names: Vec<&str> = gen.users().iter().map(|(u, _)| u.as_str()).collect();
+        assert!(names.contains(&"jieyao"));
+        assert!(names.contains(&"abdumal"));
+        assert_eq!(gen.users().len(), 25);
+    }
+
+    #[test]
+    fn one_day_produces_realistic_mix() {
+        let (qm, submitted) = run_day(64, 42);
+        assert!(submitted > 100, "submitted {submitted}");
+        // Mixture of states exists.
+        let done = qm.finished_jobs().len();
+        let running = qm.running_jobs().len();
+        assert!(done > 0, "no jobs finished");
+        assert!(running > 0, "nothing running at day end");
+        // Array users produced single-slot tasks; MPI users multi-node.
+        let any_array = qm
+            .jobs()
+            .any(|j| matches!(j.spec.shape, JobShape::ArrayTask { .. }));
+        let any_mpi = qm
+            .jobs()
+            .any(|j| matches!(j.spec.shape, JobShape::Parallel { .. }));
+        assert!(any_array && any_mpi);
+    }
+
+    #[test]
+    fn cluster_gets_utilized_but_not_corrupted() {
+        let (qm, _) = run_day(32, 7);
+        let mut total_util = 0.0;
+        for n in qm.node_ids() {
+            let u = qm.utilization(n);
+            assert!((0.0..=1.0).contains(&u));
+            total_util += u;
+        }
+        assert!(total_util > 1.0, "cluster idle all day");
+    }
+
+    #[test]
+    fn deterministic_workload() {
+        let (qm1, n1) = run_day(16, 99);
+        let (qm2, n2) = run_day(16, 99);
+        assert_eq!(n1, n2);
+        assert_eq!(qm1.finished_jobs().len(), qm2.finished_jobs().len());
+        assert_eq!(qm1.running_jobs().len(), qm2.running_jobs().len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (_, n1) = run_day(16, 1);
+        let (_, n2) = run_day(16, 2);
+        assert_ne!(n1, n2);
+    }
+}

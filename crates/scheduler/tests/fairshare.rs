@@ -1,0 +1,87 @@
+//! Fair-share policy tests: heavy users yield to light users under
+//! contention, and the penalty decays.
+
+use monster_scheduler::qmaster::FairshareConfig;
+use monster_scheduler::{JobShape, JobSpec, Qmaster, QmasterConfig};
+use monster_util::{EpochSecs, UserName};
+
+fn spec(user: &str, runtime: i64) -> JobSpec {
+    JobSpec {
+        user: UserName::new(user),
+        name: format!("{user}.sh"),
+        shape: JobShape::Serial { slots: 36 }, // whole node
+        runtime_secs: runtime,
+        priority: 0,
+        mem_per_slot_gib: 1.0,
+    }
+}
+
+fn qm(fairshare: Option<FairshareConfig>) -> (Qmaster, EpochSecs) {
+    let cfg = QmasterConfig { nodes: 1, fairshare, ..QmasterConfig::default() };
+    let t0 = cfg.start_time;
+    (Qmaster::new(cfg), t0)
+}
+
+/// The contention scenario: `hog` burns the single node for an hour, then
+/// both users race for the next slot. Returns who won.
+fn run_contention(fairshare: Option<FairshareConfig>) -> String {
+    let (mut qm, t0) = qm(fairshare);
+    // The hog runs a 1-hour job first, accruing usage.
+    qm.submit_at(t0 + 1, spec("hog", 3600));
+    qm.run_until(t0 + 60);
+    // While it runs, hog queues its next job *before* the light user does.
+    qm.submit_at(t0 + 100, spec("hog", 3600));
+    qm.submit_at(t0 + 200, spec("light", 3600));
+    // Both are pending; the node frees up when the first job ends.
+    qm.run_until(t0 + 3700 + 60);
+    let running = qm.running_jobs();
+    assert_eq!(running.len(), 1, "exactly one job should hold the node");
+    running[0].spec.user.as_str().to_string()
+}
+
+#[test]
+fn without_fairshare_fifo_wins() {
+    // Plain FIFO: the hog's earlier submission runs first.
+    assert_eq!(run_contention(None), "hog");
+}
+
+#[test]
+fn with_fairshare_light_user_jumps_the_queue() {
+    // With fair share, the hog's hour of usage outweighs its FIFO edge.
+    let fs = FairshareConfig { halflife_secs: 4 * 3600, weight: 100.0 };
+    assert_eq!(run_contention(Some(fs)), "light");
+}
+
+#[test]
+fn fairshare_penalty_decays() {
+    // Same scenario, but the second race happens two days later: the hog's
+    // usage has decayed through ~12 half-lives and FIFO order wins again.
+    let fs = FairshareConfig { halflife_secs: 4 * 3600, weight: 100.0 };
+    let (mut qm, t0) = qm(Some(fs));
+    qm.submit_at(t0 + 1, spec("hog", 3600));
+    qm.run_until(t0 + 2 * 86_400);
+    // Node idle; queue both with hog first while a filler occupies it.
+    qm.submit_at(t0 + 2 * 86_400 + 10, spec("filler", 600));
+    qm.run_until(t0 + 2 * 86_400 + 60);
+    qm.submit_at(t0 + 2 * 86_400 + 100, spec("hog", 3600));
+    qm.submit_at(t0 + 2 * 86_400 + 200, spec("light", 3600));
+    qm.run_until(t0 + 2 * 86_400 + 700);
+    let running = qm.running_jobs();
+    assert_eq!(running.len(), 1);
+    assert_eq!(running[0].spec.user.as_str(), "hog", "decayed usage should restore FIFO");
+}
+
+#[test]
+fn explicit_priority_still_dominates() {
+    // A high submitted priority beats the fair-share penalty.
+    let fs = FairshareConfig { halflife_secs: 4 * 3600, weight: 100.0 };
+    let (mut qm, t0) = qm(Some(fs));
+    qm.submit_at(t0 + 1, spec("hog", 3600));
+    qm.run_until(t0 + 60);
+    let mut prio = spec("hog", 3600);
+    prio.priority = 1000;
+    qm.submit_at(t0 + 100, prio);
+    qm.submit_at(t0 + 200, spec("light", 3600));
+    qm.run_until(t0 + 3700 + 60);
+    assert_eq!(qm.running_jobs()[0].spec.user.as_str(), "hog");
+}

@@ -1,0 +1,147 @@
+//! Property tests: scheduler invariants under arbitrary workloads.
+
+use monster_scheduler::{
+    host::SLOTS_PER_NODE, JobShape, JobSpec, JobState, Qmaster, QmasterConfig,
+};
+use monster_util::UserName;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct ArbJob {
+    offset: i64,
+    slots: u32,
+    nodes: u32,
+    runtime: i64,
+    priority: i32,
+    parallel: bool,
+}
+
+fn arb_job() -> impl Strategy<Value = ArbJob> {
+    (
+        0i64..3_600,
+        1u32..=SLOTS_PER_NODE,
+        1u32..=6,
+        30i64..7_200,
+        -5i32..5,
+        any::<bool>(),
+    )
+        .prop_map(|(offset, slots, nodes, runtime, priority, parallel)| ArbJob {
+            offset,
+            slots,
+            nodes,
+            runtime,
+            priority,
+            parallel,
+        })
+}
+
+fn run_workload(jobs: &[ArbJob], nodes: usize, horizon: i64) -> Qmaster {
+    let cfg = QmasterConfig { nodes, ..QmasterConfig::default() };
+    let t0 = cfg.start_time;
+    let mut qm = Qmaster::new(cfg);
+    for (i, j) in jobs.iter().enumerate() {
+        let shape = if j.parallel {
+            JobShape::Parallel { nodes: j.nodes }
+        } else {
+            JobShape::Serial { slots: j.slots }
+        };
+        qm.submit_at(
+            t0 + j.offset,
+            JobSpec {
+                user: UserName::new(format!("u{}", i % 5)),
+                name: format!("job{i}"),
+                shape,
+                runtime_secs: j.runtime,
+                priority: j.priority,
+                mem_per_slot_gib: 1.0,
+            },
+        );
+    }
+    qm.run_until(t0 + horizon);
+    qm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// No host is ever oversubscribed, whatever the workload.
+    #[test]
+    fn no_host_oversubscription(jobs in prop::collection::vec(arb_job(), 1..40), checkpoints in 1usize..6) {
+        let horizon = 7_200;
+        for k in 1..=checkpoints {
+            let qm = run_workload(&jobs, 8, horizon * k as i64 / checkpoints as i64);
+            for node in qm.node_ids() {
+                let report = qm.load_report(node).unwrap();
+                prop_assert!(report.cpu_usage <= 1.0 + 1e-9, "{node}: {}", report.cpu_usage);
+            }
+        }
+    }
+
+    /// Job conservation: every submission is pending, running, or finished.
+    #[test]
+    fn jobs_are_conserved(jobs in prop::collection::vec(arb_job(), 1..40)) {
+        let qm = run_workload(&jobs, 8, 7_200);
+        let total = qm.jobs().count();
+        prop_assert_eq!(total, jobs.len());
+        let pending = qm.pending_jobs().len();
+        let running = qm.running_jobs().len();
+        let finished = qm.finished_jobs().len();
+        prop_assert_eq!(pending + running + finished, total);
+    }
+
+    /// Causality: submit ≤ start ≤ end, and runtimes are honoured exactly.
+    #[test]
+    fn job_times_are_causal(jobs in prop::collection::vec(arb_job(), 1..30)) {
+        let qm = run_workload(&jobs, 8, 20_000);
+        for job in qm.jobs() {
+            match &job.state {
+                JobState::Pending => {}
+                JobState::Running { start, .. } => {
+                    prop_assert!(*start >= job.submit_time);
+                }
+                JobState::Done { start, end, .. } => {
+                    prop_assert!(*start >= job.submit_time);
+                    prop_assert_eq!(*end - *start, job.spec.runtime_secs);
+                }
+                JobState::Failed { start, end, .. } => {
+                    prop_assert!(*start >= job.submit_time);
+                    prop_assert!(*end >= *start);
+                }
+            }
+        }
+    }
+
+    /// A running job holds exactly the hosts its shape requires, and every
+    /// host it holds lists it back.
+    #[test]
+    fn allocations_are_bidirectional(jobs in prop::collection::vec(arb_job(), 1..30)) {
+        let qm = run_workload(&jobs, 8, 5_000);
+        for job in qm.running_jobs() {
+            prop_assert_eq!(job.hosts().len() as u32, job.spec.shape.hosts_needed());
+            for &h in job.hosts() {
+                let report = qm.load_report(h).unwrap();
+                prop_assert!(report.job_list.contains(&job.id), "{} missing from {h}", job.id);
+            }
+        }
+        // And no host lists a job that is not running on it.
+        for node in qm.node_ids() {
+            for id in qm.load_report(node).unwrap().job_list {
+                let job = qm.job(id).unwrap();
+                prop_assert!(job.is_running());
+                prop_assert!(job.hosts().contains(&node));
+            }
+        }
+    }
+
+    /// Determinism: the same workload replays identically.
+    #[test]
+    fn replay_is_deterministic(jobs in prop::collection::vec(arb_job(), 1..20)) {
+        let a = run_workload(&jobs, 6, 6_000);
+        let b = run_workload(&jobs, 6, 6_000);
+        prop_assert_eq!(a.running_jobs().len(), b.running_jobs().len());
+        prop_assert_eq!(a.finished_jobs().len(), b.finished_jobs().len());
+        for (x, y) in a.jobs().zip(b.jobs()) {
+            prop_assert_eq!(x, y);
+        }
+    }
+}

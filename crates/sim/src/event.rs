@@ -1,0 +1,151 @@
+//! A discrete-event queue: the core of the UGE and collection-loop
+//! simulations.
+//!
+//! Events are `(VInstant, payload)` pairs popped in time order; ties break
+//! FIFO (by insertion sequence) so simulations are fully deterministic.
+
+use crate::vtime::VInstant;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+struct Entry<T> {
+    at: VInstant,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Min-heap of timed events with FIFO tie-breaking.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    seq: u64,
+    now: VInstant,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue positioned at the simulation epoch.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: VInstant::EPOCH }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event.
+    pub fn now(&self) -> VInstant {
+        self.now
+    }
+
+    /// Schedule `payload` at absolute time `at`. Scheduling in the past
+    /// (before `now`) is a logic error and panics.
+    pub fn schedule(&mut self, at: VInstant, payload: T) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.heap.push(Reverse(Entry { at, seq: self.seq, payload }));
+        self.seq += 1;
+    }
+
+    /// Pop the next event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(VInstant, T)> {
+        let Reverse(e) = self.heap.pop()?;
+        self.now = e.at;
+        Some((e.at, e.payload))
+    }
+
+    /// Peek at the next event time without popping.
+    pub fn peek_time(&self) -> Option<VInstant> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vtime::VDuration;
+
+    fn at(s: u64) -> VInstant {
+        VInstant::EPOCH + VDuration::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(at(30), "c");
+        q.schedule(at(10), "a");
+        q.schedule(at(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(at(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(at(7), ());
+        assert_eq!(q.now(), VInstant::EPOCH);
+        q.pop();
+        assert_eq!(q.now(), at(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(at(10), ());
+        q.pop();
+        q.schedule(at(5), ());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(at(1), 1);
+        q.schedule(at(100), 100);
+        let (_, v) = q.pop().unwrap();
+        assert_eq!(v, 1);
+        // Schedule something between now and the far event.
+        q.schedule(at(50), 50);
+        assert_eq!(q.pop().unwrap().1, 50);
+        assert_eq!(q.pop().unwrap().1, 100);
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.peek_time(), None);
+    }
+}

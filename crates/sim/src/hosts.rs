@@ -1,0 +1,89 @@
+//! The Table III host profiles, as configuration constants.
+//!
+//! The paper deploys the three MonSTer services on dedicated hosts; their
+//! CPU core counts bound the concurrency the services can use, and the
+//! storage/network specs feed the cost models.
+
+use crate::disk::DiskModel;
+use crate::net::NetModel;
+
+/// One service host from Table III.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostProfile {
+    /// Service name.
+    pub name: &'static str,
+    /// Total hardware threads available to the service.
+    pub cores: usize,
+    /// RAM in GiB (informational; reported in Table III output).
+    pub ram_gib: u32,
+    /// Storage attached to the host.
+    pub disk: DiskModel,
+    /// NIC/network path.
+    pub net: NetModel,
+}
+
+/// Metrics Collector host: 2×4-core Xeon @2.53 GHz, 23 GB, 2 TB HDD, GigE.
+pub const COLLECTOR_HOST: HostProfile = HostProfile {
+    name: "Metrics Collector Host",
+    cores: 8,
+    ram_gib: 23,
+    disk: DiskModel::HDD,
+    net: NetModel::GIGABIT_LAN,
+};
+
+/// Storage host as originally deployed: 2×8-core Xeon @2.50 GHz, 94 GB;
+/// carries both a 400 GB SSD and a 500 GB HDD — the HDD held the database
+/// before the §IV-B1 migration.
+pub const STORAGE_HOST_HDD: HostProfile = HostProfile {
+    name: "Storage Host (HDD)",
+    cores: 16,
+    ram_gib: 94,
+    disk: DiskModel::HDD,
+    net: NetModel::GIGABIT_LAN,
+};
+
+/// Storage host after migrating InfluxDB onto the SSD.
+pub const STORAGE_HOST_SSD: HostProfile = HostProfile {
+    name: "Storage Host (SSD)",
+    cores: 16,
+    ram_gib: 94,
+    disk: DiskModel::SSD,
+    net: NetModel::GIGABIT_LAN,
+};
+
+/// Metrics Builder host: 2×8-core Xeon @2.50 GHz, 125 GB, 24 TB HDD, GigE.
+pub const BUILDER_HOST: HostProfile = HostProfile {
+    name: "Metrics Builder Host",
+    cores: 16,
+    ram_gib: 125,
+    disk: DiskModel::HDD,
+    net: NetModel::GIGABIT_LAN,
+};
+
+/// All Table III rows, in paper order.
+pub fn table3() -> [HostProfile; 3] {
+    [COLLECTOR_HOST, STORAGE_HOST_HDD, BUILDER_HOST]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_table3() {
+        assert_eq!(COLLECTOR_HOST.cores, 8);
+        assert_eq!(COLLECTOR_HOST.ram_gib, 23);
+        assert_eq!(STORAGE_HOST_HDD.cores, 16);
+        assert_eq!(STORAGE_HOST_HDD.ram_gib, 94);
+        assert_eq!(BUILDER_HOST.ram_gib, 125);
+        assert_eq!(table3().len(), 3);
+    }
+
+    #[test]
+    fn storage_migration_changes_only_the_disk() {
+        assert_eq!(STORAGE_HOST_HDD.cores, STORAGE_HOST_SSD.cores);
+        assert_eq!(STORAGE_HOST_HDD.ram_gib, STORAGE_HOST_SSD.ram_gib);
+        assert_ne!(STORAGE_HOST_HDD.disk, STORAGE_HOST_SSD.disk);
+        assert_eq!(STORAGE_HOST_SSD.disk, DiskModel::SSD);
+    }
+}

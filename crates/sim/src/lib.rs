@@ -1,0 +1,38 @@
+//! `monster-sim` — deterministic simulation substrate.
+//!
+//! The paper evaluates MonSTer on production hardware: a 467-node cluster,
+//! iDRAC BMCs that answer a Redfish call in ~4.29 s, an InfluxDB host with
+//! HDDs (103 MB/s) later migrated to SSDs (391 MB/s), and a 1 Gbit/s
+//! management Ethernet. None of that hardware is available here, so this
+//! crate provides the pieces that stand in for it:
+//!
+//! * [`vtime`] — virtual durations/instants, decoupled from the wall clock;
+//! * [`rng`] — named, seeded random streams and the latency distributions
+//!   drawn from them (deterministic across runs **and** across threads,
+//!   because each stream is derived from a label, not from global state);
+//! * [`disk`] — storage cost models (seek + bandwidth) for the HDD/SSD
+//!   experiments of Figs. 12 & 14;
+//! * [`net`] — network cost model (RTT + bandwidth) for the transmission
+//!   experiments of Figs. 17 & 19 and the Table IV bandwidth accounting;
+//! * [`event`] — a discrete-event queue driving the UGE simulator and the
+//!   collection loop;
+//! * [`hosts`] — the Table III host profiles as constants.
+//!
+//! Everything here returns *virtual* time ([`vtime::VDuration`]): paper-scale
+//! experiments replay in milliseconds of wall-clock time and produce
+//! identical numbers on every run.
+
+#![warn(missing_docs)]
+
+pub mod disk;
+pub mod event;
+pub mod hosts;
+pub mod net;
+pub mod rng;
+pub mod vtime;
+
+pub use disk::DiskModel;
+pub use event::EventQueue;
+pub use net::NetModel;
+pub use rng::{LatencyDist, SimRng};
+pub use vtime::{VDuration, VInstant};

@@ -1,0 +1,211 @@
+//! Concurrent query execution.
+//!
+//! §IV-B3 of the paper: issuing the per-measurement queries concurrently
+//! instead of sequentially made Metrics Builder 5.5–6.5× faster. This
+//! module runs a batch of queries on a worker pool and reports both the
+//! wall-clock results and the *simulated* elapsed time: each logical worker
+//! accumulates the simulated cost of the queries it executed, and the batch
+//! completes when the slowest worker does (`max` over workers), plus a
+//! fan-out/merge overhead per query.
+
+use crate::cost::QueryCost;
+use crate::db::Db;
+use crate::query::{Query, ResultSet};
+use monster_sim::VDuration;
+use monster_util::pool::ThreadPool;
+use monster_util::Result;
+use std::sync::Arc;
+
+/// Outcome of a query batch.
+pub struct BatchOutcome {
+    /// Per-query results, in submission order.
+    pub results: Vec<Result<ResultSet>>,
+    /// Per-query physical costs, aligned with `results` (zero cost for
+    /// queries that errored).
+    pub costs: Vec<QueryCost>,
+    /// Aggregate physical cost across all queries.
+    pub total_cost: QueryCost,
+    /// Simulated elapsed time for the batch under the execution mode used.
+    pub simulated: VDuration,
+}
+
+impl BatchOutcome {
+    /// Unwrap all results, propagating the first error.
+    pub fn into_results(self) -> Result<Vec<ResultSet>> {
+        self.results.into_iter().collect()
+    }
+}
+
+/// Per-query coordination overhead when fanning out (connection setup,
+/// result merge) — concurrent execution is not perfectly free. Scaled by
+/// the cost model's amplification, like all per-query costs.
+const FANOUT_OVERHEAD_SECS: f64 = 0.7e-3;
+
+/// Execute queries one after another (the paper's original Metrics
+/// Builder). Simulated time is the sum of per-query times.
+pub fn run_sequential(db: &Db, queries: &[Query]) -> BatchOutcome {
+    let mut results = Vec::with_capacity(queries.len());
+    let mut costs = Vec::with_capacity(queries.len());
+    let mut total = QueryCost::default();
+    let mut simulated = VDuration::ZERO;
+    for q in queries {
+        match db.query(q) {
+            Ok((rs, cost)) => {
+                simulated += db.simulate_elapsed(&cost);
+                total.absorb(&cost);
+                costs.push(cost);
+                results.push(Ok(rs));
+            }
+            Err(e) => {
+                costs.push(QueryCost::default());
+                results.push(Err(e));
+            }
+        }
+    }
+    BatchOutcome { results, costs, total_cost: total, simulated }
+}
+
+/// Execute queries on `workers` threads (the §IV-B3 optimization).
+///
+/// Simulated time model: CPU work parallelizes across the workers
+/// (longest-processing-time-first bin packing, the steady state of a
+/// work-pulling pool), but I/O serializes on the shared storage backend —
+/// which is why the paper's measured speedup saturates at 5.5–6.5× rather
+/// than the worker count.
+pub fn run_concurrent(db: &Arc<Db>, queries: Vec<Query>, workers: usize) -> BatchOutcome {
+    let n = queries.len();
+    let workers = workers.max(1);
+    let pool = ThreadPool::new(workers);
+    let outputs = pool.scope_map(queries, |q| {
+        let (rs, cost) = db.query(&q)?;
+        let (cpu, io) = db.config().cost.split(&cost, &db.config().disk);
+        Ok::<_, monster_util::Error>((rs, cost, cpu, io))
+    });
+
+    let mut results = Vec::with_capacity(n);
+    let mut costs = Vec::with_capacity(n);
+    let mut total = QueryCost::default();
+    let mut cpu_each: Vec<VDuration> = Vec::with_capacity(n);
+    let mut io_total = VDuration::ZERO;
+    for r in outputs {
+        match r {
+            Ok((rs, cost, cpu, io)) => {
+                total.absorb(&cost);
+                cpu_each.push(cpu);
+                io_total += io;
+                costs.push(cost);
+                results.push(Ok(rs));
+            }
+            Err(e) => {
+                costs.push(QueryCost::default());
+                results.push(Err(e));
+            }
+        }
+    }
+    cpu_each.sort_unstable_by(|a, b| b.cmp(a));
+    let mut bins = vec![VDuration::ZERO; workers];
+    for d in cpu_each {
+        let min = bins
+            .iter_mut()
+            .min()
+            .expect("at least one worker");
+        *min += d;
+    }
+    let slowest_cpu = bins.into_iter().max().unwrap_or(VDuration::ZERO);
+    let overhead = VDuration::from_secs_f64(
+        FANOUT_OVERHEAD_SECS * n as f64 * db.config().cost.amplification,
+    );
+    BatchOutcome {
+        results,
+        costs,
+        total_cost: total,
+        simulated: slowest_cpu + io_total + overhead,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Aggregation;
+    use crate::{DataPoint, DbConfig};
+    use monster_util::EpochSecs;
+
+    fn seeded() -> Arc<Db> {
+        let db = Db::new(DbConfig::default());
+        let mut batch = Vec::new();
+        for n in 0..24 {
+            for i in 0..360 {
+                batch.push(
+                    DataPoint::new("Power", EpochSecs::new(i * 60))
+                        .tag("NodeId", format!("10.101.1.{n}"))
+                        .field_f64("Reading", 250.0 + (i % 30) as f64),
+                );
+            }
+        }
+        db.write_batch(&batch).unwrap();
+        Arc::new(db)
+    }
+
+    fn queries() -> Vec<Query> {
+        (0..24)
+            .map(|n| {
+                Query::select("Power", "Reading", EpochSecs::new(0), EpochSecs::new(360 * 60))
+                    .aggregate(Aggregation::Max)
+                    .where_tag("NodeId", format!("10.101.1.{n}"))
+                    .group_by_time(300)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sequential_and_concurrent_agree_on_results() {
+        let db = seeded();
+        let seq = run_sequential(&db, &queries());
+        let con = run_concurrent(&db, queries(), 8);
+        let seq_rs = seq.into_results().unwrap();
+        let con_rs = con.into_results().unwrap();
+        assert_eq!(seq_rs, con_rs);
+    }
+
+    #[test]
+    fn concurrency_shrinks_simulated_time() {
+        let db = seeded();
+        let seq = run_sequential(&db, &queries());
+        let con = run_concurrent(&db, queries(), 8);
+        // Same physical work...
+        assert_eq!(seq.total_cost.points, con.total_cost.points);
+        // ...but meaningfully less simulated wall time. (The full Fig. 15
+        // band is validated at realistic scale by the fig15 harness; this
+        // small fixture is I/O-skewed, so the bar is lower.)
+        let speedup = seq.simulated.as_secs_f64() / con.simulated.as_secs_f64();
+        assert!(speedup > 1.5, "speedup {speedup}");
+    }
+
+    #[test]
+    fn one_worker_concurrent_approximates_sequential() {
+        let db = seeded();
+        let seq = run_sequential(&db, &queries());
+        let con = run_concurrent(&db, queries(), 1);
+        let ratio = con.simulated.as_secs_f64() / seq.simulated.as_secs_f64();
+        assert!((0.95..1.25).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn errors_stay_in_position() {
+        let db = seeded();
+        let mut qs = queries();
+        qs[3].end = qs[3].start; // make invalid
+        let out = run_concurrent(&db, qs, 4);
+        assert!(out.results[3].is_err());
+        assert!(out.results[2].is_ok());
+        assert!(out.into_results().is_err());
+    }
+
+    #[test]
+    fn empty_batch() {
+        let db = seeded();
+        let out = run_concurrent(&db, vec![], 4);
+        assert!(out.results.is_empty());
+        assert_eq!(out.simulated, VDuration::ZERO);
+    }
+}

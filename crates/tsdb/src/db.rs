@@ -1,0 +1,611 @@
+//! The database: write path, shard management, query execution, stats.
+
+use crate::cost::{CostParams, QueryCost};
+use crate::point::DataPoint;
+use crate::query::exec::WindowAggregator;
+use crate::query::{parse_query, Query, ResultSet, SeriesResult};
+use crate::series::{SeriesId, SeriesIndex, SeriesKey};
+use crate::shard::Shard;
+use monster_sim::DiskModel;
+use monster_util::{Error, Result};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// Database configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DbConfig {
+    /// Shard length in seconds (default one day, like InfluxDB's default
+    /// shard group duration for short retention policies).
+    pub shard_duration: i64,
+    /// Storage device model charged for reads (Figs. 12/14 swap this).
+    pub disk: DiskModel,
+    /// Simulated-cost conversion constants.
+    pub cost: CostParams,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            shard_duration: 86_400,
+            disk: DiskModel::HDD,
+            cost: CostParams::default(),
+        }
+    }
+}
+
+/// Database statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DbStats {
+    /// Points currently stored (one per field value; drops and retention
+    /// reduce this).
+    pub points: usize,
+    /// Raw line-protocol bytes as received.
+    pub wire_bytes: usize,
+    /// Encoded at-rest bytes.
+    pub encoded_bytes: usize,
+    /// Series cardinality.
+    pub cardinality: usize,
+    /// Number of measurements.
+    pub measurements: usize,
+    /// Number of shards.
+    pub shards: usize,
+    /// Write batches accepted.
+    pub batches: usize,
+}
+
+struct Inner {
+    index: SeriesIndex,
+    shards: BTreeMap<i64, Shard>,
+    wire_bytes: usize,
+    batches: usize,
+}
+
+/// An embedded time-series database. Cloneable across threads via `Arc`;
+/// all methods take `&self` (interior locking).
+pub struct Db {
+    config: DbConfig,
+    inner: RwLock<Inner>,
+}
+
+impl Db {
+    /// Create an empty database.
+    pub fn new(config: DbConfig) -> Db {
+        assert!(config.shard_duration > 0);
+        Db {
+            config,
+            inner: RwLock::new(Inner {
+                index: SeriesIndex::new(),
+                shards: BTreeMap::new(),
+                wire_bytes: 0,
+                batches: 0,
+            }),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DbConfig {
+        &self.config
+    }
+
+    /// Write one point.
+    pub fn write(&self, point: DataPoint) -> Result<()> {
+        self.write_batch(&[point])
+    }
+
+    /// Write a batch of points atomically with respect to readers.
+    ///
+    /// The paper's collector batches ~10 000 points per interval because
+    /// that is "the ideal batch size for InfluxDB" (§III-C); here batching
+    /// amortizes one lock acquisition and one shard lookup run.
+    pub fn write_batch(&self, points: &[DataPoint]) -> Result<()> {
+        for p in points {
+            if !p.is_valid() {
+                return Err(Error::invalid(format!(
+                    "point for measurement {:?} has no fields",
+                    p.measurement
+                )));
+            }
+        }
+        let mut inner = self.inner.write();
+        inner.batches += 1;
+        for p in points {
+            let key = SeriesKey::of(p);
+            let sid = inner.index.get_or_create(&key);
+            let ts = p.time.as_secs();
+            let shard_start = ts.div_euclid(self.config.shard_duration) * self.config.shard_duration;
+            let duration = self.config.shard_duration;
+            let shard = inner
+                .shards
+                .entry(shard_start)
+                .or_insert_with(|| Shard::new(shard_start, shard_start + duration));
+            for (field, value) in &p.fields {
+                shard.append(sid, field, ts, value)?;
+            }
+            inner.wire_bytes += p.wire_size();
+        }
+        Ok(())
+    }
+
+    /// Parse and run a query string.
+    pub fn query_str(&self, text: &str) -> Result<(ResultSet, QueryCost)> {
+        let q = parse_query(text)?;
+        self.query(&q)
+    }
+
+    /// Run a query, returning results plus the physical cost incurred.
+    pub fn query(&self, q: &Query) -> Result<(ResultSet, QueryCost)> {
+        q.validate()?;
+        let inner = self.inner.read();
+        let mut cost = QueryCost { queries: 1, ..QueryCost::default() };
+        // Planning: the index work scales with total cardinality — the
+        // series-cardinality tax the paper's schema redesign attacks.
+        cost.index_entries = inner.index.cardinality();
+        let ids: Vec<SeriesId> = inner.index.select(&q.measurement, &q.predicates);
+
+        let (qs, qe) = (q.start.as_secs(), q.end.as_secs());
+        let mut series_out: Vec<SeriesResult> = Vec::with_capacity(ids.len());
+        for sid in ids {
+            let key = inner.index.key_of(sid).clone();
+            let mut scanned = false;
+            let mut points: Vec<(monster_util::EpochSecs, crate::FieldValue)>;
+            match q.agg {
+                Some(agg) => {
+                    let mut w = WindowAggregator::new(agg, q.group_by, qs);
+                    for shard in inner.shards.values() {
+                        if !shard.overlaps(qs, qe) {
+                            continue;
+                        }
+                        let stats =
+                            shard.scan(sid, &q.field, qs, qe, |t, v| w.push(t, &v))?;
+                        if stats.points > 0 {
+                            scanned = true;
+                        }
+                        cost.blocks += stats.blocks;
+                        cost.points += stats.points;
+                        cost.bytes += stats.bytes;
+                    }
+                    points = w.finish_filled(q.fill, qs, qe);
+                }
+                None => {
+                    points = Vec::new();
+                    for shard in inner.shards.values() {
+                        if !shard.overlaps(qs, qe) {
+                            continue;
+                        }
+                        let stats = shard.scan(sid, &q.field, qs, qe, |t, v| {
+                            points.push((monster_util::EpochSecs::new(t), v))
+                        })?;
+                        if stats.points > 0 {
+                            scanned = true;
+                        }
+                        cost.blocks += stats.blocks;
+                        cost.points += stats.points;
+                        cost.bytes += stats.bytes;
+                    }
+                    points.sort_by_key(|(t, _)| *t);
+                }
+            }
+            if scanned {
+                cost.series += 1;
+            }
+            if let Some(limit) = q.limit {
+                points.truncate(limit);
+            }
+            if !points.is_empty() {
+                series_out.push(SeriesResult { key, points });
+            }
+        }
+        series_out.sort_by(|a, b| a.key.cmp(&b.key));
+        Ok((ResultSet { series: series_out }, cost))
+    }
+
+    /// Simulated elapsed time for a cost under this database's disk and
+    /// cost parameters.
+    pub fn simulate_elapsed(&self, cost: &QueryCost) -> monster_sim::VDuration {
+        self.config.cost.elapsed(cost, &self.config.disk)
+    }
+
+    /// Snapshot of write-path statistics.
+    pub fn stats(&self) -> DbStats {
+        let inner = self.inner.read();
+        DbStats {
+            points: inner.shards.values().map(Shard::point_count).sum(),
+            wire_bytes: inner.wire_bytes,
+            encoded_bytes: inner.shards.values().map(Shard::encoded_bytes).sum(),
+            cardinality: inner.index.cardinality(),
+            measurements: inner.index.measurement_count(),
+            shards: inner.shards.len(),
+            batches: inner.batches,
+        }
+    }
+
+    /// Visit every stored point (one callback per field value) across all
+    /// shards, in shard order. Used by the snapshot writer.
+    pub fn export(
+        &self,
+        mut f: impl FnMut(&SeriesKey, &str, i64, crate::FieldValue),
+    ) -> Result<()> {
+        let inner = self.inner.read();
+        for shard in inner.shards.values() {
+            shard.export(|sid, field, ts, v| {
+                f(inner.index.key_of(sid), field, ts, v);
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Drop every shard whose time range ends at or before `horizon`.
+    /// Returns the number of shards dropped. (Series index entries are
+    /// retained — like InfluxDB, series stay defined until explicitly
+    /// dropped — but their data is gone.)
+    pub fn drop_shards_before(&self, horizon: monster_util::EpochSecs) -> usize {
+        let mut inner = self.inner.write();
+        let before = inner.shards.len();
+        inner.shards.retain(|_, shard| shard.end > horizon.as_secs());
+        before - inner.shards.len()
+    }
+
+    /// Compact the database: seal all raw tails into compressed blocks.
+    ///
+    /// A column's tail self-seals at [`crate::column::BLOCK_SIZE`] points,
+    /// but slow series (health codes, job metadata) can sit in raw form for
+    /// days; periodic compaction — InfluxDB's TSM compaction cycle — trades
+    /// a little CPU for at-rest volume. Returns (columns sealed, bytes
+    /// saved).
+    pub fn compact(&self) -> (usize, i64) {
+        let mut inner = self.inner.write();
+        let before: usize = inner.shards.values().map(Shard::encoded_bytes).sum();
+        let sealed: usize = inner.shards.values_mut().map(Shard::compact).sum();
+        let after: usize = inner.shards.values().map(Shard::encoded_bytes).sum();
+        (sealed, before as i64 - after as i64)
+    }
+
+    /// Raw (unsealed) points awaiting compaction.
+    pub fn tail_points(&self) -> usize {
+        self.inner.read().shards.values().map(Shard::tail_points).sum()
+    }
+
+    /// Drop a measurement: its columns disappear from every shard and its
+    /// series from the index. The operational escape hatch for schema
+    /// accidents like the per-job measurements of the previous layout.
+    /// Returns the number of series removed.
+    pub fn drop_measurement(&self, measurement: &str) -> usize {
+        let mut inner = self.inner.write();
+        let victims: std::collections::HashSet<crate::series::SeriesId> = inner
+            .index
+            .select(measurement, &[])
+            .into_iter()
+            .collect();
+        if victims.is_empty() {
+            return 0;
+        }
+        for shard in inner.shards.values_mut() {
+            shard.drop_series(&victims);
+        }
+        inner.index.drop_measurement(measurement);
+        victims.len()
+    }
+
+    /// Series keys, optionally scoped to one measurement (rendered as
+    /// `measurement,tag=value,...`).
+    pub fn series_keys(&self, measurement: Option<&str>) -> Vec<String> {
+        let inner = self.inner.read();
+        let mut out = Vec::new();
+        for id in 0..inner.index.id_space() {
+            let key = inner.index.key_of(crate::series::SeriesId(id as u32));
+            if key.measurement.is_empty() {
+                continue; // tombstone
+            }
+            if measurement.map(|m| m == key.measurement).unwrap_or(true) {
+                out.push(key.to_string());
+            }
+        }
+        out
+    }
+
+    /// Distinct tag keys used within a measurement, sorted.
+    pub fn tag_keys(&self, measurement: &str) -> Vec<String> {
+        let inner = self.inner.read();
+        let mut keys: Vec<String> = Vec::new();
+        for id in 0..inner.index.id_space() {
+            let key = inner.index.key_of(crate::series::SeriesId(id as u32));
+            if key.measurement == measurement {
+                for (k, _) in &key.tags {
+                    if !keys.contains(k) {
+                        keys.push(k.clone());
+                    }
+                }
+            }
+        }
+        keys.sort();
+        keys
+    }
+
+    /// Distinct values of `tag` within a measurement, sorted.
+    pub fn tag_values(&self, measurement: &str, tag: &str) -> Vec<String> {
+        let inner = self.inner.read();
+        let mut values: Vec<String> = Vec::new();
+        for id in 0..inner.index.id_space() {
+            let key = inner.index.key_of(crate::series::SeriesId(id as u32));
+            if key.measurement == measurement {
+                if let Some(v) = key.tag(tag) {
+                    if !values.iter().any(|x| x == v) {
+                        values.push(v.to_string());
+                    }
+                }
+            }
+        }
+        values.sort();
+        values
+    }
+
+    /// Distinct field keys written to a measurement, sorted.
+    pub fn field_keys(&self, measurement: &str) -> Vec<String> {
+        let inner = self.inner.read();
+        let ids: std::collections::HashSet<crate::series::SeriesId> = inner
+            .index
+            .select(measurement, &[])
+            .into_iter()
+            .collect();
+        let mut keys: Vec<String> = Vec::new();
+        for shard in inner.shards.values() {
+            for (sid, field) in shard.column_keys() {
+                if ids.contains(&sid) && !keys.contains(&field) {
+                    keys.push(field);
+                }
+            }
+        }
+        keys.sort();
+        keys
+    }
+
+    /// All measurement names, sorted.
+    pub fn measurements(&self) -> Vec<String> {
+        let inner = self.inner.read();
+        let mut m: Vec<String> = inner.index.measurements().map(str::to_string).collect();
+        m.sort();
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Aggregation;
+    use crate::FieldValue;
+    use monster_util::EpochSecs;
+
+    fn power_point(node: &str, ts: i64, reading: f64) -> DataPoint {
+        DataPoint::new("Power", EpochSecs::new(ts))
+            .tag("NodeId", node)
+            .tag("Label", "NodePower")
+            .field_f64("Reading", reading)
+    }
+
+    /// Two nodes, two hours of 60 s samples starting 2020-04-20T12:00Z.
+    fn seeded_db() -> Db {
+        let db = Db::new(DbConfig::default());
+        let mut batch = Vec::new();
+        for node in ["10.101.1.1", "10.101.1.2"] {
+            for i in 0..120 {
+                batch.push(power_point(node, 1_587_384_000 + i * 60, 250.0 + i as f64));
+            }
+        }
+        db.write_batch(&batch).unwrap();
+        db
+    }
+
+    /// One node, three days of 5-minute samples (spans multiple shards).
+    fn multi_day_db() -> Db {
+        let db = Db::new(DbConfig::default());
+        let mut batch = Vec::new();
+        for i in 0..(3 * 288) {
+            batch.push(power_point("10.101.1.1", 1_587_340_800 + i * 300, 250.0));
+        }
+        db.write_batch(&batch).unwrap();
+        db
+    }
+
+    #[test]
+    fn write_then_query_max_per_window() {
+        let db = seeded_db();
+        let q = Query::select(
+            "Power",
+            "Reading",
+            EpochSecs::new(1_587_384_000),
+            EpochSecs::new(1_587_384_000 + 7200),
+        )
+        .aggregate(Aggregation::Max)
+        .where_tag("NodeId", "10.101.1.1")
+        .group_by_time(300);
+        let (rs, cost) = db.query(&q).unwrap();
+        assert_eq!(rs.series.len(), 1);
+        // 2 hours / 5 min = 24 windows.
+        assert_eq!(rs.series[0].points.len(), 24);
+        // First window covers samples 0..5 → max reading 254.
+        assert_eq!(rs.series[0].points[0].1.as_f64(), Some(254.0));
+        assert!(cost.points >= 120);
+        assert_eq!(cost.series, 1);
+        assert_eq!(cost.queries, 1);
+    }
+
+    #[test]
+    fn query_without_predicates_fans_across_series() {
+        let db = seeded_db();
+        let q = Query::select(
+            "Power",
+            "Reading",
+            EpochSecs::new(1_587_384_000),
+            EpochSecs::new(1_587_384_000 + 3600),
+        )
+        .aggregate(Aggregation::Mean);
+        let (rs, _) = db.query(&q).unwrap();
+        assert_eq!(rs.series.len(), 2);
+        assert!(rs.series_with_tag("NodeId", "10.101.1.2").is_some());
+    }
+
+    #[test]
+    fn raw_select_returns_original_points_sorted() {
+        let db = Db::new(DbConfig::default());
+        // Write out of order.
+        for ts in [300i64, 100, 200] {
+            db.write(
+                DataPoint::new("m", EpochSecs::new(ts))
+                    .tag("n", "a")
+                    .field_i64("v", ts),
+            )
+            .unwrap();
+        }
+        let q = Query::select("m", "v", EpochSecs::new(0), EpochSecs::new(1000));
+        let (rs, _) = db.query(&q).unwrap();
+        let ts: Vec<i64> = rs.series[0].points.iter().map(|(t, _)| t.as_secs()).collect();
+        assert_eq!(ts, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn shards_partition_by_time() {
+        let db = Db::new(DbConfig { shard_duration: 3600, ..DbConfig::default() });
+        for i in 0..10 {
+            db.write(power_point("n", i * 3600, 1.0)).unwrap();
+        }
+        assert_eq!(db.stats().shards, 10);
+        // A one-hour query touches one shard's blocks only.
+        let q = Query::select("Power", "Reading", EpochSecs::new(0), EpochSecs::new(3600))
+            .aggregate(Aggregation::Count);
+        let (rs, cost) = db.query(&q).unwrap();
+        assert_eq!(rs.point_count(), 1);
+        assert_eq!(cost.blocks, 1);
+    }
+
+    #[test]
+    fn longer_ranges_cost_more() {
+        let db = multi_day_db();
+        let mk = |hours: i64| {
+            Query::select(
+                "Power",
+                "Reading",
+                EpochSecs::new(1_587_340_800),
+                EpochSecs::new(1_587_340_800 + hours * 3600),
+            )
+            .aggregate(Aggregation::Max)
+            .group_by_time(300)
+        };
+        let (_, c1) = db.query(&mk(24)).unwrap();
+        let (_, c2) = db.query(&mk(48)).unwrap();
+        assert!(c2.points > c1.points, "c1={c1:?} c2={c2:?}");
+        assert!(db.simulate_elapsed(&c2) > db.simulate_elapsed(&c1));
+    }
+
+    #[test]
+    fn query_str_end_to_end() {
+        let db = seeded_db();
+        let (rs, _) = db
+            .query_str(
+                "SELECT max(Reading) FROM Power WHERE NodeId='10.101.1.1' AND \
+                 Label='NodePower' AND time >= '2020-04-20T12:00:00Z' AND \
+                 time < '2020-04-21T12:00:00Z' GROUP BY time(5m)",
+            )
+            .unwrap();
+        assert_eq!(rs.series.len(), 1);
+        assert!(rs.point_count() > 0);
+    }
+
+    #[test]
+    fn unknown_measurement_is_empty_not_error() {
+        let db = seeded_db();
+        let q = Query::select("Nope", "x", EpochSecs::new(0), EpochSecs::new(10));
+        let (rs, cost) = db.query(&q).unwrap();
+        assert!(rs.series.is_empty());
+        assert_eq!(cost.series, 0);
+    }
+
+    #[test]
+    fn invalid_points_rejected_whole_batch() {
+        let db = Db::new(DbConfig::default());
+        let good = power_point("n", 0, 1.0);
+        let bad = DataPoint::new("m", EpochSecs::new(0)); // no fields
+        assert!(db.write_batch(&[good, bad]).is_err());
+        assert_eq!(db.stats().points, 0);
+    }
+
+    #[test]
+    fn stats_track_volume_and_cardinality() {
+        let db = seeded_db();
+        let s = db.stats();
+        assert_eq!(s.points, 240);
+        assert_eq!(s.cardinality, 2);
+        assert_eq!(s.measurements, 1);
+        assert!(s.wire_bytes > 0);
+        assert!(s.encoded_bytes > 0);
+        assert_eq!(s.batches, 1);
+        // Encoded storage beats raw wire size for regular data.
+        assert!(s.encoded_bytes < s.wire_bytes);
+    }
+
+    #[test]
+    fn type_conflict_surfaces_from_write() {
+        let db = Db::new(DbConfig::default());
+        db.write(
+            DataPoint::new("m", EpochSecs::new(0)).tag("n", "a").field_f64("v", 1.0),
+        )
+        .unwrap();
+        let err = db
+            .write(DataPoint::new("m", EpochSecs::new(1)).tag("n", "a").field_str("v", "x"))
+            .unwrap_err();
+        assert!(matches!(err, Error::Invalid(_)));
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        let db = std::sync::Arc::new(Db::new(DbConfig::default()));
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let db = std::sync::Arc::clone(&db);
+                s.spawn(move || {
+                    for i in 0..200 {
+                        db.write(power_point(&format!("n{w}"), i * 60, i as f64)).unwrap();
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let db = std::sync::Arc::clone(&db);
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        let q = Query::select(
+                            "Power",
+                            "Reading",
+                            EpochSecs::new(0),
+                            EpochSecs::new(200 * 60),
+                        )
+                        .aggregate(Aggregation::Count);
+                        let _ = db.query(&q).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(db.stats().points, 800);
+        let q = Query::select("Power", "Reading", EpochSecs::new(0), EpochSecs::new(200 * 60))
+            .aggregate(Aggregation::Count);
+        let (rs, _) = db.query(&q).unwrap();
+        let total: f64 = rs
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter())
+            .filter_map(|(_, v)| v.as_f64())
+            .sum();
+        assert_eq!(total, 800.0);
+    }
+
+    #[test]
+    fn field_value_reexport_used_in_results() {
+        let db = seeded_db();
+        let q = Query::select(
+            "Power",
+            "Reading",
+            EpochSecs::new(1_587_384_000),
+            EpochSecs::new(1_587_384_060),
+        );
+        let (rs, _) = db.query(&q).unwrap();
+        assert!(matches!(rs.series[0].points[0].1, FieldValue::Float(_)));
+    }
+}

@@ -1,0 +1,48 @@
+//! Boolean column codec: one bit per value.
+
+use monster_util::{Error, Result};
+
+/// Encode a boolean column.
+pub fn encode(vals: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; vals.len().div_ceil(8)];
+    for (i, &v) in vals.iter().enumerate() {
+        if v {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+/// Decode `count` booleans.
+pub fn decode(data: &[u8], count: usize) -> Result<Vec<bool>> {
+    if data.len() < count.div_ceil(8) {
+        return Err(Error::Corrupt("bool column truncated".into()));
+    }
+    Ok((0..count).map(|i| data[i / 8] & (1 << (i % 8)) != 0).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        for n in [0usize, 1, 7, 8, 9, 100] {
+            let vals: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            assert_eq!(decode(&encode(&vals), n).unwrap(), vals);
+        }
+    }
+
+    #[test]
+    fn density_is_one_bit() {
+        assert_eq!(encode(&[true; 64]).len(), 8);
+        assert_eq!(encode(&[false; 65]).len(), 9);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        assert!(decode(&[0xFF], 9).is_err());
+        assert!(decode(&[], 1).is_err());
+        assert!(decode(&[], 0).is_ok());
+    }
+}

@@ -1,0 +1,98 @@
+//! Integer column codec: zig-zag varint of successive deltas.
+//!
+//! Integer fields in MonSTer are epoch times (monotone, small deltas) and
+//! binary state codes (mostly constant) — both delta-encode to a byte or
+//! less per value.
+
+use monster_util::{Error, Result};
+
+use super::timestamps::{unzigzag, zigzag};
+
+/// Encode an integer column.
+pub fn encode(vals: &[i64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() + 8);
+    let mut prev = 0i64;
+    for &v in vals {
+        let delta = v.wrapping_sub(prev);
+        let mut z = zigzag(delta);
+        loop {
+            let b = (z & 0x7F) as u8;
+            z >>= 7;
+            if z == 0 {
+                out.push(b);
+                break;
+            }
+            out.push(b | 0x80);
+        }
+        prev = v;
+    }
+    out
+}
+
+/// Decode `count` integers.
+pub fn decode(data: &[u8], count: usize) -> Result<Vec<i64>> {
+    let mut out = Vec::with_capacity(count);
+    let mut pos = 0usize;
+    let mut prev = 0i64;
+    for _ in 0..count {
+        let mut z: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = *data
+                .get(pos)
+                .ok_or_else(|| Error::Corrupt("int column truncated".into()))?;
+            pos += 1;
+            z |= ((b & 0x7F) as u64) << shift;
+            if b & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(Error::Corrupt("int varint overlong".into()));
+            }
+        }
+        prev = prev.wrapping_add(unzigzag(z));
+        out.push(prev);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(vals: &[i64]) {
+        assert_eq!(decode(&encode(vals), vals.len()).unwrap(), vals);
+    }
+
+    #[test]
+    fn round_trips() {
+        rt(&[]);
+        rt(&[0]);
+        rt(&[i64::MAX, i64::MIN, 0, -1, 1]);
+        rt(&(0..1000).map(|i| 1_583_792_296 + i * 60).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn state_codes_pack_to_one_byte_each() {
+        // Health codes: long runs of 0 with occasional 1/2.
+        let vals: Vec<i64> = (0..1000).map(|i| if i % 97 == 0 { 2 } else { 0 }).collect();
+        let enc = encode(&vals);
+        assert!(enc.len() <= 1000);
+        rt(&vals);
+    }
+
+    #[test]
+    fn monotone_epochs_pack_small() {
+        let vals: Vec<i64> = (0..1440).map(|i| 1_583_792_296 + i * 60).collect();
+        let enc = encode(&vals);
+        // First value ~5 bytes, rest 1-2 bytes.
+        assert!(enc.len() < 1440 * 2 + 8, "got {}", enc.len());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let enc = encode(&[1, 2, 3]);
+        assert!(decode(&enc[..1], 3).is_err());
+    }
+}

@@ -1,0 +1,19 @@
+//! Block codecs for columnar storage.
+//!
+//! Each sealed block stores one column's worth of data for up to
+//! [`crate::column::BLOCK_SIZE`] points:
+//!
+//! * [`timestamps`] — Gorilla delta-of-delta (regular 60 s collection
+//!   cadence encodes to ~1 bit per sample);
+//! * [`floats`] — Gorilla XOR float compression (slow-moving sensor
+//!   readings share exponents/mantissa prefixes);
+//! * [`ints`] — zig-zag varint delta (epoch times, binary state codes);
+//! * [`bools`] — bit packing;
+//! * [`strings`] — per-block dictionary (job-list strings repeat heavily
+//!   between adjacent intervals).
+
+pub mod bools;
+pub mod floats;
+pub mod ints;
+pub mod strings;
+pub mod timestamps;

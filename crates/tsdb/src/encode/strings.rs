@@ -1,0 +1,138 @@
+//! String column codec: per-block dictionary + varint indices.
+//!
+//! MonSTer's string fields repeat heavily — the same job list appears in
+//! consecutive intervals, health strings cycle through a tiny vocabulary —
+//! so a block dictionary captures most of the redundancy.
+//!
+//! Layout: `dict_len varint | (len varint, bytes)* | (index varint)*`.
+
+use monster_util::{Error, Result};
+use std::collections::HashMap;
+
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn read_varint(data: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let b = *data
+            .get(*pos)
+            .ok_or_else(|| Error::Corrupt("string column truncated".into()))?;
+        *pos += 1;
+        v |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(Error::Corrupt("string varint overlong".into()));
+        }
+    }
+}
+
+/// Encode a string column.
+pub fn encode(vals: &[String]) -> Vec<u8> {
+    let mut dict: Vec<&str> = Vec::new();
+    let mut lookup: HashMap<&str, u64> = HashMap::new();
+    let mut indices: Vec<u64> = Vec::with_capacity(vals.len());
+    for v in vals {
+        let idx = *lookup.entry(v.as_str()).or_insert_with(|| {
+            dict.push(v.as_str());
+            (dict.len() - 1) as u64
+        });
+        indices.push(idx);
+    }
+    let mut out = Vec::new();
+    push_varint(&mut out, dict.len() as u64);
+    for s in &dict {
+        push_varint(&mut out, s.len() as u64);
+        out.extend_from_slice(s.as_bytes());
+    }
+    for idx in indices {
+        push_varint(&mut out, idx);
+    }
+    out
+}
+
+/// Decode `count` strings.
+pub fn decode(data: &[u8], count: usize) -> Result<Vec<String>> {
+    let mut pos = 0usize;
+    let dict_len = read_varint(data, &mut pos)? as usize;
+    if dict_len > data.len() {
+        return Err(Error::Corrupt("string dict length implausible".into()));
+    }
+    let mut dict: Vec<String> = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        let len = read_varint(data, &mut pos)? as usize;
+        let end = pos
+            .checked_add(len)
+            .filter(|&e| e <= data.len())
+            .ok_or_else(|| Error::Corrupt("string entry truncated".into()))?;
+        let s = std::str::from_utf8(&data[pos..end])
+            .map_err(|_| Error::Corrupt("string entry not UTF-8".into()))?;
+        dict.push(s.to_string());
+        pos = end;
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let idx = read_varint(data, &mut pos)? as usize;
+        let s = dict
+            .get(idx)
+            .ok_or_else(|| Error::Corrupt("string index out of range".into()))?;
+        out.push(s.clone());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(vals: &[&str]) {
+        let owned: Vec<String> = vals.iter().map(|s| s.to_string()).collect();
+        assert_eq!(decode(&encode(&owned), owned.len()).unwrap(), owned);
+    }
+
+    #[test]
+    fn round_trips() {
+        rt(&[]);
+        rt(&["a"]);
+        rt(&["", "", ""]);
+        rt(&["Warning", "Error", "Warning", "OK", "OK", "OK"]);
+        rt(&["ünïcode", "😀", "plain"]);
+    }
+
+    #[test]
+    fn repeated_job_lists_dedupe() {
+        let list = "['1291784', '1318962', '1318307', '1318324']";
+        let vals: Vec<String> = (0..500).map(|_| list.to_string()).collect();
+        let enc = encode(&vals);
+        // One dictionary entry + 500 single-byte indices.
+        assert!(enc.len() < list.len() + 520, "got {}", enc.len());
+    }
+
+    #[test]
+    fn high_cardinality_still_correct() {
+        let vals: Vec<String> = (0..300).map(|i| format!("job-{i}")).collect();
+        assert_eq!(decode(&encode(&vals), 300).unwrap(), vals);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let vals: Vec<String> = vec!["abc".into(), "def".into()];
+        let enc = encode(&vals);
+        assert!(decode(&enc[..2], 2).is_err());
+        // Absurd dictionary size.
+        assert!(decode(&[0xFF, 0xFF, 0xFF, 0x7F], 1).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Gorilla delta-of-delta timestamp compression.
+//!
+//! Collection timestamps are nearly periodic (the 60 s interval of
+//! §III-B4), so the delta of consecutive deltas is almost always zero and
+//! encodes to a single bit. Encoding per value:
+//!
+//! ```text
+//! dod == 0            → '0'
+//! dod in [-63, 64]    → '10'   + 7 bits
+//! dod in [-255, 256]  → '110'  + 9 bits
+//! dod in [-2047,2048] → '1110' + 12 bits
+//! otherwise           → '1111' + 64 bits
+//! ```
+
+use monster_compress::bitio::{BitReader, BitWriter};
+use monster_util::Result;
+
+const MASK57: u64 = (1u64 << 57) - 1;
+const MASK40: u64 = (1u64 << 40) - 1;
+
+/// Encode a timestamp column (epoch seconds).
+pub fn encode(ts: &[i64]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    if ts.is_empty() {
+        return w.finish();
+    }
+    w.write(ts[0] as u64 & MASK57, 57);
+    if ts.len() == 1 {
+        return w.finish();
+    }
+    let first_delta = ts[1] - ts[0];
+    w.write(zigzag(first_delta) & MASK40, 40);
+    let mut prev = ts[1];
+    let mut prev_delta = first_delta;
+    for &t in &ts[2..] {
+        let delta = t - prev;
+        let dod = delta - prev_delta;
+        if dod == 0 {
+            w.write(0, 1);
+        } else if (-63..=64).contains(&dod) {
+            w.write(0b01, 2); // LSB-first: reads as '10'
+            w.write((dod + 63) as u64, 7);
+        } else if (-255..=256).contains(&dod) {
+            w.write(0b011, 3);
+            w.write((dod + 255) as u64, 9);
+        } else if (-2047..=2048).contains(&dod) {
+            w.write(0b0111, 4);
+            w.write((dod + 2047) as u64, 12);
+        } else {
+            w.write(0b1111, 4);
+            w.write(zigzag(dod) & MASK57, 57);
+        }
+        prev = t;
+        prev_delta = delta;
+    }
+    w.finish()
+}
+
+/// Decode `count` timestamps.
+pub fn decode(data: &[u8], count: usize) -> Result<Vec<i64>> {
+    let mut out = Vec::with_capacity(count);
+    if count == 0 {
+        return Ok(out);
+    }
+    let mut r = BitReader::new(data);
+    let first = sign_extend(r.read(57)?, 57);
+    out.push(first);
+    if count == 1 {
+        return Ok(out);
+    }
+    let first_delta = unzigzag(r.read(40)?);
+    let mut prev = first + first_delta;
+    out.push(prev);
+    let mut prev_delta = first_delta;
+    while out.len() < count {
+        let dod = if r.read_bit()? == 0 {
+            0
+        } else if r.read_bit()? == 0 {
+            r.read(7)? as i64 - 63
+        } else if r.read_bit()? == 0 {
+            r.read(9)? as i64 - 255
+        } else if r.read_bit()? == 0 {
+            r.read(12)? as i64 - 2047
+        } else {
+            unzigzag(r.read(57)?)
+        };
+        let delta = prev_delta + dod;
+        prev += delta;
+        out.push(prev);
+        prev_delta = delta;
+    }
+    Ok(out)
+}
+
+pub(crate) fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+pub(crate) fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn sign_extend(v: u64, bits: u32) -> i64 {
+    let shift = 64 - bits;
+    ((v << shift) as i64) >> shift
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(ts: &[i64]) {
+        let enc = encode(ts);
+        let dec = decode(&enc, ts.len()).unwrap();
+        assert_eq!(dec, ts);
+    }
+
+    #[test]
+    fn round_trips_edge_shapes() {
+        rt(&[]);
+        rt(&[1_583_792_296]);
+        rt(&[0, 0]);
+        rt(&[100, 160, 220, 280]);
+        rt(&[-86_400, 0, 86_400]);
+        rt(&[5, 4, 3, 2, 1]); // decreasing (out-of-order writes)
+    }
+
+    #[test]
+    fn regular_cadence_encodes_to_about_one_bit() {
+        // 1 day of 60 s samples: after the header, each sample is 1 bit.
+        let ts: Vec<i64> = (0..1440).map(|i| 1_583_792_296 + i * 60).collect();
+        let enc = encode(&ts);
+        assert!(enc.len() < 200, "got {} bytes for 1440 stamps", enc.len());
+        rt(&ts);
+    }
+
+    #[test]
+    fn jittered_cadence_still_compresses() {
+        let ts: Vec<i64> = (0..1000)
+            .map(|i| 1_583_792_296 + i * 60 + (i % 7) - 3)
+            .collect();
+        let enc = encode(&ts);
+        assert!(enc.len() < 1500, "got {} bytes", enc.len());
+        rt(&ts);
+    }
+
+    #[test]
+    fn large_jumps_round_trip() {
+        rt(&[0, 1, 1_000_000_000, 1_000_000_060, -500]);
+    }
+
+    #[test]
+    fn dod_bucket_boundaries() {
+        // Hit every bucket edge exactly.
+        for dod in [-64i64, -63, 0, 64, 65, -255, 256, 257, -2047, 2048, 2049, 100_000] {
+            let ts = vec![0, 60, 120 + dod];
+            rt(&ts);
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 63, -63, i32::MAX as i64, i32::MIN as i64] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let ts: Vec<i64> = (0..100).map(|i| i * 60).collect();
+        let enc = encode(&ts);
+        assert!(decode(&enc[..4], 100).is_err());
+    }
+}

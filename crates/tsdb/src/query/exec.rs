@@ -1,0 +1,342 @@
+//! Aggregation machinery and result types.
+//!
+//! The storage scan (in [`crate::db`]) feeds `(timestamp, value)` pairs into
+//! a [`WindowAggregator`] per series; this module owns the accumulator
+//! semantics so they can be tested in isolation.
+
+use super::ast::{Aggregation, Fill};
+use crate::field::FieldValue;
+use crate::series::SeriesKey;
+use monster_util::EpochSecs;
+use std::collections::BTreeMap;
+
+/// One series' query output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesResult {
+    /// The series this row belongs to.
+    pub key: SeriesKey,
+    /// `(window start, value)` pairs in ascending time order. For raw
+    /// (non-aggregated) queries, the original timestamps and values.
+    pub points: Vec<(EpochSecs, FieldValue)>,
+}
+
+/// A query's full result.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultSet {
+    /// Per-series results, ordered by series key.
+    pub series: Vec<SeriesResult>,
+}
+
+impl ResultSet {
+    /// Total points across all series.
+    pub fn point_count(&self) -> usize {
+        self.series.iter().map(|s| s.points.len()).sum()
+    }
+
+    /// Find a series by a tag value (convenience for consumers keyed by
+    /// node, like Metrics Builder's per-node assembly).
+    pub fn series_with_tag(&self, key: &str, value: &str) -> Option<&SeriesResult> {
+        self.series.iter().find(|s| s.key.tag(key) == Some(value))
+    }
+}
+
+/// Numeric accumulator for one window.
+#[derive(Debug, Clone, Copy)]
+struct Acc {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    first_ts: i64,
+    first: f64,
+    last_ts: i64,
+    last: f64,
+}
+
+impl Acc {
+    fn new() -> Acc {
+        Acc {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            first_ts: i64::MAX,
+            first: 0.0,
+            last_ts: i64::MIN,
+            last: 0.0,
+        }
+    }
+
+    fn push(&mut self, ts: i64, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if ts < self.first_ts {
+            self.first_ts = ts;
+            self.first = v;
+        }
+        if ts >= self.last_ts {
+            self.last_ts = ts;
+            self.last = v;
+        }
+    }
+
+    fn finish(&self, agg: Aggregation) -> f64 {
+        match agg {
+            Aggregation::Max => self.max,
+            Aggregation::Min => self.min,
+            Aggregation::Mean => self.sum / self.count as f64,
+            Aggregation::Sum => self.sum,
+            Aggregation::Count => self.count as f64,
+            Aggregation::First => self.first,
+            Aggregation::Last => self.last,
+        }
+    }
+}
+
+/// Buckets `(ts, value)` pairs into fixed windows and finishes them into
+/// aggregated points. Windows with no data are omitted (InfluxDB's
+/// default null-window behaviour).
+#[derive(Debug)]
+pub struct WindowAggregator {
+    agg: Aggregation,
+    /// Window length in seconds; `None` = single whole-range window.
+    window: Option<i64>,
+    range_start: i64,
+    buckets: BTreeMap<i64, Acc>,
+    /// Non-numeric values count toward `count` but have no numeric stats.
+    non_numeric: u64,
+}
+
+impl WindowAggregator {
+    /// Create an aggregator for a query range starting at `range_start`.
+    pub fn new(agg: Aggregation, window: Option<i64>, range_start: i64) -> Self {
+        WindowAggregator {
+            agg,
+            window,
+            range_start,
+            buckets: BTreeMap::new(),
+            non_numeric: 0,
+        }
+    }
+
+    /// Window start for a timestamp. Windows are aligned to the epoch
+    /// (InfluxDB aligns `GROUP BY time` buckets absolutely, not to the
+    /// query start).
+    fn bucket_of(&self, ts: i64) -> i64 {
+        match self.window {
+            Some(w) => ts.div_euclid(w) * w,
+            None => self.range_start,
+        }
+    }
+
+    /// Feed one point.
+    pub fn push(&mut self, ts: i64, v: &FieldValue) {
+        match v.as_f64() {
+            Some(x) => {
+                self.buckets.entry(self.bucket_of(ts)).or_insert_with(Acc::new).push(ts, x)
+            }
+            None => {
+                if self.agg == Aggregation::Count {
+                    self.buckets
+                        .entry(self.bucket_of(ts))
+                        .or_insert_with(Acc::new)
+                        .push(ts, 0.0);
+                } else {
+                    self.non_numeric += 1;
+                }
+            }
+        }
+    }
+
+    /// Number of points that could not be aggregated numerically.
+    pub fn non_numeric(&self) -> u64 {
+        self.non_numeric
+    }
+
+    /// Finish into ordered `(window, value)` points.
+    pub fn finish(self) -> Vec<(EpochSecs, FieldValue)> {
+        self.finish_filled(Fill::None, i64::MIN, i64::MAX)
+    }
+
+    /// Finish with an empty-window policy over the query range
+    /// `[range_start, range_end)`.
+    pub fn finish_filled(
+        self,
+        fill: Fill,
+        range_start: i64,
+        range_end: i64,
+    ) -> Vec<(EpochSecs, FieldValue)> {
+        let agg = self.agg;
+        let window = self.window;
+        let present: Vec<(i64, f64)> = self
+            .buckets
+            .into_iter()
+            .map(|(w, acc)| (w, acc.finish(agg)))
+            .collect();
+        let points: Vec<(i64, f64)> = match (fill, window) {
+            (Fill::None, _) | (_, None) => present,
+            (policy, Some(w)) => {
+                if present.is_empty() {
+                    match policy {
+                        // fill(0) materializes every window in range.
+                        Fill::Zero => {
+                            let first = range_start.div_euclid(w) * w;
+                            let mut out = Vec::new();
+                            let mut t = first.max(range_start - w + 1);
+                            // Align to window boundary ≥ first window.
+                            t = t.div_euclid(w) * w;
+                            while t < range_end {
+                                out.push((t, 0.0));
+                                t += w;
+                            }
+                            out
+                        }
+                        _ => Vec::new(),
+                    }
+                } else {
+                    let lo = match policy {
+                        Fill::Zero => range_start.div_euclid(w) * w,
+                        // previous/linear: start at the first real window.
+                        _ => present[0].0,
+                    };
+                    let hi = match policy {
+                        Fill::Zero => (range_end - 1).div_euclid(w) * w,
+                        Fill::Previous => (range_end - 1).div_euclid(w) * w,
+                        // linear: stop at the last real window.
+                        _ => present[present.len() - 1].0,
+                    };
+                    let mut out = Vec::new();
+                    let mut idx = 0usize;
+                    let mut t = lo;
+                    while t <= hi {
+                        if idx < present.len() && present[idx].0 == t {
+                            out.push(present[idx]);
+                            idx += 1;
+                        } else {
+                            let v = match policy {
+                                Fill::Zero => 0.0,
+                                Fill::Previous => {
+                                    out.last().map(|&(_, v)| v).unwrap_or(0.0)
+                                }
+                                Fill::Linear => {
+                                    let (t0, v0) = *out.last().expect("lo starts on data");
+                                    let (t1, v1) = present[idx];
+                                    v0 + (v1 - v0) * (t - t0) as f64 / (t1 - t0) as f64
+                                }
+                                Fill::None => unreachable!("handled above"),
+                            };
+                            out.push((t, v));
+                        }
+                        t += w;
+                    }
+                    out
+                }
+            }
+        };
+        points
+            .into_iter()
+            .map(|(t, v)| (EpochSecs::new(t), FieldValue::Float(v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(agg: Aggregation, window: Option<i64>, pts: &[(i64, f64)]) -> Vec<(i64, f64)> {
+        let mut w = WindowAggregator::new(agg, window, 0);
+        for &(t, v) in pts {
+            w.push(t, &FieldValue::Float(v));
+        }
+        w.finish()
+            .into_iter()
+            .map(|(t, v)| (t.as_secs(), v.as_f64().unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn max_per_window() {
+        let pts = [(0, 1.0), (100, 5.0), (299, 2.0), (300, 9.0), (599, 3.0)];
+        let out = run(Aggregation::Max, Some(300), &pts);
+        assert_eq!(out, vec![(0, 5.0), (300, 9.0)]);
+    }
+
+    #[test]
+    fn all_aggregations_on_one_window() {
+        let pts = [(10, 4.0), (20, 1.0), (30, 7.0)];
+        assert_eq!(run(Aggregation::Min, None, &pts), vec![(0, 1.0)]);
+        assert_eq!(run(Aggregation::Max, None, &pts), vec![(0, 7.0)]);
+        assert_eq!(run(Aggregation::Sum, None, &pts), vec![(0, 12.0)]);
+        assert_eq!(run(Aggregation::Mean, None, &pts), vec![(0, 4.0)]);
+        assert_eq!(run(Aggregation::Count, None, &pts), vec![(0, 3.0)]);
+        assert_eq!(run(Aggregation::First, None, &pts), vec![(0, 4.0)]);
+        assert_eq!(run(Aggregation::Last, None, &pts), vec![(0, 7.0)]);
+    }
+
+    #[test]
+    fn first_last_use_timestamps_not_arrival_order() {
+        let pts = [(30, 7.0), (10, 4.0), (20, 1.0)]; // out of order
+        assert_eq!(run(Aggregation::First, None, &pts), vec![(0, 4.0)]);
+        assert_eq!(run(Aggregation::Last, None, &pts), vec![(0, 7.0)]);
+    }
+
+    #[test]
+    fn empty_windows_are_omitted() {
+        let pts = [(0, 1.0), (900, 2.0)];
+        let out = run(Aggregation::Mean, Some(300), &pts);
+        assert_eq!(out, vec![(0, 1.0), (900, 2.0)]);
+    }
+
+    #[test]
+    fn windows_align_to_epoch_not_range_start() {
+        let mut w = WindowAggregator::new(Aggregation::Max, Some(300), 450);
+        w.push(451, &FieldValue::Float(1.0));
+        let out = w.finish();
+        assert_eq!(out[0].0.as_secs(), 300);
+    }
+
+    #[test]
+    fn negative_timestamps_bucket_correctly() {
+        let out = run(Aggregation::Count, Some(300), &[(-1, 1.0), (-300, 1.0), (-301, 1.0)]);
+        assert_eq!(out, vec![(-600, 1.0), (-300, 2.0)]);
+    }
+
+    #[test]
+    fn count_includes_strings_others_skip_them() {
+        let mut w = WindowAggregator::new(Aggregation::Count, None, 0);
+        w.push(1, &FieldValue::Str("['123']".into()));
+        w.push(2, &FieldValue::Float(1.0));
+        assert_eq!(w.finish()[0].1.as_f64(), Some(2.0));
+
+        let mut w = WindowAggregator::new(Aggregation::Max, None, 0);
+        w.push(1, &FieldValue::Str("x".into()));
+        w.push(2, &FieldValue::Float(5.0));
+        assert_eq!(w.non_numeric(), 1);
+        assert_eq!(w.finish()[0].1.as_f64(), Some(5.0));
+    }
+
+    #[test]
+    fn int_fields_aggregate_numerically() {
+        let mut w = WindowAggregator::new(Aggregation::Mean, None, 0);
+        w.push(1, &FieldValue::Int(4));
+        w.push(2, &FieldValue::Int(6));
+        assert_eq!(w.finish()[0].1.as_f64(), Some(5.0));
+    }
+
+    #[test]
+    fn result_set_lookup_by_tag() {
+        let key = SeriesKey {
+            measurement: "Power".into(),
+            tags: vec![("NodeId".into(), "10.101.1.1".into())],
+        };
+        let rs = ResultSet {
+            series: vec![SeriesResult { key, points: vec![(EpochSecs::new(0), FieldValue::Float(1.0))] }],
+        };
+        assert!(rs.series_with_tag("NodeId", "10.101.1.1").is_some());
+        assert!(rs.series_with_tag("NodeId", "10.101.9.9").is_none());
+        assert_eq!(rs.point_count(), 1);
+    }
+}

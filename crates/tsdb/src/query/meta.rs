@@ -1,0 +1,194 @@
+//! Schema-discovery meta-queries: the `SHOW ...` family.
+//!
+//! Consumers (dashboards, the CLI) discover what is stored before they
+//! query it. The supported subset mirrors InfluxQL:
+//!
+//! ```text
+//! SHOW MEASUREMENTS
+//! SHOW SERIES [FROM <measurement>]
+//! SHOW TAG KEYS FROM <measurement>
+//! SHOW TAG VALUES FROM <measurement> WITH KEY = <tag>
+//! SHOW FIELD KEYS FROM <measurement>
+//! ```
+
+use crate::db::Db;
+use monster_util::{Error, Result};
+
+/// A parsed meta-query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaQuery {
+    /// All measurement names.
+    Measurements,
+    /// All series keys, optionally restricted to one measurement.
+    Series {
+        /// Restrict to this measurement.
+        measurement: Option<String>,
+    },
+    /// Tag keys used by a measurement.
+    TagKeys {
+        /// The measurement.
+        measurement: String,
+    },
+    /// Distinct values of one tag within a measurement.
+    TagValues {
+        /// The measurement.
+        measurement: String,
+        /// The tag key.
+        key: String,
+    },
+    /// Field keys used by a measurement.
+    FieldKeys {
+        /// The measurement.
+        measurement: String,
+    },
+}
+
+impl MetaQuery {
+    /// Parse a `SHOW ...` statement (case-insensitive keywords).
+    pub fn parse(text: &str) -> Result<MetaQuery> {
+        let tokens: Vec<String> = text
+            .split_whitespace()
+            .map(|t| t.trim_matches(|c| c == '\'' || c == '"').to_string())
+            .collect();
+        let kw = |i: usize, k: &str| {
+            tokens
+                .get(i)
+                .map(|t| t.eq_ignore_ascii_case(k))
+                .unwrap_or(false)
+        };
+        if !kw(0, "SHOW") {
+            return Err(Error::parse("meta-query must start with SHOW"));
+        }
+        if kw(1, "MEASUREMENTS") && tokens.len() == 2 {
+            return Ok(MetaQuery::Measurements);
+        }
+        if kw(1, "SERIES") {
+            return match tokens.len() {
+                2 => Ok(MetaQuery::Series { measurement: None }),
+                4 if kw(2, "FROM") => Ok(MetaQuery::Series {
+                    measurement: Some(tokens[3].clone()),
+                }),
+                _ => Err(Error::parse("usage: SHOW SERIES [FROM <m>]")),
+            };
+        }
+        if kw(1, "TAG") && kw(2, "KEYS") && kw(3, "FROM") && tokens.len() == 5 {
+            return Ok(MetaQuery::TagKeys { measurement: tokens[4].clone() });
+        }
+        if kw(1, "TAG")
+            && kw(2, "VALUES")
+            && kw(3, "FROM")
+            && kw(5, "WITH")
+            && kw(6, "KEY")
+            && tokens.get(7).map(|t| t == "=").unwrap_or(false)
+            && tokens.len() == 9
+        {
+            return Ok(MetaQuery::TagValues {
+                measurement: tokens[4].clone(),
+                key: tokens[8].clone(),
+            });
+        }
+        if kw(1, "FIELD") && kw(2, "KEYS") && kw(3, "FROM") && tokens.len() == 5 {
+            return Ok(MetaQuery::FieldKeys { measurement: tokens[4].clone() });
+        }
+        Err(Error::parse(format!("unrecognized meta-query {text:?}")))
+    }
+
+    /// Execute against a database; every variant returns sorted strings.
+    pub fn run(&self, db: &Db) -> Vec<String> {
+        match self {
+            MetaQuery::Measurements => db.measurements(),
+            MetaQuery::Series { measurement } => {
+                let mut out = db.series_keys(measurement.as_deref());
+                out.sort();
+                out
+            }
+            MetaQuery::TagKeys { measurement } => db.tag_keys(measurement),
+            MetaQuery::TagValues { measurement, key } => db.tag_values(measurement, key),
+            MetaQuery::FieldKeys { measurement } => db.field_keys(measurement),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataPoint, DbConfig};
+    use monster_util::EpochSecs;
+
+    fn db() -> Db {
+        let db = Db::new(DbConfig::default());
+        for n in 1..=3 {
+            db.write(
+                DataPoint::new("Power", EpochSecs::new(n))
+                    .tag("NodeId", format!("10.101.1.{n}"))
+                    .tag("Label", "NodePower")
+                    .field_f64("Reading", 1.0),
+            )
+            .unwrap();
+        }
+        db.write(
+            DataPoint::new("UGE", EpochSecs::new(9))
+                .tag("NodeId", "10.101.1.1")
+                .field_f64("CPUUsage", 0.5)
+                .field_f64("MemUsed", 12.0),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn show_measurements() {
+        let q = MetaQuery::parse("SHOW MEASUREMENTS").unwrap();
+        assert_eq!(q.run(&db()), vec!["Power".to_string(), "UGE".to_string()]);
+    }
+
+    #[test]
+    fn show_series_scoped_and_global() {
+        let d = db();
+        let all = MetaQuery::parse("show series").unwrap().run(&d);
+        assert_eq!(all.len(), 4);
+        let scoped = MetaQuery::parse("SHOW SERIES FROM Power").unwrap().run(&d);
+        assert_eq!(scoped.len(), 3);
+        assert!(scoped[0].starts_with("Power,"));
+    }
+
+    #[test]
+    fn show_tag_keys_and_values() {
+        let d = db();
+        assert_eq!(
+            MetaQuery::parse("SHOW TAG KEYS FROM Power").unwrap().run(&d),
+            vec!["Label".to_string(), "NodeId".to_string()]
+        );
+        assert_eq!(
+            MetaQuery::parse("SHOW TAG VALUES FROM Power WITH KEY = NodeId")
+                .unwrap()
+                .run(&d),
+            vec!["10.101.1.1".to_string(), "10.101.1.2".to_string(), "10.101.1.3".to_string()]
+        );
+        // Unknown measurement: empty, not an error.
+        assert!(MetaQuery::parse("SHOW TAG KEYS FROM Nope").unwrap().run(&d).is_empty());
+    }
+
+    #[test]
+    fn show_field_keys() {
+        let d = db();
+        assert_eq!(
+            MetaQuery::parse("SHOW FIELD KEYS FROM UGE").unwrap().run(&d),
+            vec!["CPUUsage".to_string(), "MemUsed".to_string()]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "SELECT MEASUREMENTS",
+            "SHOW",
+            "SHOW SERIES FROM",
+            "SHOW TAG VALUES FROM Power",
+            "SHOW TAG VALUES FROM Power WITH KEY NodeId",
+            "SHOW MEASUREMENTS extra",
+        ] {
+            assert!(MetaQuery::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! The query subsystem: AST, mini-InfluxQL parser, and executor.
+
+mod ast;
+pub mod exec;
+pub mod meta;
+mod parse;
+
+pub use ast::{Aggregation, Fill, Query};
+pub use exec::{ResultSet, SeriesResult};
+pub use meta::MetaQuery;
+pub use parse::parse_query;

@@ -1,0 +1,265 @@
+//! Series identity and the inverted tag index.
+//!
+//! A *series* is one (measurement, tag set) combination; each distinct
+//! series holds its own columns. Series **cardinality** is the database's
+//! main scalability axis — the paper's schema redesign (§IV-B2) worked
+//! precisely because the original schema "introduced a large series
+//! cardinality". The index here makes that cost concrete: query planning
+//! touches structures whose size is the cardinality.
+
+use crate::point::DataPoint;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Canonical series identity: measurement plus tags sorted by key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SeriesKey {
+    /// Measurement name.
+    pub measurement: String,
+    /// Tag pairs sorted by key (canonical order).
+    pub tags: Vec<(String, String)>,
+}
+
+impl SeriesKey {
+    /// Build the canonical key for a point.
+    pub fn of(p: &DataPoint) -> SeriesKey {
+        let mut tags = p.tags.clone();
+        tags.sort();
+        SeriesKey { measurement: p.measurement.clone(), tags }
+    }
+
+    /// Tag lookup on the canonical set.
+    pub fn tag(&self, key: &str) -> Option<&str> {
+        self.tags
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+impl fmt::Display for SeriesKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.measurement)?;
+        for (k, v) in &self.tags {
+            write!(f, ",{k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Dense id for a series within one database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SeriesId(pub u32);
+
+/// Series registry + inverted index (tag key/value → series ids).
+#[derive(Debug, Default)]
+pub struct SeriesIndex {
+    by_key: HashMap<SeriesKey, SeriesId>,
+    keys: Vec<SeriesKey>,
+    /// Tombstoned (dropped) slots in `keys`.
+    dropped: usize,
+    /// measurement → series ids in that measurement.
+    by_measurement: HashMap<String, Vec<SeriesId>>,
+    /// (measurement, tag key, tag value) → series ids.
+    inverted: HashMap<(String, String, String), Vec<SeriesId>>,
+}
+
+impl SeriesIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        SeriesIndex::default()
+    }
+
+    /// Get the id for a series, registering it if new.
+    pub fn get_or_create(&mut self, key: &SeriesKey) -> SeriesId {
+        if let Some(&id) = self.by_key.get(key) {
+            return id;
+        }
+        let id = SeriesId(self.keys.len() as u32);
+        self.by_key.insert(key.clone(), id);
+        self.keys.push(key.clone());
+        self.by_measurement
+            .entry(key.measurement.clone())
+            .or_default()
+            .push(id);
+        for (k, v) in &key.tags {
+            self.inverted
+                .entry((key.measurement.clone(), k.clone(), v.clone()))
+                .or_default()
+                .push(id);
+        }
+        id
+    }
+
+    /// Total distinct live series (the cardinality number).
+    pub fn cardinality(&self) -> usize {
+        self.keys.len() - self.dropped
+    }
+
+    /// Slots in the id space, live or tombstoned (ids are never reused).
+    pub fn id_space(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The key for an id.
+    pub fn key_of(&self, id: SeriesId) -> &SeriesKey {
+        &self.keys[id.0 as usize]
+    }
+
+    /// Number of distinct measurements.
+    pub fn measurement_count(&self) -> usize {
+        self.by_measurement.len()
+    }
+
+    /// All measurement names (unordered).
+    pub fn measurements(&self) -> impl Iterator<Item = &str> {
+        self.by_measurement.keys().map(String::as_str)
+    }
+
+    /// Remove a measurement's series from the index. Ids of surviving
+    /// series are unchanged (dropped ids become tombstones that no new
+    /// series reuses, keeping shard references valid).
+    pub fn drop_measurement(&mut self, measurement: &str) {
+        let Some(ids) = self.by_measurement.remove(measurement) else {
+            return;
+        };
+        for id in ids {
+            let key = self.keys[id.0 as usize].clone();
+            self.by_key.remove(&key);
+            for (k, v) in &key.tags {
+                if let Some(list) =
+                    self.inverted.get_mut(&(measurement.to_string(), k.clone(), v.clone()))
+                {
+                    list.retain(|x| *x != id);
+                }
+            }
+            // Tombstone: keep the slot so ids stay stable, but mark the
+            // key as dropped (empty measurement never matches a select).
+            self.keys[id.0 as usize] = SeriesKey { measurement: String::new(), tags: Vec::new() };
+            self.dropped += 1;
+        }
+    }
+
+    /// Series ids in a measurement, filtered by tag equality predicates
+    /// (AND semantics). Returns ids in ascending order.
+    ///
+    /// With no predicates this is all series of the measurement. With
+    /// predicates, the inverted index produces each predicate's posting
+    /// list and they are intersected — the same plan InfluxDB's TSI makes.
+    pub fn select(&self, measurement: &str, predicates: &[(String, String)]) -> Vec<SeriesId> {
+        let Some(all) = self.by_measurement.get(measurement) else {
+            return Vec::new();
+        };
+        if predicates.is_empty() {
+            let mut ids = all.clone();
+            ids.sort();
+            return ids;
+        }
+        let mut lists: Vec<&Vec<SeriesId>> = Vec::with_capacity(predicates.len());
+        for (k, v) in predicates {
+            match self
+                .inverted
+                .get(&(measurement.to_string(), k.clone(), v.clone()))
+            {
+                Some(list) => lists.push(list),
+                None => return Vec::new(),
+            }
+        }
+        // Intersect: start from the shortest list.
+        lists.sort_by_key(|l| l.len());
+        let mut result: Vec<SeriesId> = lists[0].clone();
+        result.sort();
+        for list in &lists[1..] {
+            let mut sorted: Vec<SeriesId> = (*list).clone();
+            sorted.sort();
+            result.retain(|id| sorted.binary_search(id).is_ok());
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monster_util::EpochSecs;
+
+    fn point(m: &str, node: &str, label: &str) -> DataPoint {
+        DataPoint::new(m, EpochSecs::new(0))
+            .tag("NodeId", node)
+            .tag("Label", label)
+            .field_f64("v", 1.0)
+    }
+
+    #[test]
+    fn series_key_is_canonical_under_tag_order() {
+        let a = DataPoint::new("m", EpochSecs::new(0))
+            .tag("b", "2")
+            .tag("a", "1")
+            .field_f64("v", 0.0);
+        let b = DataPoint::new("m", EpochSecs::new(0))
+            .tag("a", "1")
+            .tag("b", "2")
+            .field_f64("v", 0.0);
+        assert_eq!(SeriesKey::of(&a), SeriesKey::of(&b));
+        assert_eq!(SeriesKey::of(&a).to_string(), "m,a=1,b=2");
+    }
+
+    #[test]
+    fn get_or_create_is_idempotent() {
+        let mut idx = SeriesIndex::new();
+        let k = SeriesKey::of(&point("Power", "10.101.1.1", "NodePower"));
+        let id1 = idx.get_or_create(&k);
+        let id2 = idx.get_or_create(&k);
+        assert_eq!(id1, id2);
+        assert_eq!(idx.cardinality(), 1);
+        assert_eq!(idx.key_of(id1), &k);
+    }
+
+    #[test]
+    fn cardinality_counts_distinct_tag_sets() {
+        let mut idx = SeriesIndex::new();
+        for n in 0..10 {
+            for label in ["NodePower", "CPUTemp"] {
+                idx.get_or_create(&SeriesKey::of(&point(
+                    "Power",
+                    &format!("10.101.1.{n}"),
+                    label,
+                )));
+            }
+        }
+        assert_eq!(idx.cardinality(), 20);
+        assert_eq!(idx.measurement_count(), 1);
+    }
+
+    #[test]
+    fn select_with_predicates_intersects() {
+        let mut idx = SeriesIndex::new();
+        let a = idx.get_or_create(&SeriesKey::of(&point("Power", "n1", "NodePower")));
+        let _b = idx.get_or_create(&SeriesKey::of(&point("Power", "n1", "CPUTemp")));
+        let _c = idx.get_or_create(&SeriesKey::of(&point("Power", "n2", "NodePower")));
+        let got = idx.select(
+            "Power",
+            &[("NodeId".into(), "n1".into()), ("Label".into(), "NodePower".into())],
+        );
+        assert_eq!(got, vec![a]);
+    }
+
+    #[test]
+    fn select_without_predicates_returns_all() {
+        let mut idx = SeriesIndex::new();
+        for n in 0..5 {
+            idx.get_or_create(&SeriesKey::of(&point("Thermal", &format!("n{n}"), "CPU1")));
+        }
+        assert_eq!(idx.select("Thermal", &[]).len(), 5);
+        assert!(idx.select("Nope", &[]).is_empty());
+    }
+
+    #[test]
+    fn select_with_unknown_value_is_empty() {
+        let mut idx = SeriesIndex::new();
+        idx.get_or_create(&SeriesKey::of(&point("Power", "n1", "NodePower")));
+        assert!(idx
+            .select("Power", &[("NodeId".into(), "missing".into())])
+            .is_empty());
+    }
+}

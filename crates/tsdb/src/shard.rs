@@ -1,0 +1,167 @@
+//! Time-partitioned shards.
+//!
+//! The database splits the timeline into fixed-duration shards (default one
+//! day, like InfluxDB's retention-policy shard groups). A query only opens
+//! the shards overlapping its time range — the reason query time grows with
+//! time range in Fig. 10.
+
+use crate::column::{Column, ScanStats};
+use crate::field::FieldValue;
+use crate::series::SeriesId;
+use monster_util::Result;
+use std::collections::HashMap;
+
+/// One shard: `[start, end)` on the epoch-seconds timeline.
+#[derive(Debug)]
+pub struct Shard {
+    /// Inclusive start (epoch seconds).
+    pub start: i64,
+    /// Exclusive end (epoch seconds).
+    pub end: i64,
+    /// Per-series, per-field columns.
+    columns: HashMap<(SeriesId, String), Column>,
+    point_count: usize,
+}
+
+impl Shard {
+    /// An empty shard covering `[start, end)`.
+    pub fn new(start: i64, end: i64) -> Self {
+        assert!(end > start);
+        Shard { start, end, columns: HashMap::new(), point_count: 0 }
+    }
+
+    /// True when `ts` belongs to this shard.
+    pub fn covers(&self, ts: i64) -> bool {
+        ts >= self.start && ts < self.end
+    }
+
+    /// Whether the shard overlaps the query range `[qs, qe)`.
+    pub fn overlaps(&self, qs: i64, qe: i64) -> bool {
+        self.start < qe && qs < self.end
+    }
+
+    /// Append one field value for a series.
+    pub fn append(
+        &mut self,
+        series: SeriesId,
+        field: &str,
+        ts: i64,
+        value: &FieldValue,
+    ) -> Result<()> {
+        debug_assert!(self.covers(ts));
+        let col = self
+            .columns
+            .entry((series, field.to_string()))
+            .or_insert_with(|| Column::new(value));
+        col.append(ts, value)?;
+        self.point_count += 1;
+        Ok(())
+    }
+
+    /// Scan one series' field within `[start, end)`.
+    pub fn scan(
+        &self,
+        series: SeriesId,
+        field: &str,
+        start: i64,
+        end: i64,
+        f: impl FnMut(i64, FieldValue),
+    ) -> Result<ScanStats> {
+        match self.columns.get(&(series, field.to_string())) {
+            Some(col) => col.scan(start, end, f),
+            None => Ok(ScanStats::default()),
+        }
+    }
+
+    /// Visit every stored (series, field, timestamp, value) in the shard.
+    pub fn export(
+        &self,
+        mut f: impl FnMut(SeriesId, &str, i64, FieldValue),
+    ) -> Result<()> {
+        for ((series, field), col) in &self.columns {
+            col.scan(i64::MIN, i64::MAX, |ts, v| f(*series, field, ts, v))?;
+        }
+        Ok(())
+    }
+
+    /// Field values appended in this shard (counts each field write once).
+    pub fn point_count(&self) -> usize {
+        self.point_count
+    }
+
+    /// Encoded at-rest bytes across all columns.
+    pub fn encoded_bytes(&self) -> usize {
+        self.columns.values().map(Column::encoded_bytes).sum()
+    }
+
+    /// Compact: seal every column's raw tail into compressed blocks.
+    /// Returns the number of columns sealed.
+    pub fn compact(&mut self) -> usize {
+        self.columns.values_mut().map(|c| usize::from(c.seal_now())).sum()
+    }
+
+    /// Raw (unsealed) points across all columns.
+    pub fn tail_points(&self) -> usize {
+        self.columns.values().map(Column::tail_len).sum()
+    }
+
+    /// Remove every column belonging to the given series.
+    pub fn drop_series(&mut self, victims: &std::collections::HashSet<SeriesId>) {
+        let before: usize = self.columns.len();
+        self.columns.retain(|(sid, _), _| !victims.contains(sid));
+        // point_count tracks appends; recompute from surviving columns.
+        if self.columns.len() != before {
+            self.point_count = self.columns.values().map(Column::point_count).sum();
+        }
+    }
+
+    /// The (series, field) keys of every column in this shard.
+    pub fn column_keys(&self) -> Vec<(SeriesId, String)> {
+        self.columns.keys().cloned().collect()
+    }
+
+    /// Number of (series, field) columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_and_overlaps() {
+        let s = Shard::new(0, 86_400);
+        assert!(s.covers(0));
+        assert!(s.covers(86_399));
+        assert!(!s.covers(86_400));
+        assert!(s.overlaps(-100, 1));
+        assert!(s.overlaps(86_399, 100_000));
+        assert!(!s.overlaps(86_400, 100_000));
+        assert!(!s.overlaps(-100, 0));
+    }
+
+    #[test]
+    fn append_routes_to_columns() {
+        let mut s = Shard::new(0, 1000);
+        let sid = SeriesId(0);
+        s.append(sid, "Reading", 10, &FieldValue::Float(1.0)).unwrap();
+        s.append(sid, "Reading", 20, &FieldValue::Float(2.0)).unwrap();
+        s.append(sid, "Other", 10, &FieldValue::Int(5)).unwrap();
+        assert_eq!(s.point_count(), 3);
+        assert_eq!(s.column_count(), 2);
+        let mut seen = Vec::new();
+        s.scan(sid, "Reading", 0, 1000, |t, v| seen.push((t, v))).unwrap();
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn scan_of_missing_column_is_empty() {
+        let s = Shard::new(0, 1000);
+        let stats = s
+            .scan(SeriesId(9), "none", 0, 1000, |_, _| panic!("no data"))
+            .unwrap();
+        assert_eq!(stats, ScanStats::default());
+    }
+}

@@ -1,0 +1,180 @@
+//! Database snapshots: durable save/restore.
+//!
+//! MonSTer's "out-of-the-box" story includes surviving a restart of the
+//! storage host without losing the collected history. A snapshot is the
+//! whole database rendered as line protocol, compressed with the in-tree
+//! mzlib codec, behind a small header:
+//!
+//! ```text
+//! "MTSDB1\n" | mzlib container (compressed line-protocol text)
+//! ```
+//!
+//! Line protocol is deliberately chosen over a binary dump: snapshots stay
+//! interoperable (any line-protocol consumer can read an inflated
+//! snapshot) and the format is covered by the line-protocol property
+//! tests.
+
+use crate::db::{Db, DbConfig};
+use crate::lineproto;
+use crate::point::DataPoint;
+use monster_compress::Level;
+use monster_util::{EpochSecs, Error, Result};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8] = b"MTSDB1\n";
+
+/// Snapshot statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Points written (one per field value).
+    pub points: usize,
+    /// Uncompressed line-protocol bytes.
+    pub raw_bytes: usize,
+    /// Bytes after compression (including the header).
+    pub stored_bytes: usize,
+}
+
+/// Serialize the whole database into snapshot bytes.
+pub fn write_snapshot(db: &Db) -> Result<(Vec<u8>, SnapshotStats)> {
+    encode(db)
+}
+
+fn encode(db: &Db) -> Result<(Vec<u8>, SnapshotStats)> {
+    let mut text = String::new();
+    let mut points = 0usize;
+    db.export(|key, field, ts, value| {
+        let mut p = DataPoint::new(&key.measurement, EpochSecs::new(ts));
+        for (k, v) in &key.tags {
+            p = p.tag(k, v);
+        }
+        p = p.field(field, value);
+        text.push_str(&lineproto::encode(&p));
+        text.push('\n');
+        points += 1;
+    })?;
+    let raw_bytes = text.len();
+    let mut out = Vec::with_capacity(raw_bytes / 4 + MAGIC.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&monster_compress::compress(text.as_bytes(), Level::default()));
+    let stored_bytes = out.len();
+    Ok((out, SnapshotStats { points, raw_bytes, stored_bytes }))
+}
+
+/// Save a snapshot to `path`.
+pub fn save_to_file(db: &Db, path: impl AsRef<Path>) -> Result<SnapshotStats> {
+    let (bytes, stats) = encode(db)?;
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&bytes)?;
+    f.flush()?;
+    Ok(stats)
+}
+
+/// Restore a database from snapshot bytes, using `config` for the new
+/// instance (disk/cost models are deployment properties, not data).
+pub fn read_snapshot(bytes: &[u8], config: DbConfig) -> Result<Db> {
+    let body = bytes
+        .strip_prefix(MAGIC)
+        .ok_or_else(|| Error::Corrupt("not a MTSDB1 snapshot".into()))?;
+    let text = monster_compress::decompress(body)?;
+    let text = String::from_utf8(text)
+        .map_err(|_| Error::Corrupt("snapshot payload is not UTF-8".into()))?;
+    let points = lineproto::parse_batch(&text)?;
+    let db = Db::new(config);
+    for chunk in points.chunks(10_000) {
+        db.write_batch(chunk)?;
+    }
+    Ok(db)
+}
+
+/// Load a snapshot from `path`.
+pub fn load_from_file(path: impl AsRef<Path>, config: DbConfig) -> Result<Db> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    read_snapshot(&bytes, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Aggregation;
+    use crate::{DataPoint, Query};
+
+    fn seeded() -> Db {
+        let db = Db::new(DbConfig::default());
+        let mut batch = Vec::new();
+        for i in 0..500i64 {
+            batch.push(
+                DataPoint::new("Power", EpochSecs::new(i * 60))
+                    .tag("NodeId", format!("10.101.1.{}", i % 4 + 1))
+                    .tag("Label", "NodePower")
+                    .field_f64("Reading", 250.0 + (i % 37) as f64),
+            );
+            if i % 10 == 0 {
+                batch.push(
+                    DataPoint::new("NodeJobs", EpochSecs::new(i * 60))
+                        .tag("NodeId", format!("10.101.1.{}", i % 4 + 1))
+                        .field_str("JobList", format!("['{}']", 1_290_000 + i)),
+                );
+            }
+        }
+        db.write_batch(&batch).unwrap();
+        db
+    }
+
+    fn query_all(db: &Db) -> crate::ResultSet {
+        let q = Query::select("Power", "Reading", EpochSecs::new(0), EpochSecs::new(500 * 60))
+            .aggregate(Aggregation::Mean)
+            .group_by_time(600);
+        db.query(&q).unwrap().0
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_memory() {
+        let db = seeded();
+        let (bytes, stats) = encode(&db).unwrap();
+        assert_eq!(stats.points, db.stats().points);
+        assert!(stats.stored_bytes < stats.raw_bytes / 3, "{stats:?}");
+        let restored = read_snapshot(&bytes, DbConfig::default()).unwrap();
+        assert_eq!(restored.stats().points, db.stats().points);
+        assert_eq!(restored.stats().cardinality, db.stats().cardinality);
+        assert_eq!(query_all(&restored), query_all(&db));
+        // String fields survive too.
+        let q = Query::select("NodeJobs", "JobList", EpochSecs::new(0), EpochSecs::new(500 * 60));
+        let (a, _) = db.query(&q).unwrap();
+        let (b, _) = restored.query(&q).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_file() {
+        let db = seeded();
+        let dir = std::env::temp_dir().join(format!("monster-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.mtsdb");
+        let stats = save_to_file(&db, &path).unwrap();
+        assert!(path.metadata().unwrap().len() as usize == stats.stored_bytes);
+        let restored = load_from_file(&path, DbConfig::default()).unwrap();
+        assert_eq!(restored.stats().points, db.stats().points);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected() {
+        let db = seeded();
+        let (mut bytes, _) = encode(&db).unwrap();
+        assert!(read_snapshot(b"garbage", DbConfig::default()).is_err());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(read_snapshot(&bytes, DbConfig::default()).is_err());
+    }
+
+    #[test]
+    fn empty_database_snapshots_cleanly() {
+        let db = Db::new(DbConfig::default());
+        let (bytes, stats) = encode(&db).unwrap();
+        assert_eq!(stats.points, 0);
+        let restored = read_snapshot(&bytes, DbConfig::default()).unwrap();
+        assert_eq!(restored.stats().points, 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Behavioural tests for `drop_measurement` — the operational cleanup for
+//! cardinality accidents (the previous schema's per-job measurements).
+
+use monster_tsdb::query::Aggregation;
+use monster_tsdb::{DataPoint, Db, DbConfig, Query};
+use monster_util::EpochSecs;
+
+fn seeded() -> Db {
+    let db = Db::new(DbConfig::default());
+    let mut batch = Vec::new();
+    for i in 0..100i64 {
+        batch.push(
+            DataPoint::new("Power", EpochSecs::new(i * 60))
+                .tag("NodeId", "10.101.1.1")
+                .field_f64("Reading", 250.0),
+        );
+        // The cardinality accident: one measurement per job.
+        batch.push(
+            DataPoint::new(format!("Job_{}", 1_290_000 + i), EpochSecs::new(i * 60))
+                .tag("Owner", "abdumal")
+                .field_i64("State", 1),
+        );
+    }
+    db.write_batch(&batch).unwrap();
+    db
+}
+
+#[test]
+fn drop_removes_data_and_series() {
+    let db = seeded();
+    let before = db.stats();
+    assert_eq!(before.measurements, 101);
+
+    let mut dropped_series = 0;
+    for i in 0..100i64 {
+        dropped_series += db.drop_measurement(&format!("Job_{}", 1_290_000 + i));
+    }
+    assert_eq!(dropped_series, 100);
+
+    let after = db.stats();
+    assert_eq!(after.measurements, 1);
+    assert_eq!(after.cardinality, 1);
+    assert_eq!(after.points, 100); // only Power remains
+    assert!(after.encoded_bytes < before.encoded_bytes);
+
+    // Dropped data is unqueryable.
+    let q = Query::select("Job_1290000", "State", EpochSecs::new(0), EpochSecs::new(10_000));
+    let (rs, _) = db.query(&q).unwrap();
+    assert!(rs.series.is_empty());
+
+    // Survivors are untouched.
+    let q = Query::select("Power", "Reading", EpochSecs::new(0), EpochSecs::new(100 * 60))
+        .aggregate(Aggregation::Count);
+    let (rs, _) = db.query(&q).unwrap();
+    assert_eq!(rs.series[0].points[0].1.as_f64(), Some(100.0));
+}
+
+#[test]
+fn drop_unknown_measurement_is_noop() {
+    let db = seeded();
+    assert_eq!(db.drop_measurement("Nope"), 0);
+    assert_eq!(db.stats().measurements, 101);
+}
+
+#[test]
+fn writes_after_drop_recreate_the_measurement() {
+    let db = seeded();
+    db.drop_measurement("Power");
+    db.write(
+        DataPoint::new("Power", EpochSecs::new(0))
+            .tag("NodeId", "10.101.1.2")
+            .field_f64("Reading", 300.0),
+    )
+    .unwrap();
+    let q = Query::select("Power", "Reading", EpochSecs::new(0), EpochSecs::new(60));
+    let (rs, _) = db.query(&q).unwrap();
+    assert_eq!(rs.series.len(), 1);
+    assert_eq!(rs.series[0].key.tag("NodeId"), Some("10.101.1.2"));
+    // Old Power data stayed dropped.
+    assert_eq!(rs.point_count(), 1);
+}
+
+#[test]
+fn meta_queries_reflect_drops() {
+    let db = seeded();
+    db.drop_measurement("Power");
+    assert!(!db.measurements().contains(&"Power".to_string()));
+    assert!(db.series_keys(Some("Power")).is_empty());
+    assert!(db.tag_keys("Power").is_empty());
+}

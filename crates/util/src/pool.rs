@@ -1,0 +1,190 @@
+//! A bounded worker pool on crossbeam channels.
+//!
+//! MonSTer fans work out in two hot places: the Redfish client (1868 BMC
+//! requests per sweep) and the concurrent query engine of the Metrics
+//! Builder (Fig. 15). Both need the same shape: a fixed number of worker
+//! threads draining a queue of jobs, with results collected in input order.
+//!
+//! The pool is deliberately simple — no work stealing, no dynamic sizing —
+//! because the workloads are embarrassingly parallel and latency-bound, and
+//! determinism matters for the reproduction harness.
+
+use crossbeam::channel;
+use std::thread;
+
+/// A fixed-size thread pool executing closures.
+///
+/// Jobs are `FnOnce() + Send` closures; [`ThreadPool::scope_map`] is the
+/// high-level entry point most callers want.
+pub struct ThreadPool {
+    workers: usize,
+}
+
+impl ThreadPool {
+    /// Create a pool descriptor with `workers` threads (threads are spawned
+    /// per [`scope_map`](Self::scope_map) call using scoped threads, so no
+    /// state outlives the call).
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "pool needs at least one worker");
+        ThreadPool { workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Apply `f` to every item of `items` using the pool, returning results
+    /// in input order. Items are distributed dynamically (a shared channel),
+    /// so long-running items do not convoy short ones.
+    pub fn scope_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers.min(n);
+        let (tx, rx) = channel::unbounded::<(usize, T)>();
+        for pair in items.into_iter().enumerate() {
+            tx.send(pair).expect("queue send");
+        }
+        drop(tx);
+
+        let (out_tx, out_rx) = channel::unbounded::<(usize, R)>();
+        thread::scope(|s| {
+            for _ in 0..workers {
+                let rx = rx.clone();
+                let out_tx = out_tx.clone();
+                let f = &f;
+                s.spawn(move || {
+                    while let Ok((idx, item)) = rx.recv() {
+                        let r = f(item);
+                        if out_tx.send((idx, r)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(out_tx);
+        });
+
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        while let Ok((idx, r)) = out_rx.recv() {
+            slots[idx] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("worker produced every slot"))
+            .collect()
+    }
+
+    /// Like [`scope_map`](Self::scope_map) but also reports, for each item,
+    /// which of the `workers` logical workers executed it. The simulation
+    /// layer uses this to combine per-worker virtual time with `max()`.
+    pub fn scope_map_tagged<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<(usize, R)>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers.min(n);
+        let (tx, rx) = channel::unbounded::<(usize, T)>();
+        for pair in items.into_iter().enumerate() {
+            tx.send(pair).expect("queue send");
+        }
+        drop(tx);
+
+        let (out_tx, out_rx) = channel::unbounded::<(usize, usize, R)>();
+        thread::scope(|s| {
+            for w in 0..workers {
+                let rx = rx.clone();
+                let out_tx = out_tx.clone();
+                let f = &f;
+                s.spawn(move || {
+                    while let Ok((idx, item)) = rx.recv() {
+                        let r = f(item);
+                        if out_tx.send((idx, w, r)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(out_tx);
+        });
+
+        let mut slots: Vec<Option<(usize, R)>> = (0..n).map(|_| None).collect();
+        while let Ok((idx, w, r)) = out_rx.recv() {
+            slots[idx] = Some((w, r));
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("worker produced every slot"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn maps_in_order() {
+        let pool = ThreadPool::new(4);
+        let out = pool.scope_map((0..100).collect(), |x: i32| x * x);
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let pool = ThreadPool::new(4);
+        let out: Vec<i32> = pool.scope_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_worker_still_completes() {
+        let pool = ThreadPool::new(1);
+        let out = pool.scope_map(vec!["a", "bb", "ccc"], |s| s.len());
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads() {
+        let pool = ThreadPool::new(8);
+        let concurrent = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        pool.scope_map((0..64).collect::<Vec<i32>>(), |_| {
+            let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            concurrent.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) > 1, "expected parallel execution");
+    }
+
+    #[test]
+    fn tagged_map_tags_are_valid_workers() {
+        let pool = ThreadPool::new(3);
+        let out = pool.scope_map_tagged((0..40).collect::<Vec<i32>>(), |x| x + 1);
+        assert_eq!(out.len(), 40);
+        for (i, (w, r)) in out.iter().enumerate() {
+            assert!(*w < 3);
+            assert_eq!(*r, i as i32 + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        ThreadPool::new(0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Descriptive statistics used by the evaluation harness and analysis tools.
+//!
+//! Two flavours: [`OnlineStats`] (Welford's streaming algorithm, O(1) memory,
+//! used while collecting latency samples) and batch helpers over slices
+//! (percentiles, min/max) used when the full sample set is in hand.
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable; merging two accumulators is supported so parallel
+/// workers can each keep a local one and combine at the end (the pattern the
+/// Rayon/crossbeam guides recommend over shared atomics).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// A fresh, empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Fold one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Combine two accumulators as if all observations had been pushed into
+    /// one (Chan et al. parallel merge).
+    pub fn merge(&self, other: &OnlineStats) -> OnlineStats {
+        if self.n == 0 {
+            return *other;
+        }
+        if other.n == 0 {
+            return *self;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 =
+            self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        OnlineStats { n, mean, m2, min: self.min.min(other.min), max: self.max.max(other.max) }
+    }
+}
+
+/// Arithmetic mean of a slice (0 when empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation between closest
+/// ranks. Panics on empty input or q outside [0, 1].
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` with `bins` buckets; values outside
+/// the range are clamped into the first/last bucket. Used for the per-user
+/// symmetric histogram matrix of Fig. 9.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// An empty histogram over `[lo, hi)` with `bins` equal-width buckets.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0 && hi > lo, "histogram needs bins > 0 and hi > lo");
+        Histogram { lo, hi, counts: vec![0; bins] }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let idx = if x <= self.lo {
+            0
+        } else if x >= self.hi {
+            bins - 1
+        } else {
+            (((x - self.lo) / (self.hi - self.lo)) * bins as f64) as usize
+        };
+        self.counts[idx.min(bins - 1)] += 1;
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Counts normalised so the largest bucket is 1.0 (what the symmetric
+    /// histogram glyphs render). All-zero histograms normalise to zeros.
+    pub fn normalized(&self) -> Vec<f64> {
+        let max = self.counts.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / max as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_matches_batch() {
+        let xs = [4.29, 3.1, 5.6, 4.0, 4.8, 2.2];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert!((s.mean() - mean(&xs)).abs() < 1e-12);
+        let batch_var =
+            xs.iter().map(|x| (x - mean(&xs)).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((s.variance() - batch_var).abs() < 1e-12);
+        assert_eq!(s.min(), 2.2);
+        assert_eq!(s.max(), 5.6);
+        assert_eq!(s.count(), 6);
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = OnlineStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let (a_half, b_half) = xs.split_at(37);
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        a_half.iter().for_each(|&x| a.push(x));
+        b_half.iter().for_each(|&x| b.push(x));
+        let merged = a.merge(&b);
+        assert_eq!(merged.count(), all.count());
+        assert!((merged.mean() - all.mean()).abs() < 1e-9);
+        assert!((merged.variance() - all.variance()).abs() < 1e-9);
+        // Merging with empty is identity.
+        let id = OnlineStats::new().merge(&all);
+        assert!((id.mean() - all.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 4.0);
+        assert_eq!(percentile(&xs, 0.5), 2.5);
+        assert!((percentile(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_rejects_empty() {
+        percentile(&[], 0.5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_clamps() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.5, 1.5, 2.5, 2.6, -3.0, 42.0, 9.999] {
+            h.push(x);
+        }
+        assert_eq!(h.counts(), &[3, 2, 0, 0, 2]);
+        assert_eq!(h.total(), 7);
+        let n = h.normalized();
+        assert_eq!(n[0], 1.0);
+        assert!((n[1] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_all_zero_normalizes_to_zero() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.normalized(), vec![0.0; 4]);
+    }
+}

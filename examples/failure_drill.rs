@@ -1,0 +1,118 @@
+//! Failure drill: kill BMCs and execution daemons mid-run and watch the
+//! monitoring pipeline degrade gracefully — the operational story behind
+//! the paper's timeout/retry machinery (§III-B1) and UGE's lost-host
+//! handling (§III-B2).
+//!
+//! ```text
+//! cargo run --release --example failure_drill
+//! ```
+
+use monster::redfish::bmc::BmcConfig;
+use monster::scheduler::{JobShape, JobSpec};
+use monster::util::UserName;
+use monster::{Monster, MonsterConfig};
+
+fn main() {
+    let mut m = Monster::new(MonsterConfig {
+        nodes: 16,
+        // Realistic flaky BMCs.
+        bmc: BmcConfig::default(),
+        workload: None, // we drive our own jobs
+        ..MonsterConfig::default()
+    });
+    println!("== failure drill: 16 nodes ==\n");
+
+    // A long-running victim job on every node.
+    let t0 = m.now();
+    for i in 0..16 {
+        m.qmaster_mut().submit_at(
+            t0 + 1 + i,
+            JobSpec {
+                user: UserName::new("victim"),
+                name: format!("work{i}.sh"),
+                shape: JobShape::Serial { slots: 36 },
+                runtime_secs: 100_000,
+                priority: 0,
+                mem_per_slot_gib: 2.0,
+            },
+        );
+    }
+
+    // Phase 1: healthy baseline.
+    let s = m.run_intervals(2);
+    println!(
+        "baseline:        sweep={}  failures={}/{}  running jobs={}",
+        s[1].collection_time,
+        s[1].bmc_failures,
+        16 * 4,
+        m.qmaster().running_jobs().len()
+    );
+
+    // Phase 2: two BMCs die. Sweeps keep working; those nodes' requests
+    // burn the timeout+retry budget and fail.
+    let dead_bmcs = [m.node_ids()[2], m.node_ids()[5]];
+    for n in dead_bmcs {
+        m.cluster().set_bmc_alive(n, false).expect("node exists");
+    }
+    let s = m.run_intervals(2);
+    println!(
+        "2 BMCs down:     sweep={}  failures={}/{}  (expect ≈8: 2 nodes x 4 categories)",
+        s[1].collection_time,
+        s[1].bmc_failures,
+        16 * 4
+    );
+
+    // Phase 3: an execd dies. The qmaster declares the host lost after
+    // three missed 40 s reports and kills its job.
+    let dead_execd = m.node_ids()[9];
+    let now = m.now();
+    m.qmaster_mut().fail_execd_at(now + 10, dead_execd);
+    let before = m.qmaster().running_jobs().len();
+    m.run_intervals(4); // > 120 s: the lost-host timeout elapses
+    let after = m.qmaster().running_jobs().len();
+    println!(
+        "execd lost:      running jobs {before} → {after}; host {} available={}",
+        dead_execd.label(),
+        m.qmaster().host_available(dead_execd)
+    );
+    let failed = m
+        .qmaster()
+        .finished_jobs()
+        .iter()
+        .filter(|j| matches!(j.state, monster::scheduler::JobState::Failed { .. }))
+        .count();
+    println!("                 failed jobs recorded in accounting: {failed}");
+
+    // Phase 4: recovery.
+    for n in dead_bmcs {
+        m.cluster().set_bmc_alive(n, true).expect("node exists");
+    }
+    let now = m.now();
+    m.qmaster_mut().recover_execd_at(now + 10, dead_execd);
+    let s = m.run_intervals(2);
+    println!(
+        "recovered:       sweep={}  failures={}  host {} available={}",
+        s[1].collection_time,
+        s[1].bmc_failures,
+        dead_execd.label(),
+        m.qmaster().host_available(dead_execd)
+    );
+
+    // The health data tells the story: query abnormal health codes.
+    let (rs, _) = m
+        .db()
+        .query_str(&format!(
+            "SELECT count(Code) FROM Health WHERE time >= {} AND time < {}",
+            t0.as_secs(),
+            m.now().as_secs()
+        ))
+        .expect("health query");
+    let abnormal: f64 = rs
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter())
+        .filter_map(|(_, v)| v.as_f64())
+        .sum();
+    println!("\nabnormal health samples stored (abnormal-only retention): {abnormal}");
+    println!("total points stored: {}", m.db().stats().points);
+}

@@ -1,0 +1,90 @@
+//! The Fig. 6 job-scheduling timeline: one simulated day of Quanah-style
+//! workload, rendered per user as waiting/running bars.
+//!
+//! ```text
+//! cargo run --release --example job_timeline
+//! ```
+
+use monster::analysis::timeline::build_timeline;
+use monster::scheduler::{Qmaster, QmasterConfig, WorkloadConfig, WorkloadGenerator};
+
+fn main() {
+    // A day on a 128-node cluster with the paper-cast user population.
+    let cfg = QmasterConfig { nodes: 128, ..QmasterConfig::default() };
+    let t0 = cfg.start_time;
+    let t_end = t0 + 86_400;
+    let mut qm = Qmaster::new(cfg);
+    let mut gen = WorkloadGenerator::new(WorkloadConfig::default());
+    let submitted = gen.drive(&mut qm, t0, t_end);
+    qm.run_until(t_end);
+
+    println!("== 1-day job scheduling timeline (Fig. 6) ==");
+    println!(
+        "{} jobs submitted; {} finished, {} running, {} still pending at day end\n",
+        submitted,
+        qm.finished_jobs().len(),
+        qm.running_jobs().len(),
+        qm.pending_jobs().len()
+    );
+
+    let timelines = build_timeline(qm.jobs(), t0, t_end);
+
+    // Render each user as a row: #jobs, #hosts, and a 96-column day strip
+    // where '.'=idle, '-'=waiting, '#'=running (15-minute resolution).
+    const COLS: i64 = 96;
+    let bucket = 86_400 / COLS;
+    println!("{:10} {:>5} {:>6}  timeline (24 h, '-' waiting, '#' running)", "user", "jobs", "hosts");
+    for tl in &timelines {
+        let mut strip = vec![b'.'; COLS as usize];
+        for bar in &tl.bars {
+            let submit = bar.submit - t0;
+            let start = bar.start.map(|s| s - t0).unwrap_or(86_400);
+            let end = bar.end.map(|e| e - t0).unwrap_or(86_400);
+            for c in 0..COLS {
+                let bin_start = c * bucket;
+                let bin_end = bin_start + bucket;
+                let cell = &mut strip[c as usize];
+                if start < bin_end && bin_start < end && *cell != b'#' {
+                    *cell = b'#';
+                } else if submit < bin_end && bin_start < start && *cell == b'.' {
+                    *cell = b'-';
+                }
+            }
+        }
+        println!(
+            "{:10} {:>5} {:>6}  {}",
+            tl.user.as_str(),
+            tl.job_count(),
+            tl.hosts_used,
+            String::from_utf8(strip).unwrap()
+        );
+    }
+
+    // The Fig. 6 observations, recomputed: the MPI user with few jobs on
+    // many hosts vs the array user with many jobs on few hosts.
+    println!();
+    if let Some(mpi) = timelines.iter().find(|t| t.user.as_str() == "jieyao") {
+        println!(
+            "jieyao (MPI):    {} jobs across {} hosts — few big allocations",
+            mpi.job_count(),
+            mpi.hosts_used
+        );
+    }
+    if let Some(arr) = timelines.iter().find(|t| t.user.as_str() == "abdumal") {
+        println!(
+            "abdumal (array): {} jobs across {} hosts — many tasks sharing nodes",
+            arr.job_count(),
+            arr.hosts_used
+        );
+    }
+    let horizon = t_end;
+    let mut waits: Vec<(f64, &str)> = timelines
+        .iter()
+        .map(|t| (t.mean_wait_secs(horizon), t.user.as_str()))
+        .collect();
+    waits.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    println!("\nlongest mean queue waits:");
+    for (w, u) in waits.iter().take(5) {
+        println!("  {u:10} {:.0} min", w / 60.0);
+    }
+}

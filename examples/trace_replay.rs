@@ -1,0 +1,112 @@
+//! Replay a Standard Workload Format (SWF) trace through the full
+//! monitoring pipeline: parse → schedule → collect → query.
+//!
+//! Pass a trace path as the first argument, or run without arguments to
+//! use the embedded sample (a synthetic morning on a small cluster).
+//!
+//! ```text
+//! cargo run --release --example trace_replay [path/to/trace.swf]
+//! ```
+
+use monster::analysis::timeline::build_timeline;
+use monster::builder::{BuilderRequest, ExecMode};
+use monster::redfish::bmc::BmcConfig;
+use monster::scheduler::trace::Trace;
+use monster::tsdb::Aggregation;
+use monster::{Monster, MonsterConfig};
+
+/// Eight synthetic jobs: a morning mix of MPI, array-ish and serial work.
+const SAMPLE_SWF: &str = "\
+; Version: 2.2
+; Computer: sample cluster (32 nodes x 36 cores)
+; Note: synthetic sample shipped with the MonSTer reproduction
+1  0     12 7200  72  -1 -1 72  -1 -1 1 201 1 1 1 -1 -1 -1
+2  300    5 3600  1   -1 -1 1   -1 -1 1 202 1 1 1 -1 -1 -1
+3  600    0 1800  36  -1 -1 36  -1 -1 1 203 1 1 1 -1 -1 -1
+4  900    0 5400  144 -1 -1 144 -1 -1 1 201 1 1 1 -1 -1 -1
+5  1200   0 900   4   -1 -1 4   -1 -1 1 204 1 1 1 -1 -1 -1
+6  1800   0 2700  8   -1 -1 8   -1 -1 1 202 1 1 1 -1 -1 -1
+7  2400   0 10800 288 -1 -1 288 -1 -1 1 205 1 1 1 -1 -1 -1
+8  3600   0 600   1   -1 -1 1   -1 -1 1 204 1 1 1 -1 -1 -1
+";
+
+fn main() {
+    let trace = match std::env::args().nth(1) {
+        Some(path) => Trace::load(&path).unwrap_or_else(|e| {
+            eprintln!("failed to load {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => Trace::parse(SAMPLE_SWF).expect("embedded sample parses"),
+    };
+    println!("== SWF trace replay ==");
+    println!(
+        "trace: {} jobs, {:.1} core-hours\n",
+        trace.jobs.len(),
+        trace.core_seconds() as f64 / 3600.0
+    );
+
+    let mut m = Monster::new(MonsterConfig {
+        nodes: 32,
+        workload: None, // the trace is the workload
+        bmc: BmcConfig { failure_rate: 0.0, stall_rate: 0.0, ..BmcConfig::default() },
+        ..MonsterConfig::default()
+    });
+    let t0 = m.now();
+    let horizon = 4 * 3600;
+    let submitted = trace.drive(m.qmaster_mut(), t0, horizon);
+    println!("replaying {submitted} submissions over {} h of simulated time...", horizon / 3600);
+
+    // Collect through four hours.
+    m.run_intervals_bulk((horizon / 60) as usize);
+
+    println!("\nper-user outcome (Fig. 6 style):");
+    println!("{:<8} {:>5} {:>6} {:>11}", "user", "jobs", "hosts", "mean wait");
+    for tl in build_timeline(m.qmaster().jobs(), t0, t0 + horizon) {
+        println!(
+            "{:<8} {:>5} {:>6} {:>9.1} m",
+            tl.user.as_str(),
+            tl.job_count(),
+            tl.hosts_used,
+            tl.mean_wait_secs(m.now()) / 60.0
+        );
+    }
+
+    // The monitoring view: cluster-wide power over the replay.
+    let req = BuilderRequest::new(t0, m.now(), 900, Aggregation::Mean).expect("window");
+    let out = m
+        .builder_query(&req, ExecMode::Concurrent { workers: 8 })
+        .expect("query");
+    let mut per_window: std::collections::BTreeMap<i64, (f64, usize)> =
+        std::collections::BTreeMap::new();
+    if let Some(doc) = out.document.as_object() {
+        for (_, node) in doc.iter() {
+            if let Some(power) = node.get("power").and_then(|p| p.as_array()) {
+                for p in power {
+                    let t = p.get("time").and_then(|v| v.as_i64()).unwrap_or(0);
+                    let w = p.get("value").and_then(|v| v.as_f64()).unwrap_or(0.0);
+                    let e = per_window.entry(t).or_insert((0.0, 0));
+                    e.0 += w;
+                    e.1 += 1;
+                }
+            }
+        }
+    }
+    println!("\ncluster power during the replay (15 m means):");
+    let series: Vec<f64> = per_window.values().map(|(sum, _)| *sum / 1000.0).collect();
+    let lo = series.iter().cloned().fold(f64::MAX, f64::min);
+    let hi = series.iter().cloned().fold(f64::MIN, f64::max);
+    let strip: String = series
+        .iter()
+        .map(|v| {
+            let level = if hi > lo { ((v - lo) / (hi - lo) * 7.0) as u32 } else { 0 };
+            char::from_u32(0x2581 + level).unwrap()
+        })
+        .collect();
+    println!("  {strip}   ({lo:.1} .. {hi:.1} kW)");
+    println!(
+        "\nfinished {} / running {} / pending {} at the end of the window",
+        m.qmaster().finished_jobs().len(),
+        m.qmaster().running_jobs().len(),
+        m.qmaster().pending_jobs().len()
+    );
+}

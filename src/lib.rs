@@ -1,0 +1,34 @@
+//! # MonSTer
+//!
+//! A Rust reproduction of *"MonSTer: An Out-of-the-Box Monitoring Tool for
+//! High Performance Computing Systems"* (IEEE CLUSTER 2020): an integrated
+//! monitoring pipeline that polls BMC sensor data over Redfish, pulls job
+//! and resource data from the scheduler, stores everything in an embedded
+//! time-series database, and serves aggregated, compressed JSON to
+//! analysis consumers.
+//!
+//! This umbrella crate re-exports the whole workspace; see the README for
+//! the architecture tour and `examples/` for runnable entry points.
+//!
+//! ```
+//! use monster::{Monster, MonsterConfig};
+//! let mut deployment = Monster::new(MonsterConfig { nodes: 8, ..MonsterConfig::default() });
+//! deployment.run_intervals(2);
+//! assert!(deployment.db().stats().points > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use monster_core::*;
+
+pub use monster_analysis as analysis;
+pub use monster_builder as builder;
+pub use monster_collector as collector;
+pub use monster_compress as mzlib;
+pub use monster_http as http;
+pub use monster_json as json;
+pub use monster_redfish as redfish;
+pub use monster_scheduler as scheduler;
+pub use monster_sim as sim;
+pub use monster_tsdb as tsdb;
+pub use monster_util as util;

@@ -1,0 +1,151 @@
+//! Failure-injection integration: the monitoring pipeline must degrade
+//! gracefully — dead BMCs burn timeouts but don't block the sweep; lost
+//! execds kill jobs and get quarantined; everything recovers.
+
+use monster::redfish::bmc::BmcConfig;
+use monster::scheduler::{JobShape, JobSpec, JobState};
+use monster::util::UserName;
+use monster::{Monster, MonsterConfig};
+
+fn rig(nodes: usize) -> Monster {
+    Monster::new(MonsterConfig {
+        nodes,
+        workload: None,
+        bmc: BmcConfig { failure_rate: 0.0, stall_rate: 0.0, ..BmcConfig::default() },
+        ..MonsterConfig::default()
+    })
+}
+
+#[test]
+fn dead_bmc_only_loses_its_own_categories() {
+    let mut m = rig(6);
+    let victim = m.node_ids()[3];
+    m.cluster().set_bmc_alive(victim, false).unwrap();
+    let s = m.run_interval().unwrap();
+    // Exactly 4 failed requests (one per category) after retries.
+    assert_eq!(s.bmc_failures, 4);
+    // Other nodes' data still landed.
+    let healthy = m.node_ids()[0];
+    let (rs, _) = m
+        .db()
+        .query_str(&format!(
+            "SELECT count(Reading) FROM Power WHERE NodeId='{}' AND time >= 0 AND time < 4000000000",
+            healthy.bmc_addr()
+        ))
+        .unwrap();
+    assert!(rs.point_count() > 0);
+    // And the victim's power data did not.
+    let (rs, _) = m
+        .db()
+        .query_str(&format!(
+            "SELECT count(Reading) FROM Power WHERE NodeId='{}' AND time >= 0 AND time < 4000000000",
+            victim.bmc_addr()
+        ))
+        .unwrap();
+    assert_eq!(rs.point_count(), 0);
+}
+
+#[test]
+fn sweep_makespan_grows_under_failures_but_completes() {
+    let mut m = rig(8);
+    let baseline = m.run_interval().unwrap();
+    for &n in &m.node_ids()[0..2] {
+        m.cluster().set_bmc_alive(n, false).unwrap();
+    }
+    let degraded = m.run_interval().unwrap();
+    // Dead BMCs cost 3 x 15 s of timeout each — the makespan reflects it.
+    assert!(degraded.collection_time > baseline.collection_time);
+    assert_eq!(degraded.bmc_failures, 8);
+    // Recovery returns failure count to zero.
+    for &n in &m.node_ids()[0..2] {
+        m.cluster().set_bmc_alive(n, true).unwrap();
+    }
+    let recovered = m.run_interval().unwrap();
+    assert_eq!(recovered.bmc_failures, 0);
+}
+
+#[test]
+fn lost_execd_kills_jobs_and_reschedules_elsewhere() {
+    // 4 nodes: 3 get whole-node jobs, one stays free for the retry.
+    let mut m = rig(4);
+    let t0 = m.now();
+    for i in 0..3 {
+        m.qmaster_mut().submit_at(
+            t0 + 1 + i,
+            JobSpec {
+                user: UserName::new("worker"),
+                name: format!("j{i}.sh"),
+                shape: JobShape::Serial { slots: 36 },
+                runtime_secs: 100_000,
+                priority: 0,
+                mem_per_slot_gib: 1.0,
+            },
+        );
+    }
+    m.run_intervals(1);
+    assert_eq!(m.qmaster().running_jobs().len(), 3);
+    let victim_node = m.qmaster().running_jobs()[0].hosts()[0];
+    let now = m.now();
+    m.qmaster_mut().fail_execd_at(now + 5, victim_node);
+    // 3 missed 40 s reports => lost after ~120 s.
+    m.run_intervals(4);
+    assert!(!m.qmaster().host_available(victim_node));
+    assert_eq!(m.qmaster().running_jobs().len(), 2);
+    let failed = m
+        .qmaster()
+        .finished_jobs()
+        .iter()
+        .filter(|j| matches!(j.state, JobState::Failed { .. }))
+        .count();
+    assert_eq!(failed, 1);
+
+    // A replacement job queues and must land on a *different* node.
+    let now = m.now();
+    m.qmaster_mut().submit_at(
+        now + 5,
+        JobSpec {
+            user: UserName::new("worker"),
+            name: "retry.sh".into(),
+            shape: JobShape::Serial { slots: 36 },
+            runtime_secs: 1000,
+            priority: 0,
+            mem_per_slot_gib: 1.0,
+        },
+    );
+    m.run_intervals(2);
+    let placed: Vec<_> = m
+        .qmaster()
+        .running_jobs()
+        .iter()
+        .filter(|j| j.spec.name == "retry.sh")
+        .flat_map(|j| j.hosts().to_vec())
+        .collect();
+    assert_eq!(placed.len(), 1);
+    assert_ne!(placed[0], victim_node);
+}
+
+#[test]
+fn abnormal_health_is_stored_only_when_abnormal() {
+    // Abnormal-only retention: a healthy fleet writes zero Health points.
+    let mut m = rig(4);
+    m.run_intervals(3);
+    let (rs, _) = m
+        .db()
+        .query_str("SELECT count(Code) FROM Health WHERE time >= 0 AND time < 4000000000")
+        .unwrap();
+    assert_eq!(rs.point_count(), 0, "healthy cluster wrote Health points");
+}
+
+#[test]
+fn flaky_bmcs_mostly_recovered_by_retries() {
+    let mut m = Monster::new(MonsterConfig {
+        nodes: 12,
+        workload: None,
+        bmc: BmcConfig { failure_rate: 0.10, stall_rate: 0.0, ..BmcConfig::default() },
+        ..MonsterConfig::default()
+    });
+    let s = m.run_interval().unwrap();
+    // Single-attempt failure rate would be ~10%; after two retries the
+    // residual is ~0.1% (48 requests => almost always 0, rarely 1).
+    assert!(s.bmc_failures <= 1, "failures {}", s.bmc_failures);
+}

@@ -1,0 +1,159 @@
+//! Integration over real sockets: the Redfish gateway and the Metrics
+//! Builder API, exercised exactly as external consumers would.
+
+use monster::http::{Client, Request, Status};
+use monster::redfish::bmc::BmcConfig;
+use monster::redfish::cluster::{ClusterConfig, SimulatedCluster};
+use monster::redfish::gateway;
+use monster::{Monster, MonsterConfig};
+use std::sync::Arc;
+
+fn reliable_bmc() -> BmcConfig {
+    BmcConfig { failure_rate: 0.0, stall_rate: 0.0, ..BmcConfig::default() }
+}
+
+#[test]
+fn redfish_tree_serves_all_four_categories() {
+    let cluster = Arc::new(SimulatedCluster::new(ClusterConfig {
+        nodes: 4,
+        bmc: reliable_bmc(),
+        ..ClusterConfig::small(4, 31)
+    }));
+    let server = monster::http::Server::spawn(0, gateway::router(cluster)).unwrap();
+    let client = Client::new();
+    for (path, expect_key) in [
+        ("Chassis/System.Embedded.1/Thermal/", "Temperatures"),
+        ("Chassis/System.Embedded.1/Power/", "PowerControl"),
+        ("Managers/iDRAC.Embedded.1", "FirmwareVersion"),
+        ("Systems/System.Embedded.1", "ProcessorSummary"),
+    ] {
+        let resp = client
+            .send_ok(
+                server.addr(),
+                &Request::get(&format!("/nodes/10.101.1.2/redfish/v1/{path}")),
+            )
+            .unwrap_or_else(|e| panic!("{path}: {e}"));
+        let v = resp.json_body().unwrap();
+        assert!(v.get(expect_key).is_some(), "{path} missing {expect_key}");
+    }
+}
+
+#[test]
+fn builder_api_full_consumer_flow() {
+    let mut m = Monster::new(MonsterConfig {
+        nodes: 5,
+        bmc: reliable_bmc(),
+        ..MonsterConfig::default()
+    });
+    m.run_intervals_bulk(30);
+    let server = m.serve_api(0).unwrap();
+    let client = Client::new();
+
+    // Discover nodes.
+    let nodes = client
+        .send_ok(server.addr(), &Request::get("/v1/nodes"))
+        .unwrap()
+        .json_body()
+        .unwrap();
+    let node_list = nodes.get("nodes").unwrap().as_array().unwrap().len();
+    assert_eq!(node_list, 5);
+
+    // Pull metrics, compressed and not; both must decode identically.
+    let start = (m.now() - 1500).to_rfc3339();
+    let end = m.now().to_rfc3339();
+    let base =
+        format!("/v1/metrics?start={start}&end={end}&interval=5m&aggregation=max");
+    let plain = client
+        .send_ok(server.addr(), &Request::get(&base))
+        .unwrap();
+    let packed = client
+        .send_ok(server.addr(), &Request::get(&format!("{base}&compress=true")))
+        .unwrap();
+    assert!(packed.body.len() < plain.body.len());
+    assert_eq!(plain.json_body().unwrap(), packed.json_body().unwrap());
+
+    // Timing headers present (the observability contract).
+    assert!(plain.headers.get("X-Query-Processing-Ms").is_some());
+}
+
+#[test]
+fn builder_api_rejects_bad_requests_cleanly() {
+    let mut m = Monster::new(MonsterConfig {
+        nodes: 2,
+        bmc: reliable_bmc(),
+        ..MonsterConfig::default()
+    });
+    m.run_intervals_bulk(5);
+    let server = m.serve_api(0).unwrap();
+    let client = Client::new();
+    let resp = client
+        .send(server.addr(), &Request::get("/v1/metrics?start=bogus"))
+        .unwrap();
+    assert_eq!(resp.status, Status::BAD_REQUEST);
+    let resp = client
+        .send(server.addr(), &Request::get("/v1/nope"))
+        .unwrap();
+    assert_eq!(resp.status, Status::NOT_FOUND);
+}
+
+#[test]
+fn repeated_requests_hit_the_response_cache() {
+    let mut m = Monster::new(MonsterConfig {
+        nodes: 3,
+        bmc: reliable_bmc(),
+        ..MonsterConfig::default()
+    });
+    m.run_intervals_bulk(10);
+    let server = m.serve_api(0).unwrap();
+    let client = Client::new();
+    let url = format!(
+        "/v1/metrics?start={}&end={}&interval=5m&aggregation=max",
+        (m.now() - 600).to_rfc3339(),
+        m.now().to_rfc3339()
+    );
+    let first = client.send_ok(server.addr(), &Request::get(&url)).unwrap();
+    assert_eq!(first.headers.get("X-Cache"), Some("miss"));
+    let second = client.send_ok(server.addr(), &Request::get(&url)).unwrap();
+    assert_eq!(second.headers.get("X-Cache"), Some("hit"));
+    assert_eq!(first.json_body().unwrap(), second.json_body().unwrap());
+    // A new collection interval invalidates the cache.
+    m.run_intervals_bulk(1);
+    let third = client.send_ok(server.addr(), &Request::get(&url)).unwrap();
+    assert_eq!(third.headers.get("X-Cache"), Some("miss"));
+}
+
+#[test]
+fn concurrent_consumers_get_consistent_answers() {
+    let mut m = Monster::new(MonsterConfig {
+        nodes: 3,
+        bmc: reliable_bmc(),
+        ..MonsterConfig::default()
+    });
+    m.run_intervals_bulk(20);
+    let server = m.serve_api(0).unwrap();
+    let addr = server.addr();
+    let start = (m.now() - 1200).to_rfc3339();
+    let end = m.now().to_rfc3339();
+    let url = format!("/v1/metrics?start={start}&end={end}&interval=5m&aggregation=mean");
+
+    let answers: Vec<_> = std::thread::scope(|s| {
+        (0..6)
+            .map(|_| {
+                let url = url.clone();
+                s.spawn(move || {
+                    Client::new()
+                        .send_ok(addr, &Request::get(&url))
+                        .unwrap()
+                        .json_body()
+                        .unwrap()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    for a in &answers[1..] {
+        assert_eq!(a, &answers[0]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Regression guards for the paper's headline results, at a reduced scale
+//! that runs in seconds under `cargo test`. The full-scale numbers live in
+//! EXPERIMENTS.md; these tests pin the *relationships* so refactors cannot
+//! silently break them.
+
+use monster::builder::{build_plan, exec::execute, BuilderRequest, ExecMode};
+use monster::collector::SchemaVersion;
+use monster::redfish::bmc::BmcConfig;
+use monster::redfish::cluster::{ClusterConfig, SimulatedCluster};
+use monster::redfish::RedfishClient;
+use monster::scheduler::WorkloadConfig;
+use monster::sim::DiskModel;
+use monster::tsdb::Aggregation;
+use monster::{Monster, MonsterConfig};
+
+/// A small populated deployment: 8 nodes, one day at 5-minute cadence.
+fn populated(schema: SchemaVersion, disk: DiskModel) -> Monster {
+    let mut m = Monster::new(MonsterConfig {
+        nodes: 8,
+        seed: 1234,
+        schema,
+        interval_secs: 300,
+        disk,
+        bmc: BmcConfig { failure_rate: 0.0, stall_rate: 0.0, ..BmcConfig::default() },
+        workload: Some(WorkloadConfig {
+            mpi_users: 1,
+            array_users: 1,
+            serial_users: 3,
+            submissions_per_user_day: 4.0,
+            seed: 9,
+        }),
+        horizon_secs: 86_400,
+        amplify_to_quanah: true,
+    });
+    m.run_intervals_bulk(288);
+    m
+}
+
+fn day_query(m: &Monster, mode: ExecMode) -> monster::builder::BuilderOutcome {
+    let req = BuilderRequest::new(m.now() - 86_400, m.now(), 1800, Aggregation::Max).unwrap();
+    let plan = build_plan(m.config().schema, &m.node_ids(), &req);
+    execute(m.db(), &plan, mode).unwrap()
+}
+
+/// Fig. 12's direction: HDD strictly slower than SSD, by a bounded factor.
+#[test]
+fn band_hdd_slower_than_ssd() {
+    let hdd = populated(SchemaVersion::Previous, DiskModel::HDD);
+    let ssd = populated(SchemaVersion::Previous, DiskModel::SSD);
+    let t_hdd = day_query(&hdd, ExecMode::Sequential).query_processing_time();
+    let t_ssd = day_query(&ssd, ExecMode::Sequential).query_processing_time();
+    let ratio = t_hdd.as_secs_f64() / t_ssd.as_secs_f64();
+    assert!((1.05..6.0).contains(&ratio), "HDD/SSD ratio {ratio:.2}");
+}
+
+/// Fig. 13's direction: the optimized schema stores far less.
+#[test]
+fn band_schema_volume_shrinks() {
+    let old = populated(SchemaVersion::Previous, DiskModel::SSD);
+    let new = populated(SchemaVersion::Optimized, DiskModel::SSD);
+    let ratio = new.db().stats().encoded_bytes as f64 / old.db().stats().encoded_bytes as f64;
+    assert!(ratio < 0.40, "optimized/previous at-rest ratio {ratio:.3}");
+    let wire = new.db().stats().wire_bytes as f64 / old.db().stats().wire_bytes as f64;
+    assert!(wire < 0.45, "wire ratio {wire:.3}");
+    assert!(new.db().stats().measurements < old.db().stats().measurements / 10);
+}
+
+/// Fig. 14's direction: the optimized schema queries faster on identical
+/// hardware.
+#[test]
+fn band_schema_speeds_up_queries() {
+    let old = populated(SchemaVersion::Previous, DiskModel::SSD);
+    let new = populated(SchemaVersion::Optimized, DiskModel::SSD);
+    let t_old = day_query(&old, ExecMode::Sequential).query_processing_time();
+    let t_new = day_query(&new, ExecMode::Sequential).query_processing_time();
+    let ratio = t_old.as_secs_f64() / t_new.as_secs_f64();
+    assert!((1.2..4.0).contains(&ratio), "schema speedup {ratio:.2}");
+}
+
+/// Fig. 15's direction: concurrency pays off well beyond 2x but below the
+/// worker count (shared storage backend).
+#[test]
+fn band_concurrency_speedup() {
+    let m = populated(SchemaVersion::Optimized, DiskModel::SSD);
+    let t_seq = day_query(&m, ExecMode::Sequential).query_processing_time();
+    let t_con = day_query(&m, ExecMode::Concurrent { workers: 16 }).query_processing_time();
+    let speedup = t_seq.as_secs_f64() / t_con.as_secs_f64();
+    assert!((3.0..16.0).contains(&speedup), "concurrent speedup {speedup:.2}");
+}
+
+/// §III-B1's statistics: request mean near 4.29 s, sweep near 55 s, high
+/// success — at the full 467-node scale (cheap: latency is simulated).
+#[test]
+fn band_sweep_statistics() {
+    let cluster = SimulatedCluster::new(ClusterConfig::default());
+    let client = RedfishClient::default();
+    let sweep = client.sweep(&cluster);
+    let mean = sweep.mean_request_secs();
+    assert!((3.8..4.8).contains(&mean), "mean request {mean:.2} s");
+    let makespan = sweep.makespan.as_secs_f64();
+    assert!((40.0..75.0).contains(&makespan), "makespan {makespan:.1} s");
+    assert!(sweep.successes() as f64 / sweep.results.len() as f64 > 0.95);
+}
+
+/// Fig. 18's direction: responses compress dramatically.
+#[test]
+fn band_compression_ratio() {
+    let m = populated(SchemaVersion::Optimized, DiskModel::SSD);
+    let out = day_query(&m, ExecMode::Concurrent { workers: 8 });
+    let json = out.document.to_string_compact();
+    let packed = monster::mzlib::compress(json.as_bytes(), monster::mzlib::Level::default());
+    let ratio = packed.len() as f64 / json.len() as f64;
+    assert!(ratio < 0.30, "compression ratio {ratio:.3}");
+}
+
+/// Fig. 11's direction: BMC queries dominate the middleware profile.
+#[test]
+fn band_bmc_dominates_profile() {
+    let m = populated(SchemaVersion::Previous, DiskModel::HDD);
+    let req = BuilderRequest::new(m.now() - 86_400, m.now(), 1800, Aggregation::Max).unwrap();
+    let plan = build_plan(SchemaVersion::Previous, &m.node_ids(), &req);
+    let total = execute(m.db(), &plan, ExecMode::Sequential)
+        .unwrap()
+        .query_processing_time()
+        .as_secs_f64();
+    let bmc_plan: Vec<_> = plan
+        .iter()
+        .filter(|p| p.group == monster::builder::QueryGroup::Bmc)
+        .cloned()
+        .collect();
+    let bmc = execute(m.db(), &bmc_plan, ExecMode::Sequential)
+        .unwrap()
+        .query_processing_time()
+        .as_secs_f64();
+    assert!(bmc / total > 0.55, "BMC share {:.2}", bmc / total);
+}
+
+/// §III-C's direction: interval volume scales to ~10k points at 467 nodes.
+#[test]
+fn band_interval_volume() {
+    // 8 nodes busy cluster: points/interval scaled by 467/8 should land in
+    // the right decade.
+    let mut m = populated(SchemaVersion::Optimized, DiskModel::SSD);
+    let before = m.db().stats().points;
+    m.run_intervals_bulk(1);
+    let per_interval = m.db().stats().points - before;
+    let scaled = per_interval as f64 * 467.0 / 8.0;
+    assert!(
+        (4_000.0..40_000.0).contains(&scaled),
+        "scaled interval volume {scaled:.0}"
+    );
+}

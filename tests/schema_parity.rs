@@ -1,0 +1,108 @@
+//! Schema and scheduler-dialect parity: both storage schemas answer the
+//! same questions, and the Slurm facade exposes the same cluster state as
+//! native UGE.
+
+use monster::builder::{build_plan, exec::execute, BuilderRequest, ExecMode};
+use monster::collector::SchemaVersion;
+use monster::redfish::bmc::BmcConfig;
+use monster::scheduler::slurm::{ResourceManager, SlurmView};
+use monster::tsdb::Aggregation;
+use monster::{Monster, MonsterConfig};
+
+fn deployment(schema: SchemaVersion, nodes: usize) -> Monster {
+    let mut m = Monster::new(MonsterConfig {
+        nodes,
+        schema,
+        seed: 99,
+        bmc: BmcConfig { failure_rate: 0.0, stall_rate: 0.0, ..BmcConfig::default() },
+        ..MonsterConfig::default()
+    });
+    m.run_intervals_bulk(30);
+    m
+}
+
+#[test]
+fn both_schemas_answer_power_queries_identically() {
+    let old = deployment(SchemaVersion::Previous, 4);
+    let new = deployment(SchemaVersion::Optimized, 4);
+    let req = BuilderRequest::new(old.now() - 1800, old.now() + 60, 300, Aggregation::Max).unwrap();
+    let out_old = execute(
+        old.db(),
+        &build_plan(SchemaVersion::Previous, &old.node_ids(), &req),
+        ExecMode::Sequential,
+    )
+    .unwrap();
+    let out_new = execute(
+        new.db(),
+        &build_plan(SchemaVersion::Optimized, &new.node_ids(), &req),
+        ExecMode::Sequential,
+    )
+    .unwrap();
+
+    // Same seed → same sensors → the max node power per window must agree
+    // across schemas (old stores it in PowerUsage, new in Power).
+    for node in old.node_ids() {
+        let series = |doc: &monster::json::Value| -> Vec<f64> {
+            doc.get(&node.bmc_addr())
+                .and_then(|n| n.get("power"))
+                .and_then(|p| p.as_array())
+                .map(|a| {
+                    a.iter()
+                        .filter_map(|p| p.get("value").and_then(|v| v.as_f64()))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let a = series(&out_old.document);
+        let b = series(&out_new.document);
+        assert_eq!(a.len(), b.len(), "window counts differ for {node}");
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9, "{node}: {x} vs {y}");
+        }
+    }
+    // And the optimized schema did it with less physical work.
+    assert!(out_new.cost.bytes < out_old.cost.bytes);
+    assert!(out_new.cost.queries < out_old.cost.queries);
+}
+
+#[test]
+fn slurm_view_matches_uge_state() {
+    let m = deployment(SchemaVersion::Optimized, 6);
+    let qm = m.qmaster();
+    let slurm = SlurmView::new(qm);
+
+    let nodes = slurm.nodes_payload();
+    let node_arr = nodes.get("nodes").unwrap().as_array().unwrap();
+    assert_eq!(node_arr.len(), 6);
+    for n in node_arr {
+        let name = n.get("name").unwrap().as_str().unwrap();
+        let node = monster::util::NodeId::parse(name).unwrap();
+        let report = qm.load_report(node).unwrap();
+        let alloc = n.get("alloc_cpus").unwrap().as_i64().unwrap();
+        assert_eq!(alloc, (report.cpu_usage * 36.0).round() as i64);
+    }
+
+    let jobs = slurm.jobs_payload();
+    let job_arr = jobs.get("jobs").unwrap().as_array().unwrap();
+    assert_eq!(job_arr.len(), qm.job_table().len());
+    let running_in_slurm = job_arr
+        .iter()
+        .filter(|j| j.get("job_state").unwrap().as_str() == Some("RUNNING"))
+        .count();
+    assert_eq!(running_in_slurm, qm.running_jobs().len());
+    assert_eq!(qm.dialect(), "uge");
+}
+
+#[test]
+fn deterministic_deployments_are_bit_identical() {
+    let a = deployment(SchemaVersion::Optimized, 3);
+    let b = deployment(SchemaVersion::Optimized, 3);
+    let sa = a.db().stats();
+    let sb = b.db().stats();
+    assert_eq!(sa, sb);
+    let req = BuilderRequest::new(a.now() - 900, a.now() + 60, 300, Aggregation::Mean).unwrap();
+    let qa = a.builder_query(&req, ExecMode::Sequential).unwrap();
+    let qb = b.builder_query(&req, ExecMode::Sequential).unwrap();
+    assert_eq!(qa.document, qb.document);
+    assert_eq!(qa.query_time, qb.query_time);
+}
