@@ -169,11 +169,7 @@ mod tests {
     #[test]
     fn steady_signal_never_alarms() {
         let mut d = detector();
-        let events = feed(
-            &mut d,
-            "1-1/power",
-            (0..200).map(|i| 273.0 + ((i % 7) as f64) * 0.3),
-        );
+        let events = feed(&mut d, "1-1/power", (0..200).map(|i| 273.0 + ((i % 7) as f64) * 0.3));
         assert!(events.is_empty(), "{events:?}");
         assert!(!d.is_alarmed("1-1/power"));
     }
@@ -198,9 +194,8 @@ mod tests {
     #[test]
     fn single_spike_is_debounced() {
         let mut d = detector();
-        let series: Vec<f64> = (0..40)
-            .map(|i| if i == 25 { 450.0 } else { 272.0 + (i % 3) as f64 })
-            .collect();
+        let series: Vec<f64> =
+            (0..40).map(|i| if i == 25 { 450.0 } else { 272.0 + (i % 3) as f64 }).collect();
         let events = feed(&mut d, "s", series);
         assert!(events.is_empty(), "one-sample glitch alarmed: {events:?}");
     }

@@ -44,11 +44,7 @@ impl UsageMatrix {
     /// one node currently occupied by `user`.
     pub fn observe(&mut self, user: &UserName, reading: &[f64; 9]) {
         let entry = self.rows.entry(user.clone()).or_insert_with(|| {
-            (
-                (0..9).map(|_| Histogram::new(0.0, 1.0, BINS)).collect(),
-                vec![0.0; 9],
-                0,
-            )
+            ((0..9).map(|_| Histogram::new(0.0, 1.0, BINS)).collect(), vec![0.0; 9], 0)
         });
         for (d, &v) in reading.iter().enumerate() {
             entry.0[d].push(v);
@@ -67,10 +63,7 @@ impl UsageMatrix {
             .map(|(user, (hists, sums, n))| UserUsageRow {
                 user: user.clone(),
                 histograms: hists.clone(),
-                means: sums
-                    .iter()
-                    .map(|s| if *n > 0 { s / *n as f64 } else { 0.0 })
-                    .collect(),
+                means: sums.iter().map(|s| if *n > 0 { s / *n as f64 } else { 0.0 }).collect(),
                 samples: *n,
             })
             .collect();

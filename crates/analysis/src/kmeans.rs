@@ -65,12 +65,7 @@ impl KMeans {
         while centroids.len() < k {
             let d2: Vec<f64> = normed
                 .iter()
-                .map(|p| {
-                    centroids
-                        .iter()
-                        .map(|c| dist2(p, c))
-                        .fold(f64::INFINITY, f64::min)
-                })
+                .map(|p| centroids.iter().map(|c| dist2(p, c)).fold(f64::INFINITY, f64::min))
                 .collect();
             let total: f64 = d2.iter().sum();
             if total <= 0.0 {
@@ -122,8 +117,7 @@ impl KMeans {
                     movement = f64::INFINITY;
                     continue;
                 }
-                let new: Vec<f64> =
-                    sums[c].iter().map(|s| s / counts[c] as f64).collect();
+                let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
                 movement += dist2(&new, &centroids[c]);
                 centroids[c] = new;
             }
@@ -175,13 +169,7 @@ fn ranges_of(data: &[Vec<f64>]) -> Vec<(f64, f64)> {
 fn normalize_row(row: &[f64], ranges: &[(f64, f64)]) -> Vec<f64> {
     row.iter()
         .zip(ranges)
-        .map(|(&x, &(lo, hi))| {
-            if hi > lo {
-                ((x - lo) / (hi - lo)).clamp(0.0, 1.0)
-            } else {
-                0.5
-            }
-        })
+        .map(|(&x, &(lo, hi))| if hi > lo { ((x - lo) / (hi - lo)).clamp(0.0, 1.0) } else { 0.5 })
         .collect()
 }
 
@@ -284,8 +272,7 @@ mod tests {
         // One dimension a thousand times larger must not dominate: same
         // blobs, but dim 1 scaled by 1000 — clustering is unchanged.
         let data = blobs();
-        let scaled: Vec<Vec<f64>> =
-            data.iter().map(|r| vec![r[0], r[1] * 1000.0]).collect();
+        let scaled: Vec<Vec<f64>> = data.iter().map(|r| vec![r[0], r[1] * 1000.0]).collect();
         let a = KMeans::fit(&data, &KMeansConfig { k: 3, ..KMeansConfig::default() });
         let b = KMeans::fit(&scaled, &KMeansConfig { k: 3, ..KMeansConfig::default() });
         // Same partition (labels may permute): compare co-assignment.

@@ -32,6 +32,6 @@ pub mod trend;
 pub use anomaly::{AnomalyConfig, AnomalyDetector, AnomalyEvent};
 pub use kmeans::{KMeans, KMeansConfig};
 pub use pca::Pca;
-pub use report::ClusterReport;
 pub use radar::{RadarProfile, METRIC_NAMES};
+pub use report::ClusterReport;
 pub use timeline::{JobBar, UserTimeline};

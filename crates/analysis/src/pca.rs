@@ -46,10 +46,8 @@ impl Pca {
         for m in means.iter_mut() {
             *m /= n;
         }
-        let centered: Vec<Vec<f64>> = data
-            .iter()
-            .map(|row| row.iter().zip(&means).map(|(x, m)| x - m).collect())
-            .collect();
+        let centered: Vec<Vec<f64>> =
+            data.iter().map(|row| row.iter().zip(&means).map(|(x, m)| x - m).collect()).collect();
 
         // Covariance matrix (dims × dims).
         let mut cov = vec![vec![0.0; dims]; dims];
@@ -218,8 +216,14 @@ mod tests {
         let proj: Vec<f64> = data.iter().map(|r| pca.project(r)[0]).collect();
         let a = &proj[..50];
         let b = &proj[50..];
-        let (amin, amax) = (a.iter().cloned().fold(f64::MAX, f64::min), a.iter().cloned().fold(f64::MIN, f64::max));
-        let (bmin, bmax) = (b.iter().cloned().fold(f64::MAX, f64::min), b.iter().cloned().fold(f64::MIN, f64::max));
+        let (amin, amax) = (
+            a.iter().cloned().fold(f64::MAX, f64::min),
+            a.iter().cloned().fold(f64::MIN, f64::max),
+        );
+        let (bmin, bmax) = (
+            b.iter().cloned().fold(f64::MAX, f64::min),
+            b.iter().cloned().fold(f64::MIN, f64::max),
+        );
         assert!(amax < bmin || bmax < amin, "clusters overlap in projection");
     }
 

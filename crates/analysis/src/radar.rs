@@ -54,10 +54,7 @@ impl RadarProfile {
     /// profile looks.
     pub fn glyph_area(&self) -> f64 {
         let n = self.normalized.len();
-        (0..n)
-            .map(|i| self.normalized[i] * self.normalized[(i + 1) % n])
-            .sum::<f64>()
-            / n as f64
+        (0..n).map(|i| self.normalized[i] * self.normalized[(i + 1) % n]).sum::<f64>() / n as f64
     }
 
     /// The Fig. 7 classification: a profile is *critical* when its hottest
@@ -85,11 +82,7 @@ pub fn fleet_normalized(raw: &[[f64; 9]]) -> Vec<[f64; 9]> {
         .map(|row| {
             let mut out = [0.0; 9];
             for d in 0..9 {
-                out[d] = if hi[d] > lo[d] {
-                    (row[d] - lo[d]) / (hi[d] - lo[d])
-                } else {
-                    0.5
-                };
+                out[d] = if hi[d] > lo[d] { (row[d] - lo[d]) / (hi[d] - lo[d]) } else { 0.5 };
             }
             out
         })
@@ -101,10 +94,7 @@ mod tests {
     use super::*;
 
     fn normal_node() -> RadarProfile {
-        RadarProfile::new(
-            "1-30",
-            [45.0, 46.0, 21.0, 4500.0, 4510.0, 4480.0, 4520.0, 180.0, 0.3],
-        )
+        RadarProfile::new("1-30", [45.0, 46.0, 21.0, 4500.0, 4510.0, 4480.0, 4520.0, 180.0, 0.3])
     }
 
     fn hot_node() -> RadarProfile {
@@ -143,13 +133,15 @@ mod tests {
     #[test]
     fn glyph_area_orders_profiles() {
         assert!(hot_node().glyph_area() > normal_node().glyph_area());
-        let idle = RadarProfile::new("3-1", [20.0, 20.0, 10.0, 2000.0, 2000.0, 2000.0, 2000.0, 80.0, 0.0]);
+        let idle =
+            RadarProfile::new("3-1", [20.0, 20.0, 10.0, 2000.0, 2000.0, 2000.0, 2000.0, 80.0, 0.0]);
         assert_eq!(idle.glyph_area(), 0.0);
     }
 
     #[test]
     fn out_of_range_values_clamp() {
-        let p = RadarProfile::new("x", [500.0, -40.0, 20.0, 99999.0, 0.0, 5000.0, 5000.0, 200.0, 2.0]);
+        let p =
+            RadarProfile::new("x", [500.0, -40.0, 20.0, 99999.0, 0.0, 5000.0, 5000.0, 200.0, 2.0]);
         assert_eq!(p.normalized[0], 1.0);
         assert_eq!(p.normalized[1], 0.0);
         assert_eq!(p.normalized[3], 1.0);

@@ -79,9 +79,8 @@ impl ClusterReport {
                 match &job.state {
                     JobState::Done { start: s, end: e, .. } => {
                         row.jobs_done += 1;
-                        row.core_hours += (*e - *s) as f64
-                            * job.total_slots(slots_per_node) as f64
-                            / 3600.0;
+                        row.core_hours +=
+                            (*e - *s) as f64 * job.total_slots(slots_per_node) as f64 / 3600.0;
                     }
                     JobState::Failed { .. } => row.jobs_failed += 1,
                     _ => {}
@@ -214,8 +213,11 @@ mod tests {
         let (qm, t0) = scenario();
         let report = ClusterReport::build(&qm, t0, t0 + 4 * 3600);
         // 108 finished core-hours over 4 nodes x 36 cores x 4 h = 576.
-        assert!((report.utilization - 108.0 / 576.0).abs() < 0.01,
-            "utilization {}", report.utilization);
+        assert!(
+            (report.utilization - 108.0 / 576.0).abs() < 0.01,
+            "utilization {}",
+            report.utilization
+        );
         assert!(report.utilization <= 1.0);
     }
 

@@ -62,8 +62,7 @@ impl UserTimeline {
         if self.bars.is_empty() {
             return 0.0;
         }
-        self.bars.iter().map(|b| b.wait_secs(horizon) as f64).sum::<f64>()
-            / self.bars.len() as f64
+        self.bars.iter().map(|b| b.wait_secs(horizon) as f64).sum::<f64>() / self.bars.len() as f64
     }
 }
 
@@ -86,9 +85,8 @@ pub fn build_timeline<'a>(
                 (Some(*start), Some(*end))
             }
         };
-        let entry = per_user
-            .entry(job.spec.user.clone())
-            .or_insert_with(|| (Vec::new(), HashSet::new()));
+        let entry =
+            per_user.entry(job.spec.user.clone()).or_insert_with(|| (Vec::new(), HashSet::new()));
         entry.0.push(JobBar { job: job.id, submit: job.submit_time, start, end });
         entry.1.extend(job.hosts().iter().copied());
     }
@@ -132,9 +130,11 @@ mod tests {
 
     #[test]
     fn bars_capture_wait_and_run_spans() {
-        let jobs = [job(1, "jieyao", 100, done(160, 400, vec![NodeId::new(1, 1), NodeId::new(1, 2)])),
+        let jobs = [
+            job(1, "jieyao", 100, done(160, 400, vec![NodeId::new(1, 1), NodeId::new(1, 2)])),
             job(2, "jieyao", 150, running(150, vec![NodeId::new(1, 2)])),
-            job(3, "abdumal", 200, JobState::Pending)];
+            job(3, "abdumal", 200, JobState::Pending),
+        ];
         let tl = build_timeline(jobs.iter(), EpochSecs::new(0), EpochSecs::new(1000));
         assert_eq!(tl.len(), 2);
         let horizon = EpochSecs::new(1000);
@@ -173,9 +173,11 @@ mod tests {
 
     #[test]
     fn bars_sorted_by_submit() {
-        let jobs = [job(5, "u", 300, JobState::Pending),
+        let jobs = [
+            job(5, "u", 300, JobState::Pending),
             job(4, "u", 100, JobState::Pending),
-            job(6, "u", 200, JobState::Pending)];
+            job(6, "u", 200, JobState::Pending),
+        ];
         let tl = build_timeline(jobs.iter(), EpochSecs::new(0), EpochSecs::new(1000));
         let submits: Vec<i64> = tl[0].bars.iter().map(|b| b.submit.as_secs()).collect();
         assert_eq!(submits, vec![100, 200, 300]);

@@ -38,11 +38,7 @@ impl NodeTrend {
     ) -> NodeTrend {
         let mut points: Vec<TrendPoint> = samples
             .iter()
-            .map(|(t, m)| TrendPoint {
-                time: *t,
-                metrics: *m,
-                cluster: clustering.predict(m),
-            })
+            .map(|(t, m)| TrendPoint { time: *t, metrics: *m, cluster: clustering.predict(m) })
             .collect();
         points.sort_by_key(|p| p.time);
         NodeTrend { node: node.into(), points }
@@ -72,10 +68,7 @@ impl NodeTrend {
     /// Extract one metric's series (for the line charts of Fig. 8).
     pub fn metric_series(&self, dimension: usize) -> Vec<(EpochSecs, f64)> {
         assert!(dimension < 9);
-        self.points
-            .iter()
-            .map(|p| (p.time, p.metrics[dimension]))
-            .collect()
+        self.points.iter().map(|p| (p.time, p.metrics[dimension])).collect()
     }
 }
 

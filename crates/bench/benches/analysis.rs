@@ -43,9 +43,7 @@ fn bench_analysis(c: &mut Criterion) {
         })
         .collect();
     g.bench_function("fleet_normalize_467", |b| b.iter(|| fleet_normalized(&raw)));
-    g.bench_function("radar_profile_build", |b| {
-        b.iter(|| RadarProfile::new("1-31", raw[0]))
-    });
+    g.bench_function("radar_profile_build", |b| b.iter(|| RadarProfile::new("1-31", raw[0])));
     g.finish();
 }
 

@@ -29,9 +29,7 @@ fn bench_redfish(c: &mut Criterion) {
     });
     let client = RedfishClient::default();
     g.bench_function("full_sweep_467_nodes", |b| b.iter(|| client.sweep(&cluster)));
-    g.bench_function("cluster_step_467_nodes", |b| {
-        b.iter(|| cluster.step(60.0, |_| 0.5))
-    });
+    g.bench_function("cluster_step_467_nodes", |b| b.iter(|| cluster.step(60.0, |_| 0.5)));
     g.finish();
 }
 

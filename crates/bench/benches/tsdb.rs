@@ -32,9 +32,7 @@ fn bench_codecs(c: &mut Criterion) {
         b.iter(|| monster_tsdb::encode::timestamps::decode(&enc, ts.len()).unwrap())
     });
     let vals: Vec<f64> = (0..4096).map(|i| 273.8 + (i % 60) as f64 * 0.1).collect();
-    g.bench_function("floats_encode", |b| {
-        b.iter(|| monster_tsdb::encode::floats::encode(&vals))
-    });
+    g.bench_function("floats_encode", |b| b.iter(|| monster_tsdb::encode::floats::encode(&vals)));
     let fenc = monster_tsdb::encode::floats::encode(&vals);
     g.bench_function("floats_decode", |b| {
         b.iter(|| monster_tsdb::encode::floats::decode(&fenc, vals.len()).unwrap())

@@ -23,5 +23,7 @@ fn main() {
         );
     }
     println!("\npaper: \"a Redfish API request takes 4.29 seconds on average.");
-    println!("        Asynchronous request for all metrics from all nodes takes about 55 seconds.\"");
+    println!(
+        "        Asynchronous request for all metrics from all nodes takes about 55 seconds.\""
+    );
 }

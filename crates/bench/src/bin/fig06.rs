@@ -18,17 +18,9 @@ fn main() {
 
     println!("FIG. 6 — 1-DAY JOB SCHEDULING TIMELINE (128 nodes)\n");
     println!("{submitted} jobs submitted over the day\n");
-    println!(
-        "{:<10} {:>6} {:>6} {:>12} {:>12}",
-        "user", "jobs", "hosts", "mean wait", "max wait"
-    );
+    println!("{:<10} {:>6} {:>6} {:>12} {:>12}", "user", "jobs", "hosts", "mean wait", "max wait");
     for tl in build_timeline(qm.jobs(), t0, t_end) {
-        let max_wait = tl
-            .bars
-            .iter()
-            .map(|b| b.wait_secs(t_end))
-            .max()
-            .unwrap_or(0);
+        let max_wait = tl.bars.iter().map(|b| b.wait_secs(t_end)).max().unwrap_or(0);
         println!(
             "{:<10} {:>6} {:>6} {:>9.1} min {:>9.1} min",
             tl.user.as_str(),

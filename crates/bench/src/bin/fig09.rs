@@ -74,8 +74,5 @@ fn main() {
             row.means[0],
         );
     }
-    println!(
-        "\ndimensions available for sorting: {}",
-        METRIC_NAMES.join(", ")
-    );
+    println!("\ndimensions available for sorting: {}", METRIC_NAMES.join(", "));
 }

@@ -11,10 +11,7 @@ fn main() {
     let m = populated(SchemaVersion::Optimized, DiskModel::SSD, 7, 60);
 
     println!("FIG. 15 — SEQUENTIAL vs CONCURRENT QUERYING (optimized schema, SSD, 5 m windows)\n");
-    println!(
-        "{:>6} {:>14} {:>14} {:>9}",
-        "days", "sequential (s)", "concurrent (s)", "speedup"
-    );
+    println!("{:>6} {:>14} {:>14} {:>9}", "days", "sequential (s)", "concurrent (s)", "speedup");
     let intervals = [300i64];
     let seq = query_grid(&m, &RANGES_DAYS, &intervals, ExecMode::Sequential);
     let con = query_grid(&m, &RANGES_DAYS, &intervals, ExecMode::Concurrent { workers: 16 });

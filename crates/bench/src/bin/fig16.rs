@@ -24,9 +24,11 @@ fn main() {
     );
     for h in hours {
         let req = BuilderRequest::new(t0, t0 + h * 3600, 300, Aggregation::Max).unwrap();
-        let t_base = base.builder_query(&req, ExecMode::Sequential).unwrap().query_processing_time();
+        let t_base =
+            base.builder_query(&req, ExecMode::Sequential).unwrap().query_processing_time();
         let t_ssd = ssd.builder_query(&req, ExecMode::Sequential).unwrap().query_processing_time();
-        let t_schema = schema.builder_query(&req, ExecMode::Sequential).unwrap().query_processing_time();
+        let t_schema =
+            schema.builder_query(&req, ExecMode::Sequential).unwrap().query_processing_time();
         let t_conc = schema
             .builder_query(&req, ExecMode::Concurrent { workers: 16 })
             .unwrap()

@@ -22,9 +22,7 @@ fn main() {
     );
     for h in [6i64, 24, 72, 168] {
         let req = BuilderRequest::new(t0, t0 + h * 3600, 300, Aggregation::Max).unwrap();
-        let out = m
-            .builder_query(&req, ExecMode::Concurrent { workers: 16 })
-            .unwrap();
+        let out = m.builder_query(&req, ExecMode::Concurrent { workers: 16 }).unwrap();
         // Payload at full cluster scale: bytes grow linearly with nodes.
         let raw_bytes = out.document.to_string_compact().len();
         let full_bytes = (raw_bytes as f64 * amp) as u64;

@@ -15,15 +15,10 @@ fn main() {
     let t0 = data_start();
 
     println!("FIG. 18 — RESPONSE VOLUME, UNCOMPRESSED vs COMPRESSED\n");
-    println!(
-        "{:>7} {:>14} {:>14} {:>8}",
-        "hours", "uncompressed", "compressed", "ratio"
-    );
+    println!("{:>7} {:>14} {:>14} {:>8}", "hours", "uncompressed", "compressed", "ratio");
     for h in [6i64, 24, 72, 168] {
         let req = BuilderRequest::new(t0, t0 + h * 3600, 300, Aggregation::Max).unwrap();
-        let out = m
-            .builder_query(&req, ExecMode::Concurrent { workers: 16 })
-            .unwrap();
+        let out = m.builder_query(&req, ExecMode::Concurrent { workers: 16 }).unwrap();
         let json = out.document.to_string_compact();
         let packed = compress(json.as_bytes(), Level::default());
         println!(

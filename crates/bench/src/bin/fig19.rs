@@ -20,15 +20,10 @@ fn main() {
     let net = NetModel::CAMPUS;
 
     println!("FIG. 19 — RESPONSE TIME, UNCOMPRESSED vs COMPRESSED (campus consumer)\n");
-    println!(
-        "{:>7} {:>14} {:>14} {:>9}",
-        "hours", "plain (s)", "compressed (s)", "speedup"
-    );
+    println!("{:>7} {:>14} {:>14} {:>9}", "hours", "plain (s)", "compressed (s)", "speedup");
     for h in [6i64, 24, 72, 168] {
         let req = BuilderRequest::new(t0, t0 + h * 3600, 300, Aggregation::Max).unwrap();
-        let out = m
-            .builder_query(&req, ExecMode::Concurrent { workers: 16 })
-            .unwrap();
+        let out = m.builder_query(&req, ExecMode::Concurrent { workers: 16 }).unwrap();
         let qp = out.query_processing_time();
         let json = out.document.to_string_compact();
         let packed = compress(json.as_bytes(), Level::default());

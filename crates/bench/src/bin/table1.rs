@@ -42,19 +42,13 @@ fn main() {
                     "Inlet Temp".to_string(),
                     format!(
                         "Fans Speed ({})",
-                        (1..=fans.len())
-                            .map(|i| format!("Fan {i}"))
-                            .collect::<Vec<_>>()
-                            .join(", ")
+                        (1..=fans.len()).map(|i| format!("Fan {i}")).collect::<Vec<_>>().join(", ")
                     ),
                 ],
             ),
             NodeReading::Power { voltages, .. } => (
                 "Power",
-                vec![
-                    "Power Usage".to_string(),
-                    format!("Voltages ({} rails)", voltages.len()),
-                ],
+                vec!["Power Usage".to_string(), format!("Voltages ({} rails)", voltages.len())],
             ),
         };
         for (i, metric) in metrics.iter().enumerate() {
@@ -62,7 +56,8 @@ fn main() {
             println!("{cat:<10} {metric}");
         }
     }
-    println!("\nRequest-pool check: 467 nodes x {} categories = {} URLs (paper: 1868)",
+    println!(
+        "\nRequest-pool check: 467 nodes x {} categories = {} URLs (paper: 1868)",
         Category::ALL.len(),
         467 * Category::ALL.len()
     );

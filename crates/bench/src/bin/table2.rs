@@ -36,17 +36,30 @@ fn main() {
     println!("           Free Swap                 = {:.1} GiB", report.swap_free_gib());
     let job = qm.running_jobs()[0];
     let doc = job_document(job, 36);
-    println!("Job        Job Owner                 = {}", doc.get("owner").unwrap().as_str().unwrap());
-    println!("           Job Submission Time       = {}", doc.get("submission_time").unwrap().as_i64().unwrap());
-    println!("           Job Start Time            = {}", doc.get("start_time").unwrap().as_i64().unwrap());
-    println!("           Job Slots                 = {}", doc.get("slots").unwrap().as_i64().unwrap());
+    println!(
+        "Job        Job Owner                 = {}",
+        doc.get("owner").unwrap().as_str().unwrap()
+    );
+    println!(
+        "           Job Submission Time       = {}",
+        doc.get("submission_time").unwrap().as_i64().unwrap()
+    );
+    println!(
+        "           Job Start Time            = {}",
+        doc.get("start_time").unwrap().as_i64().unwrap()
+    );
+    println!(
+        "           Job Slots                 = {}",
+        doc.get("slots").unwrap().as_i64().unwrap()
+    );
     println!(
         "Relationship  Job List on Node       = {:?}",
         report.job_list.iter().map(|j| j.to_string()).collect::<Vec<_>>()
     );
 
     let nd = node_document(&report);
-    println!("\nFull node accounting document carries {} fields; full job document {} fields",
+    println!(
+        "\nFull node accounting document carries {} fields; full job document {} fields",
         nd.as_object().unwrap().len(),
         doc.as_object().unwrap().len(),
     );

@@ -31,10 +31,7 @@ fn main() {
     let per_interval = (after - before) / measured;
 
     println!("measured: {per_interval} points per 60 s interval (paper: ~10,000)");
-    println!(
-        "extrapolated: {:.2e} points per day (paper: ~1.4e7)",
-        per_interval as f64 * 1440.0
-    );
+    println!("extrapolated: {:.2e} points per day (paper: ~1.4e7)", per_interval as f64 * 1440.0);
     let stats = m.db().stats();
     println!(
         "\nafter {:.1} h: {} points, {} series, {} at rest",

@@ -1,0 +1,91 @@
+//! A small versioned response cache for the API service.
+//!
+//! Entries are keyed by the full request (range, window, aggregation,
+//! compression) and stamped with the database's write-batch count at
+//! build time; any subsequent write invalidates every cached response, so
+//! consumers never see stale data after a collection interval lands.
+
+use monster_http::Response;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Versioned store of pre-built HTTP responses.
+pub struct ResponseCache {
+    capacity: usize,
+    entries: Mutex<HashMap<String, (u64, Response)>>,
+}
+
+impl ResponseCache {
+    /// A cache holding at most `capacity` responses (0 disables caching).
+    pub fn new(capacity: usize) -> ResponseCache {
+        ResponseCache { capacity, entries: Mutex::new(HashMap::new()) }
+    }
+
+    /// Fetch a response cached for `key` at data version `version`.
+    pub fn get(&self, key: &str, version: u64) -> Option<Response> {
+        let entries = self.entries.lock();
+        match entries.get(key) {
+            Some((v, resp)) if *v == version => {
+                monster_obs::counter("monster_builder_cache_hits_total").inc();
+                Some(resp.clone())
+            }
+            _ => {
+                monster_obs::counter("monster_builder_cache_misses_total").inc();
+                None
+            }
+        }
+    }
+
+    /// Store a response for `key` at data version `version`.
+    pub fn put(&self, key: &str, version: u64, response: Response) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut entries = self.entries.lock();
+        if entries.len() >= self.capacity && !entries.contains_key(key) {
+            // Evict everything from older versions first, then fall back
+            // to clearing: the cache is tiny and rebuild is cheap.
+            entries.retain(|_, (v, _)| *v == version);
+            if entries.len() >= self.capacity {
+                entries.clear();
+            }
+        }
+        entries.insert(key.to_string(), (version, response));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monster_http::{Response, Status};
+
+    fn resp(body: &str) -> Response {
+        Response::bytes(body.as_bytes().to_vec(), "text/plain")
+    }
+
+    #[test]
+    fn version_mismatch_is_a_miss() {
+        let cache = ResponseCache::new(4);
+        assert!(cache.get("k", 1).is_none());
+        cache.put("k", 1, resp("a"));
+        let hit = cache.get("k", 1).unwrap();
+        assert_eq!(hit.status, Status::OK);
+        assert_eq!(hit.body, b"a");
+        // Same key, newer data version: stale entry is not served.
+        assert!(cache.get("k", 2).is_none());
+        cache.put("k", 2, resp("b"));
+        assert_eq!(cache.get("k", 2).unwrap().body, b"b");
+    }
+
+    #[test]
+    fn capacity_bounds_entries() {
+        let cache = ResponseCache::new(2);
+        cache.put("a", 1, resp("a"));
+        cache.put("b", 1, resp("b"));
+        cache.put("c", 1, resp("c"));
+        assert!(cache.get("c", 1).is_some());
+        let zero = ResponseCache::new(0);
+        zero.put("a", 1, resp("a"));
+        assert!(zero.get("a", 1).is_none());
+    }
+}

@@ -1,0 +1,28 @@
+//! `monster-builder` — the Metrics Builder (§II-C).
+//!
+//! The middleware between API consumers and the TSDB: it expands a
+//! consumer request into per-node, per-measurement queries
+//! ([`build_plan`]), executes them sequentially or concurrently
+//! ([`exec::execute`], §IV-B3), reroutes coarse queries to maintained
+//! roll-ups ([`rollup::reroute`]), marshals the results into a JSON
+//! document, and encodes the response with optional compression
+//! ([`encode_response`], §IV-B4). [`service::router`] exposes the whole
+//! pipeline over HTTP, including the self-monitoring endpoints
+//! `GET /metrics` and `GET /debug/trace` backed by `monster_obs`.
+//!
+//! Execution is instrumented end to end: request/query/point counters,
+//! simulated query-latency histograms, cache hit/miss counters, and
+//! vtime-stamped spans all land in the `monster_obs` global registry.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod exec;
+pub mod plan;
+pub mod response;
+pub mod rollup;
+pub mod service;
+
+pub use exec::{execute, BuilderOutcome, ExecMode};
+pub use plan::{build_plan, BuilderRequest, PlannedQuery, QueryGroup};
+pub use response::{encode_response, EncodedResponse};

@@ -1,0 +1,260 @@
+//! Request validation and query planning.
+//!
+//! A [`BuilderRequest`] describes what an API consumer wants (a time
+//! range, a window size, an aggregation); [`build_plan`] expands it into
+//! the per-node, per-measurement [`PlannedQuery`] list that §II-C's
+//! Metrics Builder issues against the TSDB. The plan shape depends on the
+//! storage schema: the previous generation needs one query per individual
+//! sensor measurement (~17 per node), the optimized schema consolidates
+//! them into 5.
+
+use monster_collector::SchemaVersion;
+use monster_tsdb::{Aggregation, Query};
+use monster_util::EpochSecs;
+use monster_util::{Error, NodeId, Result};
+
+/// A validated Metrics Builder API request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuilderRequest {
+    /// Range start (inclusive).
+    pub start: EpochSecs,
+    /// Range end (exclusive).
+    pub end: EpochSecs,
+    /// Aggregation window in seconds (`GROUP BY time`).
+    pub interval_secs: i64,
+    /// Aggregation applied per window.
+    pub aggregation: Aggregation,
+    /// Whether the encoded response should be compressed (§IV-B4).
+    pub compress: bool,
+}
+
+impl BuilderRequest {
+    /// Validate and build a request. Fails on an empty range or a
+    /// non-positive interval.
+    pub fn new(
+        start: EpochSecs,
+        end: EpochSecs,
+        interval_secs: i64,
+        aggregation: Aggregation,
+    ) -> Result<BuilderRequest> {
+        if end <= start {
+            return Err(Error::invalid(format!(
+                "empty time range: start {} >= end {}",
+                start.as_secs(),
+                end.as_secs()
+            )));
+        }
+        if interval_secs <= 0 {
+            return Err(Error::invalid(format!("non-positive interval {interval_secs}")));
+        }
+        Ok(BuilderRequest { start, end, interval_secs, aggregation, compress: false })
+    }
+
+    /// Request compressed response encoding.
+    pub fn compressed(mut self) -> BuilderRequest {
+        self.compress = true;
+        self
+    }
+}
+
+/// Which pipeline source a planned query draws on — the paper's Fig. 11
+/// breakdown buckets time by these groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryGroup {
+    /// Out-of-band BMC telemetry (power, thermal, fans, voltages).
+    Bmc,
+    /// In-band UGE resource reports (CPU, memory, swap).
+    Uge,
+    /// Job accounting (per-node job lists).
+    Jobs,
+}
+
+impl QueryGroup {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryGroup::Bmc => "BMC",
+            QueryGroup::Uge => "UGE",
+            QueryGroup::Jobs => "Jobs",
+        }
+    }
+}
+
+/// One query of a builder plan, plus where its results land in the
+/// response document.
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    /// Source group (for the Fig. 11 time breakdown).
+    pub group: QueryGroup,
+    /// The node this query serves.
+    pub node: NodeId,
+    /// Key under the node's document object where results are placed.
+    pub section: String,
+    /// `None` → the section is a flat array of points; `Some(tag)` → an
+    /// object keyed by that tag's values (e.g. thermal sensors by
+    /// `Label`).
+    pub label_tag: Option<String>,
+    /// The TSDB query to run.
+    pub query: Query,
+}
+
+fn windowed(measurement: &str, field: &str, node: NodeId, req: &BuilderRequest) -> Query {
+    Query::select(measurement, field, req.start, req.end)
+        .aggregate(req.aggregation)
+        .where_tag("NodeId", node.bmc_addr())
+        .group_by_time(req.interval_secs)
+}
+
+/// The job-list query reads raw strings (no numeric aggregation) and only
+/// needs the most recent window of the range.
+fn job_list(measurement: &str, node: NodeId, req: &BuilderRequest) -> Query {
+    let start = (req.end - req.interval_secs).max(req.start);
+    Query::select(measurement, "JobList", start, req.end).where_tag("NodeId", node.bmc_addr())
+}
+
+/// Expand a request into the full per-node query plan for `schema`.
+pub fn build_plan(
+    schema: SchemaVersion,
+    nodes: &[NodeId],
+    req: &BuilderRequest,
+) -> Vec<PlannedQuery> {
+    let mut plan = Vec::new();
+    for &node in nodes {
+        match schema {
+            SchemaVersion::Optimized => plan_optimized(&mut plan, node, req),
+            SchemaVersion::Previous => plan_previous(&mut plan, node, req),
+        }
+    }
+    plan
+}
+
+/// Optimized schema: 5 queries per node against consolidated
+/// measurements (§IV-B2).
+fn plan_optimized(plan: &mut Vec<PlannedQuery>, node: NodeId, req: &BuilderRequest) {
+    plan.push(PlannedQuery {
+        group: QueryGroup::Bmc,
+        node,
+        section: "power".into(),
+        label_tag: None,
+        query: windowed("Power", "Reading", node, req).where_tag("Label", "NodePower"),
+    });
+    plan.push(PlannedQuery {
+        group: QueryGroup::Bmc,
+        node,
+        section: "thermal".into(),
+        label_tag: Some("Label".into()),
+        query: windowed("Thermal", "Reading", node, req),
+    });
+    plan.push(PlannedQuery {
+        group: QueryGroup::Uge,
+        node,
+        section: "cpu_usage".into(),
+        label_tag: None,
+        query: windowed("UGE", "CPUUsage", node, req),
+    });
+    plan.push(PlannedQuery {
+        group: QueryGroup::Uge,
+        node,
+        section: "memory".into(),
+        label_tag: None,
+        query: windowed("UGE", "MemUsed", node, req),
+    });
+    plan.push(PlannedQuery {
+        group: QueryGroup::Jobs,
+        node,
+        section: "jobs".into(),
+        label_tag: None,
+        query: job_list("NodeJobs", node, req),
+    });
+}
+
+/// Previous schema: one query per individual version-1 measurement and
+/// sensor — 17 per node, the sequential cost the paper measured in
+/// Fig. 10.
+fn plan_previous(plan: &mut Vec<PlannedQuery>, node: NodeId, req: &BuilderRequest) {
+    let mut sensor = |group: QueryGroup, measurement: &str, sensor: &str, section: String| {
+        plan.push(PlannedQuery {
+            group,
+            node,
+            section,
+            label_tag: None,
+            query: windowed(measurement, "Reading", node, req).where_tag("Sensor", sensor),
+        });
+    };
+    sensor(QueryGroup::Bmc, "PowerUsage", "0", "power".into());
+    for i in 1..=2 {
+        sensor(QueryGroup::Bmc, "CPUTemperature", &i.to_string(), format!("cpu_temp_{i}"));
+    }
+    sensor(QueryGroup::Bmc, "InletTemperature", "0", "inlet_temp".into());
+    for i in 1..=4 {
+        sensor(QueryGroup::Bmc, "FanSpeed", &i.to_string(), format!("fan_{i}"));
+    }
+    for i in 1..=3 {
+        sensor(QueryGroup::Bmc, "Voltage", &i.to_string(), format!("voltage_{i}"));
+    }
+    sensor(QueryGroup::Uge, "CPUUsage", "0", "cpu_usage".into());
+    sensor(QueryGroup::Uge, "MemoryUsed", "0", "memory".into());
+    sensor(QueryGroup::Uge, "MemoryTotal", "0", "memory_total".into());
+    sensor(QueryGroup::Uge, "SwapUsed", "0", "swap_used".into());
+    sensor(QueryGroup::Uge, "SwapFree", "0", "swap_free".into());
+    plan.push(PlannedQuery {
+        group: QueryGroup::Jobs,
+        node,
+        section: "jobs".into(),
+        label_tag: None,
+        query: job_list("NodeJobList", node, req),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> BuilderRequest {
+        BuilderRequest::new(EpochSecs::new(0), EpochSecs::new(3600), 300, Aggregation::Max).unwrap()
+    }
+
+    #[test]
+    fn request_validation() {
+        let t = EpochSecs::new(100);
+        assert!(BuilderRequest::new(t, t, 300, Aggregation::Max).is_err());
+        assert!(BuilderRequest::new(t, t - 1, 300, Aggregation::Max).is_err());
+        assert!(BuilderRequest::new(t, t + 1, 0, Aggregation::Max).is_err());
+        let r = BuilderRequest::new(t, t + 1, 60, Aggregation::Mean).unwrap();
+        assert!(!r.compress);
+        assert!(r.compressed().compress);
+    }
+
+    #[test]
+    fn optimized_plan_is_five_queries_per_node() {
+        let nodes = NodeId::enumerate(3, 4);
+        let plan = build_plan(SchemaVersion::Optimized, &nodes, &req());
+        assert_eq!(plan.len(), 15);
+        let bmc = plan.iter().filter(|p| p.group == QueryGroup::Bmc).count();
+        assert_eq!(bmc, 6);
+        // Every query is node-scoped.
+        assert!(plan.iter().all(|p| p.query.predicates.iter().any(|(k, _)| k == "NodeId")));
+    }
+
+    #[test]
+    fn previous_plan_fans_out_per_sensor() {
+        let nodes = NodeId::enumerate(2, 4);
+        let plan = build_plan(SchemaVersion::Previous, &nodes, &req());
+        assert_eq!(plan.len(), 34);
+        let bmc = plan.iter().filter(|p| p.group == QueryGroup::Bmc).count();
+        assert_eq!(bmc, 22);
+        // Far more queries than the optimized schema — the Fig. 10 cost.
+        let opt = build_plan(SchemaVersion::Optimized, &nodes, &req());
+        assert!(plan.len() > 3 * opt.len());
+    }
+
+    #[test]
+    fn job_list_query_reads_only_last_window() {
+        let nodes = NodeId::enumerate(1, 4);
+        let plan = build_plan(SchemaVersion::Optimized, &nodes, &req());
+        let jobs = plan.iter().find(|p| p.group == QueryGroup::Jobs).unwrap();
+        assert_eq!(jobs.query.start.as_secs(), 3300);
+        assert_eq!(jobs.query.end.as_secs(), 3600);
+        assert!(jobs.query.agg.is_none());
+    }
+}

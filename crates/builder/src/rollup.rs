@@ -1,0 +1,118 @@
+//! Roll-up rerouting: answering coarse queries from continuous-query
+//! outputs instead of raw data.
+//!
+//! The deployment maintains `ContinuousQuery` roll-ups (e.g. hourly max
+//! power in `Power_1h`). A planned raw query can be served from a roll-up
+//! **exactly** when its window is a multiple of the roll-up window and the
+//! aggregation composes (max of max): TSDB `GROUP BY time` buckets are
+//! epoch-aligned, so every coarse window is a union of complete roll-up
+//! windows regardless of the query's start offset.
+
+use crate::plan::PlannedQuery;
+use monster_tsdb::Aggregation;
+
+/// A maintained roll-up that requests may be rerouted to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RollupRoute {
+    /// Source measurement of the roll-up.
+    pub source: String,
+    /// Source field.
+    pub field: String,
+    /// Target measurement holding the rolled points (field `Reading`).
+    pub target: String,
+    /// Roll-up window in seconds.
+    pub window_secs: i64,
+}
+
+impl RollupRoute {
+    fn applies(&self, q: &monster_tsdb::Query) -> bool {
+        if q.measurement != self.source || q.field != self.field {
+            return false;
+        }
+        // Only max-of-max composes exactly among the maintained roll-ups.
+        if q.agg != Some(Aggregation::Max) {
+            return false;
+        }
+        match q.group_by {
+            Some(g) => g >= self.window_secs && g % self.window_secs == 0,
+            None => false,
+        }
+    }
+}
+
+/// Rewrite every plan query that a route can serve exactly. Queries no
+/// route covers are left untouched.
+pub fn reroute(plan: &mut [PlannedQuery], routes: &[RollupRoute]) {
+    for planned in plan {
+        for route in routes {
+            if route.applies(&planned.query) {
+                planned.query.measurement = route.target.clone();
+                // Roll-up outputs always store their value as `Reading`.
+                planned.query.field = "Reading".to_string();
+                monster_obs::counter("monster_builder_rollup_reroutes_total").inc();
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{build_plan, BuilderRequest};
+    use monster_collector::SchemaVersion;
+    use monster_util::{EpochSecs, NodeId};
+
+    fn routes() -> Vec<RollupRoute> {
+        vec![
+            RollupRoute {
+                source: "Power".into(),
+                field: "Reading".into(),
+                target: "Power_1h".into(),
+                window_secs: 3600,
+            },
+            RollupRoute {
+                source: "UGE".into(),
+                field: "CPUUsage".into(),
+                target: "UGECpu_1h".into(),
+                window_secs: 3600,
+            },
+        ]
+    }
+
+    fn plan_with_window(window: i64, agg: Aggregation) -> Vec<PlannedQuery> {
+        let nodes = NodeId::enumerate(1, 4);
+        let req =
+            BuilderRequest::new(EpochSecs::new(0), EpochSecs::new(86_400), window, agg).unwrap();
+        build_plan(SchemaVersion::Optimized, &nodes, &req)
+    }
+
+    #[test]
+    fn reroutes_multiples_of_the_rollup_window() {
+        let mut plan = plan_with_window(7200, Aggregation::Max);
+        reroute(&mut plan, &routes());
+        let power = plan.iter().find(|p| p.section == "power").unwrap();
+        assert_eq!(power.query.measurement, "Power_1h");
+        assert_eq!(power.query.field, "Reading");
+        let cpu = plan.iter().find(|p| p.section == "cpu_usage").unwrap();
+        assert_eq!(cpu.query.measurement, "UGECpu_1h");
+        assert_eq!(cpu.query.field, "Reading");
+        // Memory has no route; the raw job-list query has no aggregation.
+        let mem = plan.iter().find(|p| p.section == "memory").unwrap();
+        assert_eq!(mem.query.measurement, "UGE");
+        let jobs = plan.iter().find(|p| p.section == "jobs").unwrap();
+        assert_eq!(jobs.query.measurement, "NodeJobs");
+    }
+
+    #[test]
+    fn finer_windows_and_other_aggregations_stay_raw() {
+        for (window, agg) in
+            [(1800, Aggregation::Max), (3600, Aggregation::Mean), (5400, Aggregation::Max)]
+        {
+            let mut plan = plan_with_window(window, agg);
+            reroute(&mut plan, &routes());
+            let power = plan.iter().find(|p| p.section == "power").unwrap();
+            assert_eq!(power.query.measurement, "Power", "window {window} agg {agg:?}");
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! The Metrics Builder HTTP API service.
+//!
+//! Routes:
+//!
+//! * `GET /v1/nodes` — the monitored node inventory.
+//! * `GET /v1/metrics?start=..&end=..[&interval=5m][&aggregation=max]`
+//!   `[&compress=true]` — the assembled response document, with
+//!   `X-Query-Processing-Ms` and `X-Cache` observability headers.
+//! * `GET /metrics` — Prometheus-style text exposition of the pipeline's
+//!   own metrics (self-monitoring).
+//! * `GET /debug/trace` — recent vtime-stamped spans as chrome-trace
+//!   JSON.
+
+use crate::cache::ResponseCache;
+use crate::exec::{execute, ExecMode};
+use crate::plan::{build_plan, BuilderRequest};
+use monster_collector::SchemaVersion;
+use monster_compress::Level;
+use monster_http::{Method, Request, Response, Router, Status};
+use monster_json::{jarr, jobj, Value};
+use monster_tsdb::{Aggregation, Db};
+use monster_util::{EpochSecs, NodeId};
+use std::sync::Arc;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Storage schema the deployment writes (decides the plan shape).
+    pub schema: SchemaVersion,
+    /// Execution mode for planned queries.
+    pub exec: ExecMode,
+    /// Compression level for `compress=true` responses.
+    pub level: Level,
+    /// Response-cache capacity (entries); 0 disables caching.
+    pub cache_entries: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            schema: SchemaVersion::Optimized,
+            exec: ExecMode::Concurrent { workers: 8 },
+            level: Level::default(),
+            cache_entries: 64,
+        }
+    }
+}
+
+fn bad_request(msg: &str) -> Response {
+    Response::error(Status::BAD_REQUEST, msg)
+}
+
+/// Parse `/v1/metrics` query parameters into a request. The `start` and
+/// `end` parameters are required RFC 3339 timestamps; `interval` (default
+/// `5m`) and `aggregation` (default `max`) are optional.
+fn parse_metrics_request(req: &Request) -> Result<BuilderRequest, Response> {
+    let start =
+        req.query_param("start").ok_or_else(|| bad_request("missing required parameter: start"))?;
+    let end =
+        req.query_param("end").ok_or_else(|| bad_request("missing required parameter: end"))?;
+    let start =
+        EpochSecs::parse_rfc3339(start).map_err(|e| bad_request(&format!("bad start: {e}")))?;
+    let end = EpochSecs::parse_rfc3339(end).map_err(|e| bad_request(&format!("bad end: {e}")))?;
+    let interval = match req.query_param("interval") {
+        Some(s) => monster_util::time::parse_interval(s)
+            .map_err(|e| bad_request(&format!("bad interval: {e}")))?,
+        None => 300,
+    };
+    let aggregation = match req.query_param("aggregation") {
+        Some(s) => Aggregation::parse(s)
+            .ok_or_else(|| bad_request(&format!("unknown aggregation: {s}")))?,
+        None => Aggregation::Max,
+    };
+    let builder_req = BuilderRequest::new(start, end, interval, aggregation)
+        .map_err(|e| bad_request(&e.to_string()))?;
+    Ok(if req.query_param("compress") == Some("true") {
+        builder_req.compressed()
+    } else {
+        builder_req
+    })
+}
+
+/// Build the service router over `db` for the given node inventory.
+pub fn router(db: Arc<Db>, nodes: Vec<NodeId>, config: ServiceConfig) -> Router {
+    let cache = Arc::new(ResponseCache::new(config.cache_entries));
+    let node_list: Vec<Value> = nodes.iter().map(|n| Value::from(n.bmc_addr())).collect();
+    let nodes_doc = jobj! { "nodes" => Value::Array(node_list) };
+
+    let metrics_db = Arc::clone(&db);
+    let metrics_nodes = nodes.clone();
+    let metrics_config = config.clone();
+
+    Router::new()
+        .route(Method::Get, "/v1/nodes", move |_req, _params| Response::json(&nodes_doc))
+        .route(Method::Get, "/v1/metrics", move |req, _params| {
+            let builder_req = match parse_metrics_request(req) {
+                Ok(r) => r,
+                Err(resp) => return resp,
+            };
+            let key = format!("{}?{}", req.path, req.query);
+            let version = metrics_db.stats().batches as u64;
+            if let Some(mut cached) = cache.get(&key, version) {
+                cached.headers.set("X-Cache", "hit");
+                return cached;
+            }
+            let span = monster_obs::Span::enter("builder.api_request");
+            let plan = build_plan(metrics_config.schema, &metrics_nodes, &builder_req);
+            let outcome = match execute(&metrics_db, &plan, metrics_config.exec) {
+                Ok(o) => o,
+                Err(e) => {
+                    return Response::error(
+                        Status::INTERNAL_ERROR,
+                        &format!("query execution failed: {e}"),
+                    )
+                }
+            };
+            let mut resp = Response::json(&outcome.document);
+            if builder_req.compress {
+                resp = resp.compressed(metrics_config.level);
+            }
+            resp.headers.set(
+                "X-Query-Processing-Ms",
+                format!("{:.3}", outcome.query_processing_time().as_millis_f64()),
+            );
+            resp.headers.set("X-Cache", "miss");
+            span.finish_after(outcome.query_processing_time());
+            cache.put(&key, version, resp.clone());
+            resp
+        })
+        .route(Method::Get, "/metrics", |_req, _params| {
+            Response::bytes(
+                monster_obs::global().text_exposition().into_bytes(),
+                "text/plain; version=0.0.4",
+            )
+        })
+        .route(Method::Get, "/debug/trace", |_req, _params| {
+            Response::json(&monster_obs::global().trace_json())
+        })
+        .route(Method::Get, "/healthz", |_req, _params| {
+            Response::json(&jobj! { "status" => "ok", "checks" => jarr!["registry", "db"] })
+        })
+        .route(Method::Get, "/v1/health", |_req, _params| {
+            Response::json(&jobj! { "status" => "ok", "checks" => jarr!["registry", "db"] })
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monster_tsdb::{DataPoint, DbConfig};
+
+    fn service() -> (Arc<Db>, Router) {
+        let db = Arc::new(Db::new(DbConfig::default()));
+        let ids = NodeId::enumerate(2, 4);
+        let mut batch = Vec::new();
+        for i in 0..60i64 {
+            for &n in &ids {
+                batch.push(
+                    DataPoint::new("Power", EpochSecs::new(i * 60))
+                        .tag("NodeId", n.bmc_addr())
+                        .tag("Label", "NodePower")
+                        .field_f64("Reading", 250.0 + i as f64),
+                );
+            }
+        }
+        db.write_batch(&batch).unwrap();
+        let router = router(Arc::clone(&db), ids, ServiceConfig::default());
+        (db, router)
+    }
+
+    fn get(router: &Router, path: &str) -> Response {
+        router.dispatch(&Request::get(path))
+    }
+
+    #[test]
+    fn nodes_endpoint_lists_inventory() {
+        let (_db, router) = service();
+        let resp = get(&router, "/v1/nodes");
+        assert_eq!(resp.status, Status::OK);
+        let v = resp.json_body().unwrap();
+        assert_eq!(v.get("nodes").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn metrics_endpoint_validates_parameters() {
+        let (_db, router) = service();
+        assert_eq!(get(&router, "/v1/metrics").status, Status::BAD_REQUEST);
+        assert_eq!(
+            get(&router, "/v1/metrics?start=bogus&end=2020-01-01T01:00:00Z").status,
+            Status::BAD_REQUEST
+        );
+        assert_eq!(
+            get(
+                &router,
+                "/v1/metrics?start=2020-01-01T00:00:00Z&end=2020-01-01T01:00:00Z&aggregation=median"
+            )
+            .status,
+            Status::BAD_REQUEST
+        );
+        // End before start.
+        assert_eq!(
+            get(&router, "/v1/metrics?start=2020-01-01T01:00:00Z&end=2020-01-01T00:00:00Z").status,
+            Status::BAD_REQUEST
+        );
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_documents_and_headers() {
+        let (_db, router) = service();
+        let url = "/v1/metrics?start=1970-01-01T00:00:00Z&end=1970-01-01T01:00:00Z&interval=5m";
+        let resp = get(&router, url);
+        assert_eq!(resp.status, Status::OK);
+        assert_eq!(resp.headers.get("X-Cache"), Some("miss"));
+        assert!(resp.headers.get("X-Query-Processing-Ms").is_some());
+        let doc = resp.json_body().unwrap();
+        assert!(doc.get("10.101.1.1").unwrap().get("power").is_some());
+        // Second identical request hits the cache.
+        let again = get(&router, url);
+        assert_eq!(again.headers.get("X-Cache"), Some("hit"));
+        assert_eq!(again.json_body().unwrap(), doc);
+    }
+
+    #[test]
+    fn self_monitoring_endpoints_serve() {
+        let (_db, router) = service();
+        // Generate some activity first.
+        let url = "/v1/metrics?start=1970-01-01T00:00:00Z&end=1970-01-01T01:00:00Z";
+        assert_eq!(get(&router, url).status, Status::OK);
+        let metrics = get(&router, "/metrics");
+        assert_eq!(metrics.status, Status::OK);
+        let text = String::from_utf8(metrics.body).unwrap();
+        assert!(monster_obs::sample(&text, "monster_builder_requests_total").unwrap() >= 1.0);
+        let trace = get(&router, "/debug/trace");
+        assert_eq!(trace.status, Status::OK);
+        let events = trace.json_body().unwrap();
+        assert!(!events.get("traceEvents").unwrap().as_array().unwrap().is_empty());
+        assert_eq!(get(&router, "/healthz").status, Status::OK);
+        assert_eq!(get(&router, "/v1/health").status, Status::OK);
+    }
+}

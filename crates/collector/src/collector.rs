@@ -75,6 +75,8 @@ impl Collector {
         qm: &Qmaster,
         now: EpochSecs,
     ) -> IntervalOutput {
+        let span = monster_obs::Span::enter("collector.interval");
+
         // --- out-of-band: Redfish sweep ---
         let sweep = self.client.sweep(cluster);
         let mut points: Vec<DataPoint> = Vec::with_capacity(cluster.len() * 16);
@@ -113,13 +115,18 @@ impl Collector {
         let estimated_finishes = self.finish_estimator.observe(running_ids, now);
 
         let simulated_collection_time = sweep.makespan;
-        IntervalOutput {
-            points,
-            sweep,
-            uge_bytes,
-            estimated_finishes,
-            simulated_collection_time,
-        }
+
+        // Self-monitoring: one interval's worth of `monster_collector_*`
+        // series (the sweep itself reported its own statistics).
+        monster_obs::counter("monster_collector_intervals_total").inc();
+        monster_obs::counter("monster_collector_points_total").add(points.len() as u64);
+        monster_obs::counter("monster_collector_finish_estimates_total")
+            .add(estimated_finishes.len() as u64);
+        monster_obs::histo("monster_collector_interval_seconds")
+            .observe_vdur(simulated_collection_time);
+        span.finish_after(simulated_collection_time);
+
+        IntervalOutput { points, sweep, uge_bytes, estimated_finishes, simulated_collection_time }
     }
 
     /// Collect one interval **without** the Redfish wire layer: readings
@@ -204,10 +211,7 @@ impl Collector {
                     fans: sample.fans.to_vec(),
                 };
                 points.extend(bmc_points(self.config.schema, node, &thermal, sample.time));
-                let power = NodeReading::Power {
-                    usage_watts: sample.power,
-                    voltages: Vec::new(),
-                };
+                let power = NodeReading::Power { usage_watts: sample.power, voltages: Vec::new() };
                 points.extend(bmc_points(self.config.schema, node, &power, sample.time));
             }
         }

@@ -78,11 +78,8 @@ impl FinishEstimator {
         now: EpochSecs,
     ) -> Vec<(JobId, EpochSecs)> {
         let current: HashSet<JobId> = running.into_iter().collect();
-        let finished: Vec<(JobId, EpochSecs)> = self
-            .prev
-            .difference(&current)
-            .map(|&id| (id, now))
-            .collect();
+        let finished: Vec<(JobId, EpochSecs)> =
+            self.prev.difference(&current).map(|&id| (id, now)).collect();
         self.prev = current;
         finished
     }
@@ -181,11 +178,8 @@ mod tests {
         };
         let est = EpochSecs::new(115);
         assert_eq!(reconcile_finish(est, &job), est);
-        job.state = JobState::Done {
-            start: EpochSecs::new(10),
-            end: EpochSecs::new(110),
-            hosts: vec![],
-        };
+        job.state =
+            JobState::Done { start: EpochSecs::new(10), end: EpochSecs::new(110), hosts: vec![] };
         assert_eq!(reconcile_finish(est, &job), EpochSecs::new(110));
     }
 }

@@ -176,12 +176,7 @@ pub fn uge_points(schema: SchemaVersion, report: &LoadReport, t: EpochSecs) -> V
     let node = report.node;
     let joblist = format!(
         "[{}]",
-        report
-            .job_list
-            .iter()
-            .map(|j| format!("'{j}'"))
-            .collect::<Vec<_>>()
-            .join(", ")
+        report.job_list.iter().map(|j| format!("'{j}'")).collect::<Vec<_>>().join(", ")
     );
     match schema {
         SchemaVersion::Optimized => vec![
@@ -190,10 +185,13 @@ pub fn uge_points(schema: SchemaVersion, report: &LoadReport, t: EpochSecs) -> V
                 .field_f64("CPUUsage", report.cpu_usage)
                 .field_f64("MemUsed", report.mem_used_gib)
                 .field_f64("MemTotal", report.mem_total_gib)
-                .field_f64("MemUsage", crate::preprocess::memory_usage_fraction(
-                    report.mem_used_gib,
-                    report.mem_total_gib,
-                ))
+                .field_f64(
+                    "MemUsage",
+                    crate::preprocess::memory_usage_fraction(
+                        report.mem_used_gib,
+                        report.mem_total_gib,
+                    ),
+                )
                 .field_f64("UsedSwap", report.swap_used_gib)
                 .field_f64("FreeSwap", report.swap_free_gib()),
             // The Fig. 5 sample point: stringified job list, because
@@ -359,10 +357,7 @@ mod tests {
         assert!(pts[0].get_field("SubmitTime").unwrap().as_str().is_some());
         let pts = job_points(SchemaVersion::Optimized, &job, t());
         assert_eq!(pts[0].measurement, "JobsInfo");
-        assert_eq!(
-            pts[0].get_field("SubmitTime").unwrap().as_i64(),
-            Some(1_583_790_000)
-        );
+        assert_eq!(pts[0].get_field("SubmitTime").unwrap().as_i64(), Some(1_583_790_000));
         assert_eq!(pts[0].get_field("TotalCores").unwrap().as_i64(), Some(2088));
     }
 
@@ -386,10 +381,7 @@ mod tests {
         // The Fig. 5 stringified job list.
         let nj = &pts[1];
         assert_eq!(nj.measurement, "NodeJobs");
-        assert_eq!(
-            nj.get_field("JobList").unwrap().as_str(),
-            Some("['1291784', '1318962']")
-        );
+        assert_eq!(nj.get_field("JobList").unwrap().as_str(), Some("['1291784', '1318962']"));
     }
 
     #[test]

@@ -14,10 +14,10 @@
 //! Length/distance symbols use DEFLATE's alphabets (29 length codes with
 //! extra bits, 30 distance codes), so ratios are comparable to zlib's.
 
+use crate::adler::adler32;
 use crate::bitio::{BitReader, BitWriter};
 use crate::huffman::{code_lengths, Decoder, Encoder};
 use crate::lz77::{detokenize, tokenize, Level, Token, MAX_MATCH, MIN_MATCH};
-use crate::adler::adler32;
 use monster_util::{Error, Result};
 
 const MAGIC: &[u8; 4] = b"MZ1\0";
@@ -28,19 +28,69 @@ const NUM_DIST: usize = 30;
 
 /// (base length, extra bits) per length code 257..=285.
 const LEN_TABLE: [(u16, u8); 29] = [
-    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
-    (11, 1), (13, 1), (15, 1), (17, 1), (19, 2), (23, 2), (27, 2), (31, 2),
-    (35, 3), (43, 3), (51, 3), (59, 3), (67, 4), (83, 4), (99, 4), (115, 4),
-    (131, 5), (163, 5), (195, 5), (227, 5), (258, 0),
+    (3, 0),
+    (4, 0),
+    (5, 0),
+    (6, 0),
+    (7, 0),
+    (8, 0),
+    (9, 0),
+    (10, 0),
+    (11, 1),
+    (13, 1),
+    (15, 1),
+    (17, 1),
+    (19, 2),
+    (23, 2),
+    (27, 2),
+    (31, 2),
+    (35, 3),
+    (43, 3),
+    (51, 3),
+    (59, 3),
+    (67, 4),
+    (83, 4),
+    (99, 4),
+    (115, 4),
+    (131, 5),
+    (163, 5),
+    (195, 5),
+    (227, 5),
+    (258, 0),
 ];
 
 /// (base distance, extra bits) per distance code 0..=29.
 const DIST_TABLE: [(u16, u8); 30] = [
-    (1, 0), (2, 0), (3, 0), (4, 0), (5, 1), (7, 1), (9, 2), (13, 2),
-    (17, 3), (25, 3), (33, 4), (49, 4), (65, 5), (97, 5), (129, 6), (193, 6),
-    (257, 7), (385, 7), (513, 8), (769, 8), (1025, 9), (1537, 9),
-    (2049, 10), (3073, 10), (4097, 11), (6145, 11), (8193, 12), (12289, 12),
-    (16385, 13), (24577, 13),
+    (1, 0),
+    (2, 0),
+    (3, 0),
+    (4, 0),
+    (5, 1),
+    (7, 1),
+    (9, 2),
+    (13, 2),
+    (17, 3),
+    (25, 3),
+    (33, 4),
+    (49, 4),
+    (65, 5),
+    (97, 5),
+    (129, 6),
+    (193, 6),
+    (257, 7),
+    (385, 7),
+    (513, 8),
+    (769, 8),
+    (1025, 9),
+    (1537, 9),
+    (2049, 10),
+    (3073, 10),
+    (4097, 11),
+    (6145, 11),
+    (8193, 12),
+    (12289, 12),
+    (16385, 13),
+    (24577, 13),
 ];
 
 fn len_to_sym(len: u16) -> (usize, u16, u8) {
@@ -86,9 +136,7 @@ fn read_varint(data: &[u8], pos: &mut usize) -> Result<u64> {
     let mut v: u64 = 0;
     let mut shift = 0;
     loop {
-        let b = *data
-            .get(*pos)
-            .ok_or_else(|| Error::Corrupt("truncated varint".into()))?;
+        let b = *data.get(*pos).ok_or_else(|| Error::Corrupt("truncated varint".into()))?;
         *pos += 1;
         v |= ((b & 0x7F) as u64) << shift;
         if b & 0x80 == 0 {
@@ -191,9 +239,7 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
     }
     let mut pos = 5; // magic + level byte
     let orig_len = read_varint(data, &mut pos)? as usize;
-    let mode = *data
-        .get(pos)
-        .ok_or_else(|| Error::Corrupt("truncated header".into()))?;
+    let mode = *data.get(pos).ok_or_else(|| Error::Corrupt("truncated header".into()))?;
     pos += 1;
     if data.len() < pos + 4 {
         return Err(Error::Corrupt("missing checksum".into()));

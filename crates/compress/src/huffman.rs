@@ -203,11 +203,13 @@ impl Decoder {
         for l in 1..=self.max_len {
             code = (code << 1) | r.read_bit()?;
             let idx = l as usize;
-            if self.count[idx] > 0 && code < self.first_code[idx] + self.count[idx]
-                && code >= self.first_code[idx] {
-                    let off = code - self.first_code[idx];
-                    return Ok(self.symbols[(self.first_index[idx] + off) as usize]);
-                }
+            if self.count[idx] > 0
+                && code < self.first_code[idx] + self.count[idx]
+                && code >= self.first_code[idx]
+            {
+                let off = code - self.first_code[idx];
+                return Ok(self.symbols[(self.first_index[idx] + off) as usize]);
+            }
         }
         Err(Error::Corrupt("invalid huffman code".into()))
     }

@@ -259,10 +259,7 @@ mod tests {
         let unit = br#"{"NodeId":"10.101.1.1","Reading":273.8},"#;
         let data = unit.repeat(200);
         let toks = tokenize(&data, Level::default());
-        let match_tokens = toks
-            .iter()
-            .filter(|t| matches!(t, Token::Match { .. }))
-            .count();
+        let match_tokens = toks.iter().filter(|t| matches!(t, Token::Match { .. })).count();
         assert!(match_tokens > 0);
         assert!(toks.len() < data.len() / 10);
         rt(&data, Level::default());

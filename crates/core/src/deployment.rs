@@ -1,6 +1,7 @@
 //! The deployment driver: cluster + scheduler + collector + storage +
 //! builder, advanced in lock-step.
 
+use monster_builder::rollup::RollupRoute;
 use monster_builder::{build_plan, encode_response, BuilderRequest, ExecMode};
 use monster_collector::{Collector, CollectorConfig, SchemaVersion};
 use monster_compress::Level;
@@ -8,7 +9,6 @@ use monster_redfish::bmc::BmcConfig;
 use monster_redfish::cluster::{ClusterConfig, SimulatedCluster};
 use monster_scheduler::{Qmaster, QmasterConfig, WorkloadConfig, WorkloadGenerator};
 use monster_sim::{DiskModel, VDuration};
-use monster_builder::rollup::RollupRoute;
 use monster_tsdb::retention::ContinuousQuery;
 use monster_tsdb::{Aggregation, CostParams, Db, DbConfig};
 use monster_util::{EpochSecs, NodeId, Result};
@@ -97,17 +97,12 @@ impl Monster {
         let start = qm_config.start_time;
         let mut qmaster = Qmaster::new(qm_config);
         if let Some(wl) = &config.workload {
-            let mut gen = WorkloadGenerator::new(WorkloadConfig {
-                seed: config.seed ^ 0x5EED,
-                ..wl.clone()
-            });
+            let mut gen =
+                WorkloadGenerator::new(WorkloadConfig { seed: config.seed ^ 0x5EED, ..wl.clone() });
             gen.drive(&mut qmaster, start, start + config.horizon_secs);
         }
-        let amplification = if config.amplify_to_quanah {
-            QUANAH_NODES as f64 / config.nodes as f64
-        } else {
-            1.0
-        };
+        let amplification =
+            if config.amplify_to_quanah { QUANAH_NODES as f64 / config.nodes as f64 } else { 1.0 };
         let db = Arc::new(Db::new(DbConfig {
             shard_duration: 86_400,
             disk: config.disk,
@@ -118,7 +113,16 @@ impl Monster {
             interval_secs: config.interval_secs,
             ..CollectorConfig::default()
         });
-        Monster { config, cluster, qmaster, collector, db, now: start, intervals_run: 0, rollups: None }
+        Monster {
+            config,
+            cluster,
+            qmaster,
+            collector,
+            db,
+            now: start,
+            intervals_run: 0,
+            rollups: None,
+        }
     }
 
     /// The deployment configuration.
@@ -165,8 +169,7 @@ impl Monster {
         let next = self.now + self.config.interval_secs;
         self.qmaster.run_until(next);
         let qm = &self.qmaster;
-        self.cluster
-            .step(self.config.interval_secs as f64, |n| qm.utilization(n));
+        self.cluster.step(self.config.interval_secs as f64, |n| qm.utilization(n));
         self.now = next;
     }
 
@@ -174,8 +177,7 @@ impl Monster {
     pub fn run_interval(&mut self) -> Result<IntervalSummary> {
         self.advance_world();
         let out =
-            self.collector
-                .collect_and_store(&self.cluster, &self.qmaster, self.now, &self.db)?;
+            self.collector.collect_and_store(&self.cluster, &self.qmaster, self.now, &self.db)?;
         self.intervals_run += 1;
         self.maintain_rollups();
         Ok(IntervalSummary {
@@ -188,9 +190,7 @@ impl Monster {
 
     /// Run `n` full intervals.
     pub fn run_intervals(&mut self, n: usize) -> Vec<IntervalSummary> {
-        (0..n)
-            .map(|_| self.run_interval().expect("schema-consistent writes"))
-            .collect()
+        (0..n).map(|_| self.run_interval().expect("schema-consistent writes")).collect()
     }
 
     /// Run `n` intervals on the bulk-load path (no Redfish wire layer) —
@@ -200,8 +200,7 @@ impl Monster {
         for _ in 0..n {
             self.advance_world();
             let points =
-                self.collector
-                    .collect_interval_direct(&self.cluster, &self.qmaster, self.now);
+                self.collector.collect_interval_direct(&self.cluster, &self.qmaster, self.now);
             total += points.len();
             for chunk in points.chunks(10_000) {
                 self.db.write_batch(chunk).expect("schema-consistent writes");
@@ -263,7 +262,8 @@ impl Monster {
         let mut cqs = Vec::new();
         let mut routes = Vec::new();
         for (source, field) in [("Power", "Reading"), ("Thermal", "Reading"), ("UGE", "CPUUsage")] {
-            let target = format!("{source}{}_{suffix}", if field == "CPUUsage" { "Cpu" } else { "" });
+            let target =
+                format!("{source}{}_{suffix}", if field == "CPUUsage" { "Cpu" } else { "" });
             cqs.push(ContinuousQuery::new(
                 source,
                 field,
@@ -391,16 +391,8 @@ mod tests {
         m.run_intervals_bulk(10);
         let server = m.serve_api(0).unwrap();
         let client = monster_http::Client::new();
-        let resp = client
-            .send_ok(
-                server.addr(),
-                &monster_http::Request::get("/v1/nodes"),
-            )
-            .unwrap();
-        assert_eq!(
-            resp.json_body().unwrap().get("nodes").unwrap().as_array().unwrap().len(),
-            3
-        );
+        let resp = client.send_ok(server.addr(), &monster_http::Request::get("/v1/nodes")).unwrap();
+        assert_eq!(resp.json_body().unwrap().get("nodes").unwrap().as_array().unwrap().len(), 3);
     }
 
     #[test]
@@ -472,8 +464,7 @@ mod tests {
         // jobs on the cluster.
         m.run_intervals_bulk(120);
         assert!(
-            !m.qmaster().running_jobs().is_empty()
-                || !m.qmaster().finished_jobs().is_empty(),
+            !m.qmaster().running_jobs().is_empty() || !m.qmaster().finished_jobs().is_empty(),
             "no jobs appeared"
         );
     }

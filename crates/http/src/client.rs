@@ -29,10 +29,7 @@ impl Default for Client {
 impl Client {
     /// Defaults: 5 s connect, 30 s read.
     pub fn new() -> Self {
-        Client {
-            connect_timeout: Duration::from_secs(5),
-            read_timeout: Duration::from_secs(30),
-        }
+        Client { connect_timeout: Duration::from_secs(5), read_timeout: Duration::from_secs(30) }
     }
 
     /// Override the connect timeout.
@@ -49,16 +46,15 @@ impl Client {
 
     /// Send one request and wait for the full response.
     pub fn send(&self, addr: SocketAddr, req: &Request) -> Result<Response> {
-        let mut stream = TcpStream::connect_timeout(&addr, self.connect_timeout)
-            .map_err(|e| match e.kind() {
+        let mut stream = TcpStream::connect_timeout(&addr, self.connect_timeout).map_err(|e| {
+            match e.kind() {
                 std::io::ErrorKind::TimedOut => Error::Timeout("connect".into()),
                 _ => Error::Network(format!("connect to {addr}: {e}")),
-            })?;
+            }
+        })?;
         stream.set_read_timeout(Some(self.read_timeout))?;
         stream.set_nodelay(true).ok();
-        stream
-            .write_all(&req.to_bytes())
-            .map_err(|e| Error::Network(format!("send: {e}")))?;
+        stream.write_all(&req.to_bytes()).map_err(|e| Error::Network(format!("send: {e}")))?;
         let raw = read_message(&mut stream)?;
         let resp = parse_response(&raw)?;
         Ok(resp)
@@ -163,9 +159,7 @@ mod tests {
         });
         let server = Server::spawn(0, router).unwrap();
         let client = Client::new();
-        let err = client
-            .send_ok(server.addr(), &Request::get("/boom"))
-            .unwrap_err();
+        let err = client.send_ok(server.addr(), &Request::get("/boom")).unwrap_err();
         assert_eq!(err, Error::Http { status: 503, message: "bmc busy".into() });
     }
 
@@ -200,13 +194,10 @@ mod tests {
 
     #[test]
     fn full_exchange_against_real_server() {
-        let router = Router::new().route(Method::Get, "/v", |_, _| {
-            Response::json(&jobj! { "version" => "1.0" })
-        });
+        let router = Router::new()
+            .route(Method::Get, "/v", |_, _| Response::json(&jobj! { "version" => "1.0" }));
         let server = Server::spawn(0, router).unwrap();
-        let resp = Client::new()
-            .send_ok(server.addr(), &Request::get("/v"))
-            .unwrap();
+        let resp = Client::new().send_ok(server.addr(), &Request::get("/v")).unwrap();
         assert_eq!(resp.json_body().unwrap().get("version").unwrap().as_str(), Some("1.0"));
     }
 }

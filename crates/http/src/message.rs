@@ -98,11 +98,7 @@ impl Headers {
     pub fn set(&mut self, name: impl Into<String>, value: impl Into<String>) {
         let name = name.into();
         let value = value.into();
-        if let Some(e) = self
-            .entries
-            .iter_mut()
-            .find(|(n, _)| n.eq_ignore_ascii_case(&name))
-        {
+        if let Some(e) = self.entries.iter_mut().find(|(n, _)| n.eq_ignore_ascii_case(&name)) {
             e.1 = value;
         } else {
             self.entries.push((name, value));
@@ -111,10 +107,7 @@ impl Headers {
 
     /// Case-insensitive lookup.
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.entries
-            .iter()
-            .find(|(n, _)| n.eq_ignore_ascii_case(name))
-            .map(|(_, v)| v.as_str())
+        self.entries.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
     }
 
     /// Iterate entries in insertion order.
@@ -256,9 +249,10 @@ impl Response {
     /// `Content-Encoding` header says so).
     pub fn json_body(&self) -> monster_util::Result<Value> {
         let body = self.decoded_body()?;
-        monster_json::parse(std::str::from_utf8(&body).map_err(|_| {
-            monster_util::Error::parse("response body is not UTF-8")
-        })?)
+        monster_json::parse(
+            std::str::from_utf8(&body)
+                .map_err(|_| monster_util::Error::parse("response body is not UTF-8"))?,
+        )
     }
 
     /// The body with any `mz1` content-encoding removed.

@@ -20,8 +20,8 @@ fn split_head(raw: &[u8]) -> Result<(&str, &[u8])> {
         .windows(4)
         .position(|w| w == b"\r\n\r\n")
         .ok_or_else(|| Error::parse("missing header terminator"))?;
-    let head = std::str::from_utf8(&raw[..pos])
-        .map_err(|_| Error::parse("non-UTF-8 header block"))?;
+    let head =
+        std::str::from_utf8(&raw[..pos]).map_err(|_| Error::parse("non-UTF-8 header block"))?;
     Ok((head, &raw[pos + 4..]))
 }
 
@@ -57,10 +57,7 @@ pub fn parse_request(raw: &[u8]) -> Result<Request> {
     let mut lines = head.split("\r\n");
     let request_line = lines.next().ok_or_else(|| Error::parse("empty request"))?;
     let mut parts = request_line.split(' ');
-    let method = parts
-        .next()
-        .and_then(Method::parse)
-        .ok_or_else(|| Error::parse("bad method"))?;
+    let method = parts.next().and_then(Method::parse).ok_or_else(|| Error::parse("bad method"))?;
     let target = parts.next().ok_or_else(|| Error::parse("missing target"))?;
     let version = parts.next().ok_or_else(|| Error::parse("missing version"))?;
     if !version.starts_with("HTTP/1.") {
@@ -72,10 +69,8 @@ pub fn parse_request(raw: &[u8]) -> Result<Request> {
     };
     let headers = parse_headers(lines)?;
     let body = body_from(&headers, rest)?;
-    let keep_alive = headers
-        .get("Connection")
-        .map(|v| v.eq_ignore_ascii_case("keep-alive"))
-        .unwrap_or(false);
+    let keep_alive =
+        headers.get("Connection").map(|v| v.eq_ignore_ascii_case("keep-alive")).unwrap_or(false);
     Ok(Request { method, path, query, headers, body, keep_alive })
 }
 
@@ -126,10 +121,8 @@ pub fn read_message(stream: &mut impl Read) -> Result<Vec<u8>> {
     for line in head.split("\r\n").skip(1) {
         if let Some((name, value)) = line.split_once(':') {
             if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| Error::parse("bad Content-Length"))?;
+                content_length =
+                    value.trim().parse().map_err(|_| Error::parse("bad Content-Length"))?;
             }
         }
     }

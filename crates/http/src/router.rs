@@ -68,9 +68,7 @@ impl Router {
                 }
             })
             .collect();
-        let wild_pos = segments
-            .iter()
-            .position(|s| matches!(s, Seg::Wildcard(_)));
+        let wild_pos = segments.iter().position(|s| matches!(s, Seg::Wildcard(_)));
         if let Some(p) = wild_pos {
             assert!(p == segments.len() - 1, "wildcard must be final segment");
         }
@@ -132,9 +130,7 @@ mod tests {
 
     fn router() -> Router {
         Router::new()
-            .route(Method::Get, "/v1/health", |_, _| {
-                Response::json(&jobj! { "ok" => true })
-            })
+            .route(Method::Get, "/v1/health", |_, _| Response::json(&jobj! { "ok" => true }))
             .route(Method::Get, "/v1/metrics/:node", |_, p| {
                 Response::json(&jobj! { "node" => p.get("node").unwrap() })
             })
@@ -155,17 +151,12 @@ mod tests {
     #[test]
     fn param_binding() {
         let r = router().dispatch(&Request::get("/v1/metrics/10.101.1.1"));
-        assert_eq!(
-            r.json_body().unwrap().get("node").unwrap().as_str(),
-            Some("10.101.1.1")
-        );
+        assert_eq!(r.json_body().unwrap().get("node").unwrap().as_str(), Some("10.101.1.1"));
     }
 
     #[test]
     fn wildcard_binds_remainder() {
-        let r = router().dispatch(&Request::get(
-            "/redfish/v1/Chassis/System.Embedded.1/Thermal",
-        ));
+        let r = router().dispatch(&Request::get("/redfish/v1/Chassis/System.Embedded.1/Thermal"));
         assert_eq!(
             r.json_body().unwrap().get("rest").unwrap().as_str(),
             Some("Chassis/System.Embedded.1/Thermal")
@@ -189,17 +180,12 @@ mod tests {
 
     #[test]
     fn param_routes_do_not_eat_longer_paths() {
-        assert_eq!(
-            router().dispatch(&Request::get("/v1/metrics/a/b")).status,
-            Status::NOT_FOUND
-        );
+        assert_eq!(router().dispatch(&Request::get("/v1/metrics/a/b")).status, Status::NOT_FOUND);
     }
 
     #[test]
     #[should_panic(expected = "wildcard")]
     fn wildcard_must_be_last() {
-        let _ = Router::new().route(Method::Get, "/a/*x/b", |_, _| {
-            Response::error(Status::OK, "")
-        });
+        let _ = Router::new().route(Method::Get, "/a/*x/b", |_, _| Response::error(Status::OK, ""));
     }
 }

@@ -90,11 +90,7 @@ fn handle_connection(mut stream: TcpStream, router: &Router) {
                 Err(monster_util::Error::Network(_)) => return, // client went away
                 Err(e) => (Response::error(Status::BAD_REQUEST, &e.to_string()), false),
             };
-        let wire = if keep_alive {
-            response.to_bytes_keep_alive()
-        } else {
-            response.to_bytes()
-        };
+        let wire = if keep_alive { response.to_bytes_keep_alive() } else { response.to_bytes() };
         if stream.write_all(&wire).is_err() || stream.flush().is_err() {
             return;
         }
@@ -113,9 +109,7 @@ mod tests {
 
     fn test_router() -> Router {
         Router::new()
-            .route(Method::Get, "/ping", |_, _| {
-                Response::json(&jobj! { "pong" => true })
-            })
+            .route(Method::Get, "/ping", |_, _| Response::json(&jobj! { "pong" => true }))
             .route(Method::Post, "/echo", |req, _| {
                 Response::bytes(req.body.clone(), "application/octet-stream")
             })
@@ -125,9 +119,7 @@ mod tests {
     fn serves_and_shuts_down() {
         let mut server = Server::spawn(0, test_router()).unwrap();
         let client = Client::new();
-        let resp = client
-            .send(server.addr(), &Request::get("/ping"))
-            .unwrap();
+        let resp = client.send(server.addr(), &Request::get("/ping")).unwrap();
         assert_eq!(resp.status, Status::OK);
         assert_eq!(resp.json_body().unwrap(), jobj! { "pong" => true });
         server.shutdown();
@@ -140,9 +132,7 @@ mod tests {
         let server = Server::spawn(0, test_router()).unwrap();
         let client = Client::new();
         let payload = jobj! { "xs" => vec![1i64, 2, 3] };
-        let resp = client
-            .send(server.addr(), &Request::post_json("/echo", &payload))
-            .unwrap();
+        let resp = client.send(server.addr(), &Request::post_json("/echo", &payload)).unwrap();
         assert_eq!(resp.body, payload.to_string_compact().into_bytes());
     }
 
@@ -150,9 +140,7 @@ mod tests {
     fn unknown_route_is_404() {
         let server = Server::spawn(0, test_router()).unwrap();
         let client = Client::new();
-        let resp = client
-            .send(server.addr(), &Request::get("/missing"))
-            .unwrap();
+        let resp = client.send(server.addr(), &Request::get("/missing")).unwrap();
         assert_eq!(resp.status, Status::NOT_FOUND);
     }
 

@@ -168,9 +168,7 @@ impl<'a> Parser<'a> {
                         } else if (0xDC00..0xE000).contains(&cp) {
                             return Err(self.err("unexpected low surrogate"));
                         } else {
-                            out.push(
-                                char::from_u32(cp).ok_or_else(|| self.err("bad code point"))?,
-                            );
+                            out.push(char::from_u32(cp).ok_or_else(|| self.err("bad code point"))?);
                         }
                     }
                     _ => return Err(self.err("invalid escape")),
@@ -203,9 +201,8 @@ impl<'a> Parser<'a> {
         let mut v = 0u32;
         for _ in 0..4 {
             let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
-            let d = (b as char)
-                .to_digit(16)
-                .ok_or_else(|| self.err("non-hex digit in \\u escape"))?;
+            let d =
+                (b as char).to_digit(16).ok_or_else(|| self.err("non-hex digit in \\u escape"))?;
             v = v * 16 + d;
         }
         Ok(v)
@@ -267,9 +264,7 @@ impl<'a> Parser<'a> {
             }
             // Integer overflow: fall back to float like most parsers do.
         }
-        text.parse::<f64>()
-            .map(Value::Float)
-            .map_err(|_| self.err("invalid number"))
+        text.parse::<f64>().map(Value::Float).map_err(|_| self.err("invalid number"))
     }
 }
 
@@ -307,10 +302,7 @@ mod tests {
 
     #[test]
     fn string_escapes() {
-        assert_eq!(
-            parse(r#""a\"b\\c\/d\n\tA""#).unwrap(),
-            Value::Str("a\"b\\c/d\n\tA".into())
-        );
+        assert_eq!(parse(r#""a\"b\\c\/d\n\tA""#).unwrap(), Value::Str("a\"b\\c/d\n\tA".into()));
         // Surrogate pair: U+1F600.
         assert_eq!(parse(r#""😀""#).unwrap(), Value::Str("😀".into()));
         // Raw multi-byte UTF-8 passes through.
@@ -320,9 +312,27 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         for bad in [
-            "", "{", "}", "[1,", "[1 2]", "{\"a\"}", "{\"a\":}", "{a:1}", "01", "1.",
-            ".5", "1e", "+1", "\"\\x\"", "\"unterminated", "tru", "nul", "[1]]",
-            "{\"a\":1}extra", "\"\\ud800\"", "\"\\udc00\"",
+            "",
+            "{",
+            "}",
+            "[1,",
+            "[1 2]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{a:1}",
+            "01",
+            "1.",
+            ".5",
+            "1e",
+            "+1",
+            "\"\\x\"",
+            "\"unterminated",
+            "tru",
+            "nul",
+            "[1]]",
+            "{\"a\":1}extra",
+            "\"\\ud800\"",
+            "\"\\udc00\"",
         ] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }

@@ -119,10 +119,7 @@ mod tests {
             "time" => 1_583_792_296i64,
             "fields" => jobj! { "Reading" => 273.8 },
         };
-        assert_eq!(
-            v.to_string_compact(),
-            r#"{"time":1583792296,"fields":{"Reading":273.8}}"#
-        );
+        assert_eq!(v.to_string_compact(), r#"{"time":1583792296,"fields":{"Reading":273.8}}"#);
     }
 
     #[test]

@@ -11,11 +11,9 @@ fn arb_value() -> impl Strategy<Value = Value> {
         any::<bool>().prop_map(Value::Bool),
         any::<i64>().prop_map(Value::Int),
         // Finite floats only: NaN/inf intentionally do not round-trip.
-        any::<f64>()
-            .prop_filter("finite", |f| f.is_finite())
-            .prop_map(Value::Float),
-        "[ -~]{0,20}".prop_map(Value::Str),   // printable ASCII
-        "\\PC{0,8}".prop_map(Value::Str),     // arbitrary printable unicode
+        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Float),
+        "[ -~]{0,20}".prop_map(Value::Str), // printable ASCII
+        "\\PC{0,8}".prop_map(Value::Str),   // arbitrary printable unicode
     ];
     leaf.prop_recursive(4, 64, 8, |inner| {
         prop_oneof![

@@ -1,0 +1,151 @@
+//! `monster-obs` — self-monitoring for the monitor.
+//!
+//! MonSTer observes an HPC cluster; this crate observes MonSTer. It is a
+//! dependency-light metrics and tracing layer threaded through the four
+//! pipeline stages (Redfish client, collector, TSDB, scheduler) and
+//! exported by the Metrics Builder service at `GET /metrics`
+//! (Prometheus-style text) and `GET /debug/trace` (chrome-trace JSON).
+//!
+//! Three primitives, all lock-free on the update path:
+//!
+//! * [`Counter`] — monotone event counts (requests, retries, points
+//!   written);
+//! * [`Gauge`] — instantaneous values (pending queue depth, live series);
+//! * [`Histo`] — latency distributions over fixed power-of-two buckets
+//!   (per-request sweep latency, write-batch latency, query cost).
+//!
+//! Plus virtual-time-aware [`Span`]s: the registry carries a monotone
+//! virtual clock (nanoseconds of `monster_sim` time), and spans stamp
+//! their begin/end against it, so a trace of a simulated day lines up
+//! with the simulated sweeps rather than host wall time.
+//!
+//! # Quick use
+//!
+//! ```
+//! use monster_obs as obs;
+//! use monster_sim::VDuration;
+//!
+//! // Hot path: resolve once, update lock-free.
+//! let sweeps = obs::counter("doc_sweeps_total");
+//! let latency = obs::histo("doc_sweep_seconds");
+//! sweeps.inc();
+//! latency.observe(4.2);
+//!
+//! // Bracket simulated work with a span.
+//! let span = obs::Span::enter("doc.sweep");
+//! span.finish_after(VDuration::from_secs(52));
+//!
+//! let text = obs::global().text_exposition();
+//! assert_eq!(obs::sample(&text, "doc_sweeps_total"), Some(1.0));
+//! ```
+
+#![warn(missing_docs)]
+
+mod metrics;
+mod registry;
+mod span;
+
+pub use metrics::{Counter, Gauge, Histo, BUCKETS};
+pub use registry::{sample, Registry};
+pub use span::{Span, SpanRecord};
+
+use std::sync::{Arc, OnceLock};
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry that instrumented pipeline stages report to
+/// and that `/metrics` / `/debug/trace` export.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Get or create a counter in the global registry.
+pub fn counter(name: &str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// Get or create a gauge in the global registry.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    global().gauge(name)
+}
+
+/// Get or create a histogram in the global registry.
+pub fn histo(name: &str) -> Arc<Histo> {
+    global().histo(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::thread;
+
+    /// N threads hammering the same counter and histogram: totals must be
+    /// exact — the registry loses no updates under contention.
+    #[test]
+    fn concurrent_registry_is_exact() {
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 5_000;
+        let r = Registry::new();
+        thread::scope(|s| {
+            for t in 0..THREADS {
+                let r = &r;
+                s.spawn(move || {
+                    let c = r.counter("hammer_total");
+                    let h = r.histo("hammer_seconds");
+                    let g = r.gauge("hammer_depth");
+                    for i in 0..PER_THREAD {
+                        c.inc();
+                        h.observe(1e-6 * (t * PER_THREAD + i) as f64);
+                        g.add(1);
+                        g.sub(1);
+                    }
+                });
+            }
+        });
+        let total = (THREADS * PER_THREAD) as u64;
+        assert_eq!(r.counter_value("hammer_total"), total);
+        let h = r.histo("hammer_seconds");
+        assert_eq!(h.count(), total);
+        assert_eq!(h.counts().iter().sum::<u64>(), total);
+        assert_eq!(r.gauge_value("hammer_depth"), 0);
+    }
+
+    #[test]
+    fn global_handles_alias_one_registry() {
+        counter("lib_alias_total").add(5);
+        assert_eq!(global().counter_value("lib_alias_total"), 5);
+        gauge("lib_alias_gauge").set(2);
+        histo("lib_alias_seconds").observe(0.25);
+        let text = global().text_exposition();
+        assert_eq!(sample(&text, "lib_alias_total"), Some(5.0));
+        assert_eq!(sample(&text, "lib_alias_gauge"), Some(2.0));
+        assert_eq!(sample(&text, "lib_alias_seconds_count"), Some(1.0));
+    }
+
+    proptest! {
+        /// Bucket counts always sum to the number of *finite* observations,
+        /// whatever mix of magnitudes, signs, NaNs and infinities arrives.
+        #[test]
+        fn histo_buckets_sum_to_finite_observations(
+            xs in proptest::collection::vec(
+                prop_oneof![
+                    any::<f64>(),
+                    Just(f64::NAN),
+                    Just(f64::INFINITY),
+                    Just(f64::NEG_INFINITY),
+                    -1e-3..1e3f64,
+                ],
+                0..200,
+            )
+        ) {
+            let h = Histo::new();
+            let finite = xs.iter().filter(|x| x.is_finite()).count() as u64;
+            for x in xs {
+                h.observe(x);
+            }
+            prop_assert_eq!(h.count(), finite);
+            prop_assert_eq!(h.counts().iter().sum::<u64>(), finite);
+        }
+    }
+}

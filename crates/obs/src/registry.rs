@@ -1,0 +1,253 @@
+//! The metrics registry: named handles, virtual clock, span ring buffer,
+//! and the two export formats (Prometheus-style text, chrome-trace JSON).
+
+use crate::metrics::{Counter, Gauge, Histo, BUCKETS};
+use crate::span::SpanRecord;
+use monster_json::{jobj, Value};
+use monster_sim::VInstant;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Maximum number of completed spans retained for `/debug/trace`.
+const SPAN_RING_CAPACITY: usize = 512;
+
+/// A named collection of metrics plus a trace ring buffer and a virtual
+/// clock.
+///
+/// Handles returned by [`counter`](Registry::counter) /
+/// [`gauge`](Registry::gauge) / [`histo`](Registry::histo) are `Arc`s:
+/// hot call sites should resolve a handle once (e.g. in a `OnceLock`) and
+/// then update it lock-free. Metric names are stored in `BTreeMap`s so the
+/// text exposition is deterministic.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histos: RwLock<BTreeMap<String, Arc<Histo>>>,
+    spans: Mutex<VecDeque<SpanRecord>>,
+    vclock: AtomicU64,
+}
+
+impl Registry {
+    /// New empty registry with the virtual clock at
+    /// [`VInstant::EPOCH`].
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(self.counters.write().entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.gauges.read().get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(self.gauges.write().entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histo(&self, name: &str) -> Arc<Histo> {
+        if let Some(h) = self.histos.read().get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(self.histos.write().entry(name.to_string()).or_default())
+    }
+
+    /// Current virtual time.
+    pub fn vtime(&self) -> VInstant {
+        VInstant::from_nanos(self.vclock.load(Ordering::Relaxed))
+    }
+
+    /// Advance the virtual clock to `t`. The clock is monotone: setting an
+    /// earlier time than the current one is a no-op, so concurrent stages
+    /// can each report their own finish times safely.
+    pub fn set_vtime(&self, t: VInstant) {
+        self.vclock.fetch_max(t.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// Append a completed span to the trace ring buffer (oldest spans are
+    /// evicted beyond [`SPAN_RING_CAPACITY`] entries).
+    pub fn record_span(&self, record: SpanRecord) {
+        let mut spans = self.spans.lock();
+        if spans.len() == SPAN_RING_CAPACITY {
+            spans.pop_front();
+        }
+        spans.push_back(record);
+    }
+
+    /// Snapshot of the retained spans, oldest first.
+    pub fn recent_spans(&self) -> Vec<SpanRecord> {
+        self.spans.lock().iter().cloned().collect()
+    }
+
+    /// Current value of a counter, or 0 if it has never been touched.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.read().get(name).map(|c| c.get()).unwrap_or(0)
+    }
+
+    /// Current value of a gauge, or 0 if it has never been touched.
+    pub fn gauge_value(&self, name: &str) -> i64 {
+        self.gauges.read().get(name).map(|g| g.get()).unwrap_or(0)
+    }
+
+    /// Render every metric in Prometheus text exposition format.
+    ///
+    /// Counters and gauges emit a `# TYPE` line followed by `name value`;
+    /// histograms emit cumulative `name_bucket{le="..."}` lines plus
+    /// `name_sum` / `name_count`. Output order is lexicographic within
+    /// each metric kind, so successive scrapes diff cleanly.
+    pub fn text_exposition(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in self.counters.read().iter() {
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {}", c.get());
+        }
+        for (name, g) in self.gauges.read().iter() {
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {}", g.get());
+        }
+        for (name, h) in self.histos.read().iter() {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let counts = h.counts();
+            let mut cumulative = 0u64;
+            for (i, &c) in counts.iter().take(BUCKETS).enumerate() {
+                cumulative += c;
+                let _ =
+                    writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", Histo::upper_bound(i));
+            }
+            cumulative += counts[BUCKETS];
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            let _ = writeln!(out, "{name}_sum {}", h.sum_secs());
+            let _ = writeln!(out, "{name}_count {cumulative}");
+        }
+        out
+    }
+
+    /// Render the retained spans as a chrome-trace JSON document
+    /// (`{"traceEvents": [...]}`, complete `"X"` events, microsecond
+    /// virtual timestamps). Load it in `chrome://tracing` or Perfetto.
+    pub fn trace_json(&self) -> Value {
+        let events: Vec<Value> = self
+            .spans
+            .lock()
+            .iter()
+            .map(|s| {
+                jobj! {
+                    "name" => s.name.as_str(),
+                    "ph" => "X",
+                    "ts" => (s.begin.as_nanos() / 1_000) as i64,
+                    "dur" => (s.duration().as_nanos() / 1_000) as i64,
+                    "pid" => 1,
+                    "tid" => 1,
+                }
+            })
+            .collect();
+        jobj! { "traceEvents" => Value::Array(events) }
+    }
+}
+
+/// Parse one sample out of a text exposition: returns the value on the
+/// line whose metric name (including any `{labels}` part) is exactly
+/// `name`. Intended for tests asserting on scraped `/metrics` bodies.
+pub fn sample(exposition: &str, name: &str) -> Option<f64> {
+    exposition.lines().filter(|l| !l.starts_with('#')).find_map(|line| {
+        let (metric, value) = line.rsplit_once(' ')?;
+        if metric == name {
+            value.parse().ok()
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monster_sim::VDuration;
+
+    #[test]
+    fn handles_are_shared() {
+        let r = Registry::new();
+        r.counter("a").add(2);
+        r.counter("a").inc();
+        assert_eq!(r.counter_value("a"), 3);
+        r.gauge("g").set(-4);
+        assert_eq!(r.gauge_value("g"), -4);
+        assert_eq!(r.counter_value("never_touched"), 0);
+    }
+
+    #[test]
+    fn exposition_format_and_order() {
+        let r = Registry::new();
+        r.counter("m_b_total").inc();
+        r.counter("m_a_total").add(7);
+        r.gauge("m_depth").set(3);
+        r.histo("m_seconds").observe(1.5e-6);
+        let text = r.text_exposition();
+        // Lexicographic counter order.
+        let a = text.find("m_a_total 7").unwrap();
+        let b = text.find("m_b_total 1").unwrap();
+        assert!(a < b);
+        assert!(text.contains("# TYPE m_a_total counter"));
+        assert!(text.contains("# TYPE m_depth gauge\nm_depth 3"));
+        assert!(text.contains("# TYPE m_seconds histogram"));
+        // Cumulative buckets: the 2 µs bucket already includes the 1.5 µs
+        // observation, and +Inf equals the total count.
+        assert!(text.contains("m_seconds_bucket{le=\"0.000002\"} 1"));
+        assert!(text.contains("m_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("m_seconds_count 1"));
+        // The helper reads plain samples back out.
+        assert_eq!(sample(&text, "m_a_total"), Some(7.0));
+        assert_eq!(sample(&text, "m_depth"), Some(3.0));
+        assert_eq!(sample(&text, "m_seconds_count"), Some(1.0));
+        assert_eq!(sample(&text, "m_seconds_bucket{le=\"+Inf\"}"), Some(1.0));
+        assert_eq!(sample(&text, "nope"), None);
+    }
+
+    #[test]
+    fn vclock_is_monotone() {
+        let r = Registry::new();
+        r.set_vtime(VInstant::from_nanos(100));
+        r.set_vtime(VInstant::from_nanos(50));
+        assert_eq!(r.vtime(), VInstant::from_nanos(100));
+    }
+
+    #[test]
+    fn span_ring_evicts_oldest() {
+        let r = Registry::new();
+        for i in 0..(SPAN_RING_CAPACITY + 10) {
+            r.record_span(SpanRecord {
+                name: format!("s{i}"),
+                begin: VInstant::EPOCH,
+                end: VInstant::EPOCH + VDuration::from_nanos(i as u64),
+            });
+        }
+        let spans = r.recent_spans();
+        assert_eq!(spans.len(), SPAN_RING_CAPACITY);
+        assert_eq!(spans[0].name, "s10");
+    }
+
+    #[test]
+    fn trace_json_shape() {
+        let r = Registry::new();
+        r.record_span(SpanRecord {
+            name: "sweep".into(),
+            begin: VInstant::from_nanos(2_000),
+            end: VInstant::from_nanos(5_000),
+        });
+        let v = r.trace_json();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("name").unwrap().as_str(), Some("sweep"));
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(events[0].get("ts").unwrap().as_i64(), Some(2));
+        assert_eq!(events[0].get("dur").unwrap().as_i64(), Some(3));
+    }
+}

@@ -1,0 +1,110 @@
+//! Virtual-time-aware spans.
+//!
+//! A [`Span`] brackets a unit of pipeline work (a sweep, a collection
+//! interval, a builder request) and records a [`SpanRecord`] into the
+//! global registry's ring buffer when it finishes. Timestamps come from
+//! the registry's **virtual clock** — the same `monster_sim` time that
+//! drives sweeps and query costs — so exported traces line up with
+//! simulated activity instead of host wall time.
+
+use crate::global;
+use monster_sim::{VDuration, VInstant};
+
+/// A completed span, as stored in the registry's trace ring buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Operation name (e.g. `redfish.sweep`).
+    pub name: String,
+    /// Virtual start time.
+    pub begin: VInstant,
+    /// Virtual end time (`>= begin`).
+    pub end: VInstant,
+}
+
+impl SpanRecord {
+    /// Span duration in virtual time.
+    pub fn duration(&self) -> VDuration {
+        self.end.since(self.begin)
+    }
+}
+
+/// An in-flight span. Create one with [`Span::enter`]; it records itself
+/// when finished (explicitly, or on drop).
+#[derive(Debug)]
+pub struct Span {
+    name: String,
+    begin: VInstant,
+    done: bool,
+}
+
+impl Span {
+    /// Open a span named `name`, stamped with the registry's current
+    /// virtual time.
+    pub fn enter(name: impl Into<String>) -> Span {
+        Span { name: name.into(), begin: global().vtime(), done: false }
+    }
+
+    /// Virtual time at which the span was opened.
+    pub fn begin(&self) -> VInstant {
+        self.begin
+    }
+
+    /// Close the span at the registry's current virtual time.
+    pub fn finish(mut self) {
+        self.record(global().vtime());
+    }
+
+    /// Close the span `dur` after it began, advancing the registry's
+    /// virtual clock to at least the span's end. This is the common form
+    /// for simulated work: the caller knows the simulated elapsed time
+    /// (e.g. a `SweepOutcome` makespan) rather than observing it.
+    pub fn finish_after(mut self, dur: VDuration) {
+        let end = self.begin + dur;
+        global().set_vtime(end);
+        self.record(end);
+    }
+
+    fn record(&mut self, end: VInstant) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        global().record_span(SpanRecord {
+            name: std::mem::take(&mut self.name),
+            begin: self.begin,
+            end: end.max(self.begin),
+        });
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.record(global().vtime());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_after_advances_vclock_and_records() {
+        let t0 = global().vtime();
+        let span = Span::enter("test.op");
+        span.finish_after(VDuration::from_secs(2));
+        assert!(global().vtime() >= t0 + VDuration::from_secs(2));
+        let spans = global().recent_spans();
+        let rec = spans.iter().rev().find(|s| s.name == "test.op").unwrap();
+        assert_eq!(rec.duration(), VDuration::from_secs(2));
+    }
+
+    #[test]
+    fn drop_records_without_double_count() {
+        let before = global().recent_spans().len();
+        {
+            let _span = Span::enter("test.drop");
+        }
+        let after = global().recent_spans().len();
+        assert_eq!(after, before + 1);
+    }
+}

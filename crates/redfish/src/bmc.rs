@@ -136,11 +136,7 @@ mod tests {
         for _ in 0..50_000 {
             s.push(cfg.latency.sample(&mut rng).as_secs_f64());
         }
-        assert!(
-            (4.0..4.6).contains(&s.mean()),
-            "mean latency {:.3}s, want ≈4.29s",
-            s.mean()
-        );
+        assert!((4.0..4.6).contains(&s.mean()), "mean latency {:.3}s, want ≈4.29s", s.mean());
     }
 
     #[test]

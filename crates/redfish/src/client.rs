@@ -53,6 +53,8 @@ pub struct RequestOutcome {
     pub reading: Option<NodeReading>,
     /// Total attempts made (1 = first try succeeded).
     pub attempts: usize,
+    /// Attempts that hit the read timeout (stalled BMC).
+    pub timeouts: usize,
     /// Simulated elapsed time across all attempts.
     pub elapsed: VDuration,
 }
@@ -80,6 +82,19 @@ impl SweepOutcome {
     /// Extra attempts beyond the first, summed.
     pub fn retries(&self) -> usize {
         self.results.iter().map(|r| r.attempts - 1).sum()
+    }
+
+    /// Read-timeout hits across all requests and attempts.
+    pub fn timeouts(&self) -> usize {
+        self.results.iter().map(|r| r.timeouts).sum()
+    }
+
+    /// The 99th-percentile simulated request time, or `None` for an empty
+    /// sweep (uses the non-panicking percentile so a degenerate sweep
+    /// cannot take the monitor down).
+    pub fn p99_request_secs(&self) -> Option<f64> {
+        let times: Vec<f64> = self.results.iter().map(|r| r.elapsed.as_secs_f64()).collect();
+        monster_util::stats::try_percentile(&times, 0.99)
     }
 
     /// Mean simulated time of *successful first-attempt* requests — the
@@ -124,36 +139,51 @@ impl RedfishClient {
 
     /// Execute one request with the retry policy against the simulated
     /// fleet.
-    pub fn fetch(&self, cluster: &SimulatedCluster, node: NodeId, category: Category) -> RequestOutcome {
+    pub fn fetch(
+        &self,
+        cluster: &SimulatedCluster,
+        node: NodeId,
+        category: Category,
+    ) -> RequestOutcome {
         let mut elapsed = VDuration::ZERO;
         let mut attempts = 0;
+        let mut timeouts = 0;
         while attempts <= self.config.max_retries {
             attempts += 1;
             match cluster.request(node, category) {
                 Ok(BmcResponse::Ok(payload, latency)) => {
                     elapsed += latency;
                     let reading = parse_reading(category, &payload).ok();
-                    return RequestOutcome { node, category, reading, attempts, elapsed };
+                    return RequestOutcome { node, category, reading, attempts, timeouts, elapsed };
                 }
                 Ok(BmcResponse::Refused(latency)) => {
                     elapsed += latency;
                 }
                 Ok(BmcResponse::Stalled) => {
+                    timeouts += 1;
                     elapsed += self.config.read_timeout;
                 }
                 Err(_) => {
                     // Unknown node: not retryable.
-                    return RequestOutcome { node, category, reading: None, attempts, elapsed };
+                    return RequestOutcome {
+                        node,
+                        category,
+                        reading: None,
+                        attempts,
+                        timeouts,
+                        elapsed,
+                    };
                 }
             }
         }
-        RequestOutcome { node, category, reading: None, attempts, elapsed }
+        RequestOutcome { node, category, reading: None, attempts, timeouts, elapsed }
     }
 
     /// Sweep the whole fleet: fan the request pool out on the worker pool,
     /// then compute the simulated makespan on the in-flight budget
     /// (longest-processing-time-first onto the least loaded channel).
     pub fn sweep(&self, cluster: &SimulatedCluster) -> SweepOutcome {
+        let span = monster_obs::Span::enter("redfish.sweep");
         let pool_items = Self::request_pool(cluster);
         let pool = ThreadPool::new(self.config.pool_workers);
         let results = pool.scope_map(pool_items, |(n, c)| self.fetch(cluster, n, c));
@@ -167,7 +197,25 @@ impl RedfishClient {
             *min += t;
         }
         let makespan = bins.into_iter().max().unwrap_or(VDuration::ZERO);
-        SweepOutcome { results, makespan }
+        let outcome = SweepOutcome { results, makespan };
+        self.report(&outcome);
+        span.finish_after(makespan);
+        outcome
+    }
+
+    /// Publish a sweep's health to the self-monitoring registry
+    /// (`monster_redfish_*` series on `GET /metrics`). Kept out of
+    /// [`Self::fetch`] so the per-request hot path stays untouched.
+    fn report(&self, outcome: &SweepOutcome) {
+        monster_obs::counter("monster_redfish_sweeps_total").inc();
+        monster_obs::counter("monster_redfish_requests_total").add(outcome.results.len() as u64);
+        monster_obs::counter("monster_redfish_failures_total").add(outcome.failures() as u64);
+        monster_obs::counter("monster_redfish_retries_total").add(outcome.retries() as u64);
+        monster_obs::counter("monster_redfish_timeouts_total").add(outcome.timeouts() as u64);
+        let histo = monster_obs::histo("monster_redfish_request_seconds");
+        for r in &outcome.results {
+            histo.observe_vdur(r.elapsed);
+        }
     }
 }
 

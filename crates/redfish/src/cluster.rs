@@ -102,10 +102,8 @@ impl SimulatedCluster {
 
     /// Issue one Redfish request against a node's BMC.
     pub fn request(&self, node: NodeId, category: Category) -> Result<BmcResponse> {
-        let cell = self
-            .cells
-            .get(&node)
-            .ok_or_else(|| Error::not_found(format!("no node {node}")))?;
+        let cell =
+            self.cells.get(&node).ok_or_else(|| Error::not_found(format!("no node {node}")))?;
         let mut cell = cell.lock();
         let cell = &mut *cell;
         Ok(cell.bmc.handle(category, &cell.sensors))
@@ -113,10 +111,8 @@ impl SimulatedCluster {
 
     /// Failure injection: mark a node's BMC dead or alive.
     pub fn set_bmc_alive(&self, node: NodeId, alive: bool) -> Result<()> {
-        let cell = self
-            .cells
-            .get(&node)
-            .ok_or_else(|| Error::not_found(format!("no node {node}")))?;
+        let cell =
+            self.cells.get(&node).ok_or_else(|| Error::not_found(format!("no node {node}")))?;
         cell.lock().bmc.set_alive(alive);
         Ok(())
     }
@@ -124,10 +120,8 @@ impl SimulatedCluster {
     /// Snapshot a node's current sensor state (ground truth for tests and
     /// the analysis pipeline).
     pub fn sensors(&self, node: NodeId) -> Result<NodeSensors> {
-        let cell = self
-            .cells
-            .get(&node)
-            .ok_or_else(|| Error::not_found(format!("no node {node}")))?;
+        let cell =
+            self.cells.get(&node).ok_or_else(|| Error::not_found(format!("no node {node}")))?;
         Ok(cell.lock().sensors.clone())
     }
 }
@@ -211,10 +205,7 @@ mod tests {
             for i in 0..20 {
                 c.step(60.0, |id| ((id.slot as usize + i) % 3) as f64 / 2.0);
             }
-            c.node_ids()
-                .iter()
-                .map(|&id| c.sensors(id).unwrap().nine_metrics())
-                .collect::<Vec<_>>()
+            c.node_ids().iter().map(|&id| c.sensors(id).unwrap().nine_metrics()).collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

@@ -102,10 +102,8 @@ pub fn router(cluster: Arc<SimulatedCluster>) -> Router {
             match c2.request(node, category) {
                 Ok(BmcResponse::Ok(payload, latency)) => {
                     let mut resp = Response::json(&payload);
-                    resp.headers.set(
-                        "X-Simulated-Latency-Ms",
-                        format!("{:.1}", latency.as_millis_f64()),
-                    );
+                    resp.headers
+                        .set("X-Simulated-Latency-Ms", format!("{:.1}", latency.as_millis_f64()));
                     resp
                 }
                 Ok(BmcResponse::Refused(latency)) => {
@@ -113,10 +111,8 @@ pub fn router(cluster: Arc<SimulatedCluster>) -> Router {
                         Status::SERVICE_UNAVAILABLE,
                         &redfish_error("iDRAC busy").to_string_compact(),
                     );
-                    resp.headers.set(
-                        "X-Simulated-Latency-Ms",
-                        format!("{:.1}", latency.as_millis_f64()),
-                    );
+                    resp.headers
+                        .set("X-Simulated-Latency-Ms", format!("{:.1}", latency.as_millis_f64()));
                     resp
                 }
                 Ok(BmcResponse::Stalled) => {
@@ -177,15 +173,10 @@ mod tests {
         let cluster = reliable_cluster(2);
         let server = Server::spawn(0, router(cluster)).unwrap();
         let client = Client::new();
-        let r = client
-            .send(server.addr(), &Request::get("/nodes/10.101.9.9/redfish/v1"))
-            .unwrap();
+        let r = client.send(server.addr(), &Request::get("/nodes/10.101.9.9/redfish/v1")).unwrap();
         assert_eq!(r.status, Status::NOT_FOUND);
         let r = client
-            .send(
-                server.addr(),
-                &Request::get("/nodes/10.101.1.1/redfish/v1/Nothing/Here"),
-            )
+            .send(server.addr(), &Request::get("/nodes/10.101.1.1/redfish/v1/Nothing/Here"))
             .unwrap();
         assert_eq!(r.status, Status::NOT_FOUND);
     }
@@ -194,8 +185,7 @@ mod tests {
     fn authenticated_gateway_requires_token() {
         let cluster = reliable_cluster(2);
         let sessions = Arc::new(crate::auth::SessionManager::new("monster", "secret", 7));
-        let server =
-            Server::spawn(0, router_with_auth(cluster, Arc::clone(&sessions))).unwrap();
+        let server = Server::spawn(0, router_with_auth(cluster, Arc::clone(&sessions))).unwrap();
         let client = Client::new();
         let url = "/nodes/10.101.1.1/redfish/v1/Chassis/System.Embedded.1/Power/";
 

@@ -120,7 +120,10 @@ pub fn parse_reading(category: Category, v: &Value) -> Result<NodeReading> {
     let bad = |what: &str| Error::parse(format!("redfish {category} payload missing {what}"));
     match category {
         Category::Thermal => {
-            let temps = v.get("Temperatures").and_then(Value::as_array).ok_or_else(|| bad("Temperatures"))?;
+            let temps = v
+                .get("Temperatures")
+                .and_then(Value::as_array)
+                .ok_or_else(|| bad("Temperatures"))?;
             let mut cpu_temps = Vec::new();
             let mut inlet = None;
             for t in temps {
@@ -159,9 +162,7 @@ pub fn parse_reading(category: Category, v: &Value) -> Result<NodeReading> {
                 .ok_or_else(|| bad("Voltages"))?
                 .iter()
                 .map(|x| {
-                    x.get("ReadingVolts")
-                        .and_then(Value::as_f64)
-                        .ok_or_else(|| bad("ReadingVolts"))
+                    x.get("ReadingVolts").and_then(Value::as_f64).ok_or_else(|| bad("ReadingVolts"))
                 })
                 .collect::<Result<Vec<f64>>>()?;
             Ok(NodeReading::Power { usage_watts: usage, voltages })
@@ -240,10 +241,7 @@ mod tests {
         ));
         let v = payload(Category::System, NodeId::new(1, 1), &s);
         // 36 logical processors per node (Quanah's spec).
-        assert_eq!(
-            v.pointer("ProcessorSummary/LogicalProcessorCount").unwrap().as_i64(),
-            Some(36)
-        );
+        assert_eq!(v.pointer("ProcessorSummary/LogicalProcessorCount").unwrap().as_i64(), Some(36));
     }
 
     #[test]

@@ -109,11 +109,7 @@ impl NodeSensors {
             HealthState::Ok
         };
         // Rare BMC firmware hiccups, self-healing.
-        self.bmc_health = if rng.chance(0.0005) {
-            HealthState::Warning
-        } else {
-            HealthState::Ok
-        };
+        self.bmc_health = if rng.chance(0.0005) { HealthState::Warning } else { HealthState::Ok };
     }
 
     /// The nine metrics the radar/clustering analysis consumes (Fig. 7's

@@ -282,10 +282,8 @@ mod tests {
     #[test]
     fn ring_buffer_bounds_memory() {
         let c = cluster(1);
-        let mut ts = TelemetryService::new(TelemetryConfig {
-            sample_interval_secs: 10,
-            samples_kept: 4,
-        });
+        let mut ts =
+            TelemetryService::new(TelemetryConfig { sample_interval_secs: 10, samples_kept: 4 });
         for i in 0..20 {
             ts.record(&c, EpochSecs::new(i * 10));
         }

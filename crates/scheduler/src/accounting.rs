@@ -16,11 +16,7 @@ use monster_json::{jobj, Value};
 /// The per-node accounting document (Table II's node-level metrics plus
 /// the descriptive payload ARCo attaches).
 pub fn node_document(report: &LoadReport) -> Value {
-    let jobs: Vec<Value> = report
-        .job_list
-        .iter()
-        .map(|id| Value::from(id.to_string()))
-        .collect();
+    let jobs: Vec<Value> = report.job_list.iter().map(|id| Value::from(id.to_string())).collect();
     jobj! {
         "hostname" => report.node.label(),
         "address" => report.node.bmc_addr(),
@@ -387,18 +383,14 @@ fn pull_jobs(qm: &Qmaster) -> Vec<&Job> {
 pub fn accounting_pull(qm: &Qmaster) -> (Value, usize) {
     let reports = qm.all_load_reports();
     let nodes: Vec<Value> = reports.iter().map(node_document).collect();
-    let jobs: Vec<Value> = pull_jobs(qm)
-        .iter()
-        .map(|j| job_document(j, crate::host::SLOTS_PER_NODE))
-        .collect();
-    let size: usize = reports
-        .iter()
-        .map(|r| to_xml("host", &node_document(r)).len())
-        .sum::<usize>()
-        + pull_jobs(qm)
-            .iter()
-            .map(|j| to_xml("job_info", &job_document(j, crate::host::SLOTS_PER_NODE)).len())
-            .sum::<usize>();
+    let jobs: Vec<Value> =
+        pull_jobs(qm).iter().map(|j| job_document(j, crate::host::SLOTS_PER_NODE)).collect();
+    let size: usize =
+        reports.iter().map(|r| to_xml("host", &node_document(r)).len()).sum::<usize>()
+            + pull_jobs(qm)
+                .iter()
+                .map(|j| to_xml("job_info", &job_document(j, crate::host::SLOTS_PER_NODE)).len())
+                .sum::<usize>();
     let doc = jobj! {
         "timestamp" => qm.now().as_secs(),
         "nodes" => Value::Array(nodes),
@@ -426,10 +418,7 @@ pub struct BandwidthReport {
 /// are measured on the XML wire encoding.
 pub fn bandwidth_report(qm: &Qmaster, interval_secs: f64) -> BandwidthReport {
     let reports = qm.all_load_reports();
-    let node_bytes: usize = reports
-        .iter()
-        .map(|r| to_xml("host", &node_document(r)).len())
-        .sum();
+    let node_bytes: usize = reports.iter().map(|r| to_xml("host", &node_document(r)).len()).sum();
     let jobs: Vec<&Job> = pull_jobs(qm);
     let job_bytes: usize = jobs
         .iter()
@@ -438,7 +427,10 @@ pub fn bandwidth_report(qm: &Qmaster, interval_secs: f64) -> BandwidthReport {
     let total = (node_bytes + job_bytes) as f64 / 1024.0 / interval_secs;
     BandwidthReport {
         total_kb_per_sec: total,
-        per_node_kb_per_sec: node_bytes as f64 / 1024.0 / reports.len().max(1) as f64 / interval_secs,
+        per_node_kb_per_sec: node_bytes as f64
+            / 1024.0
+            / reports.len().max(1) as f64
+            / interval_secs,
         per_job_kb_per_sec: job_bytes as f64 / 1024.0 / jobs.len().max(1) as f64 / interval_secs,
         nodes: reports.len(),
         jobs: jobs.len(),
@@ -491,8 +483,15 @@ mod tests {
         let job = qm.running_jobs()[0];
         let doc = job_document(job, 36);
         for key in [
-            "job_number", "owner", "job_name", "slots", "submission_time",
-            "start_time", "hosts", "cpu", "state",
+            "job_number",
+            "owner",
+            "job_name",
+            "slots",
+            "submission_time",
+            "start_time",
+            "hosts",
+            "cpu",
+            "state",
         ] {
             assert!(doc.get(key).is_some(), "missing {key}");
         }
@@ -541,8 +540,7 @@ mod tests {
         assert_eq!(bw.jobs, 12);
         assert!(bw.total_kb_per_sec > 0.0);
         // total ≈ nodes*per_node + jobs*per_job
-        let reconstructed =
-            bw.per_node_kb_per_sec * 8.0 + bw.per_job_kb_per_sec * 12.0;
+        let reconstructed = bw.per_node_kb_per_sec * 8.0 + bw.per_job_kb_per_sec * 12.0;
         assert!((reconstructed - bw.total_kb_per_sec).abs() / bw.total_kb_per_sec < 0.01);
     }
 }

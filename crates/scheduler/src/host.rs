@@ -64,12 +64,7 @@ pub struct LoadReport {
 impl ExecHost {
     /// A fresh, idle host.
     pub fn new(node: NodeId) -> Self {
-        ExecHost {
-            node,
-            allocations: BTreeMap::new(),
-            alive: true,
-            last_report: EpochSecs::new(0),
-        }
+        ExecHost { node, allocations: BTreeMap::new(), alive: true, last_report: EpochSecs::new(0) }
     }
 
     /// Slots currently allocated.
@@ -96,9 +91,7 @@ impl ExecHost {
     /// check [`fits`](Self::fits) first).
     pub fn allocate(&mut self, job: JobId, slots: u32, mem_gib: f64) {
         assert!(self.fits(slots), "over-allocating host {}", self.node);
-        let prev = self
-            .allocations
-            .insert(job, HostAllocation { slots, mem_gib });
+        let prev = self.allocations.insert(job, HostAllocation { slots, mem_gib });
         assert!(prev.is_none(), "job {job} double-allocated on {}", self.node);
     }
 
@@ -110,12 +103,7 @@ impl ExecHost {
     /// Memory in use: OS baseline plus per-job footprints, capped so
     /// overflow spills into swap.
     fn memory_model(&self) -> (f64, f64) {
-        let wanted = MEM_BASE_GIB
-            + self
-                .allocations
-                .values()
-                .map(|a| a.mem_gib)
-                .sum::<f64>();
+        let wanted = MEM_BASE_GIB + self.allocations.values().map(|a| a.mem_gib).sum::<f64>();
         if wanted <= MEM_TOTAL_GIB {
             (wanted, 0.0)
         } else {

@@ -8,9 +8,9 @@
 //! work.
 
 use crate::host::{ExecHost, LoadReport, SLOTS_PER_NODE};
-use crate::job::{Job, JobId, JobSpec, JobState};
 #[cfg(test)]
 use crate::job::JobShape;
+use crate::job::{Job, JobId, JobSpec, JobState};
 use monster_sim::{EventQueue, VInstant};
 use monster_util::{EpochSecs, Error, NodeId, Result};
 use std::collections::{BTreeMap, HashSet};
@@ -203,8 +203,7 @@ impl Qmaster {
                 break;
             }
             let (at, event) = self.events.pop().expect("peeked");
-            self.now = self.config.start_time
-                + (at.as_nanos() / 1_000_000_000) as i64;
+            self.now = self.config.start_time + (at.as_nanos() / 1_000_000_000) as i64;
             self.handle(event);
         }
         self.now = self.now.max(t);
@@ -215,12 +214,12 @@ impl Qmaster {
             Event::Submit(spec) => {
                 let id = JobId(self.next_id);
                 self.next_id += 1;
-                self.jobs.insert(
-                    id,
-                    Job { id, spec, submit_time: self.now, state: JobState::Pending },
-                );
+                self.jobs
+                    .insert(id, Job { id, spec, submit_time: self.now, state: JobState::Pending });
                 self.pending.push(id);
                 self.dirty = true;
+                monster_obs::counter("monster_sched_jobs_submitted_total").inc();
+                monster_obs::gauge("monster_sched_pending_jobs").set(self.pending.len() as i64);
             }
             Event::ScheduleTick => {
                 self.schedule_pass();
@@ -310,6 +309,8 @@ impl Qmaster {
             }
         }
         self.pending = still_pending;
+        // Queue depth after the pass: what `/metrics` reports as backlog.
+        monster_obs::gauge("monster_sched_pending_jobs").set(self.pending.len() as i64);
     }
 
     /// Earliest future instant at which `hosts_needed` hosts each have
@@ -328,10 +329,8 @@ impl Qmaster {
                 }
             }
         }
-        let mut end_times: Vec<EpochSecs> = frees
-            .values()
-            .flat_map(|v| v.iter().map(|(e, _)| *e))
-            .collect();
+        let mut end_times: Vec<EpochSecs> =
+            frees.values().flat_map(|v| v.iter().map(|(e, _)| *e)).collect();
         end_times.push(self.now);
         end_times.sort();
         end_times.dedup();
@@ -416,15 +415,18 @@ impl Qmaster {
             return false;
         }
         for node in &chosen {
-            self.hosts
-                .get_mut(node)
-                .expect("chosen host exists")
-                .allocate(id, per_host, per_host as f64 * mem_per_slot);
+            self.hosts.get_mut(node).expect("chosen host exists").allocate(
+                id,
+                per_host,
+                per_host as f64 * mem_per_slot,
+            );
         }
         let start = self.now;
         let job = self.jobs.get_mut(&id).expect("job exists");
         job.state = JobState::Running { start, hosts: chosen };
         self.schedule_event(start + runtime, Event::JobEnd(id));
+        monster_obs::counter("monster_sched_jobs_started_total").inc();
+        monster_obs::gauge("monster_sched_running_jobs").add(1);
         true
     }
 
@@ -445,6 +447,8 @@ impl Qmaster {
         }
         self.finished.push(id);
         self.dirty = true;
+        monster_obs::counter("monster_sched_jobs_finished_total").inc();
+        monster_obs::gauge("monster_sched_running_jobs").sub(1);
         // Fair-share accounting: charge the user the job's core-seconds.
         if self.config.fairshare.is_some() {
             let job = &self.jobs[&id];
@@ -491,8 +495,8 @@ impl Qmaster {
     /// ("the qmaster labels the executing host and its resources as no
     /// longer available", §III-B2).
     fn receive_reports(&mut self) {
-        let lost_after = self.config.load_report_interval
-            * self.config.lost_after_missed_reports as i64;
+        let lost_after =
+            self.config.load_report_interval * self.config.lost_after_missed_reports as i64;
         let mut lost: Vec<NodeId> = Vec::new();
         for (node, h) in self.hosts.iter_mut() {
             if self.execds_down.contains(node) {
@@ -506,10 +510,7 @@ impl Qmaster {
             }
         }
         // Kill jobs on lost hosts.
-        let victims: Vec<JobId> = lost
-            .iter()
-            .flat_map(|n| self.hosts[n].job_ids())
-            .collect();
+        let victims: Vec<JobId> = lost.iter().flat_map(|n| self.hosts[n].job_ids()).collect();
         for id in victims {
             self.finish_job(id, true);
         }
@@ -524,10 +525,7 @@ impl Qmaster {
 
     /// A host's latest load report (what ARCo exposes per node).
     pub fn load_report(&self, node: NodeId) -> Result<LoadReport> {
-        let h = self
-            .hosts
-            .get(&node)
-            .ok_or_else(|| Error::not_found(format!("no host {node}")))?;
+        let h = self.hosts.get(&node).ok_or_else(|| Error::not_found(format!("no host {node}")))?;
         Ok(h.load_report(self.now))
     }
 
@@ -538,10 +536,7 @@ impl Qmaster {
 
     /// CPU utilization of a node, 0..=1 (drives the BMC sensor model).
     pub fn utilization(&self, node: NodeId) -> f64 {
-        self.hosts
-            .get(&node)
-            .map(|h| h.slots_used() as f64 / SLOTS_PER_NODE as f64)
-            .unwrap_or(0.0)
+        self.hosts.get(&node).map(|h| h.slots_used() as f64 / SLOTS_PER_NODE as f64).unwrap_or(0.0)
     }
 
     /// A job by id.
@@ -721,10 +716,7 @@ mod tests {
         qm.run_until(t0() + 400);
         assert!(!qm.host_available(node));
         assert_eq!(qm.running_jobs().len(), 0);
-        assert!(matches!(
-            qm.finished_jobs()[0].state,
-            JobState::Failed { .. }
-        ));
+        assert!(matches!(qm.finished_jobs()[0].state, JobState::Failed { .. }));
         // New work avoids the dead host.
         qm.submit_at(t0() + 410, serial_spec("next", 36, 100));
         qm.run_until(t0() + 500);
@@ -759,11 +751,7 @@ mod tests {
         qm.submit_at(t0() + 2, serial_spec("second", 20, 10_000)); // doesn't fit
         qm.submit_at(t0() + 3, serial_spec("third", 16, 10_000)); // fits alongside first
         qm.run_until(t0() + 60);
-        let users: Vec<&str> = qm
-            .running_jobs()
-            .iter()
-            .map(|j| j.spec.user.as_str())
-            .collect();
+        let users: Vec<&str> = qm.running_jobs().iter().map(|j| j.spec.user.as_str()).collect();
         // First-fit lets "third" in while "second" waits.
         assert!(users.contains(&"first"));
         assert!(users.contains(&"third"));

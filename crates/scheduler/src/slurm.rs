@@ -86,8 +86,9 @@ impl<'a> SlurmView<'a> {
                 let (start, end) = match &j.state {
                     JobState::Pending => (None, None),
                     JobState::Running { start, .. } => (Some(*start), None),
-                    JobState::Done { start, end, .. }
-                    | JobState::Failed { start, end, .. } => (Some(*start), Some(*end)),
+                    JobState::Done { start, end, .. } | JobState::Failed { start, end, .. } => {
+                        (Some(*start), Some(*end))
+                    }
                 };
                 jobj! {
                     "job_id" => j.id.as_u64() as i64,
@@ -149,10 +150,8 @@ mod tests {
         let v = SlurmView::new(&qm).nodes_payload();
         let nodes = v.get("nodes").unwrap().as_array().unwrap();
         assert_eq!(nodes.len(), 4);
-        let busy = nodes
-            .iter()
-            .filter(|n| n.get("state").unwrap().as_str() == Some("allocated"))
-            .count();
+        let busy =
+            nodes.iter().filter(|n| n.get("state").unwrap().as_str() == Some("allocated")).count();
         assert_eq!(busy, 1);
         assert_eq!(nodes[0].get("cpus").unwrap().as_i64(), Some(36));
     }
@@ -163,10 +162,8 @@ mod tests {
         let v = SlurmView::new(&qm).jobs_payload();
         let jobs = v.get("jobs").unwrap().as_array().unwrap();
         assert_eq!(jobs.len(), 2);
-        let states: Vec<&str> = jobs
-            .iter()
-            .map(|j| j.get("job_state").unwrap().as_str().unwrap())
-            .collect();
+        let states: Vec<&str> =
+            jobs.iter().map(|j| j.get("job_state").unwrap().as_str().unwrap()).collect();
         assert!(states.contains(&"COMPLETED"));
         assert!(states.contains(&"RUNNING"));
     }

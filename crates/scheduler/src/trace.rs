@@ -127,10 +127,7 @@ impl Trace {
 
     /// Total processor-seconds in the trace.
     pub fn core_seconds(&self) -> i64 {
-        self.jobs
-            .iter()
-            .map(|j| j.runtime_secs * j.processors as i64)
-            .sum()
+        self.jobs.iter().map(|j| j.runtime_secs * j.processors as i64).sum()
     }
 
     /// Replay onto a qmaster, anchoring offsets at `start`. Jobs past

@@ -68,17 +68,12 @@ impl WorkloadGenerator {
     pub fn new(config: WorkloadConfig) -> Self {
         let mut users = Vec::new();
         for i in 0..config.mpi_users {
-            let name = MPI_NAMES
-                .get(i)
-                .map(|s| s.to_string())
-                .unwrap_or_else(|| format!("mpi{i}"));
+            let name = MPI_NAMES.get(i).map(|s| s.to_string()).unwrap_or_else(|| format!("mpi{i}"));
             users.push((UserName::new(name), UserProfile::Mpi));
         }
         for i in 0..config.array_users {
-            let name = ARRAY_NAMES
-                .get(i)
-                .map(|s| s.to_string())
-                .unwrap_or_else(|| format!("arr{i}"));
+            let name =
+                ARRAY_NAMES.get(i).map(|s| s.to_string()).unwrap_or_else(|| format!("arr{i}"));
             users.push((UserName::new(name), UserProfile::Array));
         }
         for i in 0..config.serial_users {
@@ -213,12 +208,8 @@ mod tests {
         assert!(done > 0, "no jobs finished");
         assert!(running > 0, "nothing running at day end");
         // Array users produced single-slot tasks; MPI users multi-node.
-        let any_array = qm
-            .jobs()
-            .any(|j| matches!(j.spec.shape, JobShape::ArrayTask { .. }));
-        let any_mpi = qm
-            .jobs()
-            .any(|j| matches!(j.spec.shape, JobShape::Parallel { .. }));
+        let any_array = qm.jobs().any(|j| matches!(j.spec.shape, JobShape::ArrayTask { .. }));
+        let any_mpi = qm.jobs().any(|j| matches!(j.spec.shape, JobShape::Parallel { .. }));
         assert!(any_array && any_mpi);
     }
 

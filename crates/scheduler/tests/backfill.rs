@@ -57,11 +57,7 @@ fn easy_backfill_honours_the_reservation() {
     // and finished 30 minutes later.
     match &mpi.state {
         monster_scheduler::JobState::Done { start, end, .. } => {
-            assert!(
-                (*start - t0) >= 3600 && (*start - t0) <= 3700,
-                "started {} s in",
-                *start - t0
-            );
+            assert!((*start - t0) >= 3600 && (*start - t0) <= 3700, "started {} s in", *start - t0);
             assert_eq!(*end - *start, 1800);
         }
         other => panic!("MPI job should have completed, state {other:?}"),
@@ -88,11 +84,7 @@ fn easy_still_backfills_harmless_short_jobs() {
     qm.submit_at(t0 + 20, spec("quickie", JobShape::Serial { slots: 36 }, 600));
     qm.run_until(t0 + 900);
     let quickie = qm.jobs().find(|j| j.spec.user.as_str() == "quickie").unwrap();
-    assert!(
-        quickie.is_finished(),
-        "short job should have backfilled, state {:?}",
-        quickie.state
-    );
+    assert!(quickie.is_finished(), "short job should have backfilled, state {:?}", quickie.state);
     // And the MPI job's reservation still holds.
     qm.run_until(t0 + 2 * 3600);
     let mpi = qm.jobs().find(|j| j.spec.user.as_str() == "mpi").unwrap();

@@ -17,22 +17,16 @@ struct ArbJob {
 }
 
 fn arb_job() -> impl Strategy<Value = ArbJob> {
-    (
-        0i64..3_600,
-        1u32..=SLOTS_PER_NODE,
-        1u32..=6,
-        30i64..7_200,
-        -5i32..5,
-        any::<bool>(),
-    )
-        .prop_map(|(offset, slots, nodes, runtime, priority, parallel)| ArbJob {
+    (0i64..3_600, 1u32..=SLOTS_PER_NODE, 1u32..=6, 30i64..7_200, -5i32..5, any::<bool>()).prop_map(
+        |(offset, slots, nodes, runtime, priority, parallel)| ArbJob {
             offset,
             slots,
             nodes,
             runtime,
             priority,
             parallel,
-        })
+        },
+    )
 }
 
 fn run_workload(jobs: &[ArbJob], nodes: usize, horizon: i64) -> Qmaster {

@@ -22,18 +22,10 @@ pub struct DiskModel {
 
 impl DiskModel {
     /// The paper's HDD storage host: 103 MB/s, ~8 ms average seek.
-    pub const HDD: DiskModel = DiskModel {
-        name: "HDD",
-        read_bw: 103.0e6,
-        access_latency: 8.0e-3,
-    };
+    pub const HDD: DiskModel = DiskModel { name: "HDD", read_bw: 103.0e6, access_latency: 8.0e-3 };
 
     /// The paper's SSD storage host: 391 MB/s, ~80 µs access.
-    pub const SSD: DiskModel = DiskModel {
-        name: "SSD",
-        read_bw: 391.0e6,
-        access_latency: 80.0e-6,
-    };
+    pub const SSD: DiskModel = DiskModel { name: "SSD", read_bw: 391.0e6, access_latency: 80.0e-6 };
 
     /// Cost of reading `bytes` in `accesses` discrete operations.
     pub fn read_cost(&self, bytes: u64, accesses: u64) -> VDuration {

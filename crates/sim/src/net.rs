@@ -22,29 +22,19 @@ impl NetModel {
     /// 1 Gbit/s Ethernet with a LAN RTT, derated to ~70% achievable
     /// throughput for HTTP/TCP framing overhead (a conservative, standard
     /// derating for single-stream TCP on GigE).
-    pub const GIGABIT_LAN: NetModel = NetModel {
-        name: "1GbE LAN",
-        bandwidth: 1.0e9 / 8.0 * 0.70,
-        rtt: 200.0e-6,
-    };
+    pub const GIGABIT_LAN: NetModel =
+        NetModel { name: "1GbE LAN", bandwidth: 1.0e9 / 8.0 * 0.70, rtt: 200.0e-6 };
 
     /// The out-of-band management network the BMCs answer on. Same fabric
     /// class, but shared with other management traffic — derated harder.
-    pub const MANAGEMENT: NetModel = NetModel {
-        name: "management",
-        bandwidth: 1.0e9 / 8.0 * 0.40,
-        rtt: 500.0e-6,
-    };
+    pub const MANAGEMENT: NetModel =
+        NetModel { name: "management", bandwidth: 1.0e9 / 8.0 * 0.40, rtt: 500.0e-6 };
 
     /// A consumer invoking the Metrics Builder API from a campus network
     /// (the remote-analysis case of §IV-B4): ~200 Mbit/s effective, higher
     /// RTT. On this path transmission dominates query time for long ranges,
     /// which is what motivates response compression.
-    pub const CAMPUS: NetModel = NetModel {
-        name: "campus",
-        bandwidth: 200.0e6 / 8.0,
-        rtt: 4.0e-3,
-    };
+    pub const CAMPUS: NetModel = NetModel { name: "campus", bandwidth: 200.0e6 / 8.0, rtt: 4.0e-3 };
 
     /// Time to move `bytes` across the path once (one RTT of setup plus
     /// bandwidth-limited transfer).

@@ -314,9 +314,7 @@ mod tests {
         }
         // Query only the first block's range.
         let mut out = 0;
-        let stats = col
-            .scan(0, 60 * (BLOCK_SIZE as i64 / 2), |_, _| out += 1)
-            .unwrap();
+        let stats = col.scan(0, 60 * (BLOCK_SIZE as i64 / 2), |_, _| out += 1).unwrap();
         assert_eq!(stats.blocks, 1, "pruning failed: {stats:?}");
         assert_eq!(out, BLOCK_SIZE / 2);
     }
@@ -338,10 +336,7 @@ mod tests {
             (FieldValue::Float(0.0), Box::new(|i| FieldValue::Float(i as f64 * 0.5))),
             (FieldValue::Int(0), Box::new(|i| FieldValue::Int(i * 7))),
             (FieldValue::Bool(false), Box::new(|i| FieldValue::Bool(i % 3 == 0))),
-            (
-                FieldValue::Str(String::new()),
-                Box::new(|i| FieldValue::Str(format!("s{}", i % 5))),
-            ),
+            (FieldValue::Str(String::new()), Box::new(|i| FieldValue::Str(format!("s{}", i % 5)))),
         ];
         for (proto, make) in cases {
             let mut col = Column::new(&proto);
@@ -363,16 +358,10 @@ mod tests {
     fn compression_beats_raw_for_regular_data() {
         let mut col = Column::new(&FieldValue::Float(0.0));
         for i in 0..(BLOCK_SIZE as i64 * 4) {
-            col.append(1_583_792_296 + i * 60, &FieldValue::Float(273.8))
-                .unwrap();
+            col.append(1_583_792_296 + i * 60, &FieldValue::Float(273.8)).unwrap();
         }
         let raw = col.point_count() * 16; // 8B ts + 8B value
-        assert!(
-            col.encoded_bytes() < raw / 8,
-            "encoded {} raw {}",
-            col.encoded_bytes(),
-            raw
-        );
+        assert!(col.encoded_bytes() < raw / 8, "encoded {} raw {}", col.encoded_bytes(), raw);
     }
 
     #[test]

@@ -105,22 +105,13 @@ pub fn run_concurrent(db: &Arc<Db>, queries: Vec<Query>, workers: usize) -> Batc
     cpu_each.sort_unstable_by(|a, b| b.cmp(a));
     let mut bins = vec![VDuration::ZERO; workers];
     for d in cpu_each {
-        let min = bins
-            .iter_mut()
-            .min()
-            .expect("at least one worker");
+        let min = bins.iter_mut().min().expect("at least one worker");
         *min += d;
     }
     let slowest_cpu = bins.into_iter().max().unwrap_or(VDuration::ZERO);
-    let overhead = VDuration::from_secs_f64(
-        FANOUT_OVERHEAD_SECS * n as f64 * db.config().cost.amplification,
-    );
-    BatchOutcome {
-        results,
-        costs,
-        total_cost: total,
-        simulated: slowest_cpu + io_total + overhead,
-    }
+    let overhead =
+        VDuration::from_secs_f64(FANOUT_OVERHEAD_SECS * n as f64 * db.config().cost.amplification);
+    BatchOutcome { results, costs, total_cost: total, simulated: slowest_cpu + io_total + overhead }
 }
 
 #[cfg(test)]

@@ -107,8 +107,7 @@ impl CostParams {
     pub fn split(&self, cost: &QueryCost, disk: &DiskModel) -> (VDuration, VDuration) {
         let a = self.amplification;
         let transfer = cost.bytes as f64 * a / disk.read_bw;
-        let accesses =
-            cost.blocks as f64 * a * disk.access_latency * self.block_access_factor;
+        let accesses = cost.blocks as f64 * a * disk.access_latency * self.block_access_factor;
         let io = VDuration::from_secs_f64(transfer + accesses);
         let cpu = cost.points as f64 * a * self.per_point_cpu
             + cost.series as f64 * a * self.per_series
@@ -131,8 +130,16 @@ mod tests {
 
     #[test]
     fn absorb_sums_counters() {
-        let mut a = QueryCost { index_entries: 1, series: 2, blocks: 3, points: 4, bytes: 5, queries: 1 };
-        let b = QueryCost { index_entries: 10, series: 20, blocks: 30, points: 40, bytes: 50, queries: 1 };
+        let mut a =
+            QueryCost { index_entries: 1, series: 2, blocks: 3, points: 4, bytes: 5, queries: 1 };
+        let b = QueryCost {
+            index_entries: 10,
+            series: 20,
+            blocks: 30,
+            points: 40,
+            bytes: 50,
+            queries: 1,
+        };
         a.absorb(&b);
         assert_eq!(a.points, 44);
         assert_eq!(a.queries, 2);
@@ -142,7 +149,14 @@ mod tests {
     #[test]
     fn elapsed_monotone_in_every_counter() {
         let p = CostParams::default();
-        let base = QueryCost { index_entries: 100, series: 10, blocks: 10, points: 1000, bytes: 100_000, queries: 1 };
+        let base = QueryCost {
+            index_entries: 100,
+            series: 10,
+            blocks: 10,
+            points: 1000,
+            bytes: 100_000,
+            queries: 1,
+        };
         let t0 = p.elapsed(&base, &DiskModel::SSD);
         for bump in [
             QueryCost { points: 1_000_000, ..base },
@@ -162,7 +176,14 @@ mod tests {
         // A realistically shaped plan: thousands of queries over blocky
         // storage (the per-query CPU floor keeps the device ratio in the
         // paper's Fig. 12 band rather than the raw seek ratio).
-        let cost = QueryCost { index_entries: 100_000, series: 2_000, blocks: 5_000, points: 5_000_000, bytes: 50_000_000, queries: 2_000 };
+        let cost = QueryCost {
+            index_entries: 100_000,
+            series: 2_000,
+            blocks: 5_000,
+            points: 5_000_000,
+            bytes: 50_000_000,
+            queries: 2_000,
+        };
         let hdd = p.elapsed(&cost, &DiskModel::HDD).as_secs_f64();
         let ssd = p.elapsed(&cost, &DiskModel::SSD).as_secs_f64();
         assert!(hdd > ssd);
@@ -174,7 +195,14 @@ mod tests {
     fn amplification_scales_all_components() {
         let p1 = CostParams::default();
         let p4 = CostParams::default().with_amplification(4.0);
-        let cost = QueryCost { index_entries: 1000, series: 100, blocks: 100, points: 100_000, bytes: 10_000_000, queries: 5 };
+        let cost = QueryCost {
+            index_entries: 1000,
+            series: 100,
+            blocks: 100,
+            points: 100_000,
+            bytes: 10_000_000,
+            queries: 5,
+        };
         let t1 = p1.elapsed(&cost, &DiskModel::HDD).as_secs_f64();
         let t4 = p4.elapsed(&cost, &DiskModel::HDD).as_secs_f64();
         assert!((t4 / t1 - 4.0).abs() < 0.01, "t4/t1 = {}", t4 / t1);
@@ -183,7 +211,14 @@ mod tests {
     #[test]
     fn split_partitions_elapsed() {
         let p = CostParams::default().with_amplification(3.0);
-        let cost = QueryCost { index_entries: 50, series: 10, blocks: 2_000, points: 500_000, bytes: 40_000_000, queries: 13 };
+        let cost = QueryCost {
+            index_entries: 50,
+            series: 10,
+            blocks: 2_000,
+            points: 500_000,
+            bytes: 40_000_000,
+            queries: 13,
+        };
         let (cpu, io) = p.split(&cost, &DiskModel::HDD);
         assert!(cpu > VDuration::ZERO && io > VDuration::ZERO);
         assert_eq!(cpu + io, p.elapsed(&cost, &DiskModel::HDD));

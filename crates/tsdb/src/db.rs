@@ -25,11 +25,7 @@ pub struct DbConfig {
 
 impl Default for DbConfig {
     fn default() -> Self {
-        DbConfig {
-            shard_duration: 86_400,
-            disk: DiskModel::HDD,
-            cost: CostParams::default(),
-        }
+        DbConfig { shard_duration: 86_400, disk: DiskModel::HDD, cost: CostParams::default() }
     }
 }
 
@@ -112,7 +108,8 @@ impl Db {
             let key = SeriesKey::of(p);
             let sid = inner.index.get_or_create(&key);
             let ts = p.time.as_secs();
-            let shard_start = ts.div_euclid(self.config.shard_duration) * self.config.shard_duration;
+            let shard_start =
+                ts.div_euclid(self.config.shard_duration) * self.config.shard_duration;
             let duration = self.config.shard_duration;
             let shard = inner
                 .shards
@@ -123,6 +120,16 @@ impl Db {
             }
             inner.wire_bytes += p.wire_size();
         }
+        let series = inner.index.cardinality() as i64;
+        let shard_count = inner.shards.len() as i64;
+        drop(inner);
+
+        // Self-monitoring: write-path health (`monster_tsdb_*` series).
+        monster_obs::counter("monster_tsdb_write_batches_total").inc();
+        monster_obs::counter("monster_tsdb_points_written_total").add(points.len() as u64);
+        monster_obs::histo("monster_tsdb_write_batch_size").observe(points.len() as f64);
+        monster_obs::gauge("monster_tsdb_series").set(series);
+        monster_obs::gauge("monster_tsdb_shards").set(shard_count);
         Ok(())
     }
 
@@ -155,8 +162,7 @@ impl Db {
                         if !shard.overlaps(qs, qe) {
                             continue;
                         }
-                        let stats =
-                            shard.scan(sid, &q.field, qs, qe, |t, v| w.push(t, &v))?;
+                        let stats = shard.scan(sid, &q.field, qs, qe, |t, v| w.push(t, &v))?;
                         if stats.points > 0 {
                             scanned = true;
                         }
@@ -196,6 +202,13 @@ impl Db {
             }
         }
         series_out.sort_by(|a, b| a.key.cmp(&b.key));
+
+        // Self-monitoring: query cost translated to simulated seconds, so
+        // `/metrics` shows where query time goes (`monster_tsdb_*` series).
+        monster_obs::counter("monster_tsdb_queries_total").inc();
+        monster_obs::counter("monster_tsdb_query_points_total").add(cost.points as u64);
+        monster_obs::histo("monster_tsdb_query_seconds")
+            .observe_vdur(self.config.cost.elapsed(&cost, &self.config.disk));
         Ok((ResultSet { series: series_out }, cost))
     }
 
@@ -271,11 +284,8 @@ impl Db {
     /// Returns the number of series removed.
     pub fn drop_measurement(&self, measurement: &str) -> usize {
         let mut inner = self.inner.write();
-        let victims: std::collections::HashSet<crate::series::SeriesId> = inner
-            .index
-            .select(measurement, &[])
-            .into_iter()
-            .collect();
+        let victims: std::collections::HashSet<crate::series::SeriesId> =
+            inner.index.select(measurement, &[]).into_iter().collect();
         if victims.is_empty() {
             return 0;
         }
@@ -342,11 +352,8 @@ impl Db {
     /// Distinct field keys written to a measurement, sorted.
     pub fn field_keys(&self, measurement: &str) -> Vec<String> {
         let inner = self.inner.read();
-        let ids: std::collections::HashSet<crate::series::SeriesId> = inner
-            .index
-            .select(measurement, &[])
-            .into_iter()
-            .collect();
+        let ids: std::collections::HashSet<crate::series::SeriesId> =
+            inner.index.select(measurement, &[]).into_iter().collect();
         let mut keys: Vec<String> = Vec::new();
         for shard in inner.shards.values() {
             for (sid, field) in shard.column_keys() {
@@ -449,12 +456,8 @@ mod tests {
         let db = Db::new(DbConfig::default());
         // Write out of order.
         for ts in [300i64, 100, 200] {
-            db.write(
-                DataPoint::new("m", EpochSecs::new(ts))
-                    .tag("n", "a")
-                    .field_i64("v", ts),
-            )
-            .unwrap();
+            db.write(DataPoint::new("m", EpochSecs::new(ts)).tag("n", "a").field_i64("v", ts))
+                .unwrap();
         }
         let q = Query::select("m", "v", EpochSecs::new(0), EpochSecs::new(1000));
         let (rs, _) = db.query(&q).unwrap();
@@ -545,10 +548,7 @@ mod tests {
     #[test]
     fn type_conflict_surfaces_from_write() {
         let db = Db::new(DbConfig::default());
-        db.write(
-            DataPoint::new("m", EpochSecs::new(0)).tag("n", "a").field_f64("v", 1.0),
-        )
-        .unwrap();
+        db.write(DataPoint::new("m", EpochSecs::new(0)).tag("n", "a").field_f64("v", 1.0)).unwrap();
         let err = db
             .write(DataPoint::new("m", EpochSecs::new(1)).tag("n", "a").field_str("v", "x"))
             .unwrap_err();
@@ -587,12 +587,8 @@ mod tests {
         let q = Query::select("Power", "Reading", EpochSecs::new(0), EpochSecs::new(200 * 60))
             .aggregate(Aggregation::Count);
         let (rs, _) = db.query(&q).unwrap();
-        let total: f64 = rs
-            .series
-            .iter()
-            .flat_map(|s| s.points.iter())
-            .filter_map(|(_, v)| v.as_f64())
-            .sum();
+        let total: f64 =
+            rs.series.iter().flat_map(|s| s.points.iter()).filter_map(|(_, v)| v.as_f64()).sum();
         assert_eq!(total, 800.0);
     }
 

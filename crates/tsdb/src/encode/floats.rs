@@ -146,16 +146,9 @@ mod tests {
     #[test]
     fn slow_moving_sensor_data_compresses() {
         // Power readings drifting slowly around 273 W.
-        let vals: Vec<f64> = (0..1440)
-            .map(|i| 273.8 + ((i % 60) as f64) * 0.1)
-            .collect();
+        let vals: Vec<f64> = (0..1440).map(|i| 273.8 + ((i % 60) as f64) * 0.1).collect();
         let enc = encode(&vals);
-        assert!(
-            enc.len() < vals.len() * 8,
-            "got {} bytes for {} floats",
-            enc.len(),
-            vals.len()
-        );
+        assert!(enc.len() < vals.len() * 8, "got {} bytes for {} floats", enc.len(), vals.len());
         rt(&vals);
     }
 
@@ -169,9 +162,7 @@ mod tests {
 
     #[test]
     fn adversarial_alternation_round_trips() {
-        let vals: Vec<f64> = (0..500)
-            .map(|i| if i % 2 == 0 { 1e300 } else { -1e-300 })
-            .collect();
+        let vals: Vec<f64> = (0..500).map(|i| if i % 2 == 0 { 1e300 } else { -1e-300 }).collect();
         rt(&vals);
     }
 

@@ -38,9 +38,7 @@ pub fn decode(data: &[u8], count: usize) -> Result<Vec<i64>> {
         let mut z: u64 = 0;
         let mut shift = 0u32;
         loop {
-            let b = *data
-                .get(pos)
-                .ok_or_else(|| Error::Corrupt("int column truncated".into()))?;
+            let b = *data.get(pos).ok_or_else(|| Error::Corrupt("int column truncated".into()))?;
             pos += 1;
             z |= ((b & 0x7F) as u64) << shift;
             if b & 0x80 == 0 {

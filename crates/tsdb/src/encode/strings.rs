@@ -25,9 +25,7 @@ fn read_varint(data: &[u8], pos: &mut usize) -> Result<u64> {
     let mut v: u64 = 0;
     let mut shift = 0u32;
     loop {
-        let b = *data
-            .get(*pos)
-            .ok_or_else(|| Error::Corrupt("string column truncated".into()))?;
+        let b = *data.get(*pos).ok_or_else(|| Error::Corrupt("string column truncated".into()))?;
         *pos += 1;
         v |= ((b & 0x7F) as u64) << shift;
         if b & 0x80 == 0 {
@@ -86,9 +84,7 @@ pub fn decode(data: &[u8], count: usize) -> Result<Vec<String>> {
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
         let idx = read_varint(data, &mut pos)? as usize;
-        let s = dict
-            .get(idx)
-            .ok_or_else(|| Error::Corrupt("string index out of range".into()))?;
+        let s = dict.get(idx).ok_or_else(|| Error::Corrupt("string index out of range".into()))?;
         out.push(s.clone());
     }
     Ok(out)

@@ -136,9 +136,7 @@ mod tests {
 
     #[test]
     fn jittered_cadence_still_compresses() {
-        let ts: Vec<i64> = (0..1000)
-            .map(|i| 1_583_792_296 + i * 60 + (i % 7) - 3)
-            .collect();
+        let ts: Vec<i64> = (0..1000).map(|i| 1_583_792_296 + i * 60 + (i % 7) - 3).collect();
         let enc = encode(&ts);
         assert!(enc.len() < 1500, "got {} bytes", enc.len());
         rt(&ts);

@@ -33,8 +33,10 @@ pub fn router(db: Arc<Db>) -> Router {
     let query_db = Arc::clone(&db);
     let drop_db = Arc::clone(&db);
     Router::new()
-        .route(Method::Get, "/ping", |_, _| {
-            Response { status: Status::NO_CONTENT, headers: Default::default(), body: Vec::new() }
+        .route(Method::Get, "/ping", |_, _| Response {
+            status: Status::NO_CONTENT,
+            headers: Default::default(),
+            body: Vec::new(),
         })
         .route(Method::Post, "/write", move |req, _| {
             let Ok(text) = std::str::from_utf8(&req.body) else {
@@ -158,12 +160,7 @@ fn attach_cost(resp: &mut Response, cost: &QueryCost) {
 }
 
 fn extract_cost(resp: &Response) -> QueryCost {
-    let get = |name: &str| {
-        resp.headers
-            .get(name)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(0)
-    };
+    let get = |name: &str| resp.headers.get(name).and_then(|v| v.parse().ok()).unwrap_or(0);
     QueryCost {
         points: get("X-Cost-Points"),
         bytes: get("X-Cost-Bytes"),
@@ -297,10 +294,7 @@ mod tests {
         let mut req = Request::get("/query?q=DROP+MEASUREMENT+Power");
         req.method = Method::Post;
         let resp = client.send_ok(server.addr(), &req).unwrap();
-        assert_eq!(
-            resp.json_body().unwrap().get("dropped_series").unwrap().as_i64(),
-            Some(1)
-        );
+        assert_eq!(resp.json_body().unwrap().get("dropped_series").unwrap().as_i64(), Some(1));
         assert_eq!(db.stats().points, 0);
     }
 
@@ -314,9 +308,7 @@ mod tests {
         req.body = b"not line protocol".to_vec();
         assert_eq!(client.send(server.addr(), &req).unwrap().status, Status::BAD_REQUEST);
         // Bad query.
-        let resp = client
-            .send(server.addr(), &Request::get("/query?q=SELEKT+nope"))
-            .unwrap();
+        let resp = client.send(server.addr(), &Request::get("/query?q=SELEKT+nope")).unwrap();
         assert_eq!(resp.status, Status::BAD_REQUEST);
         // Missing q.
         let resp = client.send(server.addr(), &Request::get("/query")).unwrap();

@@ -59,8 +59,8 @@ pub mod point;
 pub mod query;
 pub mod retention;
 pub mod series;
-pub mod snapshot;
 pub mod shard;
+pub mod snapshot;
 
 pub use cost::{CostParams, QueryCost};
 pub use db::{Db, DbConfig, DbStats};

@@ -74,11 +74,7 @@ pub fn parse(line: &str) -> Result<DataPoint> {
 
 /// Parse a newline-separated batch, skipping blank lines.
 pub fn parse_batch(text: &str) -> Result<Vec<DataPoint>> {
-    text.lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty())
-        .map(parse)
-        .collect()
+    text.lines().map(str::trim).filter(|l| !l.is_empty()).map(parse).collect()
 }
 
 struct Scanner {
@@ -165,11 +161,7 @@ impl Scanner {
                 })
             })
             .collect();
-            EpochSecs::new(
-                digits
-                    .parse()
-                    .map_err(|_| self.err("bad timestamp"))?,
-            )
+            EpochSecs::new(digits.parse().map_err(|_| self.err("bad timestamp"))?)
         } else {
             return Err(self.err("missing timestamp"));
         };
@@ -225,7 +217,11 @@ impl Scanner {
             Some(c) if c == '-' || c.is_ascii_digit() => {
                 let mut text = String::new();
                 while let Some(c) = self.peek() {
-                    if c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E'
+                    if c == '-'
+                        || c == '+'
+                        || c == '.'
+                        || c == 'e'
+                        || c == 'E'
                         || c.is_ascii_digit()
                     {
                         text.push(c);
@@ -260,10 +256,7 @@ mod tests {
             .tag("NodeId", "10.101.1.1")
             .tag("Label", "NodePower")
             .field_f64("Reading", 273.8);
-        assert_eq!(
-            encode(&p),
-            "Power,NodeId=10.101.1.1,Label=NodePower Reading=273.8 1583792296"
-        );
+        assert_eq!(encode(&p), "Power,NodeId=10.101.1.1,Label=NodePower Reading=273.8 1583792296");
     }
 
     #[test]
@@ -318,16 +311,16 @@ mod tests {
         for bad in [
             "",
             "m",
-            "m v=1",           // missing timestamp
-            "m, v=1 5",        // empty tag
-            "m,k v=1 5",       // tag missing '='
-            "m v= 5",          // empty field value
-            "m v=1x 5",        // junk in number
-            "m v=\"open 5",    // unterminated string
-            "m v=1 notatime",  // bad timestamp
-            "m v=1 5 extra",   // trailing garbage
-            "m v=trub 5",      // bad bool
-            "m v=1.5i 5",      // non-integer with i suffix
+            "m v=1",          // missing timestamp
+            "m, v=1 5",       // empty tag
+            "m,k v=1 5",      // tag missing '='
+            "m v= 5",         // empty field value
+            "m v=1x 5",       // junk in number
+            "m v=\"open 5",   // unterminated string
+            "m v=1 notatime", // bad timestamp
+            "m v=1 5 extra",  // trailing garbage
+            "m v=trub 5",     // bad bool
+            "m v=1.5i 5",     // non-integer with i suffix
         ] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }

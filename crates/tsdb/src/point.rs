@@ -29,12 +29,7 @@ pub struct DataPoint {
 impl DataPoint {
     /// Start a point for `measurement` at `time`.
     pub fn new(measurement: impl Into<String>, time: EpochSecs) -> Self {
-        DataPoint {
-            measurement: measurement.into(),
-            tags: Vec::new(),
-            fields: Vec::new(),
-            time,
-        }
+        DataPoint { measurement: measurement.into(), tags: Vec::new(), fields: Vec::new(), time }
     }
 
     /// Add a tag.
@@ -71,10 +66,7 @@ impl DataPoint {
 
     /// Tag lookup.
     pub fn get_tag(&self, key: &str) -> Option<&str> {
-        self.tags
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
+        self.tags.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
     }
 
     /// Field lookup.

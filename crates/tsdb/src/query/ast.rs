@@ -260,9 +260,7 @@ mod tests {
         let q = Query::select("m", "f", start, end).group_by_time(60);
         assert!(q.validate().is_err());
         // Non-positive interval.
-        let q = Query::select("m", "f", start, end)
-            .aggregate(Aggregation::Mean)
-            .group_by_time(0);
+        let q = Query::select("m", "f", start, end).aggregate(Aggregation::Mean).group_by_time(0);
         assert!(q.validate().is_err());
     }
 

@@ -112,13 +112,7 @@ pub struct WindowAggregator {
 impl WindowAggregator {
     /// Create an aggregator for a query range starting at `range_start`.
     pub fn new(agg: Aggregation, window: Option<i64>, range_start: i64) -> Self {
-        WindowAggregator {
-            agg,
-            window,
-            range_start,
-            buckets: BTreeMap::new(),
-            non_numeric: 0,
-        }
+        WindowAggregator { agg, window, range_start, buckets: BTreeMap::new(), non_numeric: 0 }
     }
 
     /// Window start for a timestamp. Windows are aligned to the epoch
@@ -134,15 +128,10 @@ impl WindowAggregator {
     /// Feed one point.
     pub fn push(&mut self, ts: i64, v: &FieldValue) {
         match v.as_f64() {
-            Some(x) => {
-                self.buckets.entry(self.bucket_of(ts)).or_insert_with(Acc::new).push(ts, x)
-            }
+            Some(x) => self.buckets.entry(self.bucket_of(ts)).or_insert_with(Acc::new).push(ts, x),
             None => {
                 if self.agg == Aggregation::Count {
-                    self.buckets
-                        .entry(self.bucket_of(ts))
-                        .or_insert_with(Acc::new)
-                        .push(ts, 0.0);
+                    self.buckets.entry(self.bucket_of(ts)).or_insert_with(Acc::new).push(ts, 0.0);
                 } else {
                     self.non_numeric += 1;
                 }
@@ -170,11 +159,8 @@ impl WindowAggregator {
     ) -> Vec<(EpochSecs, FieldValue)> {
         let agg = self.agg;
         let window = self.window;
-        let present: Vec<(i64, f64)> = self
-            .buckets
-            .into_iter()
-            .map(|(w, acc)| (w, acc.finish(agg)))
-            .collect();
+        let present: Vec<(i64, f64)> =
+            self.buckets.into_iter().map(|(w, acc)| (w, acc.finish(agg))).collect();
         let points: Vec<(i64, f64)> = match (fill, window) {
             (Fill::None, _) | (_, None) => present,
             (policy, Some(w)) => {
@@ -217,9 +203,7 @@ impl WindowAggregator {
                         } else {
                             let v = match policy {
                                 Fill::Zero => 0.0,
-                                Fill::Previous => {
-                                    out.last().map(|&(_, v)| v).unwrap_or(0.0)
-                                }
+                                Fill::Previous => out.last().map(|&(_, v)| v).unwrap_or(0.0),
                                 Fill::Linear => {
                                     let (t0, v0) = *out.last().expect("lo starts on data");
                                     let (t1, v1) = present[idx];
@@ -235,10 +219,7 @@ impl WindowAggregator {
                 }
             }
         };
-        points
-            .into_iter()
-            .map(|(t, v)| (EpochSecs::new(t), FieldValue::Float(v)))
-            .collect()
+        points.into_iter().map(|(t, v)| (EpochSecs::new(t), FieldValue::Float(v))).collect()
     }
 }
 
@@ -251,10 +232,7 @@ mod tests {
         for &(t, v) in pts {
             w.push(t, &FieldValue::Float(v));
         }
-        w.finish()
-            .into_iter()
-            .map(|(t, v)| (t.as_secs(), v.as_f64().unwrap()))
-            .collect()
+        w.finish().into_iter().map(|(t, v)| (t.as_secs(), v.as_f64().unwrap())).collect()
     }
 
     #[test]
@@ -333,7 +311,10 @@ mod tests {
             tags: vec![("NodeId".into(), "10.101.1.1".into())],
         };
         let rs = ResultSet {
-            series: vec![SeriesResult { key, points: vec![(EpochSecs::new(0), FieldValue::Float(1.0))] }],
+            series: vec![SeriesResult {
+                key,
+                points: vec![(EpochSecs::new(0), FieldValue::Float(1.0))],
+            }],
         };
         assert!(rs.series_with_tag("NodeId", "10.101.1.1").is_some());
         assert!(rs.series_with_tag("NodeId", "10.101.9.9").is_none());

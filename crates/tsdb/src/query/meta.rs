@@ -50,12 +50,8 @@ impl MetaQuery {
             .split_whitespace()
             .map(|t| t.trim_matches(|c| c == '\'' || c == '"').to_string())
             .collect();
-        let kw = |i: usize, k: &str| {
-            tokens
-                .get(i)
-                .map(|t| t.eq_ignore_ascii_case(k))
-                .unwrap_or(false)
-        };
+        let kw =
+            |i: usize, k: &str| tokens.get(i).map(|t| t.eq_ignore_ascii_case(k)).unwrap_or(false);
         if !kw(0, "SHOW") {
             return Err(Error::parse("meta-query must start with SHOW"));
         }
@@ -65,9 +61,9 @@ impl MetaQuery {
         if kw(1, "SERIES") {
             return match tokens.len() {
                 2 => Ok(MetaQuery::Series { measurement: None }),
-                4 if kw(2, "FROM") => Ok(MetaQuery::Series {
-                    measurement: Some(tokens[3].clone()),
-                }),
+                4 if kw(2, "FROM") => {
+                    Ok(MetaQuery::Series { measurement: Some(tokens[3].clone()) })
+                }
                 _ => Err(Error::parse("usage: SHOW SERIES [FROM <m>]")),
             };
         }
@@ -160,9 +156,7 @@ mod tests {
             vec!["Label".to_string(), "NodeId".to_string()]
         );
         assert_eq!(
-            MetaQuery::parse("SHOW TAG VALUES FROM Power WITH KEY = NodeId")
-                .unwrap()
-                .run(&d),
+            MetaQuery::parse("SHOW TAG VALUES FROM Power WITH KEY = NodeId").unwrap().run(&d),
             vec!["10.101.1.1".to_string(), "10.101.1.2".to_string(), "10.101.1.3".to_string()]
         );
         // Unknown measurement: empty, not an error.

@@ -90,8 +90,7 @@ fn lex(input: &str) -> Result<Vec<Tok>> {
                 // "5m" (an interval) lexes as one identifier, not Num+Ident.
                 if i < chars.len() && (chars[i].is_ascii_alphabetic() || chars[i] == '_') {
                     while i < chars.len()
-                        && (chars[i].is_ascii_alphanumeric()
-                            || matches!(chars[i], '_' | '.' | '-'))
+                        && (chars[i].is_ascii_alphanumeric() || matches!(chars[i], '_' | '.' | '-'))
                     {
                         i += 1;
                     }
@@ -99,16 +98,14 @@ fn lex(input: &str) -> Result<Vec<Tok>> {
                 } else {
                     let text: String = chars[start..i].iter().collect();
                     out.push(Tok::Num(
-                        text.parse()
-                            .map_err(|_| Error::parse(format!("bad number {text:?}")))?,
+                        text.parse().map_err(|_| Error::parse(format!("bad number {text:?}")))?,
                     ));
                 }
             }
             c if c.is_ascii_alphanumeric() || c == '_' => {
                 let start = i;
                 while i < chars.len()
-                    && (chars[i].is_ascii_alphanumeric()
-                        || matches!(chars[i], '_' | '.' | '-'))
+                    && (chars[i].is_ascii_alphanumeric() || matches!(chars[i], '_' | '.' | '-'))
                 {
                     i += 1;
                 }
@@ -192,9 +189,7 @@ impl Parser {
                     ">" => start = Some(at + 1),
                     "<" => end = Some(at),
                     "<=" => end = Some(at + 1),
-                    other => {
-                        return Err(Error::parse(format!("bad time comparison {other:?}")))
-                    }
+                    other => return Err(Error::parse(format!("bad time comparison {other:?}"))),
                 }
             } else {
                 match self.next()? {
@@ -273,17 +268,7 @@ impl Parser {
 
         let start = start.ok_or_else(|| Error::parse("query missing time >= bound"))?;
         let end = end.ok_or_else(|| Error::parse("query missing time < bound"))?;
-        let q = Query {
-            agg,
-            field,
-            measurement,
-            predicates,
-            start,
-            end,
-            group_by,
-            fill,
-            limit,
-        };
+        let q = Query { agg, field, measurement, predicates, start, end, group_by, fill, limit };
         q.validate()?;
         Ok(q)
     }
@@ -373,13 +358,13 @@ mod tests {
             "SELECT FROM Power WHERE time >= 0 AND time < 10",
             "SELECT max(Reading FROM Power WHERE time >= 0 AND time < 10",
             "SELECT median(x) FROM m WHERE time >= 0 AND time < 10",
-            "SELECT v FROM m",                                     // no WHERE
-            "SELECT v FROM m WHERE time >= 0",                     // no end
-            "SELECT v FROM m WHERE time < 10",                     // no start
-            "SELECT v FROM m WHERE time >= 10 AND time < 5",       // empty range
-            "SELECT v FROM m WHERE time >= 0 AND time < 10 junk",  // trailing
+            "SELECT v FROM m",                                         // no WHERE
+            "SELECT v FROM m WHERE time >= 0",                         // no end
+            "SELECT v FROM m WHERE time < 10",                         // no start
+            "SELECT v FROM m WHERE time >= 10 AND time < 5",           // empty range
+            "SELECT v FROM m WHERE time >= 0 AND time < 10 junk",      // trailing
             "SELECT v FROM m WHERE tag='x' OR time >= 0 AND time < 5", // OR unsupported
-            "SELECT v FROM m WHERE time = 5 AND time < 10",        // bad time op
+            "SELECT v FROM m WHERE time = 5 AND time < 10",            // bad time op
             "SELECT v FROM m WHERE time >= 'not-a-date' AND time < 10",
             "SELECT v FROM m WHERE time >= 0 AND time < 10 GROUP BY time(0m)",
         ] {

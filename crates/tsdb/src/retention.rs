@@ -157,10 +157,7 @@ mod tests {
         )
         .aggregate(Aggregation::Count);
         let (rs, _) = db.query(&q).unwrap();
-        assert_eq!(
-            rs.series[0].points[0].1,
-            FieldValue::Float(1440.0)
-        );
+        assert_eq!(rs.series[0].points[0].1, FieldValue::Float(1440.0));
     }
 
     #[test]
@@ -195,11 +192,8 @@ mod tests {
         let (rs, _) = db.query(&q).unwrap();
         assert_eq!(rs.point_count(), 6);
         // Hourly max of the sawtooth 200..299 is 299 once the ramp completes.
-        let max_val = rs.series[0]
-            .points
-            .iter()
-            .filter_map(|(_, v)| v.as_f64())
-            .fold(f64::MIN, f64::max);
+        let max_val =
+            rs.series[0].points.iter().filter_map(|(_, v)| v.as_f64()).fold(f64::MIN, f64::max);
         assert_eq!(max_val, 299.0);
     }
 
@@ -254,7 +248,11 @@ mod tests {
 
     #[test]
     fn invalid_definitions_rejected() {
-        assert!(ContinuousQuery::new("A", "f", "A", Aggregation::Max, 60, EpochSecs::new(0)).is_err());
-        assert!(ContinuousQuery::new("A", "f", "B", Aggregation::Max, 0, EpochSecs::new(0)).is_err());
+        assert!(
+            ContinuousQuery::new("A", "f", "A", Aggregation::Max, 60, EpochSecs::new(0)).is_err()
+        );
+        assert!(
+            ContinuousQuery::new("A", "f", "B", Aggregation::Max, 0, EpochSecs::new(0)).is_err()
+        );
     }
 }

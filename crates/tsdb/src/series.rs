@@ -30,10 +30,7 @@ impl SeriesKey {
 
     /// Tag lookup on the canonical set.
     pub fn tag(&self, key: &str) -> Option<&str> {
-        self.tags
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
+        self.tags.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
     }
 }
 
@@ -78,10 +75,7 @@ impl SeriesIndex {
         let id = SeriesId(self.keys.len() as u32);
         self.by_key.insert(key.clone(), id);
         self.keys.push(key.clone());
-        self.by_measurement
-            .entry(key.measurement.clone())
-            .or_default()
-            .push(id);
+        self.by_measurement.entry(key.measurement.clone()).or_default().push(id);
         for (k, v) in &key.tags {
             self.inverted
                 .entry((key.measurement.clone(), k.clone(), v.clone()))
@@ -157,10 +151,7 @@ impl SeriesIndex {
         }
         let mut lists: Vec<&Vec<SeriesId>> = Vec::with_capacity(predicates.len());
         for (k, v) in predicates {
-            match self
-                .inverted
-                .get(&(measurement.to_string(), k.clone(), v.clone()))
-            {
+            match self.inverted.get(&(measurement.to_string(), k.clone(), v.clone())) {
                 Some(list) => lists.push(list),
                 None => return Vec::new(),
             }
@@ -192,14 +183,10 @@ mod tests {
 
     #[test]
     fn series_key_is_canonical_under_tag_order() {
-        let a = DataPoint::new("m", EpochSecs::new(0))
-            .tag("b", "2")
-            .tag("a", "1")
-            .field_f64("v", 0.0);
-        let b = DataPoint::new("m", EpochSecs::new(0))
-            .tag("a", "1")
-            .tag("b", "2")
-            .field_f64("v", 0.0);
+        let a =
+            DataPoint::new("m", EpochSecs::new(0)).tag("b", "2").tag("a", "1").field_f64("v", 0.0);
+        let b =
+            DataPoint::new("m", EpochSecs::new(0)).tag("a", "1").tag("b", "2").field_f64("v", 0.0);
         assert_eq!(SeriesKey::of(&a), SeriesKey::of(&b));
         assert_eq!(SeriesKey::of(&a).to_string(), "m,a=1,b=2");
     }
@@ -220,11 +207,7 @@ mod tests {
         let mut idx = SeriesIndex::new();
         for n in 0..10 {
             for label in ["NodePower", "CPUTemp"] {
-                idx.get_or_create(&SeriesKey::of(&point(
-                    "Power",
-                    &format!("10.101.1.{n}"),
-                    label,
-                )));
+                idx.get_or_create(&SeriesKey::of(&point("Power", &format!("10.101.1.{n}"), label)));
             }
         }
         assert_eq!(idx.cardinality(), 20);
@@ -258,8 +241,6 @@ mod tests {
     fn select_with_unknown_value_is_empty() {
         let mut idx = SeriesIndex::new();
         idx.get_or_create(&SeriesKey::of(&point("Power", "n1", "NodePower")));
-        assert!(idx
-            .select("Power", &[("NodeId".into(), "missing".into())])
-            .is_empty());
+        assert!(idx.select("Power", &[("NodeId".into(), "missing".into())]).is_empty());
     }
 }

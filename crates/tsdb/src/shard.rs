@@ -49,10 +49,8 @@ impl Shard {
         value: &FieldValue,
     ) -> Result<()> {
         debug_assert!(self.covers(ts));
-        let col = self
-            .columns
-            .entry((series, field.to_string()))
-            .or_insert_with(|| Column::new(value));
+        let col =
+            self.columns.entry((series, field.to_string())).or_insert_with(|| Column::new(value));
         col.append(ts, value)?;
         self.point_count += 1;
         Ok(())
@@ -74,10 +72,7 @@ impl Shard {
     }
 
     /// Visit every stored (series, field, timestamp, value) in the shard.
-    pub fn export(
-        &self,
-        mut f: impl FnMut(SeriesId, &str, i64, FieldValue),
-    ) -> Result<()> {
+    pub fn export(&self, mut f: impl FnMut(SeriesId, &str, i64, FieldValue)) -> Result<()> {
         for ((series, field), col) in &self.columns {
             col.scan(i64::MIN, i64::MAX, |ts, v| f(*series, field, ts, v))?;
         }
@@ -159,9 +154,7 @@ mod tests {
     #[test]
     fn scan_of_missing_column_is_empty() {
         let s = Shard::new(0, 1000);
-        let stats = s
-            .scan(SeriesId(9), "none", 0, 1000, |_, _| panic!("no data"))
-            .unwrap();
+        let stats = s.scan(SeriesId(9), "none", 0, 1000, |_, _| panic!("no data")).unwrap();
         assert_eq!(stats, ScanStats::default());
     }
 }

@@ -73,9 +73,8 @@ pub fn save_to_file(db: &Db, path: impl AsRef<Path>) -> Result<SnapshotStats> {
 /// Restore a database from snapshot bytes, using `config` for the new
 /// instance (disk/cost models are deployment properties, not data).
 pub fn read_snapshot(bytes: &[u8], config: DbConfig) -> Result<Db> {
-    let body = bytes
-        .strip_prefix(MAGIC)
-        .ok_or_else(|| Error::Corrupt("not a MTSDB1 snapshot".into()))?;
+    let body =
+        bytes.strip_prefix(MAGIC).ok_or_else(|| Error::Corrupt("not a MTSDB1 snapshot".into()))?;
     let text = monster_compress::decompress(body)?;
     let text = String::from_utf8(text)
         .map_err(|_| Error::Corrupt("snapshot payload is not UTF-8".into()))?;

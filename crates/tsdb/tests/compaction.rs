@@ -44,10 +44,7 @@ fn compaction_shrinks_volume_and_preserves_answers() {
     // Regular 60 s cadence + small value vocabulary: sealed blocks are
     // far smaller than 16 B/point raw.
     let after_bytes = db.stats().encoded_bytes;
-    assert!(
-        after_bytes * 3 < before_bytes,
-        "before {before_bytes} after {after_bytes}"
-    );
+    assert!(after_bytes * 3 < before_bytes, "before {before_bytes} after {after_bytes}");
     assert_eq!(full_query(&db), before_answers);
 }
 
@@ -71,12 +68,7 @@ fn writes_after_compaction_keep_working() {
     )
     .unwrap();
     assert_eq!(db.tail_points(), 1);
-    let q = Query::select(
-        "Power",
-        "Reading",
-        EpochSecs::new(500 * 60),
-        EpochSecs::new(501 * 60),
-    );
+    let q = Query::select("Power", "Reading", EpochSecs::new(500 * 60), EpochSecs::new(501 * 60));
     let (rs, _) = db.query(&q).unwrap();
     assert_eq!(rs.point_count(), 1);
 }

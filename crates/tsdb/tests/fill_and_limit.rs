@@ -27,11 +27,7 @@ fn run(db: &Db, fill: Fill, range_end: i64) -> Vec<(i64, f64)> {
         .group_by_time(60)
         .fill(fill);
     let (rs, _) = db.query(&q).unwrap();
-    rs.series[0]
-        .points
-        .iter()
-        .map(|(t, v)| (t.as_secs(), v.as_f64().unwrap()))
-        .collect()
+    rs.series[0].points.iter().map(|(t, v)| (t.as_secs(), v.as_f64().unwrap())).collect()
 }
 
 #[test]
@@ -136,9 +132,7 @@ fn parser_rejects_bad_fill_and_limit() {
 fn fill_zero_on_empty_series_returns_all_windows() {
     let db = Db::new(DbConfig::default());
     db.write(
-        DataPoint::new("Power", EpochSecs::new(5000))
-            .tag("NodeId", "n1")
-            .field_f64("Reading", 1.0),
+        DataPoint::new("Power", EpochSecs::new(5000)).tag("NodeId", "n1").field_f64("Reading", 1.0),
     )
     .unwrap();
     // Query a disjoint range: series matches, but no in-range data, so the

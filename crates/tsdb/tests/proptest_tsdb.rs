@@ -8,9 +8,7 @@ use proptest::prelude::*;
 
 fn arb_field_value() -> impl Strategy<Value = FieldValue> {
     prop_oneof![
-        any::<f64>()
-            .prop_filter("finite", |f| f.is_finite())
-            .prop_map(FieldValue::Float),
+        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(FieldValue::Float),
         any::<i64>().prop_map(FieldValue::Int),
         any::<bool>().prop_map(FieldValue::Bool),
         "[ -~]{0,24}".prop_map(FieldValue::Str),

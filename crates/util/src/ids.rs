@@ -29,10 +29,7 @@ impl NodeId {
         assert!(slots_per_chassis > 0);
         (0..nodes)
             .map(|i| {
-                NodeId::new(
-                    (i as u16) / slots_per_chassis + 1,
-                    (i as u16) % slots_per_chassis + 1,
-                )
+                NodeId::new((i as u16) / slots_per_chassis + 1, (i as u16) % slots_per_chassis + 1)
             })
             .collect()
     }

@@ -76,10 +76,7 @@ impl ThreadPool {
         while let Ok((idx, r)) = out_rx.recv() {
             slots[idx] = Some(r);
         }
-        slots
-            .into_iter()
-            .map(|s| s.expect("worker produced every slot"))
-            .collect()
+        slots.into_iter().map(|s| s.expect("worker produced every slot")).collect()
     }
 
     /// Like [`scope_map`](Self::scope_map) but also reports, for each item,
@@ -124,10 +121,7 @@ impl ThreadPool {
         while let Ok((idx, w, r)) = out_rx.recv() {
             slots[idx] = Some((w, r));
         }
-        slots
-            .into_iter()
-            .map(|s| s.expect("worker produced every slot"))
-            .collect()
+        slots.into_iter().map(|s| s.expect("worker produced every slot")).collect()
     }
 }
 

@@ -84,8 +84,7 @@ impl OnlineStats {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 =
-            self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         OnlineStats { n, mean, m2, min: self.min.min(other.min), max: self.max.max(other.max) }
     }
 }
@@ -117,6 +116,16 @@ pub fn percentile(xs: &[f64], q: f64) -> f64 {
     }
 }
 
+/// Non-panicking [`percentile`]: `None` on an empty slice, a `q` outside
+/// `[0, 1]`, or NaN among the inputs. Instrumentation paths use this so a
+/// bad sample set degrades to "no statistic" instead of a panic.
+pub fn try_percentile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) || xs.iter().any(|x| x.is_nan()) {
+        return None;
+    }
+    Some(percentile(xs, q))
+}
+
 /// Fixed-width histogram over `[lo, hi)` with `bins` buckets; values outside
 /// the range are clamped into the first/last bucket. Used for the per-user
 /// symmetric histogram matrix of Fig. 9.
@@ -134,8 +143,13 @@ impl Histogram {
         Histogram { lo, hi, counts: vec![0; bins] }
     }
 
-    /// Record one observation.
+    /// Record one observation. NaN is skipped: it compares false against
+    /// both bounds, so it would otherwise fall through the clamp guards
+    /// and be miscounted in bucket 0.
     pub fn push(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
         let bins = self.counts.len();
         let idx = if x <= self.lo {
             0
@@ -180,8 +194,7 @@ mod tests {
             s.push(x);
         }
         assert!((s.mean() - mean(&xs)).abs() < 1e-12);
-        let batch_var =
-            xs.iter().map(|x| (x - mean(&xs)).powi(2)).sum::<f64>() / xs.len() as f64;
+        let batch_var = xs.iter().map(|x| (x - mean(&xs)).powi(2)).sum::<f64>() / xs.len() as f64;
         assert!((s.variance() - batch_var).abs() < 1e-12);
         assert_eq!(s.min(), 2.2);
         assert_eq!(s.max(), 5.6);
@@ -230,6 +243,26 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn percentile_rejects_empty() {
         percentile(&[], 0.5);
+    }
+
+    #[test]
+    fn try_percentile_degrades_instead_of_panicking() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(try_percentile(&xs, 0.5), Some(2.5));
+        assert_eq!(try_percentile(&[], 0.5), None);
+        assert_eq!(try_percentile(&xs, 1.5), None);
+        assert_eq!(try_percentile(&xs, -0.1), None);
+        assert_eq!(try_percentile(&[1.0, f64::NAN], 0.5), None);
+    }
+
+    #[test]
+    fn histogram_skips_nan() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.push(f64::NAN);
+        h.push(5.0);
+        // NaN must not be miscounted into bucket 0.
+        assert_eq!(h.counts(), &[0, 0, 1, 0, 0]);
+        assert_eq!(h.total(), 1);
     }
 
     #[test]

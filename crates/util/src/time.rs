@@ -36,12 +36,15 @@ impl EpochSecs {
     /// the management network, the scheduler, and the TSDB all run in UTC.
     pub fn parse_rfc3339(s: &str) -> Result<Self> {
         let b = s.as_bytes();
-        if b.len() != 20 || b[4] != b'-' || b[7] != b'-' || b[10] != b'T'
-            || b[13] != b':' || b[16] != b':' || b[19] != b'Z'
+        if b.len() != 20
+            || b[4] != b'-'
+            || b[7] != b'-'
+            || b[10] != b'T'
+            || b[13] != b':'
+            || b[16] != b':'
+            || b[19] != b'Z'
         {
-            return Err(Error::parse(format!(
-                "expected YYYY-MM-DDTHH:MM:SSZ, got {s:?}"
-            )));
+            return Err(Error::parse(format!("expected YYYY-MM-DDTHH:MM:SSZ, got {s:?}")));
         }
         let num = |range: std::ops::Range<usize>| -> Result<i64> {
             let part = &s[range];
@@ -176,11 +179,7 @@ pub fn parse_interval(s: &str) -> Result<i64> {
         'h' => 3_600,
         'd' => 86_400,
         'w' => 7 * 86_400,
-        _ => {
-            return Err(Error::parse(format!(
-                "interval {s:?} must end in one of s/m/h/d/w"
-            )))
-        }
+        _ => return Err(Error::parse(format!("interval {s:?} must end in one of s/m/h/d/w"))),
     };
     let digits = &s[..s.len() - 1];
     let n: i64 = digits
@@ -226,10 +225,7 @@ mod tests {
     #[test]
     fn epoch_zero_is_unix_epoch() {
         assert_eq!(EpochSecs(0).to_rfc3339(), "1970-01-01T00:00:00Z");
-        assert_eq!(
-            EpochSecs::parse_rfc3339("1970-01-01T00:00:00Z").unwrap(),
-            EpochSecs(0)
-        );
+        assert_eq!(EpochSecs::parse_rfc3339("1970-01-01T00:00:00Z").unwrap(), EpochSecs(0));
     }
 
     #[test]

@@ -41,10 +41,8 @@ fn main() {
         )
         .expect("thermal fetch");
     let thermal = resp.json_body().expect("json");
-    let cpu1 = thermal
-        .pointer("Temperatures/0/ReadingCelsius")
-        .and_then(|v| v.as_f64())
-        .unwrap_or(0.0);
+    let cpu1 =
+        thermal.pointer("Temperatures/0/ReadingCelsius").and_then(|v| v.as_f64()).unwrap_or(0.0);
     println!(
         "GET .../Thermal/ → CPU1 {:.1} °C (simulated BMC latency {} ms)\n",
         cpu1,
@@ -57,9 +55,8 @@ fn main() {
 
     let start = (m.now() - 3600).to_rfc3339();
     let end = m.now().to_rfc3339();
-    let url = format!(
-        "/v1/metrics?start={start}&end={end}&interval=5m&aggregation=max&compress=true"
-    );
+    let url =
+        format!("/v1/metrics?start={start}&end={end}&interval=5m&aggregation=max&compress=true");
     let resp = client.send_ok(api.addr(), &Request::get(&url)).expect("metrics fetch");
     let compressed_len = resp.body.len();
     let doc = resp.json_body().expect("inflate + parse");

@@ -21,8 +21,8 @@ fn main() {
 
     // --- storage host ---
     let db = Arc::new(Db::new(DbConfig::default()));
-    let storage = monster::http::Server::spawn(0, router(Arc::clone(&db)))
-        .expect("bind storage service");
+    let storage =
+        monster::http::Server::spawn(0, router(Arc::clone(&db))).expect("bind storage service");
     println!("storage service listening on {}", storage.base_url());
 
     // --- collector host: talks to BMCs + qmaster locally, to storage

@@ -107,12 +107,8 @@ fn main() {
             m.now().as_secs()
         ))
         .expect("health query");
-    let abnormal: f64 = rs
-        .series
-        .iter()
-        .flat_map(|s| s.points.iter())
-        .filter_map(|(_, v)| v.as_f64())
-        .sum();
+    let abnormal: f64 =
+        rs.series.iter().flat_map(|s| s.points.iter()).filter_map(|(_, v)| v.as_f64()).sum();
     println!("\nabnormal health samples stored (abnormal-only retention): {abnormal}");
     println!("total points stored: {}", m.db().stats().points);
 }

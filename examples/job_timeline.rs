@@ -33,7 +33,10 @@ fn main() {
     // where '.'=idle, '-'=waiting, '#'=running (15-minute resolution).
     const COLS: i64 = 96;
     let bucket = 86_400 / COLS;
-    println!("{:10} {:>5} {:>6}  timeline (24 h, '-' waiting, '#' running)", "user", "jobs", "hosts");
+    println!(
+        "{:10} {:>5} {:>6}  timeline (24 h, '-' waiting, '#' running)",
+        "user", "jobs", "hosts"
+    );
     for tl in &timelines {
         let mut strip = vec![b'.'; COLS as usize];
         for bar in &tl.bars {
@@ -78,10 +81,8 @@ fn main() {
         );
     }
     let horizon = t_end;
-    let mut waits: Vec<(f64, &str)> = timelines
-        .iter()
-        .map(|t| (t.mean_wait_secs(horizon), t.user.as_str()))
-        .collect();
+    let mut waits: Vec<(f64, &str)> =
+        timelines.iter().map(|t| (t.mean_wait_secs(horizon), t.user.as_str())).collect();
     waits.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
     println!("\nlongest mean queue waits:");
     for (w, u) in waits.iter().take(5) {

@@ -18,11 +18,8 @@ use monster::{Monster, MonsterConfig};
 
 fn nine_metrics(m: &Monster, node: monster::util::NodeId) -> [f64; 9] {
     let s = m.cluster().sensors(node).expect("node");
-    let mem = m
-        .qmaster()
-        .load_report(node)
-        .map(|r| r.mem_used_gib / r.mem_total_gib)
-        .unwrap_or(0.0);
+    let mem =
+        m.qmaster().load_report(node).map(|r| r.mem_used_gib / r.mem_total_gib).unwrap_or(0.0);
     [
         s.cpu_temps[0],
         s.cpu_temps[1],
@@ -53,11 +50,8 @@ fn main() {
     }
 
     // Fleet snapshot → k-means with the paper's k = 7.
-    let snapshot: Vec<Vec<f64>> = m
-        .node_ids()
-        .iter()
-        .map(|&n| nine_metrics(&m, n).to_vec())
-        .collect();
+    let snapshot: Vec<Vec<f64>> =
+        m.node_ids().iter().map(|&n| nine_metrics(&m, n).to_vec()).collect();
     let km = KMeans::fit(&snapshot, &KMeansConfig { k: 7, ..KMeansConfig::default() });
     println!("host groups (k=7, like Fig. 9):");
     let sizes = km.cluster_sizes();
@@ -65,19 +59,14 @@ fn main() {
         println!("  group {}: {:3} nodes", g + 1, size);
     }
     let largest = sizes.iter().enumerate().max_by_key(|(_, &s)| s).unwrap().0;
-    println!(
-        "  → group {} is the 'blue cluster': the normal operating state\n",
-        largest + 1
-    );
+    println!("  → group {} is the 'blue cluster': the normal operating state\n", largest + 1);
 
     // Radar profiles: the coolest and hottest nodes by CPU temperature.
     let by_temp = |i: usize| snapshot[i][0].max(snapshot[i][1]);
-    let coolest = (0..snapshot.len())
-        .min_by(|&a, &b| by_temp(a).partial_cmp(&by_temp(b)).unwrap())
-        .unwrap();
-    let hottest = (0..snapshot.len())
-        .max_by(|&a, &b| by_temp(a).partial_cmp(&by_temp(b)).unwrap())
-        .unwrap();
+    let coolest =
+        (0..snapshot.len()).min_by(|&a, &b| by_temp(a).partial_cmp(&by_temp(b)).unwrap()).unwrap();
+    let hottest =
+        (0..snapshot.len()).max_by(|&a, &b| by_temp(a).partial_cmp(&by_temp(b)).unwrap()).unwrap();
     for (title, idx) in [("normal status", coolest), ("hottest node", hottest)] {
         let node = m.node_ids()[idx];
         let raw: [f64; 9] = nine_metrics(&m, node);

@@ -25,10 +25,7 @@ fn main() {
     for summary in deployment.run_intervals(10) {
         println!(
             "interval @ {}  points={:5}  sweep={}  bmc_failures={}",
-            summary.time,
-            summary.points,
-            summary.collection_time,
-            summary.bmc_failures,
+            summary.time, summary.points, summary.collection_time, summary.bmc_failures,
         );
     }
 
@@ -45,11 +42,10 @@ fn main() {
     // The paper's §III-D example request: a day window, 5-minute max
     // downsampling — scaled here to the 10 minutes we collected.
     let t0 = deployment.now() - 600;
-    let req = BuilderRequest::new(t0, deployment.now(), 120, Aggregation::Max)
-        .expect("valid request");
-    let outcome = deployment
-        .builder_query(&req, ExecMode::Concurrent { workers: 8 })
-        .expect("query");
+    let req =
+        BuilderRequest::new(t0, deployment.now(), 120, Aggregation::Max).expect("valid request");
+    let outcome =
+        deployment.builder_query(&req, ExecMode::Concurrent { workers: 8 }).expect("query");
     println!(
         "\nMetrics Builder: {} points in the response document, simulated query+processing {}",
         outcome.points_out,
@@ -68,11 +64,7 @@ fn main() {
         for point in power {
             let t = point.get("time").and_then(|v| v.as_i64()).unwrap_or(0);
             let w = point.get("value").and_then(|v| v.as_f64()).unwrap_or(0.0);
-            println!(
-                "  {}  {:6.1} W",
-                monster::util::EpochSecs::new(t),
-                w
-            );
+            println!("  {}  {:6.1} W", monster::util::EpochSecs::new(t), w);
         }
     }
 

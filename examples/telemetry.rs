@@ -45,18 +45,12 @@ fn deployment() -> Monster {
 fn power_series(m: &Monster, minutes: i64) -> Vec<f64> {
     let req = BuilderRequest::new(m.now() - minutes * 60, m.now() + 60, 10, Aggregation::Max)
         .expect("request");
-    let out = m
-        .builder_query(&req, ExecMode::Sequential)
-        .expect("query");
+    let out = m.builder_query(&req, ExecMode::Sequential).expect("query");
     out.document
         .get("10.101.1.1")
         .and_then(|n| n.get("power"))
         .and_then(|p| p.as_array())
-        .map(|a| {
-            a.iter()
-                .filter_map(|p| p.get("value").and_then(|v| v.as_f64()))
-                .collect()
-        })
+        .map(|a| a.iter().filter_map(|p| p.get("value").and_then(|v| v.as_f64())).collect())
         .unwrap_or_default()
 }
 
@@ -86,8 +80,7 @@ fn main() {
     let mut tele = deployment();
     bursty_jobs(&mut tele, MINUTES);
     let mut service = TelemetryService::new(TelemetryConfig::default());
-    tele.run_intervals_telemetry(&mut service, MINUTES as usize)
-        .expect("telemetry run");
+    tele.run_intervals_telemetry(&mut service, MINUTES as usize).expect("telemetry run");
 
     let p_poll = power_series(&poll, MINUTES);
     let p_tele = power_series(&tele, MINUTES);
@@ -115,4 +108,24 @@ fn main() {
         if p_poll.is_empty() { 0 } else { p_tele.len() / p_poll.len().max(1) }
     );
     println!("the 20-second bursts are invisible at 60 s and obvious at 10 s.");
+
+    // The polling run went through the instrumented wire path, so the
+    // self-monitoring registry saw every sweep. This is the same exposition
+    // the Metrics Builder serves at `GET /metrics`.
+    println!("\n== Self-monitoring (monster-obs) ==");
+    let text = monster::obs::global().text_exposition();
+    for name in [
+        "monster_redfish_sweeps_total",
+        "monster_redfish_requests_total",
+        "monster_redfish_retries_total",
+        "monster_collector_points_total",
+        "monster_tsdb_points_written_total",
+    ] {
+        println!("{name:36} {}", monster::obs::sample(&text, name).unwrap_or(0.0));
+    }
+    let sweep_latency = monster::obs::histo("monster_redfish_request_seconds");
+    if let Some(mean) = sweep_latency.mean_secs() {
+        println!("mean simulated request latency          {mean:.2}s");
+    }
+    println!("(serve these live: `deployment.serve_api(port)` then GET /metrics)");
 }

@@ -73,9 +73,7 @@ fn main() {
 
     // The monitoring view: cluster-wide power over the replay.
     let req = BuilderRequest::new(t0, m.now(), 900, Aggregation::Mean).expect("window");
-    let out = m
-        .builder_query(&req, ExecMode::Concurrent { workers: 8 })
-        .expect("query");
+    let out = m.builder_query(&req, ExecMode::Concurrent { workers: 8 }).expect("query");
     let mut per_window: std::collections::BTreeMap<i64, (f64, usize)> =
         std::collections::BTreeMap::new();
     if let Some(doc) = out.document.as_object() {

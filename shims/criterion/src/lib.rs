@@ -1,0 +1,215 @@
+//! Workspace-local shim providing the subset of the `criterion` API the
+//! workspace's `harness = false` benches use. It times each routine over
+//! a configurable number of samples and prints `min / median / max` per
+//! benchmark in a criterion-like format — enough to compare runs by eye
+//! and to keep `cargo bench` green without the real crate. See `shims/`
+//! for why these exist.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units used to annotate a group's throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Logical items processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How much setup output [`Bencher::iter_batched`] may buffer between
+/// timed runs. The shim times one batch per sample regardless; the
+/// variant only documents intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large inputs that should not be pre-built in bulk.
+    LargeInput,
+    /// Rebuild the input for every single iteration.
+    PerIteration,
+}
+
+/// Benchmark harness entry point; one per process.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: 10, throughput: None }
+    }
+}
+
+/// A named set of benchmarks sharing sample-count and throughput config.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate per-iteration throughput for this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark and print its timing summary.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // One untimed warm-up pass, then `sample_size` timed passes.
+        let mut b = Bencher { elapsed: Duration::ZERO };
+        f(&mut b);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { elapsed: Duration::ZERO };
+            f(&mut b);
+            samples.push(b.elapsed);
+        }
+        samples.sort_unstable();
+        let min = samples[0];
+        let med = samples[samples.len() / 2];
+        let max = samples[samples.len() - 1];
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if med > Duration::ZERO => {
+                format!("  thrpt: {:.4e} elem/s", n as f64 / med.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if med > Duration::ZERO => {
+                format!("  thrpt: {:.4e} B/s", n as f64 / med.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{:<32} time: [{} {} {}]{}",
+            self.name,
+            id,
+            fmt_duration(min),
+            fmt_duration(med),
+            fmt_duration(max),
+            rate
+        );
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.4} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.4} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.4} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Passed to each benchmark closure to time the routine under test.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time one execution of `routine` (the sample's measurement).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        black_box(out);
+    }
+
+    /// Time `routine` on a fresh input from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        let out = routine(input);
+        self.elapsed += start.elapsed();
+        black_box(out);
+    }
+}
+
+/// Bundle benchmark functions under one runner name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running each group produced by [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5);
+        let mut calls = 0;
+        g.bench_function("counting", |b| {
+            calls += 1;
+            b.iter(|| 1 + 1)
+        });
+        g.finish();
+        // 1 warm-up + 5 samples.
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn iter_batched_feeds_setup_output() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2).throughput(Throughput::Elements(3));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.iter().sum::<i32>(), BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn duration_formatting_picks_sane_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(fmt_duration(Duration::from_micros(15)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(7)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,829 @@
+//! Workspace-local shim providing the subset of the `proptest` API the
+//! workspace uses: the `proptest!` test macro (with `proptest_config`),
+//! `prop_assert*` assertions, and a strategy algebra — `any`, `Just`,
+//! numeric ranges, regex-like string patterns, tuples, `prop_map` /
+//! `prop_filter` / `prop_recursive`, `prop_oneof!`, `collection::vec`,
+//! and `sample::select`. Cases are generated deterministically from the
+//! test name and case index, so failures reproduce; there is no
+//! shrinking. See `shims/` for why these exist.
+
+#![warn(missing_docs)]
+
+/// Test-case plumbing used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Per-block configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// A failed property assertion (no shrinking: reported as-is).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Build a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic generator (SplitMix64) feeding strategy sampling.
+    #[derive(Debug, Clone)]
+    pub struct Prng {
+        state: u64,
+    }
+
+    impl Prng {
+        /// Seed a stream; same seed, same draws.
+        pub fn new(seed: u64) -> Prng {
+            Prng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        }
+
+        /// Derive the per-case seed for `(test name, case index)`.
+        pub fn case_seed(name: &str, case: u64) -> u64 {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for &b in name.as_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            h ^ case.wrapping_mul(0xA24B_AED4_963E_E407)
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform draw in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            let cutoff = u64::MAX - u64::MAX % n;
+            loop {
+                let v = self.next_u64();
+                if v < cutoff {
+                    return v % n;
+                }
+            }
+        }
+    }
+}
+
+/// Value-generation strategies and combinators.
+pub mod strategy {
+    use crate::test_runner::Prng;
+    use std::marker::PhantomData;
+    use std::rc::Rc;
+
+    /// Something that can produce values for a property test.
+    pub trait Strategy {
+        /// The type of value produced.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut Prng) -> Self::Value;
+
+        /// Transform every drawn value with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keep only values passing `pred` (rejection sampling; panics
+        /// with `reason` if the predicate almost never passes).
+        fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, reason, pred }
+        }
+
+        /// Build a recursive strategy: `recurse` receives the strategy
+        /// for the next level down, bottoming out at `self` (the leaf)
+        /// after `depth` levels. Sizing hints are accepted for API
+        /// compatibility but unused.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = BoxedStrategy::new(self);
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let branch = BoxedStrategy::new(recurse(current));
+                current = BoxedStrategy::new(LeafOrBranch { leaf: leaf.clone(), branch });
+            }
+            current
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy::new(self)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+    impl<V> BoxedStrategy<V> {
+        /// Erase `s`.
+        pub fn new<S: Strategy<Value = V> + 'static>(s: S) -> BoxedStrategy<V> {
+            BoxedStrategy(Rc::new(s))
+        }
+    }
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut Prng) -> V {
+            self.0.sample(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut Prng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut Prng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.sample(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 10000 consecutive draws: {}", self.reason);
+        }
+    }
+
+    /// One level of [`Strategy::prop_recursive`]: half leaves, half
+    /// recursion into the next level.
+    struct LeafOrBranch<V> {
+        leaf: BoxedStrategy<V>,
+        branch: BoxedStrategy<V>,
+    }
+
+    impl<V> Strategy for LeafOrBranch<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut Prng) -> V {
+            if rng.next_u64() & 1 == 0 {
+                self.leaf.sample(rng)
+            } else {
+                self.branch.sample(rng)
+            }
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut Prng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut Prng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let width = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(width) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut Prng) -> $t {
+                    assert!(self.start() <= self.end(), "cannot sample empty range");
+                    let width = (*self.end() as i128 - *self.start() as i128) as u64 + 1;
+                    (*self.start() as i128 + rng.below(width) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut Prng) -> f64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    /// String strategies from a regex-like pattern: a concatenation of
+    /// character classes (`[a-z0-9_]`, `[ -~&&[^\r\n]]`, `\PC`) and
+    /// literals, each with an optional `{n}` / `{m,n}` repetition.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut Prng) -> String {
+            crate::pattern::sample(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut Prng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+    }
+
+    /// Types with a whole-domain strategy via [`any`].
+    pub trait Arbitrary: Sized {
+        /// Draw an unconstrained value (for floats: raw bit patterns,
+        /// so NaN and the infinities occur naturally).
+        fn arbitrary(rng: &mut Prng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut Prng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut Prng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut Prng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut Prng) -> f32 {
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+
+    /// Strategy over the full domain of `T` (see [`any`]).
+    #[derive(Debug)]
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    /// Full-domain strategy for `T`: `any::<f64>()` etc.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut Prng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Uniform choice among several strategies with one value type
+    /// (built by [`crate::prop_oneof!`]).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Build from the erased arms; must be non-empty.
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut Prng) -> V {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].sample(rng)
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Prng;
+
+    /// `Vec` strategy: length drawn from `len`, elements from `elem`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Build a [`VecStrategy`].
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "vec strategy needs a non-empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut Prng) -> Vec<S::Value> {
+            let width = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(width) as usize;
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Pick-from-a-list strategies (`proptest::sample::select`).
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Prng;
+
+    /// Uniform choice from a fixed list (see [`select`]).
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// Strategy yielding a uniformly chosen element of `items`.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select needs at least one item");
+        Select(items)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut Prng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// Sampler for the regex-like string patterns used as strategies.
+pub mod pattern {
+    use crate::test_runner::Prng;
+
+    /// Printable characters outside Unicode category C, sampled by
+    /// `\PC`: the printable ASCII range plus a spread of multi-byte
+    /// letters and symbols so UTF-8 handling gets exercised.
+    const PC_EXTRAS: &[char] = &[
+        '£', 'é', 'ß', 'ñ', 'Ω', 'λ', 'й', 'Ж', 'ü', 'ç', '√', '°', '…', '中', '文', '日', '本',
+        '한', '𝄞', '🚀',
+    ];
+
+    /// Draw one string matching `pat`.
+    pub fn sample(pat: &str, rng: &mut Prng) -> String {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut i = 0;
+        let mut out = String::new();
+        while i < chars.len() {
+            let candidates = parse_element(&chars, &mut i, pat);
+            let (lo, hi) = parse_quantifier(&chars, &mut i, pat);
+            let n = if lo == hi { lo } else { lo + rng.below((hi - lo + 1) as u64) as usize };
+            for _ in 0..n {
+                out.push(candidates[rng.below(candidates.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+
+    fn parse_element(chars: &[char], i: &mut usize, pat: &str) -> Vec<char> {
+        match chars[*i] {
+            '[' => {
+                *i += 1;
+                let (set, negated) = parse_class(chars, i, pat);
+                assert!(!negated, "top-level negated classes are not supported: {pat}");
+                set
+            }
+            '\\' => {
+                *i += 1;
+                match chars.get(*i) {
+                    Some('P') if chars.get(*i + 1) == Some(&'C') => {
+                        *i += 2;
+                        let mut set: Vec<char> = (' '..='~').collect();
+                        set.extend_from_slice(PC_EXTRAS);
+                        set
+                    }
+                    Some(&c) => {
+                        *i += 1;
+                        vec![unescape(c)]
+                    }
+                    None => panic!("dangling escape in pattern: {pat}"),
+                }
+            }
+            c => {
+                *i += 1;
+                vec![c]
+            }
+        }
+    }
+
+    /// Parse the inside of `[...]` starting just past the `[`; consumes
+    /// the closing `]`. Supports ranges, escapes, leading `^`, and
+    /// Java-style `&&[^...]` subtraction.
+    fn parse_class(chars: &[char], i: &mut usize, pat: &str) -> (Vec<char>, bool) {
+        let mut set: Vec<char> = Vec::new();
+        let negated = chars.get(*i) == Some(&'^');
+        if negated {
+            *i += 1;
+        }
+        loop {
+            match chars.get(*i) {
+                None => panic!("unterminated character class in pattern: {pat}"),
+                Some(']') => {
+                    *i += 1;
+                    break;
+                }
+                Some('&') if chars.get(*i + 1) == Some(&'&') => {
+                    *i += 2;
+                    assert_eq!(
+                        chars.get(*i),
+                        Some(&'['),
+                        "`&&` must be followed by a class: {pat}"
+                    );
+                    *i += 1;
+                    let (inner, inner_negated) = parse_class(chars, i, pat);
+                    if inner_negated {
+                        set.retain(|c| !inner.contains(c));
+                    } else {
+                        set.retain(|c| inner.contains(c));
+                    }
+                    // The subtraction must close the outer class too.
+                    assert_eq!(chars.get(*i), Some(&']'), "`&&[...]` must end the class: {pat}");
+                    *i += 1;
+                    break;
+                }
+                Some(&c) => {
+                    let c = if c == '\\' {
+                        *i += 1;
+                        unescape(
+                            *chars
+                                .get(*i)
+                                .unwrap_or_else(|| panic!("dangling escape in class: {pat}")),
+                        )
+                    } else {
+                        c
+                    };
+                    *i += 1;
+                    // A `-` between two chars (not before `]`) is a range.
+                    if chars.get(*i) == Some(&'-') && chars.get(*i + 1).is_some_and(|&n| n != ']') {
+                        *i += 1;
+                        let hi = if chars[*i] == '\\' {
+                            *i += 1;
+                            unescape(chars[*i])
+                        } else {
+                            chars[*i]
+                        };
+                        *i += 1;
+                        set.extend(c..=hi);
+                    } else {
+                        set.push(c);
+                    }
+                }
+            }
+        }
+        assert!(!set.is_empty() || negated, "empty character class in pattern: {pat}");
+        (set, negated)
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'r' => '\r',
+            'n' => '\n',
+            't' => '\t',
+            '0' => '\0',
+            other => other,
+        }
+    }
+
+    fn parse_quantifier(chars: &[char], i: &mut usize, pat: &str) -> (usize, usize) {
+        if chars.get(*i) != Some(&'{') {
+            return (1, 1);
+        }
+        *i += 1;
+        let mut lo = 0usize;
+        while chars[*i].is_ascii_digit() {
+            lo = lo * 10 + chars[*i].to_digit(10).unwrap() as usize;
+            *i += 1;
+        }
+        let hi = if chars[*i] == ',' {
+            *i += 1;
+            let mut h = 0usize;
+            while chars[*i].is_ascii_digit() {
+                h = h * 10 + chars[*i].to_digit(10).unwrap() as usize;
+                *i += 1;
+            }
+            h
+        } else {
+            lo
+        };
+        assert_eq!(chars[*i], '}', "unterminated quantifier in pattern: {pat}");
+        *i += 1;
+        assert!(lo <= hi, "bad quantifier bounds in pattern: {pat}");
+        (lo, hi)
+    }
+}
+
+/// The usual imports: strategies, config, and the test and assertion
+/// macros — plus `prop` as an alias for this crate so nested paths like
+/// `prop::collection::vec` resolve.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Define property tests. Each `fn name(arg in STRATEGY, ...) { body }`
+/// becomes a `#[test]` running deterministic cases (256 by default, or
+/// the count from a leading `#![proptest_config(...)]`); `prop_assert*!`
+/// failures report the failing case index.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)+) => {
+        $crate::__proptest_body! { cfg = ($cfg); $($rest)+ }
+    };
+    ($($rest:tt)+) => {
+        $crate::__proptest_body! {
+            cfg = (<$crate::test_runner::Config as ::std::default::Default>::default());
+            $($rest)+
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cases = ($cfg).cases as u64;
+            for case in 0..cases {
+                let mut prop_rng = $crate::test_runner::Prng::new(
+                    $crate::test_runner::Prng::case_seed(stringify!($name), case),
+                );
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::sample(&($strat), &mut prop_rng);
+                )+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!("property `{}` failed at case {case}: {e}", stringify!($name));
+                }
+            }
+        }
+    )+};
+}
+
+/// Assert a condition inside [`proptest!`]; failure fails the case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside [`proptest!`]; failure fails the case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, "assertion failed: `{:?}` == `{:?}`", left, right);
+    }};
+}
+
+/// Uniform choice among strategies sharing a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::BoxedStrategy::new($strat) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::Prng;
+
+    #[test]
+    fn union_draws_from_every_arm() {
+        let s = prop_oneof![Just(1.0f64), Just(2.0), -10.0..10.0f64];
+        let mut rng = Prng::new(3);
+        let (mut ones, mut twos, mut ranged) = (0, 0, 0);
+        for _ in 0..300 {
+            match s.sample(&mut rng) {
+                x if x == 1.0 => ones += 1,
+                x if x == 2.0 => twos += 1,
+                x => {
+                    assert!((-10.0..10.0).contains(&x));
+                    ranged += 1;
+                }
+            }
+        }
+        assert!(ones > 50 && twos > 50 && ranged > 50);
+    }
+
+    #[test]
+    fn any_f64_hits_specials_eventually() {
+        let s = any::<f64>();
+        let mut rng = Prng::new(11);
+        let non_finite = (0..100_000).filter(|_| !s.sample(&mut rng).is_finite()).count();
+        // ~1/2048 of bit patterns have an all-ones exponent.
+        assert!(non_finite > 10, "saw {non_finite} non-finite draws");
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let s = crate::collection::vec(0.0..1.0f64, 2..5);
+        let mut rng = Prng::new(5);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_their_classes() {
+        let mut rng = Prng::new(9);
+        for _ in 0..500 {
+            let s = "[a-zA-Z][a-zA-Z0-9_]{0,8}".sample(&mut rng);
+            assert!((1..=9).contains(&s.chars().count()), "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_alphabetic());
+            assert!(cs.all(|c| c.is_ascii_alphanumeric() || c == '_'), "{s:?}");
+        }
+        for _ in 0..500 {
+            let s = "[ -~&&[^\r\n]]{1,40}".sample(&mut rng);
+            assert!((1..=40).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+        for _ in 0..500 {
+            let s = "\\PC{0,16}".sample(&mut rng);
+            assert!(s.chars().count() <= 16);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn filter_and_map_compose() {
+        let s = any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(|f| f.abs());
+        let mut rng = Prng::new(21);
+        for _ in 0..1000 {
+            let v = s.sample(&mut rng);
+            assert!(v.is_finite() && v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        let s = any::<u8>().prop_map(Tree::Leaf).prop_recursive(4, 64, 8, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let mut rng = Prng::new(33);
+        for _ in 0..200 {
+            assert!(depth(&s.sample(&mut rng)) <= 5);
+        }
+    }
+
+    #[test]
+    fn select_only_yields_listed_items() {
+        let s = crate::sample::select(vec![b'a', b'b', b'c']);
+        let mut rng = Prng::new(41);
+        for _ in 0..100 {
+            assert!([b'a', b'b', b'c'].contains(&s.sample(&mut rng)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro itself: config is honoured, tuple + range strategies
+        /// sample, and assertions pass through.
+        #[test]
+        fn macro_generates_in_range(
+            (x, n) in (0.25..0.75f64, 1u8..=4),
+            v in prop::collection::vec(any::<u8>(), 0..8),
+        ) {
+            prop_assert!(x >= 0.25 && x < 0.75);
+            prop_assert!((1..=4).contains(&n));
+            prop_assert!(v.len() < 8);
+            prop_assert_eq!(x.is_finite(), true);
+        }
+    }
+}

@@ -46,18 +46,11 @@ fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
 }
 
 fn flag_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> usize {
-    flags
-        .get(key)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    flags.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 fn deployment(nodes: usize) -> Monster {
-    Monster::new(MonsterConfig {
-        nodes,
-        bmc: BmcConfig::default(),
-        ..MonsterConfig::default()
-    })
+    Monster::new(MonsterConfig { nodes, bmc: BmcConfig::default(), ..MonsterConfig::default() })
 }
 
 fn cmd_demo(flags: &HashMap<String, String>) -> ExitCode {
@@ -78,21 +71,11 @@ fn cmd_demo(flags: &HashMap<String, String>) -> ExitCode {
         stats.cardinality,
         ByteSize(stats.encoded_bytes as u64)
     );
-    let req = BuilderRequest::new(
-        m.now() - intervals as i64 * 60,
-        m.now() + 60,
-        60,
-        Aggregation::Mean,
-    )
-    .expect("window");
-    let out = m
-        .builder_query(&req, ExecMode::Concurrent { workers: 8 })
-        .expect("query");
-    println!(
-        "builder query: {} points, simulated {}",
-        out.points_out,
-        out.query_processing_time()
-    );
+    let req =
+        BuilderRequest::new(m.now() - intervals as i64 * 60, m.now() + 60, 60, Aggregation::Mean)
+            .expect("window");
+    let out = m.builder_query(&req, ExecMode::Concurrent { workers: 8 }).expect("query");
+    println!("builder query: {} points, simulated {}", out.points_out, out.query_processing_time());
     ExitCode::SUCCESS
 }
 
@@ -177,18 +160,14 @@ fn cmd_watch(flags: &HashMap<String, String>) -> ExitCode {
     let intervals = flag_usize(flags, "intervals", 30);
     println!("monster watch: {nodes} nodes, {intervals} intervals, anomaly alerts on power\n");
     let mut m = deployment(nodes);
-    let mut detector = AnomalyDetector::new(AnomalyConfig {
-        warmup: 5,
-        ..AnomalyConfig::default()
-    });
+    let mut detector =
+        AnomalyDetector::new(AnomalyConfig { warmup: 5, ..AnomalyConfig::default() });
     let mut alerts = 0;
     for _ in 0..intervals {
         let s = m.run_interval().expect("interval");
         for node in m.node_ids() {
             let power = m.cluster().sensors(node).expect("node").power;
-            if let Some(ev) =
-                detector.observe(&format!("{}/power", node.label()), s.time, power)
-            {
+            if let Some(ev) = detector.observe(&format!("{}/power", node.label()), s.time, power) {
                 alerts += 1;
                 println!(
                     "  [{}] {} {}: {:.0} W (expected ~{:.0} W)",
@@ -222,8 +201,7 @@ fn cmd_top(flags: &HashMap<String, String>) -> ExitCode {
             })
             .collect();
         rows.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite power"));
-        let cluster_util: f64 =
-            rows.iter().map(|r| r.1).sum::<f64>() / rows.len() as f64 * 100.0;
+        let cluster_util: f64 = rows.iter().map(|r| r.1).sum::<f64>() / rows.len() as f64 * 100.0;
         let cluster_kw: f64 = rows.iter().map(|r| r.2).sum::<f64>() / 1000.0;
         println!(
             "[{}] frame {}/{intervals}: util {:5.1}%  power {:6.2} kW  running {}  pending {}  sweep {}",
@@ -237,12 +215,7 @@ fn cmd_top(flags: &HashMap<String, String>) -> ExitCode {
         );
         println!("  {:<8} {:>6} {:>9} {:>8}", "hottest", "util", "power", "cpu max");
         for (label, util, power, temp) in rows.iter().take(5) {
-            println!(
-                "  {label:<8} {:>5.0}% {:>7.1} W {:>6.1} C",
-                util * 100.0,
-                power,
-                temp
-            );
+            println!("  {label:<8} {:>5.0}% {:>7.1} W {:>6.1} C", util * 100.0, power, temp);
         }
     }
     ExitCode::SUCCESS
@@ -255,8 +228,7 @@ fn cmd_report(flags: &HashMap<String, String>) -> ExitCode {
     println!("simulating {hours} h of cluster activity on {nodes} nodes...\n");
     let start = m.now();
     m.run_intervals_bulk((hours * 60) as usize);
-    let report =
-        monster::analysis::ClusterReport::build(m.qmaster(), start, m.now());
+    let report = monster::analysis::ClusterReport::build(m.qmaster(), start, m.now());
     print!("{}", report.to_text());
     ExitCode::SUCCESS
 }

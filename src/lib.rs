@@ -27,6 +27,7 @@ pub use monster_collector as collector;
 pub use monster_compress as mzlib;
 pub use monster_http as http;
 pub use monster_json as json;
+pub use monster_obs as obs;
 pub use monster_redfish as redfish;
 pub use monster_scheduler as scheduler;
 pub use monster_sim as sim;

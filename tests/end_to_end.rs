@@ -39,10 +39,7 @@ fn collected_power_matches_ground_truth() {
         .and_then(|v| v.as_f64())
         .expect("stored power value");
     // Rounded to 0.1 W by the Redfish payload.
-    assert!(
-        (stored - truth).abs() < 0.06,
-        "stored {stored}, ground truth {truth}"
-    );
+    assert!((stored - truth).abs() < 0.06, "stored {stored}, ground truth {truth}");
 }
 
 #[test]
@@ -146,10 +143,7 @@ fn load_correlates_with_power_across_fleet() {
     assert_eq!(idle_power.len(), 4);
     let busy_mean = monster::util::stats::mean(&busy_power);
     let idle_mean = monster::util::stats::mean(&idle_power);
-    assert!(
-        busy_mean > idle_mean + 100.0,
-        "busy {busy_mean:.0} W vs idle {idle_mean:.0} W"
-    );
+    assert!(busy_mean > idle_mean + 100.0, "busy {busy_mean:.0} W vs idle {idle_mean:.0} W");
 }
 
 #[test]

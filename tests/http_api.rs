@@ -28,10 +28,7 @@ fn redfish_tree_serves_all_four_categories() {
         ("Systems/System.Embedded.1", "ProcessorSummary"),
     ] {
         let resp = client
-            .send_ok(
-                server.addr(),
-                &Request::get(&format!("/nodes/10.101.1.2/redfish/v1/{path}")),
-            )
+            .send_ok(server.addr(), &Request::get(&format!("/nodes/10.101.1.2/redfish/v1/{path}")))
             .unwrap_or_else(|e| panic!("{path}: {e}"));
         let v = resp.json_body().unwrap();
         assert!(v.get(expect_key).is_some(), "{path} missing {expect_key}");
@@ -40,35 +37,25 @@ fn redfish_tree_serves_all_four_categories() {
 
 #[test]
 fn builder_api_full_consumer_flow() {
-    let mut m = Monster::new(MonsterConfig {
-        nodes: 5,
-        bmc: reliable_bmc(),
-        ..MonsterConfig::default()
-    });
+    let mut m =
+        Monster::new(MonsterConfig { nodes: 5, bmc: reliable_bmc(), ..MonsterConfig::default() });
     m.run_intervals_bulk(30);
     let server = m.serve_api(0).unwrap();
     let client = Client::new();
 
     // Discover nodes.
-    let nodes = client
-        .send_ok(server.addr(), &Request::get("/v1/nodes"))
-        .unwrap()
-        .json_body()
-        .unwrap();
+    let nodes =
+        client.send_ok(server.addr(), &Request::get("/v1/nodes")).unwrap().json_body().unwrap();
     let node_list = nodes.get("nodes").unwrap().as_array().unwrap().len();
     assert_eq!(node_list, 5);
 
     // Pull metrics, compressed and not; both must decode identically.
     let start = (m.now() - 1500).to_rfc3339();
     let end = m.now().to_rfc3339();
-    let base =
-        format!("/v1/metrics?start={start}&end={end}&interval=5m&aggregation=max");
-    let plain = client
-        .send_ok(server.addr(), &Request::get(&base))
-        .unwrap();
-    let packed = client
-        .send_ok(server.addr(), &Request::get(&format!("{base}&compress=true")))
-        .unwrap();
+    let base = format!("/v1/metrics?start={start}&end={end}&interval=5m&aggregation=max");
+    let plain = client.send_ok(server.addr(), &Request::get(&base)).unwrap();
+    let packed =
+        client.send_ok(server.addr(), &Request::get(&format!("{base}&compress=true"))).unwrap();
     assert!(packed.body.len() < plain.body.len());
     assert_eq!(plain.json_body().unwrap(), packed.json_body().unwrap());
 
@@ -78,31 +65,21 @@ fn builder_api_full_consumer_flow() {
 
 #[test]
 fn builder_api_rejects_bad_requests_cleanly() {
-    let mut m = Monster::new(MonsterConfig {
-        nodes: 2,
-        bmc: reliable_bmc(),
-        ..MonsterConfig::default()
-    });
+    let mut m =
+        Monster::new(MonsterConfig { nodes: 2, bmc: reliable_bmc(), ..MonsterConfig::default() });
     m.run_intervals_bulk(5);
     let server = m.serve_api(0).unwrap();
     let client = Client::new();
-    let resp = client
-        .send(server.addr(), &Request::get("/v1/metrics?start=bogus"))
-        .unwrap();
+    let resp = client.send(server.addr(), &Request::get("/v1/metrics?start=bogus")).unwrap();
     assert_eq!(resp.status, Status::BAD_REQUEST);
-    let resp = client
-        .send(server.addr(), &Request::get("/v1/nope"))
-        .unwrap();
+    let resp = client.send(server.addr(), &Request::get("/v1/nope")).unwrap();
     assert_eq!(resp.status, Status::NOT_FOUND);
 }
 
 #[test]
 fn repeated_requests_hit_the_response_cache() {
-    let mut m = Monster::new(MonsterConfig {
-        nodes: 3,
-        bmc: reliable_bmc(),
-        ..MonsterConfig::default()
-    });
+    let mut m =
+        Monster::new(MonsterConfig { nodes: 3, bmc: reliable_bmc(), ..MonsterConfig::default() });
     m.run_intervals_bulk(10);
     let server = m.serve_api(0).unwrap();
     let client = Client::new();
@@ -124,11 +101,8 @@ fn repeated_requests_hit_the_response_cache() {
 
 #[test]
 fn concurrent_consumers_get_consistent_answers() {
-    let mut m = Monster::new(MonsterConfig {
-        nodes: 3,
-        bmc: reliable_bmc(),
-        ..MonsterConfig::default()
-    });
+    let mut m =
+        Monster::new(MonsterConfig { nodes: 3, bmc: reliable_bmc(), ..MonsterConfig::default() });
     m.run_intervals_bulk(20);
     let server = m.serve_api(0).unwrap();
     let addr = server.addr();
@@ -141,11 +115,7 @@ fn concurrent_consumers_get_consistent_answers() {
             .map(|_| {
                 let url = url.clone();
                 s.spawn(move || {
-                    Client::new()
-                        .send_ok(addr, &Request::get(&url))
-                        .unwrap()
-                        .json_body()
-                        .unwrap()
+                    Client::new().send_ok(addr, &Request::get(&url)).unwrap().json_body().unwrap()
                 })
             })
             .collect::<Vec<_>>()

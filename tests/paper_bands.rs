@@ -119,15 +119,10 @@ fn band_bmc_dominates_profile() {
     let m = populated(SchemaVersion::Previous, DiskModel::HDD);
     let req = BuilderRequest::new(m.now() - 86_400, m.now(), 1800, Aggregation::Max).unwrap();
     let plan = build_plan(SchemaVersion::Previous, &m.node_ids(), &req);
-    let total = execute(m.db(), &plan, ExecMode::Sequential)
-        .unwrap()
-        .query_processing_time()
-        .as_secs_f64();
-    let bmc_plan: Vec<_> = plan
-        .iter()
-        .filter(|p| p.group == monster::builder::QueryGroup::Bmc)
-        .cloned()
-        .collect();
+    let total =
+        execute(m.db(), &plan, ExecMode::Sequential).unwrap().query_processing_time().as_secs_f64();
+    let bmc_plan: Vec<_> =
+        plan.iter().filter(|p| p.group == monster::builder::QueryGroup::Bmc).cloned().collect();
     let bmc = execute(m.db(), &bmc_plan, ExecMode::Sequential)
         .unwrap()
         .query_processing_time()
@@ -145,8 +140,5 @@ fn band_interval_volume() {
     m.run_intervals_bulk(1);
     let per_interval = m.db().stats().points - before;
     let scaled = per_interval as f64 * 467.0 / 8.0;
-    assert!(
-        (4_000.0..40_000.0).contains(&scaled),
-        "scaled interval volume {scaled:.0}"
-    );
+    assert!((4_000.0..40_000.0).contains(&scaled), "scaled interval volume {scaled:.0}");
 }

@@ -46,11 +46,7 @@ fn both_schemas_answer_power_queries_identically() {
             doc.get(&node.bmc_addr())
                 .and_then(|n| n.get("power"))
                 .and_then(|p| p.as_array())
-                .map(|a| {
-                    a.iter()
-                        .filter_map(|p| p.get("value").and_then(|v| v.as_f64()))
-                        .collect()
-                })
+                .map(|a| a.iter().filter_map(|p| p.get("value").and_then(|v| v.as_f64())).collect())
                 .unwrap_or_default()
         };
         let a = series(&out_old.document);
@@ -85,10 +81,8 @@ fn slurm_view_matches_uge_state() {
     let jobs = slurm.jobs_payload();
     let job_arr = jobs.get("jobs").unwrap().as_array().unwrap();
     assert_eq!(job_arr.len(), qm.job_table().len());
-    let running_in_slurm = job_arr
-        .iter()
-        .filter(|j| j.get("job_state").unwrap().as_str() == Some("RUNNING"))
-        .count();
+    let running_in_slurm =
+        job_arr.iter().filter(|j| j.get("job_state").unwrap().as_str() == Some("RUNNING")).count();
     assert_eq!(running_in_slurm, qm.running_jobs().len());
     assert_eq!(qm.dialect(), "uge");
 }
