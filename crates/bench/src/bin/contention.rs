@@ -1,0 +1,202 @@
+//! Ingest contention benchmark: sharded-lock engine vs a single global
+//! lock, plus query latency percentiles. Writes machine-readable
+//! `BENCH_tsdb.json` for cross-PR perf tracking.
+//!
+//! Two numbers matter and they answer different questions:
+//!
+//! * **Wall-clock** throughput — what this box actually did. On a
+//!   single-core runner 4 writer threads cannot beat 1 no matter how the
+//!   locks are arranged, so wall-clock alone cannot show the sharding win
+//!   there (the JSON records the core count next to the numbers).
+//! * **Modelled makespan** — the repo's standard simulated-time method
+//!   (cf. the Fig. 15 harness in `monster_tsdb::concurrent`): measure each
+//!   batch's real critical-section time, then compose. A single global
+//!   write lock serializes every batch regardless of thread count
+//!   (makespan = sum over all writers); per-shard locks let writers on
+//!   disjoint shards proceed independently (makespan = max over writers).
+//!   The composition is exact for this workload because each writer
+//!   backfills its own day — its own shard — so the sharded engine gives
+//!   them no lock in common.
+//!
+//! Usage: `contention [--quick]` — quick mode shrinks the workload for CI
+//! smoke runs; the committed `BENCH_tsdb.json` comes from a full run.
+
+use monster_json::jobj;
+use monster_tsdb::query::Aggregation;
+use monster_tsdb::{DataPoint, Db, DbConfig, Query};
+use monster_util::EpochSecs;
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+const WRITERS: usize = 4;
+const DAY: i64 = 86_400;
+
+struct Workload {
+    batches_per_writer: usize,
+    batch_size: usize,
+    queries: usize,
+}
+
+/// One writer's batches: a day of per-node power samples, writer `w`
+/// owning day `w` (disjoint shards under the default shard duration).
+fn writer_batches(w: usize, wl: &Workload) -> Vec<Vec<DataPoint>> {
+    let day_start = w as i64 * DAY;
+    let total = wl.batches_per_writer * wl.batch_size;
+    let step = (DAY - 1).max(1) / total as i64 + 1;
+    (0..wl.batches_per_writer)
+        .map(|b| {
+            (0..wl.batch_size)
+                .map(|i| {
+                    let k = b * wl.batch_size + i;
+                    DataPoint::new("Power", EpochSecs::new(day_start + k as i64 * step))
+                        .tag("NodeId", format!("10.101.{}.{}", k % 117 + 1, k % 4 + 1))
+                        .tag("Label", "NodePower")
+                        .field_f64("Reading", 250.0 + (k % 40) as f64)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn fresh_db() -> Db {
+    Db::new(DbConfig::default())
+}
+
+/// Sequential single-writer ingest; returns (points/sec, per-batch secs).
+fn run_single(db: &Db, batches: &[Vec<DataPoint>]) -> (f64, Vec<f64>) {
+    let mut per_batch = Vec::with_capacity(batches.len());
+    let start = Instant::now();
+    for b in batches {
+        let t = Instant::now();
+        db.write_batch(b).unwrap();
+        per_batch.push(t.elapsed().as_secs_f64());
+    }
+    let points: usize = batches.iter().map(Vec::len).sum();
+    (points as f64 / start.elapsed().as_secs_f64(), per_batch)
+}
+
+/// Threaded multi-writer wall-clock ingest. `global` simulates the
+/// pre-rework engine: one write lock around every batch.
+fn run_multi_wall(all: &[Vec<Vec<DataPoint>>], global: bool) -> f64 {
+    let db = Arc::new(fresh_db());
+    let big_lock = Arc::new(RwLock::new(()));
+    let points: usize = all.iter().flatten().map(Vec::len).sum();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for batches in all {
+            let db = Arc::clone(&db);
+            let big_lock = Arc::clone(&big_lock);
+            s.spawn(move || {
+                for b in batches {
+                    let _g = global.then(|| big_lock.write().unwrap());
+                    db.write_batch(b).unwrap();
+                }
+            });
+        }
+    });
+    points as f64 / start.elapsed().as_secs_f64()
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let wl = if quick {
+        Workload { batches_per_writer: 10, batch_size: 500, queries: 40 }
+    } else {
+        Workload { batches_per_writer: 40, batch_size: 2_500, queries: 200 }
+    };
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let all: Vec<Vec<Vec<DataPoint>>> = (0..WRITERS).map(|w| writer_batches(w, &wl)).collect();
+
+    // --- single-writer baseline + per-batch critical-section profile ----
+    let db = fresh_db();
+    let mut single_pps = 0.0;
+    let mut crit: Vec<Vec<f64>> = Vec::with_capacity(WRITERS);
+    for (w, batches) in all.iter().enumerate() {
+        let (pps, per_batch) = run_single(&db, batches);
+        if w == 0 {
+            single_pps = pps;
+        }
+        crit.push(per_batch);
+    }
+
+    // --- modelled makespans from measured critical sections -------------
+    // Global lock: every batch serializes behind one lock → sum of all.
+    // Sharded: each writer owns a shard; no shared lock → max over writers.
+    let writer_sums: Vec<f64> = crit.iter().map(|v| v.iter().sum()).collect();
+    let global_makespan: f64 = writer_sums.iter().sum();
+    let sharded_makespan: f64 = writer_sums.iter().cloned().fold(0.0, f64::max);
+    let modeled_speedup = global_makespan / sharded_makespan;
+
+    // --- wall-clock multi-writer (both engines, honest numbers) ---------
+    let wall_sharded_pps = run_multi_wall(&all, false);
+    let wall_global_pps = run_multi_wall(&all, true);
+
+    // --- query latency percentiles against the populated database ------
+    let mut lat_us: Vec<f64> = Vec::with_capacity(wl.queries);
+    for i in 0..wl.queries {
+        let day = (i % WRITERS) as i64 * DAY;
+        let q = Query::select("Power", "Reading", EpochSecs::new(day), EpochSecs::new(day + DAY))
+            .aggregate(Aggregation::Mean)
+            .group_by_time(300);
+        let t = Instant::now();
+        let (rs, _) = db.query(&q).unwrap();
+        lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+        assert!(!rs.series.is_empty());
+    }
+    lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let (p50, p99) = (percentile(&lat_us, 0.50), percentile(&lat_us, 0.99));
+
+    let total_points: usize = all.iter().flatten().map(Vec::len).sum();
+    println!(
+        "== tsdb ingest contention ({cores} core(s), {WRITERS} writers, {total_points} points) =="
+    );
+    println!("single-writer ingest:        {single_pps:>12.0} points/s");
+    println!("4-writer wall (sharded):     {wall_sharded_pps:>12.0} points/s");
+    println!("4-writer wall (global lock): {wall_global_pps:>12.0} points/s");
+    println!(
+        "modelled makespan global:    {global_makespan:>12.4} s (sum: one lock serializes all)"
+    );
+    println!("modelled makespan sharded:   {sharded_makespan:>12.4} s (max: disjoint shards)");
+    println!("modelled speedup:            {modeled_speedup:>12.2}x");
+    println!("query latency ({} queries):  p50 {p50:.0} us, p99 {p99:.0} us", wl.queries);
+
+    let doc = jobj! {
+        "bench" => "tsdb_contention",
+        "quick" => quick,
+        "cores" => cores as i64,
+        "writers" => WRITERS as i64,
+        "total_points" => total_points as i64,
+        "ingest" => jobj! {
+            "single_writer_pps" => single_pps,
+            "multi_writer_wall_pps_sharded" => wall_sharded_pps,
+            "multi_writer_wall_pps_global_lock" => wall_global_pps,
+            "modeled_makespan_secs_global_lock" => global_makespan,
+            "modeled_makespan_secs_sharded" => sharded_makespan,
+            "modeled_speedup_sharded_vs_global" => modeled_speedup,
+        },
+        "query" => jobj! {
+            "count" => wl.queries as i64,
+            "p50_us" => p50,
+            "p99_us" => p99,
+        },
+    };
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_tsdb.json".into());
+    std::fs::write(&out, doc.to_string_pretty() + "\n").unwrap();
+    println!("wrote {out}");
+
+    // The acceptance bar: at 4 writers the sharded engine must beat the
+    // single-global-lock baseline by >= 2x in the modelled makespan (the
+    // wall-clock comparison is only meaningful with >= 2 cores).
+    assert!(
+        modeled_speedup >= 2.0,
+        "modelled speedup {modeled_speedup:.2}x < 2x over global-lock baseline"
+    );
+}

@@ -99,6 +99,12 @@ fn points_by_tag(rs: &ResultSet, tag: &str) -> (Value, usize) {
 /// Fails on the first query error (invalid ranges surface here); missing
 /// data is not an error — sections whose queries match nothing are simply
 /// omitted from the node document.
+///
+/// `mode` controls *inter-query* concurrency only. Independently of it,
+/// each query's overlapping-shard scans fan out inside the storage engine
+/// (`DbConfig::scan_workers` for real threads,
+/// `CostParams::scan_workers` in the simulated-time model); the two levels
+/// compose as described in `monster_tsdb::concurrent`.
 pub fn execute(db: &Arc<Db>, plan: &[PlannedQuery], mode: ExecMode) -> Result<BuilderOutcome> {
     let span = monster_obs::Span::enter("builder.execute");
     let queries: Vec<_> = plan.iter().map(|p| p.query.clone()).collect();

@@ -230,7 +230,13 @@ impl Collector {
     ///
     /// §III-C: the collector writes ~10 000 points per interval in batches
     /// ("the ideal batch size for InfluxDB"), amortizing connection
-    /// overhead.
+    /// overhead. With the sharded-lock engine the batch size also bounds
+    /// lock work: all of an interval's points share one timestamp, so each
+    /// chunk resolves its ids under a single index acquisition and lands in
+    /// exactly one shard's critical section. Chunks are written
+    /// sequentially on purpose — same-timestamp points must reach a shard
+    /// in collection order so raw (unaggregated) queries, which sort by
+    /// timestamp only, replay them deterministically.
     pub fn collect_and_store(
         &mut self,
         cluster: &SimulatedCluster,

@@ -107,6 +107,7 @@ impl Monster {
             shard_duration: 86_400,
             disk: config.disk,
             cost: CostParams::default().with_amplification(amplification),
+            ..DbConfig::default()
         }));
         let collector = Collector::new(CollectorConfig {
             schema: config.schema,

@@ -71,6 +71,10 @@ pub struct Column {
     sealed: Vec<SealedBlock>,
     tail_ts: Vec<i64>,
     tail: Tail,
+    /// Incrementally-maintained [`encoded_bytes`](Self::encoded_bytes):
+    /// updated on every append and seal so size accounting is O(1) instead
+    /// of a walk over sealed blocks.
+    encoded: usize,
 }
 
 impl Column {
@@ -82,17 +86,30 @@ impl Column {
             FieldValue::Bool(_) => Tail::Bool(Vec::new()),
             FieldValue::Str(_) => Tail::Str(Vec::new()),
         };
-        Column { sealed: Vec::new(), tail_ts: Vec::new(), tail }
+        Column { sealed: Vec::new(), tail_ts: Vec::new(), tail, encoded: 0 }
     }
 
     /// Append one (timestamp, value). Errors on a field-type conflict —
     /// the same hard error InfluxDB raises.
     pub fn append(&mut self, ts: i64, value: &FieldValue) -> Result<()> {
-        match (&mut self.tail, value) {
-            (Tail::Float(v), FieldValue::Float(x)) => v.push(*x),
-            (Tail::Int(v), FieldValue::Int(x)) => v.push(*x),
-            (Tail::Bool(v), FieldValue::Bool(x)) => v.push(*x),
-            (Tail::Str(v), FieldValue::Str(x)) => v.push(x.clone()),
+        let value_width = match (&mut self.tail, value) {
+            (Tail::Float(v), FieldValue::Float(x)) => {
+                v.push(*x);
+                8
+            }
+            (Tail::Int(v), FieldValue::Int(x)) => {
+                v.push(*x);
+                8
+            }
+            (Tail::Bool(v), FieldValue::Bool(x)) => {
+                v.push(*x);
+                1
+            }
+            (Tail::Str(v), FieldValue::Str(x)) => {
+                let w = x.len() + 8;
+                v.push(x.clone());
+                w
+            }
             (tail, v) => {
                 return Err(Error::invalid(format!(
                     "field type conflict: column is {}, point has {}",
@@ -100,8 +117,9 @@ impl Column {
                     v.type_name()
                 )))
             }
-        }
+        };
         self.tail_ts.push(ts);
+        self.encoded += 8 + value_width; // raw tail width: 8 B timestamp + value
         if self.tail_ts.len() >= BLOCK_SIZE {
             self.seal_tail();
         }
@@ -113,6 +131,7 @@ impl Column {
         if self.tail_ts.is_empty() {
             return;
         }
+        let tail_bytes = self.tail_bytes();
         let ts = std::mem::take(&mut self.tail_ts);
         let min_ts = *ts.iter().min().expect("non-empty");
         let max_ts = *ts.iter().max().expect("non-empty");
@@ -136,7 +155,20 @@ impl Column {
             }
         };
         debug_assert_eq!(count, ts.len());
-        self.sealed.push(SealedBlock { count, min_ts, max_ts, ts_bytes, values });
+        let block = SealedBlock { count, min_ts, max_ts, ts_bytes, values };
+        self.encoded = self.encoded - tail_bytes + block.encoded_bytes();
+        self.sealed.push(block);
+    }
+
+    /// At-rest bytes of the raw tail at its in-memory width.
+    fn tail_bytes(&self) -> usize {
+        self.tail_ts.len() * 8
+            + match &self.tail {
+                Tail::Float(v) => v.len() * 8,
+                Tail::Int(v) => v.len() * 8,
+                Tail::Bool(v) => v.len(),
+                Tail::Str(v) => v.iter().map(|s| s.len() + 8).sum(),
+            }
     }
 
     /// Force-seal any raw tail into a compressed block (compaction):
@@ -165,17 +197,17 @@ impl Column {
     }
 
     /// Encoded (at-rest) size in bytes: sealed blocks plus the raw tail at
-    /// its in-memory width.
+    /// its in-memory width. O(1) — maintained incrementally on append/seal
+    /// so stats and size-delta accounting never walk the blocks.
     pub fn encoded_bytes(&self) -> usize {
-        let sealed: usize = self.sealed.iter().map(SealedBlock::encoded_bytes).sum();
-        let tail = self.tail_ts.len() * 8
-            + match &self.tail {
-                Tail::Float(v) => v.len() * 8,
-                Tail::Int(v) => v.len() * 8,
-                Tail::Bool(v) => v.len(),
-                Tail::Str(v) => v.iter().map(|s| s.len() + 8).sum(),
-            };
-        sealed + tail
+        self.encoded
+    }
+
+    /// Walk-everything reference implementation of
+    /// [`encoded_bytes`](Self::encoded_bytes), kept as a test cross-check.
+    #[cfg(test)]
+    fn recompute_encoded_bytes(&self) -> usize {
+        self.sealed.iter().map(SealedBlock::encoded_bytes).sum::<usize>() + self.tail_bytes()
     }
 
     /// Scan all points overlapping `[start, end)`, invoking `f(ts, value)`.
@@ -351,6 +383,29 @@ mod tests {
                 assert_eq!(*t, i as i64);
                 assert_eq!(*v, make(i as i64));
             }
+        }
+    }
+
+    #[test]
+    fn incremental_encoded_bytes_matches_recompute() {
+        type Make = Box<dyn Fn(i64) -> FieldValue>;
+        let cases: Vec<(FieldValue, Make)> = vec![
+            (FieldValue::Float(0.0), Box::new(|i| FieldValue::Float(i as f64 * 0.5))),
+            (FieldValue::Int(0), Box::new(|i| FieldValue::Int(i * 7))),
+            (FieldValue::Bool(false), Box::new(|i| FieldValue::Bool(i % 3 == 0))),
+            (FieldValue::Str(String::new()), Box::new(|i| FieldValue::Str(format!("s{}", i % 5)))),
+        ];
+        for (proto, make) in cases {
+            let mut col = Column::new(&proto);
+            for i in 0..(BLOCK_SIZE as i64 + 321) {
+                col.append(i, &make(i)).unwrap();
+                if i % 257 == 0 {
+                    assert_eq!(col.encoded_bytes(), col.recompute_encoded_bytes());
+                }
+            }
+            assert_eq!(col.encoded_bytes(), col.recompute_encoded_bytes());
+            col.seal_now();
+            assert_eq!(col.encoded_bytes(), col.recompute_encoded_bytes());
         }
     }
 

@@ -7,6 +7,14 @@
 //! accumulates the simulated cost of the queries it executed, and the batch
 //! completes when the slowest worker does (`max` over workers), plus a
 //! fan-out/merge overhead per query.
+//!
+//! Two levels of parallelism compose here. *Inter-query* concurrency (this
+//! module) packs whole queries onto workers; *intra-query* scan
+//! parallelism ([`crate::CostParams::scan_workers`]) divides each query's
+//! scan CPU across its overlapping shards before the cost ever reaches
+//! this module, via [`crate::CostParams::split`]. Both leave I/O
+//! serialized on the shared storage backend, so their combined speedup
+//! still saturates the way Fig. 15 does.
 
 use crate::cost::QueryCost;
 use crate::db::Db;
@@ -122,7 +130,11 @@ mod tests {
     use monster_util::EpochSecs;
 
     fn seeded() -> Arc<Db> {
-        let db = Db::new(DbConfig::default());
+        seeded_with(DbConfig::default())
+    }
+
+    fn seeded_with(config: DbConfig) -> Arc<Db> {
+        let db = Db::new(config);
         let mut batch = Vec::new();
         for n in 0..24 {
             for i in 0..360 {
@@ -179,6 +191,28 @@ mod tests {
         let con = run_concurrent(&db, queries(), 1);
         let ratio = con.simulated.as_secs_f64() / seq.simulated.as_secs_f64();
         assert!((0.95..1.25).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn intra_query_scan_parallelism_composes() {
+        // Hourly shards make each query overlap 6 shards, giving the
+        // intra-query fan-out room to bite.
+        let base = DbConfig { shard_duration: 3600, ..DbConfig::default() };
+        let serial = seeded_with(base);
+        let fanned = seeded_with(DbConfig { cost: base.cost.with_scan_workers(4), ..base });
+        let s = run_concurrent(&serial, queries(), 8);
+        let f = run_concurrent(&fanned, queries(), 8);
+        // Identical physical work and results; the fan-out only reshapes
+        // simulated time.
+        assert_eq!(s.total_cost, f.total_cost);
+        assert!(s.total_cost.shards_scanned >= queries().len() * 6);
+        assert!(
+            f.simulated < s.simulated,
+            "intra-query fan-out should shrink simulated time: {:?} vs {:?}",
+            f.simulated,
+            s.simulated
+        );
+        assert_eq!(s.into_results().unwrap(), f.into_results().unwrap());
     }
 
     #[test]

@@ -40,6 +40,9 @@ pub struct QueryCost {
     pub points: usize,
     /// Encoded bytes read from storage.
     pub bytes: usize,
+    /// Shards overlapping the query range (the fan-out width available to
+    /// intra-query parallel scans — see [`CostParams::scan_workers`]).
+    pub shards_scanned: usize,
     /// Number of queries this cost covers.
     pub queries: usize,
 }
@@ -52,6 +55,7 @@ impl QueryCost {
         self.blocks += other.blocks;
         self.points += other.points;
         self.bytes += other.bytes;
+        self.shards_scanned += other.shards_scanned;
         self.queries += other.queries;
     }
 }
@@ -76,6 +80,15 @@ pub struct CostParams {
     /// before costing, used to model the full 467-node cluster while
     /// actually storing a scaled-down node count. 1.0 = no scaling.
     pub amplification: f64,
+    /// Modelled intra-query scan parallelism: the scan-side CPU (point
+    /// decode + series cursors) divides across
+    /// `min(scan_workers, shards_scanned)` workers, mirroring the engine's
+    /// fan-out of per-shard scans. Planning and per-query overheads stay
+    /// serial, as does I/O (single storage backend). Default 1 — the
+    /// paper's stack (InfluxDB 1.x via a Python middleware) scans each
+    /// query on one goroutine's worth of effective parallelism, and the
+    /// Figs. 10/12/14/15 calibration assumes it.
+    pub scan_workers: usize,
 }
 
 impl Default for CostParams {
@@ -87,6 +100,7 @@ impl Default for CostParams {
             per_query: 4.5e-3,
             block_access_factor: 0.25,
             amplification: 1.0,
+            scan_workers: 1,
         }
     }
 }
@@ -96,6 +110,13 @@ impl CostParams {
     pub fn with_amplification(mut self, amp: f64) -> Self {
         assert!(amp > 0.0);
         self.amplification = amp;
+        self
+    }
+
+    /// Model `workers`-way intra-query scan parallelism (see field docs).
+    pub fn with_scan_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0);
+        self.scan_workers = workers;
         self
     }
 
@@ -109,11 +130,15 @@ impl CostParams {
         let transfer = cost.bytes as f64 * a / disk.read_bw;
         let accesses = cost.blocks as f64 * a * disk.access_latency * self.block_access_factor;
         let io = VDuration::from_secs_f64(transfer + accesses);
-        let cpu = cost.points as f64 * a * self.per_point_cpu
-            + cost.series as f64 * a * self.per_series
-            + cost.index_entries as f64 * a * self.per_index_entry
+        // Scan-side CPU divides across the modelled intra-query workers —
+        // bounded by the shard fan-out actually available to the query.
+        let fanout = self.scan_workers.min(cost.shards_scanned.max(1)).max(1) as f64;
+        let scan_cpu = (cost.points as f64 * a * self.per_point_cpu
+            + cost.series as f64 * a * self.per_series)
+            / fanout;
+        let serial_cpu = cost.index_entries as f64 * a * self.per_index_entry
             + cost.queries as f64 * a * self.per_query;
-        (VDuration::from_secs_f64(cpu), io)
+        (VDuration::from_secs_f64(scan_cpu + serial_cpu), io)
     }
 
     /// Simulated elapsed time for `cost` against `disk`, assuming the
@@ -130,20 +155,57 @@ mod tests {
 
     #[test]
     fn absorb_sums_counters() {
-        let mut a =
-            QueryCost { index_entries: 1, series: 2, blocks: 3, points: 4, bytes: 5, queries: 1 };
+        let mut a = QueryCost {
+            index_entries: 1,
+            series: 2,
+            blocks: 3,
+            points: 4,
+            bytes: 5,
+            shards_scanned: 1,
+            queries: 1,
+        };
         let b = QueryCost {
             index_entries: 10,
             series: 20,
             blocks: 30,
             points: 40,
             bytes: 50,
+            shards_scanned: 2,
             queries: 1,
         };
         a.absorb(&b);
         assert_eq!(a.points, 44);
         assert_eq!(a.queries, 2);
         assert_eq!(a.bytes, 55);
+        assert_eq!(a.shards_scanned, 3);
+    }
+
+    #[test]
+    fn scan_workers_divide_scan_cpu_only() {
+        // Scan-heavy cost with a 4-shard fan-out.
+        let cost = QueryCost {
+            index_entries: 100,
+            series: 50,
+            blocks: 0,
+            points: 10_000_000,
+            bytes: 0,
+            shards_scanned: 4,
+            queries: 1,
+        };
+        let serial = CostParams::default();
+        let par = CostParams::default().with_scan_workers(4);
+        let t1 = serial.elapsed(&cost, &DiskModel::SSD).as_secs_f64();
+        let t4 = par.elapsed(&cost, &DiskModel::SSD).as_secs_f64();
+        assert!(t4 < t1, "parallel scans should be cheaper: {t4} vs {t1}");
+        // Speedup is bounded by the serial floor (planning + per-query).
+        assert!(t1 / t4 < 4.0);
+        // Fan-out is capped by the shards actually overlapped: with one
+        // shard there is nothing to divide.
+        let narrow = QueryCost { shards_scanned: 1, ..cost };
+        assert_eq!(par.elapsed(&narrow, &DiskModel::SSD), serial.elapsed(&narrow, &DiskModel::SSD));
+        // And the default (scan_workers = 1) reproduces the historical
+        // single-threaded model exactly, keeping the paper bands intact.
+        assert_eq!(serial.scan_workers, 1);
     }
 
     #[test]
@@ -155,6 +217,7 @@ mod tests {
             blocks: 10,
             points: 1000,
             bytes: 100_000,
+            shards_scanned: 1,
             queries: 1,
         };
         let t0 = p.elapsed(&base, &DiskModel::SSD);
@@ -182,6 +245,7 @@ mod tests {
             blocks: 5_000,
             points: 5_000_000,
             bytes: 50_000_000,
+            shards_scanned: 7,
             queries: 2_000,
         };
         let hdd = p.elapsed(&cost, &DiskModel::HDD).as_secs_f64();
@@ -201,6 +265,7 @@ mod tests {
             blocks: 100,
             points: 100_000,
             bytes: 10_000_000,
+            shards_scanned: 3,
             queries: 5,
         };
         let t1 = p1.elapsed(&cost, &DiskModel::HDD).as_secs_f64();
@@ -217,6 +282,7 @@ mod tests {
             blocks: 2_000,
             points: 500_000,
             bytes: 40_000_000,
+            shards_scanned: 4,
             queries: 13,
         };
         let (cpu, io) = p.split(&cost, &DiskModel::HDD);

@@ -1,15 +1,41 @@
 //! The database: write path, shard management, query execution, stats.
+//!
+//! # Locking hierarchy (sharded-lock engine)
+//!
+//! The engine holds three kinds of locks, ordered **shard-map → index →
+//! shard**; a thread may only acquire a lock *later* in that order while
+//! holding an earlier one, so cycles are impossible:
+//!
+//! * the **shard map** (`RwLock<BTreeMap<i64, Arc<RwLock<Shard>>>>`) — a
+//!   short-critical-section outer lock guarding only the map of shard
+//!   handles, never shard data;
+//! * the **series index** (`RwLock<SeriesIndex>`) — series and field-name
+//!   resolution; writers resolve every id *up front* under one read (or,
+//!   for new series, one write) acquisition per batch;
+//! * the **per-shard locks** (`RwLock<Shard>`) — actual column data.
+//!   Writers never hold two shard locks at once: `write_batch` pre-groups
+//!   its points by shard and visits the shards one at a time, so writers
+//!   to different time shards append fully in parallel and readers only
+//!   contend with writers on the shards they actually scan.
+//!
+//! Write-level statistics (`points`, `encoded_bytes`, …) are maintained
+//! incrementally in atomics on the write/seal/retention paths, making
+//! [`Db::stats`] O(1) instead of a walk over every column.
 
 use crate::cost::{CostParams, QueryCost};
 use crate::point::DataPoint;
 use crate::query::exec::WindowAggregator;
 use crate::query::{parse_query, Query, ResultSet, SeriesResult};
-use crate::series::{SeriesId, SeriesIndex, SeriesKey};
+use crate::series::{FieldId, SeriesId, SeriesIndex, SeriesKey};
 use crate::shard::Shard;
 use monster_sim::DiskModel;
+use monster_util::pool::ThreadPool;
 use monster_util::{Error, Result};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Database configuration.
 #[derive(Debug, Clone, Copy)]
@@ -21,11 +47,21 @@ pub struct DbConfig {
     pub disk: DiskModel,
     /// Simulated-cost conversion constants.
     pub cost: CostParams,
+    /// Worker threads a single query may fan its overlapping-shard scans
+    /// across (1 = scan sequentially on the calling thread). Results are
+    /// byte-identical either way: per-shard scan output is collected in
+    /// deterministic order and merged on the calling thread.
+    pub scan_workers: usize,
 }
 
 impl Default for DbConfig {
     fn default() -> Self {
-        DbConfig { shard_duration: 86_400, disk: DiskModel::HDD, cost: CostParams::default() }
+        DbConfig {
+            shard_duration: 86_400,
+            disk: DiskModel::HDD,
+            cost: CostParams::default(),
+            scan_workers: 4,
+        }
     }
 }
 
@@ -49,32 +85,44 @@ pub struct DbStats {
     pub batches: usize,
 }
 
-struct Inner {
-    index: SeriesIndex,
-    shards: BTreeMap<i64, Shard>,
-    wire_bytes: usize,
-    batches: usize,
-}
-
 /// An embedded time-series database. Cloneable across threads via `Arc`;
-/// all methods take `&self` (interior locking).
+/// all methods take `&self` (interior locking, sharded as described in the
+/// module docs).
 pub struct Db {
     config: DbConfig,
-    inner: RwLock<Inner>,
+    /// Series/field-name resolution. Lock order: after the shard map,
+    /// before any shard.
+    index: RwLock<SeriesIndex>,
+    /// Outer shard map: `shard start → shard handle`. Critical sections on
+    /// this lock only clone/insert `Arc`s — never touch shard data.
+    shards: RwLock<BTreeMap<i64, Arc<RwLock<Shard>>>>,
+    /// Incremental statistics (kept exact by the write/seal/retention/drop
+    /// paths; see [`Db::recompute_stats`] for the walking cross-check).
+    points: AtomicUsize,
+    wire_bytes: AtomicUsize,
+    encoded_bytes: AtomicI64,
+    batches: AtomicUsize,
+    /// Pre-resolved lock instrumentation handles (`monster_tsdb_lock_*`),
+    /// updated lock-free outside critical sections.
+    lock_wait: Arc<monster_obs::Histo>,
+    lock_hold: Arc<monster_obs::Histo>,
 }
 
 impl Db {
     /// Create an empty database.
     pub fn new(config: DbConfig) -> Db {
         assert!(config.shard_duration > 0);
+        assert!(config.scan_workers > 0, "scan_workers must be at least 1");
         Db {
             config,
-            inner: RwLock::new(Inner {
-                index: SeriesIndex::new(),
-                shards: BTreeMap::new(),
-                wire_bytes: 0,
-                batches: 0,
-            }),
+            index: RwLock::new(SeriesIndex::new()),
+            shards: RwLock::new(BTreeMap::new()),
+            points: AtomicUsize::new(0),
+            wire_bytes: AtomicUsize::new(0),
+            encoded_bytes: AtomicI64::new(0),
+            batches: AtomicUsize::new(0),
+            lock_wait: monster_obs::histo("monster_tsdb_lock_wait_seconds"),
+            lock_hold: monster_obs::histo("monster_tsdb_lock_hold_seconds"),
         }
     }
 
@@ -83,16 +131,70 @@ impl Db {
         &self.config
     }
 
+    /// Record one lock acquisition: how long we queued for it and how long
+    /// we held it. Histogram updates are lock-free and happen after the
+    /// guard is dropped (the PR 1 "outside critical sections" convention).
+    fn observe_lock(&self, wait_start: Instant, acquired: Instant) {
+        self.lock_wait.observe(acquired.duration_since(wait_start).as_secs_f64());
+        self.lock_hold.observe(acquired.elapsed().as_secs_f64());
+    }
+
+    /// Fetch the shard covering `start`, creating it if needed. Only the
+    /// shard-map lock is touched; the returned handle is locked by the
+    /// caller.
+    fn shard_for(&self, start: i64) -> Arc<RwLock<Shard>> {
+        let wait = Instant::now();
+        {
+            let map = self.shards.read();
+            let acquired = Instant::now();
+            if let Some(s) = map.get(&start) {
+                let s = Arc::clone(s);
+                drop(map);
+                self.observe_lock(wait, acquired);
+                return s;
+            }
+        }
+        let wait = Instant::now();
+        let mut map = self.shards.write();
+        let acquired = Instant::now();
+        let duration = self.config.shard_duration;
+        let s = Arc::clone(
+            map.entry(start)
+                .or_insert_with(|| Arc::new(RwLock::new(Shard::new(start, start + duration)))),
+        );
+        drop(map);
+        self.observe_lock(wait, acquired);
+        s
+    }
+
+    /// Snapshot the current shard handles in time order (short shard-map
+    /// read; no shard data touched).
+    fn shard_handles(&self) -> Vec<Arc<RwLock<Shard>>> {
+        let wait = Instant::now();
+        let map = self.shards.read();
+        let acquired = Instant::now();
+        let out = map.values().cloned().collect();
+        drop(map);
+        self.observe_lock(wait, acquired);
+        out
+    }
+
     /// Write one point.
     pub fn write(&self, point: DataPoint) -> Result<()> {
         self.write_batch(&[point])
     }
 
-    /// Write a batch of points atomically with respect to readers.
+    /// Write a batch of points atomically per shard with respect to
+    /// readers.
     ///
     /// The paper's collector batches ~10 000 points per interval because
     /// that is "the ideal batch size for InfluxDB" (§III-C); here batching
-    /// amortizes one lock acquisition and one shard lookup run.
+    /// amortizes id resolution (one index acquisition) and shard lookup
+    /// (one shard-lock acquisition per distinct shard). The batch is
+    /// pre-grouped by shard *before* any shard lock is taken, and all
+    /// series/field ids are resolved up front, so the per-point critical
+    /// section is a pure `(u32, u32)`-keyed append — no string hashing, no
+    /// allocation, and never more than one shard lock held at a time.
     pub fn write_batch(&self, points: &[DataPoint]) -> Result<()> {
         for p in points {
             if !p.is_valid() {
@@ -102,35 +204,133 @@ impl Db {
                 )));
             }
         }
-        let mut inner = self.inner.write();
-        inner.batches += 1;
-        for p in points {
-            let key = SeriesKey::of(p);
-            let sid = inner.index.get_or_create(&key);
-            let ts = p.time.as_secs();
-            let shard_start =
-                ts.div_euclid(self.config.shard_duration) * self.config.shard_duration;
-            let duration = self.config.shard_duration;
-            let shard = inner
-                .shards
-                .entry(shard_start)
-                .or_insert_with(|| Shard::new(shard_start, shard_start + duration));
-            for (field, value) in &p.fields {
-                shard.append(sid, field, ts, value)?;
-            }
-            inner.wire_bytes += p.wire_size();
-        }
-        let series = inner.index.cardinality() as i64;
-        let shard_count = inner.shards.len() as i64;
-        drop(inner);
 
-        // Self-monitoring: write-path health (`monster_tsdb_*` series).
+        // --- resolve all series & field ids up front ---------------------
+        let n = points.len();
+        let total_fields: usize = points.iter().map(|p| p.fields.len()).sum();
+        let mut sids: Vec<Option<SeriesId>> = vec![None; n];
+        let mut fids: Vec<Option<FieldId>> = Vec::with_capacity(total_fields);
+        let mut missing = false;
+        {
+            // Fast path: everything already known — a shared read lock.
+            let wait = Instant::now();
+            let idx = self.index.read();
+            let acquired = Instant::now();
+            for (i, p) in points.iter().enumerate() {
+                sids[i] = idx.id_of_point(p);
+                missing |= sids[i].is_none();
+                for (name, _) in &p.fields {
+                    let f = idx.field_id(name);
+                    missing |= f.is_none();
+                    fids.push(f);
+                }
+            }
+            drop(idx);
+            self.observe_lock(wait, acquired);
+        }
+        if missing {
+            // Slow path: register new series/fields under the write lock.
+            let wait = Instant::now();
+            let mut idx = self.index.write();
+            let acquired = Instant::now();
+            let mut fi = 0usize;
+            for (i, p) in points.iter().enumerate() {
+                if sids[i].is_none() {
+                    sids[i] = Some(idx.get_or_create(&SeriesKey::of(p)));
+                }
+                for (name, _) in &p.fields {
+                    if fids[fi].is_none() {
+                        fids[fi] = Some(idx.intern_field(name));
+                    }
+                    fi += 1;
+                }
+            }
+            drop(idx);
+            self.observe_lock(wait, acquired);
+        }
+
+        // --- pre-group by shard (no locks held) --------------------------
+        let duration = self.config.shard_duration;
+        let mut groups: BTreeMap<i64, Vec<(SeriesId, FieldId, i64, &crate::FieldValue)>> =
+            BTreeMap::new();
+        let mut fi = 0usize;
+        for (i, p) in points.iter().enumerate() {
+            let ts = p.time.as_secs();
+            let shard_start = ts.div_euclid(duration) * duration;
+            let sid = sids[i].expect("series id resolved above");
+            // Capacity for the whole batch: nearly every batch lands in one
+            // shard (collector intervals share a timestamp), and the map is
+            // batch-lived, so over-reserving beats reallocating.
+            let group =
+                groups.entry(shard_start).or_insert_with(|| Vec::with_capacity(total_fields));
+            for (_, value) in &p.fields {
+                group.push((sid, fids[fi].expect("field id resolved above"), ts, value));
+                fi += 1;
+            }
+        }
+
+        // --- apply, one shard lock at a time -----------------------------
+        let mut applied = 0usize;
+        let mut encoded_delta = 0i64;
+        let mut shard_gauges: Vec<(i64, i64)> = Vec::with_capacity(groups.len());
+        let mut result: Result<()> = Ok(());
+        'groups: for (start, group) in &groups {
+            // Retry loop: a retention pass may tombstone the shard between
+            // the map lookup and our lock acquisition; appending to such an
+            // orphan would silently lose the points, so re-fetch (the map
+            // no longer holds it, and a fresh shard is created).
+            loop {
+                let shard_arc = self.shard_for(*start);
+                let wait = Instant::now();
+                let mut shard = shard_arc.write();
+                let acquired = Instant::now();
+                if shard.is_dropped() {
+                    drop(shard);
+                    self.observe_lock(wait, acquired);
+                    continue;
+                }
+                let bytes_before = shard.encoded_bytes();
+                for (sid, fid, ts, value) in group {
+                    match shard.append(*sid, *fid, *ts, value) {
+                        Ok(()) => applied += 1,
+                        Err(e) => {
+                            result = Err(e);
+                            break;
+                        }
+                    }
+                }
+                encoded_delta += shard.encoded_bytes() as i64 - bytes_before as i64;
+                shard_gauges.push((*start, shard.point_count() as i64));
+                drop(shard);
+                self.observe_lock(wait, acquired);
+                if result.is_err() {
+                    break 'groups;
+                }
+                break;
+            }
+        }
+
+        // --- incremental statistics & self-monitoring --------------------
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.points.fetch_add(applied, Ordering::Relaxed);
+        self.encoded_bytes.fetch_add(encoded_delta, Ordering::Relaxed);
+        if result.is_ok() {
+            let wire: usize = points.iter().map(DataPoint::wire_size).sum();
+            self.wire_bytes.fetch_add(wire, Ordering::Relaxed);
+        }
+
+        let series = self.index.read().cardinality() as i64;
+        let shard_count = self.shards.read().len() as i64;
         monster_obs::counter("monster_tsdb_write_batches_total").inc();
-        monster_obs::counter("monster_tsdb_points_written_total").add(points.len() as u64);
+        monster_obs::counter("monster_tsdb_points_written_total").add(applied as u64);
         monster_obs::histo("monster_tsdb_write_batch_size").observe(points.len() as f64);
         monster_obs::gauge("monster_tsdb_series").set(series);
         monster_obs::gauge("monster_tsdb_shards").set(shard_count);
-        Ok(())
+        for (start, count) in shard_gauges {
+            monster_obs::gauge(&format!("monster_tsdb_shard_points{{shard=\"{start}\"}}"))
+                .set(count);
+        }
+        result
     }
 
     /// Parse and run a query string.
@@ -140,29 +340,93 @@ impl Db {
     }
 
     /// Run a query, returning results plus the physical cost incurred.
+    ///
+    /// Scans of the overlapping shards fan out across up to
+    /// [`DbConfig::scan_workers`] threads; per-(series, shard) scan output
+    /// is collected in deterministic order and merged on the calling
+    /// thread, so results are byte-identical to a sequential execution.
     pub fn query(&self, q: &Query) -> Result<(ResultSet, QueryCost)> {
         q.validate()?;
-        let inner = self.inner.read();
         let mut cost = QueryCost { queries: 1, ..QueryCost::default() };
-        // Planning: the index work scales with total cardinality — the
-        // series-cardinality tax the paper's schema redesign attacks.
-        cost.index_entries = inner.index.cardinality();
-        let ids: Vec<SeriesId> = inner.index.select(&q.measurement, &q.predicates);
+
+        // Planning under the index read lock: the index work scales with
+        // total cardinality — the series-cardinality tax the paper's
+        // schema redesign attacks.
+        let (ids, keys, fid) = {
+            let wait = Instant::now();
+            let idx = self.index.read();
+            let acquired = Instant::now();
+            cost.index_entries = idx.cardinality();
+            let ids: Vec<SeriesId> = idx.select(&q.measurement, &q.predicates);
+            let keys: Vec<SeriesKey> = ids.iter().map(|&id| idx.key_of(id).clone()).collect();
+            let fid = idx.field_id(&q.field);
+            drop(idx);
+            self.observe_lock(wait, acquired);
+            (ids, keys, fid)
+        };
 
         let (qs, qe) = (q.start.as_secs(), q.end.as_secs());
+
+        // Snapshot the overlapping shard handles (shard starts are the map
+        // keys and every shard spans `shard_duration`, so overlap is
+        // decided without touching any shard lock).
+        let duration = self.config.shard_duration;
+        let shards: Vec<Arc<RwLock<Shard>>> = {
+            let wait = Instant::now();
+            let map = self.shards.read();
+            let acquired = Instant::now();
+            let out = map
+                .iter()
+                .filter(|(&start, _)| start < qe && qs < start + duration)
+                .map(|(_, s)| Arc::clone(s))
+                .collect();
+            drop(map);
+            self.observe_lock(wait, acquired);
+            out
+        };
+        let ns = shards.len();
+        cost.shards_scanned = ns;
+
+        // Fan the (series × shard) scans out. Each item buffers its
+        // matching points; the merge below runs in series-major, shard-time
+        // order, which is exactly the order a sequential scan produces.
+        let items: Vec<(SeriesId, Arc<RwLock<Shard>>)> =
+            ids.iter().flat_map(|&sid| shards.iter().map(move |s| (sid, Arc::clone(s)))).collect();
+        type ScanOut = (Vec<(i64, crate::FieldValue)>, crate::column::ScanStats);
+        let scan_one = |(sid, shard_arc): (SeriesId, Arc<RwLock<Shard>>)| -> Result<ScanOut> {
+            let mut buf: Vec<(i64, crate::FieldValue)> = Vec::new();
+            let wait = Instant::now();
+            let shard = shard_arc.read();
+            let acquired = Instant::now();
+            let stats = match fid {
+                Some(f) => shard.scan(sid, f, qs, qe, |t, v| buf.push((t, v)))?,
+                None => crate::column::ScanStats::default(),
+            };
+            drop(shard);
+            self.observe_lock(wait, acquired);
+            Ok((buf, stats))
+        };
+        let workers = self.config.scan_workers.min(items.len().max(1));
+        let outputs: Vec<Result<ScanOut>> = if workers > 1 && items.len() > 1 {
+            ThreadPool::new(workers).scope_map(items, scan_one)
+        } else {
+            items.into_iter().map(scan_one).collect()
+        };
+        let mut outputs: Vec<ScanOut> = outputs.into_iter().collect::<Result<_>>()?;
+
+        // Deterministic merge.
         let mut series_out: Vec<SeriesResult> = Vec::with_capacity(ids.len());
-        for sid in ids {
-            let key = inner.index.key_of(sid).clone();
+        for (s, key) in keys.into_iter().enumerate() {
             let mut scanned = false;
             let mut points: Vec<(monster_util::EpochSecs, crate::FieldValue)>;
+            let slots = &mut outputs[s * ns..(s + 1) * ns];
             match q.agg {
                 Some(agg) => {
                     let mut w = WindowAggregator::new(agg, q.group_by, qs);
-                    for shard in inner.shards.values() {
-                        if !shard.overlaps(qs, qe) {
-                            continue;
+                    for (buf, stats) in slots.iter_mut() {
+                        for (t, v) in buf.drain(..) {
+                            w.push(t, &v);
                         }
-                        let stats = shard.scan(sid, &q.field, qs, qe, |t, v| w.push(t, &v))?;
                         if stats.points > 0 {
                             scanned = true;
                         }
@@ -174,13 +438,10 @@ impl Db {
                 }
                 None => {
                     points = Vec::new();
-                    for shard in inner.shards.values() {
-                        if !shard.overlaps(qs, qe) {
-                            continue;
-                        }
-                        let stats = shard.scan(sid, &q.field, qs, qe, |t, v| {
-                            points.push((monster_util::EpochSecs::new(t), v))
-                        })?;
+                    for (buf, stats) in slots.iter_mut() {
+                        points.extend(
+                            buf.drain(..).map(|(t, v)| (monster_util::EpochSecs::new(t), v)),
+                        );
                         if stats.points > 0 {
                             scanned = true;
                         }
@@ -218,30 +479,71 @@ impl Db {
         self.config.cost.elapsed(cost, &self.config.disk)
     }
 
-    /// Snapshot of write-path statistics.
+    /// Snapshot of write-path statistics. O(1): every field is either an
+    /// incrementally-maintained atomic or a constant-time index/map read —
+    /// no shard or column walk (contrast [`Db::recompute_stats`]).
     pub fn stats(&self) -> DbStats {
-        let inner = self.inner.read();
+        let (cardinality, measurements) = {
+            let idx = self.index.read();
+            (idx.cardinality(), idx.measurement_count())
+        };
         DbStats {
-            points: inner.shards.values().map(Shard::point_count).sum(),
-            wire_bytes: inner.wire_bytes,
-            encoded_bytes: inner.shards.values().map(Shard::encoded_bytes).sum(),
-            cardinality: inner.index.cardinality(),
-            measurements: inner.index.measurement_count(),
-            shards: inner.shards.len(),
-            batches: inner.batches,
+            points: self.points.load(Ordering::Relaxed),
+            wire_bytes: self.wire_bytes.load(Ordering::Relaxed),
+            encoded_bytes: self.encoded_bytes.load(Ordering::Relaxed).max(0) as usize,
+            cardinality,
+            measurements,
+            shards: self.shards.read().len(),
+            batches: self.batches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Recompute the statistics the slow way — walking every live shard
+    /// and column — as a cross-check that the incremental counters behind
+    /// [`Db::stats`] are exact. Intended for tests and debugging; it takes
+    /// every shard's read lock in turn.
+    pub fn recompute_stats(&self) -> DbStats {
+        let mut points = 0usize;
+        let mut encoded = 0usize;
+        let mut shards = 0usize;
+        for handle in self.shard_handles() {
+            let shard = handle.read();
+            if shard.is_dropped() {
+                continue;
+            }
+            points += shard.point_count();
+            encoded += shard.encoded_bytes();
+            shards += 1;
+        }
+        let (cardinality, measurements) = {
+            let idx = self.index.read();
+            (idx.cardinality(), idx.measurement_count())
+        };
+        DbStats {
+            points,
+            wire_bytes: self.wire_bytes.load(Ordering::Relaxed),
+            encoded_bytes: encoded,
+            cardinality,
+            measurements,
+            shards,
+            batches: self.batches.load(Ordering::Relaxed),
         }
     }
 
     /// Visit every stored point (one callback per field value) across all
-    /// shards, in shard order. Used by the snapshot writer.
+    /// shards, in shard order. Used by the snapshot writer. Holds the
+    /// index read lock for the duration and each shard's read lock in
+    /// turn (index-before-shard is the sanctioned nesting).
     pub fn export(
         &self,
         mut f: impl FnMut(&SeriesKey, &str, i64, crate::FieldValue),
     ) -> Result<()> {
-        let inner = self.inner.read();
-        for shard in inner.shards.values() {
-            shard.export(|sid, field, ts, v| {
-                f(inner.index.key_of(sid), field, ts, v);
+        let handles = self.shard_handles();
+        let idx = self.index.read();
+        for handle in handles {
+            let shard = handle.read();
+            shard.export(|sid, fid, ts, v| {
+                f(idx.key_of(sid), idx.field_name(fid), ts, v);
             })?;
         }
         Ok(())
@@ -252,10 +554,45 @@ impl Db {
     /// retained — like InfluxDB, series stay defined until explicitly
     /// dropped — but their data is gone.)
     pub fn drop_shards_before(&self, horizon: monster_util::EpochSecs) -> usize {
-        let mut inner = self.inner.write();
-        let before = inner.shards.len();
-        inner.shards.retain(|_, shard| shard.end > horizon.as_secs());
-        before - inner.shards.len()
+        self.drop_shards_before_counted(horizon).0
+    }
+
+    /// Like [`Db::drop_shards_before`], but also returns the exact number
+    /// of points removed — the same quantity subtracted from the
+    /// incremental statistics, so callers (retention accounting,
+    /// conservation tests) never have to infer it from racing
+    /// [`Db::stats`] snapshots.
+    pub fn drop_shards_before_counted(&self, horizon: monster_util::EpochSecs) -> (usize, usize) {
+        // Split the map under the outer lock (shards end at
+        // `start + shard_duration`, so the cut is a key comparison);
+        // tombstone and account the victims after releasing it.
+        let cut = horizon.as_secs() - self.config.shard_duration + 1;
+        let removed: Vec<(i64, Arc<RwLock<Shard>>)> = {
+            let wait = Instant::now();
+            let mut map = self.shards.write();
+            let acquired = Instant::now();
+            let kept = map.split_off(&cut);
+            let removed = std::mem::replace(&mut *map, kept).into_iter().collect();
+            drop(map);
+            self.observe_lock(wait, acquired);
+            removed
+        };
+        let count = removed.len();
+        let mut points_removed = 0usize;
+        for (start, handle) in removed {
+            let wait = Instant::now();
+            let mut shard = handle.write();
+            let acquired = Instant::now();
+            shard.mark_dropped();
+            let (p, b) = (shard.point_count(), shard.encoded_bytes());
+            drop(shard);
+            self.observe_lock(wait, acquired);
+            points_removed += p;
+            self.points.fetch_sub(p, Ordering::Relaxed);
+            self.encoded_bytes.fetch_sub(b as i64, Ordering::Relaxed);
+            monster_obs::gauge(&format!("monster_tsdb_shard_points{{shard=\"{start}\"}}")).set(0);
+        }
+        (count, points_removed)
     }
 
     /// Compact the database: seal all raw tails into compressed blocks.
@@ -264,18 +601,32 @@ impl Db {
     /// but slow series (health codes, job metadata) can sit in raw form for
     /// days; periodic compaction — InfluxDB's TSM compaction cycle — trades
     /// a little CPU for at-rest volume. Returns (columns sealed, bytes
-    /// saved).
+    /// saved). Shards are compacted one lock at a time, so ingest and
+    /// queries on other shards proceed concurrently.
     pub fn compact(&self) -> (usize, i64) {
-        let mut inner = self.inner.write();
-        let before: usize = inner.shards.values().map(Shard::encoded_bytes).sum();
-        let sealed: usize = inner.shards.values_mut().map(Shard::compact).sum();
-        let after: usize = inner.shards.values().map(Shard::encoded_bytes).sum();
-        (sealed, before as i64 - after as i64)
+        let mut sealed = 0usize;
+        let mut saved = 0i64;
+        for handle in self.shard_handles() {
+            let wait = Instant::now();
+            let mut shard = handle.write();
+            let acquired = Instant::now();
+            let mut delta = 0i64;
+            if !shard.is_dropped() {
+                let before = shard.encoded_bytes() as i64;
+                sealed += shard.compact();
+                delta = shard.encoded_bytes() as i64 - before;
+            }
+            drop(shard);
+            self.observe_lock(wait, acquired);
+            self.encoded_bytes.fetch_add(delta, Ordering::Relaxed);
+            saved -= delta;
+        }
+        (sealed, saved)
     }
 
     /// Raw (unsealed) points awaiting compaction.
     pub fn tail_points(&self) -> usize {
-        self.inner.read().shards.values().map(Shard::tail_points).sum()
+        self.shard_handles().iter().map(|h| h.read().tail_points()).sum()
     }
 
     /// Drop a measurement: its columns disappear from every shard and its
@@ -283,26 +634,45 @@ impl Db {
     /// accidents like the per-job measurements of the previous layout.
     /// Returns the number of series removed.
     pub fn drop_measurement(&self, measurement: &str) -> usize {
-        let mut inner = self.inner.write();
-        let victims: std::collections::HashSet<crate::series::SeriesId> =
-            inner.index.select(measurement, &[]).into_iter().collect();
+        let victims: std::collections::HashSet<SeriesId> = {
+            let wait = Instant::now();
+            let mut idx = self.index.write();
+            let acquired = Instant::now();
+            let victims: std::collections::HashSet<SeriesId> =
+                idx.select(measurement, &[]).into_iter().collect();
+            if !victims.is_empty() {
+                idx.drop_measurement(measurement);
+            }
+            drop(idx);
+            self.observe_lock(wait, acquired);
+            victims
+        };
         if victims.is_empty() {
             return 0;
         }
-        for shard in inner.shards.values_mut() {
-            shard.drop_series(&victims);
+        for handle in self.shard_handles() {
+            let wait = Instant::now();
+            let mut shard = handle.write();
+            let acquired = Instant::now();
+            if shard.is_dropped() {
+                continue;
+            }
+            let (p, b) = shard.drop_series(&victims);
+            drop(shard);
+            self.observe_lock(wait, acquired);
+            self.points.fetch_sub(p, Ordering::Relaxed);
+            self.encoded_bytes.fetch_sub(b as i64, Ordering::Relaxed);
         }
-        inner.index.drop_measurement(measurement);
         victims.len()
     }
 
     /// Series keys, optionally scoped to one measurement (rendered as
     /// `measurement,tag=value,...`).
     pub fn series_keys(&self, measurement: Option<&str>) -> Vec<String> {
-        let inner = self.inner.read();
+        let idx = self.index.read();
         let mut out = Vec::new();
-        for id in 0..inner.index.id_space() {
-            let key = inner.index.key_of(crate::series::SeriesId(id as u32));
+        for id in 0..idx.id_space() {
+            let key = idx.key_of(SeriesId(id as u32));
             if key.measurement.is_empty() {
                 continue; // tombstone
             }
@@ -315,10 +685,10 @@ impl Db {
 
     /// Distinct tag keys used within a measurement, sorted.
     pub fn tag_keys(&self, measurement: &str) -> Vec<String> {
-        let inner = self.inner.read();
+        let idx = self.index.read();
         let mut keys: Vec<String> = Vec::new();
-        for id in 0..inner.index.id_space() {
-            let key = inner.index.key_of(crate::series::SeriesId(id as u32));
+        for id in 0..idx.id_space() {
+            let key = idx.key_of(SeriesId(id as u32));
             if key.measurement == measurement {
                 for (k, _) in &key.tags {
                     if !keys.contains(k) {
@@ -333,10 +703,10 @@ impl Db {
 
     /// Distinct values of `tag` within a measurement, sorted.
     pub fn tag_values(&self, measurement: &str, tag: &str) -> Vec<String> {
-        let inner = self.inner.read();
+        let idx = self.index.read();
         let mut values: Vec<String> = Vec::new();
-        for id in 0..inner.index.id_space() {
-            let key = inner.index.key_of(crate::series::SeriesId(id as u32));
+        for id in 0..idx.id_space() {
+            let key = idx.key_of(SeriesId(id as u32));
             if key.measurement == measurement {
                 if let Some(v) = key.tag(tag) {
                     if !values.iter().any(|x| x == v) {
@@ -351,30 +721,31 @@ impl Db {
 
     /// Distinct field keys written to a measurement, sorted.
     pub fn field_keys(&self, measurement: &str) -> Vec<String> {
-        let inner = self.inner.read();
-        let ids: std::collections::HashSet<crate::series::SeriesId> =
-            inner.index.select(measurement, &[]).into_iter().collect();
-        let mut keys: Vec<String> = Vec::new();
-        for shard in inner.shards.values() {
-            for (sid, field) in shard.column_keys() {
-                if ids.contains(&sid) && !keys.contains(&field) {
-                    keys.push(field);
+        let ids: std::collections::HashSet<SeriesId> =
+            self.index.read().select(measurement, &[]).into_iter().collect();
+        let mut fids: std::collections::HashSet<FieldId> = std::collections::HashSet::new();
+        for handle in self.shard_handles() {
+            let shard = handle.read();
+            for (sid, fid) in shard.column_keys() {
+                if ids.contains(&sid) {
+                    fids.insert(fid);
                 }
             }
         }
+        let idx = self.index.read();
+        let mut keys: Vec<String> =
+            fids.into_iter().map(|f| idx.field_name(f).to_string()).collect();
         keys.sort();
         keys
     }
 
     /// All measurement names, sorted.
     pub fn measurements(&self) -> Vec<String> {
-        let inner = self.inner.read();
-        let mut m: Vec<String> = inner.index.measurements().map(str::to_string).collect();
+        let mut m: Vec<String> = self.index.read().measurements().map(str::to_string).collect();
         m.sort();
         m
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -590,6 +961,58 @@ mod tests {
         let total: f64 =
             rs.series.iter().flat_map(|s| s.points.iter()).filter_map(|(_, v)| v.as_f64()).sum();
         assert_eq!(total, 800.0);
+    }
+
+    #[test]
+    fn stats_match_recompute_after_churn() {
+        let db = Db::new(DbConfig { shard_duration: 3600, ..DbConfig::default() });
+        for i in 0..48 {
+            db.write(power_point("a", i * 1800, i as f64)).unwrap();
+            db.write(power_point("b", i * 1800, i as f64)).unwrap();
+        }
+        assert_eq!(db.stats(), db.recompute_stats());
+        db.compact();
+        assert_eq!(db.stats(), db.recompute_stats());
+        let dropped = db.drop_shards_before(EpochSecs::new(6 * 3600));
+        assert!(dropped > 0);
+        assert_eq!(db.stats(), db.recompute_stats());
+        db.drop_measurement("Power");
+        assert_eq!(db.stats(), db.recompute_stats());
+        assert_eq!(db.stats().points, 0);
+    }
+
+    #[test]
+    fn scan_worker_count_does_not_change_results() {
+        let mk = |workers: usize| {
+            let db = Db::new(DbConfig {
+                shard_duration: 3600,
+                scan_workers: workers,
+                ..DbConfig::default()
+            });
+            let mut batch = Vec::new();
+            for node in ["n1", "n2", "n3"] {
+                for i in 0..240 {
+                    batch.push(power_point(node, i * 300, 0.1 + i as f64 * 0.7));
+                }
+            }
+            db.write_batch(&batch).unwrap();
+            db
+        };
+        let serial = mk(1);
+        let fanned = mk(8);
+        for agg in [None, Some(Aggregation::Mean), Some(Aggregation::Count)] {
+            let mut q =
+                Query::select("Power", "Reading", EpochSecs::new(0), EpochSecs::new(240 * 300));
+            q.agg = agg;
+            if agg.is_some() {
+                q = q.group_by_time(900);
+            }
+            let (rs1, c1) = serial.query(&q).unwrap();
+            let (rs8, c8) = fanned.query(&q).unwrap();
+            assert_eq!(rs1, rs8, "agg {agg:?}");
+            assert_eq!(c1, c8, "agg {agg:?}");
+            assert_eq!(c1.shards_scanned, 20);
+        }
     }
 
     #[test]

@@ -66,7 +66,21 @@ impl FieldValue {
     /// raw-volume unit the Fig. 13 schema comparison counts.
     pub fn wire_size(&self) -> usize {
         match self {
-            FieldValue::Float(f) => format!("{f}").len(),
+            // Count the rendered length without building the string —
+            // wire_size runs once per point on the ingest path, and a
+            // `format!` here was the last per-point heap allocation.
+            FieldValue::Float(f) => {
+                struct LenCounter(usize);
+                impl fmt::Write for LenCounter {
+                    fn write_str(&mut self, s: &str) -> fmt::Result {
+                        self.0 += s.len();
+                        Ok(())
+                    }
+                }
+                let mut w = LenCounter(0);
+                let _ = fmt::Write::write_fmt(&mut w, format_args!("{f}"));
+                w.0
+            }
             FieldValue::Int(i) => {
                 // digits + trailing 'i' type marker
                 let mut n = if *i <= 0 { 1 } else { 0 };

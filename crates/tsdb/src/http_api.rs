@@ -157,6 +157,7 @@ fn attach_cost(resp: &mut Response, cost: &QueryCost) {
     resp.headers.set("X-Cost-Blocks", cost.blocks.to_string());
     resp.headers.set("X-Cost-Series", cost.series.to_string());
     resp.headers.set("X-Cost-Index", cost.index_entries.to_string());
+    resp.headers.set("X-Cost-Shards", cost.shards_scanned.to_string());
 }
 
 fn extract_cost(resp: &Response) -> QueryCost {
@@ -167,6 +168,7 @@ fn extract_cost(resp: &Response) -> QueryCost {
         blocks: get("X-Cost-Blocks"),
         series: get("X-Cost-Series"),
         index_entries: get("X-Cost-Index"),
+        shards_scanned: get("X-Cost-Shards"),
         queries: 1,
     }
 }

@@ -68,4 +68,4 @@ pub use field::FieldValue;
 pub use point::DataPoint;
 pub use query::{Aggregation, Fill, Query, ResultSet};
 pub use retention::{ContinuousQuery, RetentionPolicy};
-pub use series::SeriesKey;
+pub use series::{FieldId, SeriesId, SeriesKey};

@@ -10,6 +10,7 @@
 use crate::point::DataPoint;
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// Canonical series identity: measurement plus tags sorted by key.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -48,6 +49,31 @@ impl fmt::Display for SeriesKey {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SeriesId(pub u32);
 
+/// Dense id for an interned field name within one database.
+///
+/// Shards key their columns by `(SeriesId, FieldId)`, so the ingest hot
+/// path never allocates a field-name `String` per appended value — the
+/// name is interned here once, the first time it is seen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FieldId(pub u32);
+
+/// Order-independent hash of a point's identity (measurement + tag set),
+/// matching [`series_key_hash`] on the canonical key. Tag keys are unique
+/// within a point, so XOR-combining per-pair hashes is collision-safe
+/// under reordering.
+fn point_identity_hash(measurement: &str, tags: &[(String, String)]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    measurement.hash(&mut h);
+    let mut acc = h.finish();
+    for (k, v) in tags {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        k.hash(&mut h);
+        v.hash(&mut h);
+        acc ^= h.finish();
+    }
+    acc
+}
+
 /// Series registry + inverted index (tag key/value → series ids).
 #[derive(Debug, Default)]
 pub struct SeriesIndex {
@@ -59,6 +85,12 @@ pub struct SeriesIndex {
     by_measurement: HashMap<String, Vec<SeriesId>>,
     /// (measurement, tag key, tag value) → series ids.
     inverted: HashMap<(String, String, String), Vec<SeriesId>>,
+    /// Order-independent identity hash → candidate ids, for allocation-free
+    /// point lookup on the write path ([`id_of_point`](Self::id_of_point)).
+    by_hash: HashMap<u64, Vec<SeriesId>>,
+    /// Field-name interning table (name → id, id → name).
+    field_ids: HashMap<String, FieldId>,
+    field_names: Vec<String>,
 }
 
 impl SeriesIndex {
@@ -82,7 +114,48 @@ impl SeriesIndex {
                 .or_default()
                 .push(id);
         }
+        self.by_hash.entry(point_identity_hash(&key.measurement, &key.tags)).or_default().push(id);
         id
+    }
+
+    /// Resolve a point's series id without allocating, if the series is
+    /// already registered. This is the steady-state write path: the point's
+    /// identity is hashed order-independently (no canonical `SeriesKey` is
+    /// built) and candidates are verified by tag-set comparison.
+    pub fn id_of_point(&self, p: &DataPoint) -> Option<SeriesId> {
+        let candidates = self.by_hash.get(&point_identity_hash(&p.measurement, &p.tags))?;
+        candidates.iter().copied().find(|&id| {
+            let key = &self.keys[id.0 as usize];
+            key.measurement == p.measurement
+                && key.tags.len() == p.tags.len()
+                && p.tags.iter().all(|(k, v)| key.tag(k) == Some(v.as_str()))
+        })
+    }
+
+    /// Intern a field name, returning its dense id.
+    pub fn intern_field(&mut self, name: &str) -> FieldId {
+        if let Some(&id) = self.field_ids.get(name) {
+            return id;
+        }
+        let id = FieldId(self.field_names.len() as u32);
+        self.field_ids.insert(name.to_string(), id);
+        self.field_names.push(name.to_string());
+        id
+    }
+
+    /// Look up an interned field name without registering it.
+    pub fn field_id(&self, name: &str) -> Option<FieldId> {
+        self.field_ids.get(name).copied()
+    }
+
+    /// The name for an interned field id.
+    pub fn field_name(&self, id: FieldId) -> &str {
+        &self.field_names[id.0 as usize]
+    }
+
+    /// Number of distinct field names ever interned.
+    pub fn field_count(&self) -> usize {
+        self.field_names.len()
     }
 
     /// Total distinct live series (the cardinality number).
@@ -126,6 +199,11 @@ impl SeriesIndex {
                 {
                     list.retain(|x| *x != id);
                 }
+            }
+            if let Some(list) =
+                self.by_hash.get_mut(&point_identity_hash(&key.measurement, &key.tags))
+            {
+                list.retain(|x| *x != id);
             }
             // Tombstone: keep the slot so ids stay stable, but mark the
             // key as dropped (empty measurement never matches a select).
@@ -235,6 +313,44 @@ mod tests {
         }
         assert_eq!(idx.select("Thermal", &[]).len(), 5);
         assert!(idx.select("Nope", &[]).is_empty());
+    }
+
+    #[test]
+    fn id_of_point_matches_get_or_create_under_tag_reorder() {
+        let mut idx = SeriesIndex::new();
+        let p =
+            DataPoint::new("m", EpochSecs::new(0)).tag("b", "2").tag("a", "1").field_f64("v", 0.0);
+        assert_eq!(idx.id_of_point(&p), None);
+        let id = idx.get_or_create(&SeriesKey::of(&p));
+        // Same tags, different declaration order: still resolves.
+        let q =
+            DataPoint::new("m", EpochSecs::new(9)).tag("a", "1").tag("b", "2").field_f64("v", 1.0);
+        assert_eq!(idx.id_of_point(&q), Some(id));
+        // Different value or missing tag: no match.
+        let r = DataPoint::new("m", EpochSecs::new(9)).tag("a", "1").field_f64("v", 1.0);
+        assert_eq!(idx.id_of_point(&r), None);
+    }
+
+    #[test]
+    fn field_interning_is_stable_and_dense() {
+        let mut idx = SeriesIndex::new();
+        let a = idx.intern_field("Reading");
+        let b = idx.intern_field("CPUUsage");
+        assert_eq!(idx.intern_field("Reading"), a);
+        assert_ne!(a, b);
+        assert_eq!(idx.field_id("Reading"), Some(a));
+        assert_eq!(idx.field_id("nope"), None);
+        assert_eq!(idx.field_name(b), "CPUUsage");
+        assert_eq!(idx.field_count(), 2);
+    }
+
+    #[test]
+    fn dropped_series_no_longer_resolve_from_points() {
+        let mut idx = SeriesIndex::new();
+        let p = point("Power", "n1", "NodePower");
+        idx.get_or_create(&SeriesKey::of(&p));
+        idx.drop_measurement("Power");
+        assert_eq!(idx.id_of_point(&p), None);
     }
 
     #[test]

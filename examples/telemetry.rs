@@ -127,5 +127,22 @@ fn main() {
     if let Some(mean) = sweep_latency.mean_secs() {
         println!("mean simulated request latency          {mean:.2}s");
     }
+
+    // The storage engine's shard locks report how contended they were:
+    // wait = time spent queueing for a lock, hold = critical-section
+    // length. Both are recorded *after* the guard drops, so the
+    // instrumentation never lengthens the critical sections it measures.
+    let wait = monster::obs::histo("monster_tsdb_lock_wait_seconds");
+    let hold = monster::obs::histo("monster_tsdb_lock_hold_seconds");
+    println!(
+        "shard-lock acquisitions                 {} (wait mean {:.1} us, hold mean {:.1} us)",
+        wait.count(),
+        wait.mean_secs().unwrap_or(0.0) * 1e6,
+        hold.mean_secs().unwrap_or(0.0) * 1e6,
+    );
+    // Per-shard occupancy gauges show where the written points landed.
+    for line in text.lines().filter(|l| l.starts_with("monster_tsdb_shard_points{")) {
+        println!("  {line}");
+    }
     println!("(serve these live: `deployment.serve_api(port)` then GET /metrics)");
 }
