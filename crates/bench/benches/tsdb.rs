@@ -20,10 +20,14 @@ fn batch(nodes: usize, samples: i64) -> Vec<DataPoint> {
     out
 }
 
+/// Encode/decode throughput of all five column codecs over one sealed
+/// block's worth of realistic data (4096 elements).
 fn bench_codecs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tsdb/codec");
-    let ts: Vec<i64> = (0..4096).map(|i| 1_583_792_296 + i * 60).collect();
-    g.throughput(Throughput::Elements(ts.len() as u64));
+    const N: usize = 4096;
+    let mut g = c.benchmark_group("tsdb/codecs");
+    g.throughput(Throughput::Elements(N as u64));
+
+    let ts: Vec<i64> = (0..N as i64).map(|i| 1_583_792_296 + i * 60).collect();
     g.bench_function("timestamps_encode", |b| {
         b.iter(|| monster_tsdb::encode::timestamps::encode(&ts))
     });
@@ -31,11 +35,39 @@ fn bench_codecs(c: &mut Criterion) {
     g.bench_function("timestamps_decode", |b| {
         b.iter(|| monster_tsdb::encode::timestamps::decode(&enc, ts.len()).unwrap())
     });
-    let vals: Vec<f64> = (0..4096).map(|i| 273.8 + (i % 60) as f64 * 0.1).collect();
+
+    let vals: Vec<f64> = (0..N).map(|i| 273.8 + (i % 60) as f64 * 0.1).collect();
     g.bench_function("floats_encode", |b| b.iter(|| monster_tsdb::encode::floats::encode(&vals)));
     let fenc = monster_tsdb::encode::floats::encode(&vals);
     g.bench_function("floats_decode", |b| {
         b.iter(|| monster_tsdb::encode::floats::decode(&fenc, vals.len()).unwrap())
+    });
+
+    // Slowly-drifting counters (sequence numbers, memory gauges).
+    let ints: Vec<i64> = (0..N as i64).map(|i| 1_000_000 + i * 7 - (i % 5) * 3).collect();
+    g.bench_function("ints_encode", |b| b.iter(|| monster_tsdb::encode::ints::encode(&ints)));
+    let ienc = monster_tsdb::encode::ints::encode(&ints);
+    g.bench_function("ints_decode", |b| {
+        b.iter(|| monster_tsdb::encode::ints::decode(&ienc, ints.len()).unwrap())
+    });
+
+    // Mostly-healthy flags with occasional flips.
+    let bools: Vec<bool> = (0..N).map(|i| i % 97 == 0).collect();
+    g.bench_function("bools_encode", |b| b.iter(|| monster_tsdb::encode::bools::encode(&bools)));
+    let benc = monster_tsdb::encode::bools::encode(&bools);
+    g.bench_function("bools_decode", |b| {
+        b.iter(|| monster_tsdb::encode::bools::decode(&benc, bools.len()).unwrap())
+    });
+
+    // Job lists cycling through a small vocabulary (dictionary-friendly).
+    let strings: Vec<String> =
+        (0..N).map(|i| format!("['131{}', '1318962', '1318307']", i % 23)).collect();
+    g.bench_function("strings_encode", |b| {
+        b.iter(|| monster_tsdb::encode::strings::encode(&strings))
+    });
+    let senc = monster_tsdb::encode::strings::encode(&strings);
+    g.bench_function("strings_decode", |b| {
+        b.iter(|| monster_tsdb::encode::strings::decode(&senc, strings.len()).unwrap())
     });
     g.finish();
 }

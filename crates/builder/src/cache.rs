@@ -4,32 +4,65 @@
 //! compression) and stamped with the database's write-batch count at
 //! build time; any subsequent write invalidates every cached response, so
 //! consumers never see stale data after a collection interval lands.
+//!
+//! Eviction is LRU: every hit stamps the entry with a monotonic tick, and
+//! a full cache evicts the least-recently-used entry — after first
+//! purging entries whose stamped version no longer matches (stale entries
+//! can never be served again, so they are the cheapest victims). Lookups
+//! that find a stale entry drop it eagerly instead of letting it squat in
+//! the map until capacity pressure.
 
 use monster_http::Response;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
-/// Versioned store of pre-built HTTP responses.
+struct Entry {
+    version: u64,
+    last_used: u64,
+    response: Response,
+}
+
+struct Inner {
+    tick: u64,
+    entries: HashMap<String, Entry>,
+}
+
+/// Versioned store of pre-built HTTP responses with LRU eviction.
 pub struct ResponseCache {
     capacity: usize,
-    entries: Mutex<HashMap<String, (u64, Response)>>,
+    inner: Mutex<Inner>,
 }
 
 impl ResponseCache {
     /// A cache holding at most `capacity` responses (0 disables caching).
     pub fn new(capacity: usize) -> ResponseCache {
-        ResponseCache { capacity, entries: Mutex::new(HashMap::new()) }
+        ResponseCache { capacity, inner: Mutex::new(Inner { tick: 0, entries: HashMap::new() }) }
     }
 
-    /// Fetch a response cached for `key` at data version `version`.
+    /// Fetch a response cached for `key` at data version `version`. A hit
+    /// refreshes the entry's recency; a stale entry (older version) is
+    /// removed on the spot.
     pub fn get(&self, key: &str, version: u64) -> Option<Response> {
-        let entries = self.entries.lock();
-        match entries.get(key) {
-            Some((v, resp)) if *v == version => {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(key) {
+            Some(e) if e.version == version => {
+                e.last_used = tick;
+                let resp = e.response.clone();
+                drop(inner);
                 monster_obs::counter("monster_builder_cache_hits_total").inc();
-                Some(resp.clone())
+                Some(resp)
             }
-            _ => {
+            Some(_) => {
+                // Stale: a write already invalidated it; free the slot now.
+                inner.entries.remove(key);
+                drop(inner);
+                monster_obs::counter("monster_builder_cache_misses_total").inc();
+                None
+            }
+            None => {
+                drop(inner);
                 monster_obs::counter("monster_builder_cache_misses_total").inc();
                 None
             }
@@ -41,16 +74,31 @@ impl ResponseCache {
         if self.capacity == 0 {
             return;
         }
-        let mut entries = self.entries.lock();
-        if entries.len() >= self.capacity && !entries.contains_key(key) {
-            // Evict everything from older versions first, then fall back
-            // to clearing: the cache is tiny and rebuild is cheap.
-            entries.retain(|_, (v, _)| *v == version);
-            if entries.len() >= self.capacity {
-                entries.clear();
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.entries.len() >= self.capacity && !inner.entries.contains_key(key) {
+            // Stale versions can never be served again — purge them first.
+            inner.entries.retain(|_, e| e.version == version);
+            // Still full: evict the least-recently-used survivor.
+            while inner.entries.len() >= self.capacity {
+                let victim = inner
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone())
+                    .expect("non-empty map has a minimum");
+                inner.entries.remove(&victim);
+                monster_obs::counter("monster_builder_cache_evictions_total").inc();
             }
         }
-        entries.insert(key.to_string(), (version, response));
+        inner.entries.insert(key.to_string(), Entry { version, last_used: tick, response });
+    }
+
+    /// Number of cached entries (test instrumentation).
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.inner.lock().entries.len()
     }
 }
 
@@ -84,8 +132,50 @@ mod tests {
         cache.put("b", 1, resp("b"));
         cache.put("c", 1, resp("c"));
         assert!(cache.get("c", 1).is_some());
+        assert_eq!(cache.len(), 2);
         let zero = ResponseCache::new(0);
         zero.put("a", 1, resp("a"));
         assert!(zero.get("a", 1).is_none());
+    }
+
+    #[test]
+    fn eviction_is_lru_not_arbitrary() {
+        let cache = ResponseCache::new(3);
+        cache.put("a", 1, resp("a"));
+        cache.put("b", 1, resp("b"));
+        cache.put("c", 1, resp("c"));
+        // Touch "a" and "c": "b" becomes the least recently used.
+        assert!(cache.get("a", 1).is_some());
+        assert!(cache.get("c", 1).is_some());
+        cache.put("d", 1, resp("d"));
+        assert!(cache.get("b", 1).is_none(), "LRU victim should be b");
+        assert!(cache.get("a", 1).is_some());
+        assert!(cache.get("c", 1).is_some());
+        assert!(cache.get("d", 1).is_some());
+    }
+
+    #[test]
+    fn stale_versions_are_purged_before_live_entries() {
+        let cache = ResponseCache::new(3);
+        cache.put("old1", 1, resp("x"));
+        cache.put("old2", 1, resp("y"));
+        cache.put("live", 2, resp("z"));
+        // Full cache, new key at version 2: the two stale v1 entries go,
+        // the live v2 entry survives even though it is not the newest.
+        cache.put("new", 2, resp("w"));
+        assert!(cache.get("live", 2).is_some());
+        assert!(cache.get("new", 2).is_some());
+        assert!(cache.get("old1", 1).is_none());
+        assert!(cache.get("old2", 1).is_none());
+    }
+
+    #[test]
+    fn stale_entries_are_dropped_eagerly_on_lookup() {
+        let cache = ResponseCache::new(4);
+        cache.put("k", 1, resp("a"));
+        assert_eq!(cache.len(), 1);
+        // The version moved on; the lookup itself frees the slot.
+        assert!(cache.get("k", 2).is_none());
+        assert_eq!(cache.len(), 0);
     }
 }

@@ -18,11 +18,14 @@
 
 pub mod cache;
 pub mod exec;
+pub mod materializer;
 pub mod plan;
 pub mod response;
 pub mod rollup;
 pub mod service;
 
 pub use exec::{execute, BuilderOutcome, ExecMode};
+pub use materializer::{Materializer, RollupSpec};
 pub use plan::{build_plan, BuilderRequest, PlannedQuery, QueryGroup};
 pub use response::{encode_response, EncodedResponse};
+pub use rollup::RollupRoute;

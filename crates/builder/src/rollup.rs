@@ -4,9 +4,24 @@
 //! The deployment maintains `ContinuousQuery` roll-ups (e.g. hourly max
 //! power in `Power_1h`). A planned raw query can be served from a roll-up
 //! **exactly** when its window is a multiple of the roll-up window and the
-//! aggregation composes (max of max): TSDB `GROUP BY time` buckets are
-//! epoch-aligned, so every coarse window is a union of complete roll-up
-//! windows regardless of the query's start offset.
+//! aggregation composes: TSDB `GROUP BY time` buckets are epoch-aligned,
+//! so every coarse window is a union of complete roll-up windows
+//! regardless of the query's start offset.
+//!
+//! # Which aggregations compose
+//!
+//! * `max`/`min` — max-of-max / min-of-min, exact.
+//! * `first`/`last` — roll-up points carry their window-start timestamp,
+//!   so the earliest (latest) stored point in a coarse window is the
+//!   first (last) raw value in it, exact.
+//! * `sum` — sum-of-sums; exact in value (bit-exact for integer-valued
+//!   metrics, which all of MonSTer's counters are; for general floats the
+//!   re-association can differ in the last ulp).
+//! * `count` — the roll-up stores per-window counts, so the coarse count
+//!   is the **sum** of the stored values: the reroute rewrites the
+//!   aggregation to `sum`.
+//! * `mean` — does **not** compose (mean of means weights windows
+//!   equally regardless of how many raw points each held); never rerouted.
 
 use crate::plan::PlannedQuery;
 use monster_tsdb::Aggregation;
@@ -20,17 +35,32 @@ pub struct RollupRoute {
     pub field: String,
     /// Target measurement holding the rolled points (field `Reading`).
     pub target: String,
+    /// Aggregation the roll-up was materialized with.
+    pub agg: Aggregation,
     /// Roll-up window in seconds.
     pub window_secs: i64,
 }
 
 impl RollupRoute {
+    /// Whether `agg` queries compose exactly over roll-ups of itself (see
+    /// the module docs for the per-aggregation argument).
+    fn composes(agg: Aggregation) -> bool {
+        matches!(
+            agg,
+            Aggregation::Max
+                | Aggregation::Min
+                | Aggregation::Sum
+                | Aggregation::Count
+                | Aggregation::First
+                | Aggregation::Last
+        )
+    }
+
     fn applies(&self, q: &monster_tsdb::Query) -> bool {
         if q.measurement != self.source || q.field != self.field {
             return false;
         }
-        // Only max-of-max composes exactly among the maintained roll-ups.
-        if q.agg != Some(Aggregation::Max) {
+        if q.agg != Some(self.agg) || !Self::composes(self.agg) {
             return false;
         }
         match q.group_by {
@@ -49,6 +79,11 @@ pub fn reroute(plan: &mut [PlannedQuery], routes: &[RollupRoute]) {
                 planned.query.measurement = route.target.clone();
                 // Roll-up outputs always store their value as `Reading`.
                 planned.query.field = "Reading".to_string();
+                if route.agg == Aggregation::Count {
+                    // The roll-up stored per-window counts; the coarse
+                    // count is the sum of those stored values.
+                    planned.query.agg = Some(Aggregation::Sum);
+                }
                 monster_obs::counter("monster_builder_rollup_reroutes_total").inc();
                 break;
             }
@@ -69,12 +104,14 @@ mod tests {
                 source: "Power".into(),
                 field: "Reading".into(),
                 target: "Power_1h".into(),
+                agg: Aggregation::Max,
                 window_secs: 3600,
             },
             RollupRoute {
                 source: "UGE".into(),
                 field: "CPUUsage".into(),
                 target: "UGECpu_1h".into(),
+                agg: Aggregation::Max,
                 window_secs: 3600,
             },
         ]
@@ -114,5 +151,54 @@ mod tests {
             let power = plan.iter().find(|p| p.section == "power").unwrap();
             assert_eq!(power.query.measurement, "Power", "window {window} agg {agg:?}");
         }
+    }
+
+    #[test]
+    fn composing_aggregations_reroute_to_matching_rollups() {
+        for agg in [Aggregation::Min, Aggregation::Sum, Aggregation::First, Aggregation::Last] {
+            let routes = vec![RollupRoute {
+                source: "Power".into(),
+                field: "Reading".into(),
+                target: "Power_1h".into(),
+                agg,
+                window_secs: 3600,
+            }];
+            let mut plan = plan_with_window(7200, agg);
+            reroute(&mut plan, &routes);
+            let power = plan.iter().find(|p| p.section == "power").unwrap();
+            assert_eq!(power.query.measurement, "Power_1h", "agg {agg:?}");
+            assert_eq!(power.query.agg, Some(agg), "agg {agg:?}");
+        }
+    }
+
+    #[test]
+    fn count_reroutes_as_sum_of_stored_counts() {
+        let routes = vec![RollupRoute {
+            source: "Power".into(),
+            field: "Reading".into(),
+            target: "PowerCount_1h".into(),
+            agg: Aggregation::Count,
+            window_secs: 3600,
+        }];
+        let mut plan = plan_with_window(7200, Aggregation::Count);
+        reroute(&mut plan, &routes);
+        let power = plan.iter().find(|p| p.section == "power").unwrap();
+        assert_eq!(power.query.measurement, "PowerCount_1h");
+        assert_eq!(power.query.agg, Some(Aggregation::Sum));
+    }
+
+    #[test]
+    fn mean_never_reroutes_even_with_a_mean_rollup() {
+        let routes = vec![RollupRoute {
+            source: "Power".into(),
+            field: "Reading".into(),
+            target: "PowerMean_1h".into(),
+            agg: Aggregation::Mean,
+            window_secs: 3600,
+        }];
+        let mut plan = plan_with_window(7200, Aggregation::Mean);
+        reroute(&mut plan, &routes);
+        let power = plan.iter().find(|p| p.section == "power").unwrap();
+        assert_eq!(power.query.measurement, "Power");
     }
 }

@@ -33,6 +33,11 @@ pub struct ServiceConfig {
     pub level: Level,
     /// Response-cache capacity (entries); 0 disables caching.
     pub cache_entries: usize,
+    /// Maintained roll-ups that coarse queries are rerouted to (see
+    /// [`crate::rollup::reroute`]); typically
+    /// [`crate::materializer::Materializer::routes`]. Empty disables
+    /// rerouting.
+    pub rollup_routes: Vec<crate::rollup::RollupRoute>,
 }
 
 impl Default for ServiceConfig {
@@ -42,6 +47,7 @@ impl Default for ServiceConfig {
             exec: ExecMode::Concurrent { workers: 8 },
             level: Level::default(),
             cache_entries: 64,
+            rollup_routes: Vec::new(),
         }
     }
 }
@@ -104,7 +110,8 @@ pub fn router(db: Arc<Db>, nodes: Vec<NodeId>, config: ServiceConfig) -> Router 
                 return cached;
             }
             let span = monster_obs::Span::enter("builder.api_request");
-            let plan = build_plan(metrics_config.schema, &metrics_nodes, &builder_req);
+            let mut plan = build_plan(metrics_config.schema, &metrics_nodes, &builder_req);
+            crate::rollup::reroute(&mut plan, &metrics_config.rollup_routes);
             let outcome = match execute(&metrics_db, &plan, metrics_config.exec) {
                 Ok(o) => o,
                 Err(e) => {
@@ -218,6 +225,39 @@ mod tests {
         let again = get(&router, url);
         assert_eq!(again.headers.get("X-Cache"), Some("hit"));
         assert_eq!(again.json_body().unwrap(), doc);
+    }
+
+    #[test]
+    fn rollup_routed_service_serves_identical_documents() {
+        let db = Arc::new(Db::new(DbConfig::default()));
+        let ids = NodeId::enumerate(2, 4);
+        let mut batch = Vec::new();
+        for i in 0..60i64 {
+            for &n in &ids {
+                batch.push(
+                    DataPoint::new("Power", EpochSecs::new(i * 60))
+                        .tag("NodeId", n.bmc_addr())
+                        .tag("Label", "NodePower")
+                        .field_f64("Reading", 250.0 + i as f64),
+                );
+            }
+        }
+        db.write_batch(&batch).unwrap();
+        let mut m = crate::materializer::Materializer::standard(EpochSecs::new(0));
+        assert!(m.run_once(&db, EpochSecs::new(3600)).unwrap() > 0);
+
+        let raw = router(Arc::clone(&db), ids.clone(), ServiceConfig::default());
+        let routed = router(
+            Arc::clone(&db),
+            ids,
+            ServiceConfig { rollup_routes: m.routes(), ..ServiceConfig::default() },
+        );
+        // A 10-minute-interval max request is exactly the roll-up grain.
+        let url = "/v1/metrics?start=1970-01-01T00:00:00Z&end=1970-01-01T01:00:00Z&interval=10m";
+        let doc_raw = get(&raw, url).json_body().unwrap();
+        let doc_routed = get(&routed, url).json_body().unwrap();
+        assert_eq!(doc_raw, doc_routed);
+        assert!(doc_routed.get("10.101.1.1").unwrap().get("power").is_some());
     }
 
     #[test]

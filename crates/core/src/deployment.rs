@@ -277,6 +277,7 @@ impl Monster {
                 source: source.to_string(),
                 field: field.to_string(),
                 target,
+                agg: Aggregation::Max,
                 window_secs,
             });
         }

@@ -6,6 +6,16 @@
 //! range, so queries prune non-overlapping blocks without decoding them.
 //! Each sealed block counts as one discrete storage access in the query
 //! cost accounting.
+//!
+//! Every sealed block also carries a [`BlockSummary`] — a zone map captured
+//! at seal time: time bounds, point count, and for numeric columns the
+//! `min/max/sum/first/last` fold of the block's values. Windowed
+//! aggregations use [`Column::scan_agg`] to answer *fully contained* blocks
+//! from their summaries without decompressing them; only the partial blocks
+//! at window edges are decoded. The summary fold uses exactly the same
+//! arithmetic (and the same append order) as the per-point aggregation
+//! accumulator, so summary-answered results are bit-identical to a full
+//! decode.
 
 use crate::encode::{bools, floats, ints, strings, timestamps};
 use crate::field::FieldValue;
@@ -13,6 +23,122 @@ use monster_util::{Error, Result};
 
 /// Points per sealed block.
 pub const BLOCK_SIZE: usize = 1024;
+
+/// The numeric fold of a sealed block's values, in append order — the same
+/// fold the per-point aggregation accumulator performs, so merging it is
+/// bit-identical to replaying the block's points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NumericSummary {
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Running sum in append order (float addition is not associative;
+    /// preserving the fold order is what keeps pushdown exact).
+    pub sum: f64,
+    /// Timestamp of the earliest point (earliest appended wins ties).
+    pub first_ts: i64,
+    /// Value at `first_ts`.
+    pub first: f64,
+    /// Timestamp of the latest point (latest appended wins ties).
+    pub last_ts: i64,
+    /// Value at `last_ts`.
+    pub last: f64,
+}
+
+impl NumericSummary {
+    /// Fold `(ts, value)` pairs in append order with the accumulator's
+    /// arithmetic. Mirrors `Acc::push` in `query::exec` exactly.
+    pub fn fold(ts: &[i64], vals: impl Iterator<Item = f64>) -> NumericSummary {
+        let mut s = NumericSummary {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+            first_ts: i64::MAX,
+            first: 0.0,
+            last_ts: i64::MIN,
+            last: 0.0,
+        };
+        for (&t, v) in ts.iter().zip(vals) {
+            s.sum += v;
+            s.min = s.min.min(v);
+            s.max = s.max.max(v);
+            if t < s.first_ts {
+                s.first_ts = t;
+                s.first = v;
+            }
+            if t >= s.last_ts {
+                s.last_ts = t;
+                s.last = v;
+            }
+        }
+        s
+    }
+}
+
+/// Zone map attached to every sealed block at seal time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockSummary {
+    /// Points in the block.
+    pub count: usize,
+    /// Earliest timestamp.
+    pub ts_min: i64,
+    /// Latest timestamp.
+    pub ts_max: i64,
+    /// Value fold for numeric (float/int) columns; `None` for bool/string
+    /// columns, whose blocks can still answer `count` from the header.
+    pub numeric: Option<NumericSummary>,
+}
+
+impl BlockSummary {
+    /// True when the block can be answered from this summary alone: fully
+    /// inside the query range, fully inside one epoch-aligned aggregation
+    /// window, and numerically summarized (or the aggregation only needs
+    /// the point count).
+    pub fn usable_for(&self, spec: &AggScan) -> bool {
+        if self.ts_min < spec.start || self.ts_max >= spec.end {
+            return false;
+        }
+        if self.numeric.is_none() && !spec.countable {
+            return false;
+        }
+        match spec.window {
+            Some(w) => self.ts_min.div_euclid(w) == self.ts_max.div_euclid(w),
+            None => true,
+        }
+    }
+}
+
+/// Parameters for an aggregation-aware scan ([`Column::scan_agg`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AggScan {
+    /// Query range start (inclusive).
+    pub start: i64,
+    /// Query range end (exclusive).
+    pub end: i64,
+    /// `GROUP BY time` window in seconds; `None` = the whole range is one
+    /// window. Windows are epoch-aligned, matching the aggregator.
+    pub window: Option<i64>,
+    /// The aggregation is `count`, which non-numeric blocks can answer
+    /// from their summaries too (only the point count matters).
+    pub countable: bool,
+    /// Decode summary-eligible blocks anyway (the forced-full-decode
+    /// baseline): the partial is recomputed from the decoded points and
+    /// emitted, so the aggregation merge structure — and therefore every
+    /// output bit — is identical to the pushdown path, but the full decode
+    /// cost is charged.
+    pub decode_all: bool,
+}
+
+/// One item produced by an aggregation-aware scan, in scan order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScanItem {
+    /// A decoded point (edge blocks, raw tails).
+    Point(i64, FieldValue),
+    /// A whole block answered from its summary (or, in forced-decode mode,
+    /// re-folded from decoded points — bit-identical by construction).
+    Partial(BlockSummary),
+}
 
 /// Value payload of a sealed block.
 #[derive(Debug)]
@@ -26,9 +152,7 @@ enum BlockValues {
 /// A sealed, compressed block.
 #[derive(Debug)]
 struct SealedBlock {
-    count: usize,
-    min_ts: i64,
-    max_ts: i64,
+    summary: BlockSummary,
     ts_bytes: Vec<u8>,
     values: BlockValues,
 }
@@ -41,7 +165,72 @@ impl SealedBlock {
             | BlockValues::Bool(b)
             | BlockValues::Str(b) => b.len(),
         };
-        self.ts_bytes.len() + v + 24 // block header (count + min/max)
+        self.ts_bytes.len() + v + 80 // block header: count + time bounds + zone map
+    }
+
+    /// Decode and emit every in-range point.
+    fn decode_each(&self, start: i64, end: i64, f: &mut impl FnMut(i64, FieldValue)) -> Result<()> {
+        let count = self.summary.count;
+        let ts = timestamps::decode(&self.ts_bytes, count)?;
+        match &self.values {
+            BlockValues::Float(b) => {
+                let vals = floats::decode(b, count)?;
+                for (t, v) in ts.iter().zip(vals) {
+                    if *t >= start && *t < end {
+                        f(*t, FieldValue::Float(v));
+                    }
+                }
+            }
+            BlockValues::Int(b) => {
+                let vals = ints::decode(b, count)?;
+                for (t, v) in ts.iter().zip(vals) {
+                    if *t >= start && *t < end {
+                        f(*t, FieldValue::Int(v));
+                    }
+                }
+            }
+            BlockValues::Bool(b) => {
+                let vals = bools::decode(b, count)?;
+                for (t, v) in ts.iter().zip(vals) {
+                    if *t >= start && *t < end {
+                        f(*t, FieldValue::Bool(v));
+                    }
+                }
+            }
+            BlockValues::Str(b) => {
+                let vals = strings::decode(b, count)?;
+                for (t, v) in ts.iter().zip(vals) {
+                    if *t >= start && *t < end {
+                        f(*t, FieldValue::Str(v));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Recompute the summary from decoded points (forced-decode mode). The
+    /// fold is identical to the one performed at seal time, so the result
+    /// equals the stored summary bit for bit.
+    fn recompute_summary(&self) -> Result<BlockSummary> {
+        let count = self.summary.count;
+        let ts = timestamps::decode(&self.ts_bytes, count)?;
+        let numeric = match &self.values {
+            BlockValues::Float(b) => {
+                Some(NumericSummary::fold(&ts, floats::decode(b, count)?.into_iter()))
+            }
+            BlockValues::Int(b) => Some(NumericSummary::fold(
+                &ts,
+                ints::decode(b, count)?.into_iter().map(|v| v as f64),
+            )),
+            BlockValues::Bool(_) | BlockValues::Str(_) => None,
+        };
+        Ok(BlockSummary {
+            count,
+            ts_min: self.summary.ts_min,
+            ts_max: self.summary.ts_max,
+            numeric,
+        })
     }
 }
 
@@ -133,29 +322,32 @@ impl Column {
         }
         let tail_bytes = self.tail_bytes();
         let ts = std::mem::take(&mut self.tail_ts);
-        let min_ts = *ts.iter().min().expect("non-empty");
-        let max_ts = *ts.iter().max().expect("non-empty");
+        let ts_min = *ts.iter().min().expect("non-empty");
+        let ts_max = *ts.iter().max().expect("non-empty");
         let ts_bytes = timestamps::encode(&ts);
-        let (values, count) = match &mut self.tail {
+        let (values, count, numeric) = match &mut self.tail {
             Tail::Float(v) => {
                 let vals = std::mem::take(v);
-                (BlockValues::Float(floats::encode(&vals)), vals.len())
+                let numeric = NumericSummary::fold(&ts, vals.iter().copied());
+                (BlockValues::Float(floats::encode(&vals)), vals.len(), Some(numeric))
             }
             Tail::Int(v) => {
                 let vals = std::mem::take(v);
-                (BlockValues::Int(ints::encode(&vals)), vals.len())
+                let numeric = NumericSummary::fold(&ts, vals.iter().map(|&x| x as f64));
+                (BlockValues::Int(ints::encode(&vals)), vals.len(), Some(numeric))
             }
             Tail::Bool(v) => {
                 let vals = std::mem::take(v);
-                (BlockValues::Bool(bools::encode(&vals)), vals.len())
+                (BlockValues::Bool(bools::encode(&vals)), vals.len(), None)
             }
             Tail::Str(v) => {
                 let vals = std::mem::take(v);
-                (BlockValues::Str(strings::encode(&vals)), vals.len())
+                (BlockValues::Str(strings::encode(&vals)), vals.len(), None)
             }
         };
         debug_assert_eq!(count, ts.len());
-        let block = SealedBlock { count, min_ts, max_ts, ts_bytes, values };
+        let summary = BlockSummary { count, ts_min, ts_max, numeric };
+        let block = SealedBlock { summary, ts_bytes, values };
         self.encoded = self.encoded - tail_bytes + block.encoded_bytes();
         self.sealed.push(block);
     }
@@ -193,7 +385,7 @@ impl Column {
 
     /// Total points stored.
     pub fn point_count(&self) -> usize {
-        self.sealed.iter().map(|b| b.count).sum::<usize>() + self.tail_ts.len()
+        self.sealed.iter().map(|b| b.summary.count).sum::<usize>() + self.tail_ts.len()
     }
 
     /// Encoded (at-rest) size in bytes: sealed blocks plus the raw tail at
@@ -220,78 +412,97 @@ impl Column {
     ) -> Result<ScanStats> {
         let mut stats = ScanStats::default();
         for block in &self.sealed {
-            if block.max_ts < start || block.min_ts >= end {
+            if block.summary.ts_max < start || block.summary.ts_min >= end {
                 continue; // pruned without decoding
             }
             stats.blocks += 1;
             stats.bytes += block.encoded_bytes();
-            stats.points += block.count;
-            let ts = timestamps::decode(&block.ts_bytes, block.count)?;
-            match &block.values {
-                BlockValues::Float(b) => {
-                    let vals = floats::decode(b, block.count)?;
-                    for (t, v) in ts.iter().zip(vals) {
-                        if *t >= start && *t < end {
-                            f(*t, FieldValue::Float(v));
-                        }
-                    }
-                }
-                BlockValues::Int(b) => {
-                    let vals = ints::decode(b, block.count)?;
-                    for (t, v) in ts.iter().zip(vals) {
-                        if *t >= start && *t < end {
-                            f(*t, FieldValue::Int(v));
-                        }
-                    }
-                }
-                BlockValues::Bool(b) => {
-                    let vals = bools::decode(b, block.count)?;
-                    for (t, v) in ts.iter().zip(vals) {
-                        if *t >= start && *t < end {
-                            f(*t, FieldValue::Bool(v));
-                        }
-                    }
-                }
-                BlockValues::Str(b) => {
-                    let vals = strings::decode(b, block.count)?;
-                    for (t, v) in ts.iter().zip(vals) {
-                        if *t >= start && *t < end {
-                            f(*t, FieldValue::Str(v));
-                        }
-                    }
-                }
-            }
+            stats.points += block.summary.count;
+            block.decode_each(start, end, &mut f)?;
         }
-        if !self.tail_ts.is_empty() {
-            stats.blocks += 1;
-            stats.points += self.tail_ts.len();
-            stats.bytes += self.tail_ts.len() * 16;
-            for (i, &t) in self.tail_ts.iter().enumerate() {
-                if t < start || t >= end {
-                    continue;
-                }
-                let v = match &self.tail {
-                    Tail::Float(v) => FieldValue::Float(v[i]),
-                    Tail::Int(v) => FieldValue::Int(v[i]),
-                    Tail::Bool(v) => FieldValue::Bool(v[i]),
-                    Tail::Str(v) => FieldValue::Str(v[i].clone()),
-                };
-                f(t, v);
-            }
-        }
+        self.scan_tail(start, end, &mut stats, &mut f);
         Ok(stats)
+    }
+
+    /// Aggregation-aware scan of `[spec.start, spec.end)`.
+    ///
+    /// Emits a [`ScanItem::Partial`] — the stored zone map, no decode — for
+    /// every sealed block fully contained in one aggregation window (and in
+    /// the query range), and decoded [`ScanItem::Point`]s for edge blocks
+    /// and the raw tail. In `spec.decode_all` mode eligible blocks are
+    /// decoded and their partials re-folded, keeping the emitted item
+    /// sequence identical while charging the full decode cost — the
+    /// baseline the pushdown speedup is measured against.
+    pub fn scan_agg(&self, spec: AggScan, mut emit: impl FnMut(ScanItem)) -> Result<ScanStats> {
+        let mut stats = ScanStats::default();
+        for block in &self.sealed {
+            let s = &block.summary;
+            if s.ts_max < spec.start || s.ts_min >= spec.end {
+                continue; // pruned without decoding
+            }
+            if s.usable_for(&spec) {
+                if spec.decode_all {
+                    stats.blocks += 1;
+                    stats.bytes += block.encoded_bytes();
+                    stats.points += s.count;
+                    let recomputed = block.recompute_summary()?;
+                    debug_assert_eq!(&recomputed, s, "stored zone map diverged from data");
+                    emit(ScanItem::Partial(recomputed));
+                } else {
+                    stats.blocks_summarized += 1;
+                    emit(ScanItem::Partial(*s));
+                }
+            } else {
+                stats.blocks += 1;
+                stats.bytes += block.encoded_bytes();
+                stats.points += s.count;
+                block.decode_each(spec.start, spec.end, &mut |t, v| emit(ScanItem::Point(t, v)))?;
+            }
+        }
+        self.scan_tail(spec.start, spec.end, &mut stats, &mut |t, v| emit(ScanItem::Point(t, v)));
+        Ok(stats)
+    }
+
+    /// Emit the raw tail's in-range points (shared by both scan flavours).
+    fn scan_tail(
+        &self,
+        start: i64,
+        end: i64,
+        stats: &mut ScanStats,
+        f: &mut impl FnMut(i64, FieldValue),
+    ) {
+        if self.tail_ts.is_empty() {
+            return;
+        }
+        stats.blocks += 1;
+        stats.points += self.tail_ts.len();
+        stats.bytes += self.tail_ts.len() * 16;
+        for (i, &t) in self.tail_ts.iter().enumerate() {
+            if t < start || t >= end {
+                continue;
+            }
+            let v = match &self.tail {
+                Tail::Float(v) => FieldValue::Float(v[i]),
+                Tail::Int(v) => FieldValue::Int(v[i]),
+                Tail::Bool(v) => FieldValue::Bool(v[i]),
+                Tail::Str(v) => FieldValue::Str(v[i].clone()),
+            };
+            f(t, v);
+        }
     }
 }
 
 /// Accounting from one column scan.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ScanStats {
-    /// Discrete blocks touched (≈ storage accesses).
+    /// Discrete blocks decoded (≈ storage accesses; includes raw tails).
     pub blocks: usize,
     /// Points decoded.
     pub points: usize,
     /// Encoded bytes read.
     pub bytes: usize,
+    /// Sealed blocks answered from their zone maps without decoding.
+    pub blocks_summarized: usize,
 }
 
 impl ScanStats {
@@ -300,6 +511,7 @@ impl ScanStats {
         self.blocks += other.blocks;
         self.points += other.points;
         self.bytes += other.bytes;
+        self.blocks_summarized += other.blocks_summarized;
     }
 }
 
@@ -417,6 +629,111 @@ mod tests {
         }
         let raw = col.point_count() * 16; // 8B ts + 8B value
         assert!(col.encoded_bytes() < raw / 8, "encoded {} raw {}", col.encoded_bytes(), raw);
+    }
+
+    fn agg_spec(start: i64, end: i64, window: Option<i64>) -> AggScan {
+        AggScan { start, end, window, countable: false, decode_all: false }
+    }
+
+    #[test]
+    fn sealed_blocks_carry_zone_maps() {
+        let mut col = Column::new(&FieldValue::Float(0.0));
+        for i in 0..(BLOCK_SIZE as i64) {
+            col.append(i, &FieldValue::Float(i as f64 * 0.5)).unwrap();
+        }
+        let s = col.sealed[0].summary;
+        assert_eq!(s.count, BLOCK_SIZE);
+        assert_eq!((s.ts_min, s.ts_max), (0, BLOCK_SIZE as i64 - 1));
+        let n = s.numeric.unwrap();
+        assert_eq!(n.min, 0.0);
+        assert_eq!(n.max, (BLOCK_SIZE as f64 - 1.0) * 0.5);
+        assert_eq!((n.first_ts, n.first), (0, 0.0));
+        assert_eq!((n.last_ts, n.last), (BLOCK_SIZE as i64 - 1, n.max));
+        // The stored fold matches a fresh recompute bit for bit.
+        assert_eq!(col.sealed[0].recompute_summary().unwrap(), s);
+    }
+
+    #[test]
+    fn contained_blocks_summarize_edges_decode() {
+        let mut col = Column::new(&FieldValue::Float(0.0));
+        // Two sealed blocks at 1 s cadence plus a tail.
+        for i in 0..(BLOCK_SIZE as i64 * 2 + 10) {
+            col.append(i, &FieldValue::Float(1.0)).unwrap();
+        }
+        // Window spans both blocks entirely: both answered from summaries,
+        // only the tail is decoded.
+        let mut items = Vec::new();
+        let spec = agg_spec(0, 3 * BLOCK_SIZE as i64, Some(4 * BLOCK_SIZE as i64));
+        let stats = col.scan_agg(spec, |it| items.push(it)).unwrap();
+        assert_eq!(stats.blocks_summarized, 2);
+        assert_eq!(stats.blocks, 1, "only the tail decodes: {stats:?}");
+        let partials = items.iter().filter(|i| matches!(i, ScanItem::Partial(_))).count();
+        assert_eq!(partials, 2);
+        assert_eq!(items.len(), 2 + 10);
+        // A window cutting through block 0 forces it to decode per point.
+        let mut items = Vec::new();
+        let spec = agg_spec(0, 3 * BLOCK_SIZE as i64, Some(BLOCK_SIZE as i64 / 2));
+        let stats = col.scan_agg(spec, |it| items.push(it)).unwrap();
+        assert_eq!(stats.blocks_summarized, 0);
+        assert_eq!(stats.blocks, 3);
+        assert!(items.iter().all(|i| matches!(i, ScanItem::Point(..))));
+    }
+
+    #[test]
+    fn partial_range_coverage_disqualifies_summaries() {
+        let mut col = Column::new(&FieldValue::Float(0.0));
+        for i in 0..(BLOCK_SIZE as i64) {
+            col.append(i, &FieldValue::Float(1.0)).unwrap();
+        }
+        col.seal_now();
+        // Query range cuts the block: must decode.
+        let stats = col.scan_agg(agg_spec(10, 10_000, None), |_| {}).unwrap();
+        assert_eq!(stats.blocks_summarized, 0);
+        assert_eq!(stats.blocks, 1);
+        // Whole-range window and full coverage: summary answers it.
+        let stats = col.scan_agg(agg_spec(0, 10_000, None), |_| {}).unwrap();
+        assert_eq!(stats.blocks_summarized, 1);
+        assert_eq!(stats.blocks, 0);
+    }
+
+    #[test]
+    fn forced_decode_emits_identical_items() {
+        let mut col = Column::new(&FieldValue::Float(0.0));
+        for i in 0..(BLOCK_SIZE as i64 * 2) {
+            col.append(i, &FieldValue::Float((i % 97) as f64 * 0.3)).unwrap();
+        }
+        let spec = agg_spec(0, 4 * BLOCK_SIZE as i64, Some(4 * BLOCK_SIZE as i64));
+        let mut push = Vec::new();
+        let s1 = col.scan_agg(spec, |it| push.push(it)).unwrap();
+        let mut full = Vec::new();
+        let s2 = col.scan_agg(AggScan { decode_all: true, ..spec }, |it| full.push(it)).unwrap();
+        assert_eq!(push, full, "pushdown and forced-decode item streams must match");
+        assert_eq!(s1.blocks_summarized, 2);
+        assert_eq!(s2.blocks_summarized, 0);
+        assert_eq!(s2.blocks, 2);
+        assert_eq!(s1.points, 0);
+        assert_eq!(s2.points, BLOCK_SIZE * 2);
+    }
+
+    #[test]
+    fn non_numeric_blocks_summarize_only_for_count() {
+        let mut col = Column::new(&FieldValue::Str(String::new()));
+        for i in 0..(BLOCK_SIZE as i64) {
+            col.append(i, &FieldValue::Str(format!("s{}", i % 3))).unwrap();
+        }
+        let base = agg_spec(0, 10_000, None);
+        let stats = col.scan_agg(base, |_| {}).unwrap();
+        assert_eq!(stats.blocks_summarized, 0, "non-count agg must decode strings");
+        let mut items = Vec::new();
+        let stats = col.scan_agg(AggScan { countable: true, ..base }, |it| items.push(it)).unwrap();
+        assert_eq!(stats.blocks_summarized, 1);
+        match &items[0] {
+            ScanItem::Partial(s) => {
+                assert_eq!(s.count, BLOCK_SIZE);
+                assert!(s.numeric.is_none());
+            }
+            other => panic!("expected partial, got {other:?}"),
+        }
     }
 
     #[test]

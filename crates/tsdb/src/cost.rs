@@ -36,6 +36,10 @@ pub struct QueryCost {
     pub series: usize,
     /// Discrete storage blocks read (≈ seeks on HDD).
     pub blocks: usize,
+    /// Sealed blocks answered from their zone-map summary without
+    /// decompression (aggregation pushdown). These cost a constant probe
+    /// instead of decode CPU and contribute no I/O.
+    pub blocks_summarized: usize,
     /// Points decoded and aggregated.
     pub points: usize,
     /// Encoded bytes read from storage.
@@ -53,6 +57,7 @@ impl QueryCost {
         self.index_entries += other.index_entries;
         self.series += other.series;
         self.blocks += other.blocks;
+        self.blocks_summarized += other.blocks_summarized;
         self.points += other.points;
         self.bytes += other.bytes;
         self.shards_scanned += other.shards_scanned;
@@ -76,6 +81,11 @@ pub struct CostParams {
     /// Effective fraction of the device's raw access latency charged per
     /// block read (page cache + readahead derating).
     pub block_access_factor: f64,
+    /// CPU cost to probe one sealed block's zone-map summary, seconds. A
+    /// summarized block pays this flat fee instead of per-point decode CPU
+    /// and block I/O — the headroom the aggregation pushdown converts into
+    /// query speedup.
+    pub per_summary_probe: f64,
     /// Workload amplification: multiply physical counters by this factor
     /// before costing, used to model the full 467-node cluster while
     /// actually storing a scaled-down node count. 1.0 = no scaling.
@@ -99,6 +109,7 @@ impl Default for CostParams {
             per_index_entry: 0.5e-6,
             per_query: 4.5e-3,
             block_access_factor: 0.25,
+            per_summary_probe: 0.2e-6,
             amplification: 1.0,
             scan_workers: 1,
         }
@@ -134,6 +145,7 @@ impl CostParams {
         // bounded by the shard fan-out actually available to the query.
         let fanout = self.scan_workers.min(cost.shards_scanned.max(1)).max(1) as f64;
         let scan_cpu = (cost.points as f64 * a * self.per_point_cpu
+            + cost.blocks_summarized as f64 * a * self.per_summary_probe
             + cost.series as f64 * a * self.per_series)
             / fanout;
         let serial_cpu = cost.index_entries as f64 * a * self.per_index_entry
@@ -159,6 +171,7 @@ mod tests {
             index_entries: 1,
             series: 2,
             blocks: 3,
+            blocks_summarized: 7,
             points: 4,
             bytes: 5,
             shards_scanned: 1,
@@ -168,6 +181,7 @@ mod tests {
             index_entries: 10,
             series: 20,
             blocks: 30,
+            blocks_summarized: 70,
             points: 40,
             bytes: 50,
             shards_scanned: 2,
@@ -178,6 +192,7 @@ mod tests {
         assert_eq!(a.queries, 2);
         assert_eq!(a.bytes, 55);
         assert_eq!(a.shards_scanned, 3);
+        assert_eq!(a.blocks_summarized, 77);
     }
 
     #[test]
@@ -186,11 +201,10 @@ mod tests {
         let cost = QueryCost {
             index_entries: 100,
             series: 50,
-            blocks: 0,
             points: 10_000_000,
-            bytes: 0,
             shards_scanned: 4,
             queries: 1,
+            ..QueryCost::default()
         };
         let serial = CostParams::default();
         let par = CostParams::default().with_scan_workers(4);
@@ -215,6 +229,7 @@ mod tests {
             index_entries: 100,
             series: 10,
             blocks: 10,
+            blocks_summarized: 10,
             points: 1000,
             bytes: 100_000,
             shards_scanned: 1,
@@ -225,6 +240,7 @@ mod tests {
             QueryCost { points: 1_000_000, ..base },
             QueryCost { bytes: 100_000_000, ..base },
             QueryCost { blocks: 100_000, ..base },
+            QueryCost { blocks_summarized: 100_000_000, ..base },
             QueryCost { series: 5_000, ..base },
             QueryCost { index_entries: 1_000_000, ..base },
             QueryCost { queries: 100, ..base },
@@ -247,6 +263,7 @@ mod tests {
             bytes: 50_000_000,
             shards_scanned: 7,
             queries: 2_000,
+            ..QueryCost::default()
         };
         let hdd = p.elapsed(&cost, &DiskModel::HDD).as_secs_f64();
         let ssd = p.elapsed(&cost, &DiskModel::SSD).as_secs_f64();
@@ -263,6 +280,7 @@ mod tests {
             index_entries: 1000,
             series: 100,
             blocks: 100,
+            blocks_summarized: 40,
             points: 100_000,
             bytes: 10_000_000,
             shards_scanned: 3,
@@ -280,6 +298,7 @@ mod tests {
             index_entries: 50,
             series: 10,
             blocks: 2_000,
+            blocks_summarized: 500,
             points: 500_000,
             bytes: 40_000_000,
             shards_scanned: 4,
@@ -288,5 +307,38 @@ mod tests {
         let (cpu, io) = p.split(&cost, &DiskModel::HDD);
         assert!(cpu > VDuration::ZERO && io > VDuration::ZERO);
         assert_eq!(cpu + io, p.elapsed(&cost, &DiskModel::HDD));
+    }
+
+    #[test]
+    fn summarized_blocks_cost_far_less_than_decoded_ones() {
+        // The same physical data answered two ways: 1000 sealed blocks of
+        // 1024 points fully decoded, vs the same blocks probed via their
+        // zone maps. Pushdown should be a large win in the model.
+        let p = CostParams::default();
+        let decoded = QueryCost {
+            index_entries: 10,
+            series: 1,
+            blocks: 1_000,
+            points: 1_024_000,
+            bytes: 10_240_000,
+            shards_scanned: 1,
+            queries: 1,
+            ..QueryCost::default()
+        };
+        let summarized = QueryCost {
+            index_entries: 10,
+            series: 1,
+            blocks_summarized: 1_000,
+            shards_scanned: 1,
+            queries: 1,
+            ..QueryCost::default()
+        };
+        let full = p.elapsed(&decoded, &DiskModel::SSD).as_secs_f64();
+        let push = p.elapsed(&summarized, &DiskModel::SSD).as_secs_f64();
+        assert!(push < full, "summary probes must be cheaper: {push} vs {full}");
+        assert!(full / push > 3.0, "expected a big modelled win, got {}", full / push);
+        // The probe itself still costs something: not free, just flat.
+        let free = QueryCost { blocks_summarized: 0, ..summarized };
+        assert!(p.elapsed(&summarized, &DiskModel::SSD) > p.elapsed(&free, &DiskModel::SSD));
     }
 }

@@ -22,10 +22,11 @@
 //! incrementally in atomics on the write/seal/retention paths, making
 //! [`Db::stats`] O(1) instead of a walk over every column.
 
+use crate::column::{AggScan, ScanItem, ScanStats};
 use crate::cost::{CostParams, QueryCost};
 use crate::point::DataPoint;
 use crate::query::exec::WindowAggregator;
-use crate::query::{parse_query, Query, ResultSet, SeriesResult};
+use crate::query::{parse_query, Aggregation, Query, ResultSet, SeriesResult};
 use crate::series::{FieldId, SeriesId, SeriesIndex, SeriesKey};
 use crate::shard::Shard;
 use monster_sim::DiskModel;
@@ -52,6 +53,12 @@ pub struct DbConfig {
     /// byte-identical either way: per-shard scan output is collected in
     /// deterministic order and merged on the calling thread.
     pub scan_workers: usize,
+    /// Aggregation pushdown: when a sealed block is fully contained in one
+    /// aggregation window (and the query range), answer it from its
+    /// zone-map summary instead of decompressing. Results are bit-identical
+    /// either way (the forced-decode path folds the same per-block partial
+    /// from decoded points); `false` exists as the benchmark baseline.
+    pub pushdown: bool,
 }
 
 impl Default for DbConfig {
@@ -61,6 +68,7 @@ impl Default for DbConfig {
             disk: DiskModel::HDD,
             cost: CostParams::default(),
             scan_workers: 4,
+            pushdown: true,
         }
     }
 }
@@ -388,19 +396,31 @@ impl Db {
         cost.shards_scanned = ns;
 
         // Fan the (series × shard) scans out. Each item buffers its
-        // matching points; the merge below runs in series-major, shard-time
-        // order, which is exactly the order a sequential scan produces.
+        // matching points (or zone-map partials, for eligible sealed blocks
+        // under an aggregation); the merge below runs in series-major,
+        // shard-time order, which is exactly the order a sequential scan
+        // produces.
+        let agg_spec = q.agg.map(|agg| AggScan {
+            start: qs,
+            end: qe,
+            window: q.group_by,
+            countable: agg == Aggregation::Count,
+            decode_all: !self.config.pushdown,
+        });
         let items: Vec<(SeriesId, Arc<RwLock<Shard>>)> =
             ids.iter().flat_map(|&sid| shards.iter().map(move |s| (sid, Arc::clone(s)))).collect();
-        type ScanOut = (Vec<(i64, crate::FieldValue)>, crate::column::ScanStats);
+        type ScanOut = (Vec<ScanItem>, ScanStats);
         let scan_one = |(sid, shard_arc): (SeriesId, Arc<RwLock<Shard>>)| -> Result<ScanOut> {
-            let mut buf: Vec<(i64, crate::FieldValue)> = Vec::new();
+            let mut buf: Vec<ScanItem> = Vec::new();
             let wait = Instant::now();
             let shard = shard_arc.read();
             let acquired = Instant::now();
-            let stats = match fid {
-                Some(f) => shard.scan(sid, f, qs, qe, |t, v| buf.push((t, v)))?,
-                None => crate::column::ScanStats::default(),
+            let stats = match (fid, agg_spec) {
+                (Some(f), Some(spec)) => shard.scan_agg(sid, f, spec, |item| buf.push(item))?,
+                (Some(f), None) => {
+                    shard.scan(sid, f, qs, qe, |t, v| buf.push(ScanItem::Point(t, v)))?
+                }
+                (None, _) => ScanStats::default(),
             };
             drop(shard);
             self.observe_lock(wait, acquired);
@@ -424,13 +444,17 @@ impl Db {
                 Some(agg) => {
                     let mut w = WindowAggregator::new(agg, q.group_by, qs);
                     for (buf, stats) in slots.iter_mut() {
-                        for (t, v) in buf.drain(..) {
-                            w.push(t, &v);
+                        for item in buf.drain(..) {
+                            match item {
+                                ScanItem::Point(t, v) => w.push(t, &v),
+                                ScanItem::Partial(s) => w.push_partial(&s),
+                            }
                         }
-                        if stats.points > 0 {
+                        if stats.points > 0 || stats.blocks_summarized > 0 {
                             scanned = true;
                         }
                         cost.blocks += stats.blocks;
+                        cost.blocks_summarized += stats.blocks_summarized;
                         cost.points += stats.points;
                         cost.bytes += stats.bytes;
                     }
@@ -439,9 +463,11 @@ impl Db {
                 None => {
                     points = Vec::new();
                     for (buf, stats) in slots.iter_mut() {
-                        points.extend(
-                            buf.drain(..).map(|(t, v)| (monster_util::EpochSecs::new(t), v)),
-                        );
+                        points.extend(buf.drain(..).map(|item| match item {
+                            ScanItem::Point(t, v) => (monster_util::EpochSecs::new(t), v),
+                            // Raw selects never carry an AggScan spec.
+                            ScanItem::Partial(_) => unreachable!("partial in raw scan"),
+                        }));
                         if stats.points > 0 {
                             scanned = true;
                         }
@@ -468,6 +494,9 @@ impl Db {
         // `/metrics` shows where query time goes (`monster_tsdb_*` series).
         monster_obs::counter("monster_tsdb_queries_total").inc();
         monster_obs::counter("monster_tsdb_query_points_total").add(cost.points as u64);
+        monster_obs::counter("monster_tsdb_blocks_decoded_total").add(cost.blocks as u64);
+        monster_obs::counter("monster_tsdb_blocks_summarized_total")
+            .add(cost.blocks_summarized as u64);
         monster_obs::histo("monster_tsdb_query_seconds")
             .observe_vdur(self.config.cost.elapsed(&cost, &self.config.disk));
         Ok((ResultSet { series: series_out }, cost))
@@ -1013,6 +1042,58 @@ mod tests {
             assert_eq!(c1, c8, "agg {agg:?}");
             assert_eq!(c1.shards_scanned, 20);
         }
+    }
+
+    #[test]
+    fn pushdown_summarizes_contained_blocks_and_matches_forced_decode() {
+        let mk = |pushdown: bool| {
+            let db = Db::new(DbConfig { pushdown, ..DbConfig::default() });
+            let mut batch = Vec::new();
+            for i in 0..4096i64 {
+                batch.push(power_point("n1", i, 250.0 + (i % 97) as f64 * 0.37));
+            }
+            db.write_batch(&batch).unwrap();
+            db.compact();
+            db
+        };
+        let push = mk(true);
+        let full = mk(false);
+        for agg in [
+            Aggregation::Mean,
+            Aggregation::Sum,
+            Aggregation::Count,
+            Aggregation::Max,
+            Aggregation::Min,
+            Aggregation::First,
+            Aggregation::Last,
+        ] {
+            let q = Query::select("Power", "Reading", EpochSecs::new(0), EpochSecs::new(4096))
+                .aggregate(agg)
+                .group_by_time(4096);
+            let (rs_p, c_p) = push.query(&q).unwrap();
+            let (rs_f, c_f) = full.query(&q).unwrap();
+            assert_eq!(rs_p, rs_f, "agg {agg:?}");
+            // All four sealed blocks land inside the single window: the
+            // pushdown run probes zone maps, the baseline decodes.
+            assert_eq!(c_p.blocks_summarized, 4, "agg {agg:?}");
+            assert_eq!(c_p.blocks, 0);
+            assert_eq!(c_p.points, 0);
+            assert_eq!(c_f.blocks_summarized, 0);
+            assert_eq!(c_f.blocks, 4);
+            assert_eq!(c_f.points, 4096);
+            // The series still counts as scanned on the summary-only path.
+            assert_eq!(c_p.series, 1);
+            assert!(push.simulate_elapsed(&c_p) < full.simulate_elapsed(&c_f));
+        }
+        // A window narrower than a block forces decoding in both modes.
+        let q = Query::select("Power", "Reading", EpochSecs::new(0), EpochSecs::new(4096))
+            .aggregate(Aggregation::Mean)
+            .group_by_time(256);
+        let (rs_p, c_p) = push.query(&q).unwrap();
+        let (rs_f, c_f) = full.query(&q).unwrap();
+        assert_eq!(rs_p, rs_f);
+        assert_eq!(c_p, c_f);
+        assert_eq!(c_p.blocks_summarized, 0);
     }
 
     #[test]

@@ -9,8 +9,9 @@
 //!   readings share exponents/mantissa prefixes);
 //! * [`ints`] — zig-zag varint delta (epoch times, binary state codes);
 //! * [`bools`] — bit packing;
-//! * [`strings`] — per-block dictionary (job-list strings repeat heavily
-//!   between adjacent intervals).
+//! * [`strings`] — per-block dictionary or raw, whichever encodes
+//!   smaller (job-list strings repeat heavily between adjacent
+//!   intervals; all-distinct blocks skip the dictionary overhead).
 
 pub mod bools;
 pub mod floats;

@@ -1,13 +1,25 @@
-//! String column codec: per-block dictionary + varint indices.
+//! String column codec: per-block dictionary *or* raw, whichever is
+//! smaller.
 //!
 //! MonSTer's string fields repeat heavily — the same job list appears in
 //! consecutive intervals, health strings cycle through a tiny vocabulary —
-//! so a block dictionary captures most of the redundancy.
+//! so a block dictionary captures most of the redundancy. But an
+//! all-distinct block (job IDs, free-form messages) pays the dictionary
+//! overhead twice: every string stored once in the dictionary *plus* one
+//! index per value. The encoder builds both layouts and keeps the
+//! smaller, stamping the choice in a leading mode byte.
 //!
-//! Layout: `dict_len varint | (len varint, bytes)* | (index varint)*`.
+//! Layout: `mode u8 | payload` where mode is
+//!
+//! * `0x00` (raw): `(len varint, bytes)*` — `count` strings in order;
+//! * `0x01` (dict): `dict_len varint | (len varint, bytes)* |
+//!   (index varint)*`.
 
 use monster_util::{Error, Result};
 use std::collections::HashMap;
+
+const MODE_RAW: u8 = 0x00;
+const MODE_DICT: u8 = 0x01;
 
 fn push_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
@@ -38,8 +50,7 @@ fn read_varint(data: &[u8], pos: &mut usize) -> Result<u64> {
     }
 }
 
-/// Encode a string column.
-pub fn encode(vals: &[String]) -> Vec<u8> {
+fn encode_dict(vals: &[String]) -> Vec<u8> {
     let mut dict: Vec<&str> = Vec::new();
     let mut lookup: HashMap<&str, u64> = HashMap::new();
     let mut indices: Vec<u64> = Vec::with_capacity(vals.len());
@@ -50,7 +61,7 @@ pub fn encode(vals: &[String]) -> Vec<u8> {
         });
         indices.push(idx);
     }
-    let mut out = Vec::new();
+    let mut out = vec![MODE_DICT];
     push_varint(&mut out, dict.len() as u64);
     for s in &dict {
         push_varint(&mut out, s.len() as u64);
@@ -62,32 +73,73 @@ pub fn encode(vals: &[String]) -> Vec<u8> {
     out
 }
 
+fn encode_raw(vals: &[String]) -> Vec<u8> {
+    let mut out = vec![MODE_RAW];
+    for v in vals {
+        push_varint(&mut out, v.len() as u64);
+        out.extend_from_slice(v.as_bytes());
+    }
+    out
+}
+
+/// Encode a string column, choosing dictionary or raw layout per block by
+/// encoded size (ties go to raw — simpler to decode).
+pub fn encode(vals: &[String]) -> Vec<u8> {
+    let dict = encode_dict(vals);
+    let raw = encode_raw(vals);
+    if dict.len() < raw.len() {
+        dict
+    } else {
+        raw
+    }
+}
+
+fn read_string(data: &[u8], pos: &mut usize) -> Result<String> {
+    let len = read_varint(data, pos)? as usize;
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= data.len())
+        .ok_or_else(|| Error::Corrupt("string entry truncated".into()))?;
+    let s = std::str::from_utf8(&data[*pos..end])
+        .map_err(|_| Error::Corrupt("string entry not UTF-8".into()))?;
+    *pos = end;
+    Ok(s.to_string())
+}
+
 /// Decode `count` strings.
 pub fn decode(data: &[u8], count: usize) -> Result<Vec<String>> {
     let mut pos = 0usize;
-    let dict_len = read_varint(data, &mut pos)? as usize;
-    if dict_len > data.len() {
-        return Err(Error::Corrupt("string dict length implausible".into()));
+    let mode = *data.first().ok_or_else(|| Error::Corrupt("string column empty".into()))?;
+    pos += 1;
+    match mode {
+        MODE_RAW => {
+            let mut out = Vec::with_capacity(count);
+            for _ in 0..count {
+                out.push(read_string(data, &mut pos)?);
+            }
+            Ok(out)
+        }
+        MODE_DICT => {
+            let dict_len = read_varint(data, &mut pos)? as usize;
+            if dict_len > data.len() {
+                return Err(Error::Corrupt("string dict length implausible".into()));
+            }
+            let mut dict: Vec<String> = Vec::with_capacity(dict_len);
+            for _ in 0..dict_len {
+                dict.push(read_string(data, &mut pos)?);
+            }
+            let mut out = Vec::with_capacity(count);
+            for _ in 0..count {
+                let idx = read_varint(data, &mut pos)? as usize;
+                let s = dict
+                    .get(idx)
+                    .ok_or_else(|| Error::Corrupt("string index out of range".into()))?;
+                out.push(s.clone());
+            }
+            Ok(out)
+        }
+        other => Err(Error::Corrupt(format!("unknown string column mode {other:#04x}"))),
     }
-    let mut dict: Vec<String> = Vec::with_capacity(dict_len);
-    for _ in 0..dict_len {
-        let len = read_varint(data, &mut pos)? as usize;
-        let end = pos
-            .checked_add(len)
-            .filter(|&e| e <= data.len())
-            .ok_or_else(|| Error::Corrupt("string entry truncated".into()))?;
-        let s = std::str::from_utf8(&data[pos..end])
-            .map_err(|_| Error::Corrupt("string entry not UTF-8".into()))?;
-        dict.push(s.to_string());
-        pos = end;
-    }
-    let mut out = Vec::with_capacity(count);
-    for _ in 0..count {
-        let idx = read_varint(data, &mut pos)? as usize;
-        let s = dict.get(idx).ok_or_else(|| Error::Corrupt("string index out of range".into()))?;
-        out.push(s.clone());
-    }
-    Ok(out)
 }
 
 #[cfg(test)]
@@ -113,8 +165,10 @@ mod tests {
         let list = "['1291784', '1318962', '1318307', '1318324']";
         let vals: Vec<String> = (0..500).map(|_| list.to_string()).collect();
         let enc = encode(&vals);
+        assert_eq!(enc[0], 0x01, "repetitive block should pick the dictionary");
         // One dictionary entry + 500 single-byte indices.
         assert!(enc.len() < list.len() + 520, "got {}", enc.len());
+        assert_eq!(decode(&enc, 500).unwrap(), vals);
     }
 
     #[test]
@@ -124,11 +178,33 @@ mod tests {
     }
 
     #[test]
+    fn all_distinct_blocks_pick_raw_and_shrink() {
+        let vals: Vec<String> = (0..300).map(|i| format!("message-{i}")).collect();
+        let enc = encode(&vals);
+        assert_eq!(enc[0], 0x00, "distinct block should pick raw");
+        // Raw skips the per-value index bytes the dictionary would add.
+        let dict = super::encode_dict(&vals);
+        assert!(enc.len() < dict.len(), "raw {} vs dict {}", enc.len(), dict.len());
+        assert_eq!(decode(&enc, 300).unwrap(), vals);
+    }
+
+    #[test]
+    fn both_modes_round_trip_explicitly() {
+        let vals: Vec<String> = vec!["a".into(), "b".into(), "a".into()];
+        for enc in [super::encode_raw(&vals), super::encode_dict(&vals)] {
+            assert_eq!(decode(&enc, 3).unwrap(), vals);
+        }
+    }
+
+    #[test]
     fn corruption_detected() {
         let vals: Vec<String> = vec!["abc".into(), "def".into()];
         let enc = encode(&vals);
         assert!(decode(&enc[..2], 2).is_err());
-        // Absurd dictionary size.
+        assert!(decode(&[], 1).is_err());
+        // Unknown mode byte.
         assert!(decode(&[0xFF, 0xFF, 0xFF, 0x7F], 1).is_err());
+        // Absurd dictionary size.
+        assert!(decode(&[0x01, 0xFF, 0xFF, 0xFF, 0x7F], 1).is_err());
     }
 }

@@ -155,6 +155,7 @@ fn attach_cost(resp: &mut Response, cost: &QueryCost) {
     resp.headers.set("X-Cost-Points", cost.points.to_string());
     resp.headers.set("X-Cost-Bytes", cost.bytes.to_string());
     resp.headers.set("X-Cost-Blocks", cost.blocks.to_string());
+    resp.headers.set("X-Cost-Summarized", cost.blocks_summarized.to_string());
     resp.headers.set("X-Cost-Series", cost.series.to_string());
     resp.headers.set("X-Cost-Index", cost.index_entries.to_string());
     resp.headers.set("X-Cost-Shards", cost.shards_scanned.to_string());
@@ -166,6 +167,7 @@ fn extract_cost(resp: &Response) -> QueryCost {
         points: get("X-Cost-Points"),
         bytes: get("X-Cost-Bytes"),
         blocks: get("X-Cost-Blocks"),
+        blocks_summarized: get("X-Cost-Summarized"),
         series: get("X-Cost-Series"),
         index_entries: get("X-Cost-Index"),
         shards_scanned: get("X-Cost-Shards"),

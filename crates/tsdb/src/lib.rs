@@ -62,6 +62,7 @@ pub mod series;
 pub mod shard;
 pub mod snapshot;
 
+pub use column::{AggScan, BlockSummary, NumericSummary, ScanItem};
 pub use cost::{CostParams, QueryCost};
 pub use db::{Db, DbConfig, DbStats};
 pub use field::FieldValue;

@@ -5,6 +5,7 @@
 //! semantics so they can be tested in isolation.
 
 use super::ast::{Aggregation, Fill};
+use crate::column::{BlockSummary, NumericSummary};
 use crate::field::FieldValue;
 use crate::series::SeriesKey;
 use monster_util::EpochSecs;
@@ -82,6 +83,26 @@ impl Acc {
         }
     }
 
+    /// Merge a sealed block's pre-folded summary, exactly as if the
+    /// block's points had been pushed in append order after everything
+    /// already absorbed: the block fold uses `push`'s arithmetic and this
+    /// merge preserves its tie-breaking (`first` keeps the earlier
+    /// arrival on equal timestamps, `last` takes the later one).
+    fn merge(&mut self, count: usize, n: &NumericSummary) {
+        self.count += count as u64;
+        self.sum += n.sum;
+        self.min = self.min.min(n.min);
+        self.max = self.max.max(n.max);
+        if n.first_ts < self.first_ts {
+            self.first_ts = n.first_ts;
+            self.first = n.first;
+        }
+        if n.last_ts >= self.last_ts {
+            self.last_ts = n.last_ts;
+            self.last = n.last;
+        }
+    }
+
     fn finish(&self, agg: Aggregation) -> f64 {
         match agg {
             Aggregation::Max => self.max,
@@ -136,6 +157,33 @@ impl WindowAggregator {
                     self.non_numeric += 1;
                 }
             }
+        }
+    }
+
+    /// Feed a whole sealed block's zone-map summary (aggregation
+    /// pushdown). The caller guarantees the block lies entirely inside one
+    /// aggregation window — [`crate::column::BlockSummary::usable_for`] —
+    /// so the merge lands in a single bucket. `count` over non-numeric
+    /// blocks merges an all-zeros fold, mirroring the `(ts, 0.0)` pushes
+    /// of the per-point path; other aggregations never receive
+    /// non-numeric partials (the scan decodes those blocks instead).
+    pub fn push_partial(&mut self, s: &BlockSummary) {
+        let bucket = self.bucket_of(s.ts_min);
+        match &s.numeric {
+            Some(n) => self.buckets.entry(bucket).or_insert_with(Acc::new).merge(s.count, n),
+            None if self.agg == Aggregation::Count => {
+                let zeros = NumericSummary {
+                    min: 0.0,
+                    max: 0.0,
+                    sum: 0.0,
+                    first_ts: s.ts_min,
+                    first: 0.0,
+                    last_ts: s.ts_max,
+                    last: 0.0,
+                };
+                self.buckets.entry(bucket).or_insert_with(Acc::new).merge(s.count, &zeros);
+            }
+            None => self.non_numeric += s.count as u64,
         }
     }
 
@@ -302,6 +350,53 @@ mod tests {
         w.push(1, &FieldValue::Int(4));
         w.push(2, &FieldValue::Int(6));
         assert_eq!(w.finish()[0].1.as_f64(), Some(5.0));
+    }
+
+    #[test]
+    fn partial_merge_matches_per_point_pushes_bit_for_bit() {
+        // Awkward float values whose sum depends on association order: the
+        // fold + merge path must reproduce the per-point fold exactly.
+        let pts: Vec<(i64, f64)> =
+            (0..50).map(|i| (100 + i, 0.1 + i as f64 * 1e-13 + (i % 7) as f64 * 1e7)).collect();
+        let ts: Vec<i64> = pts.iter().map(|&(t, _)| t).collect();
+        let summary = BlockSummary {
+            count: pts.len(),
+            ts_min: 100,
+            ts_max: 149,
+            numeric: Some(NumericSummary::fold(&ts, pts.iter().map(|&(_, v)| v))),
+        };
+        for agg in [
+            Aggregation::Max,
+            Aggregation::Min,
+            Aggregation::Mean,
+            Aggregation::Sum,
+            Aggregation::Count,
+            Aggregation::First,
+            Aggregation::Last,
+        ] {
+            // Whole block in one window, empty bucket before the merge —
+            // the contract scan_agg eligibility guarantees.
+            let mut per_point = WindowAggregator::new(agg, Some(300), 0);
+            for &(t, v) in &pts {
+                per_point.push(t, &FieldValue::Float(v));
+            }
+            let mut merged = WindowAggregator::new(agg, Some(300), 0);
+            merged.push_partial(&summary);
+            assert_eq!(per_point.finish(), merged.finish(), "agg {agg:?}");
+        }
+    }
+
+    #[test]
+    fn count_partial_over_non_numeric_block() {
+        let s = BlockSummary { count: 7, ts_min: 10, ts_max: 60, numeric: None };
+        let mut w = WindowAggregator::new(Aggregation::Count, Some(300), 0);
+        w.push_partial(&s);
+        assert_eq!(w.finish(), vec![(EpochSecs::new(0), FieldValue::Float(7.0))]);
+        // Other aggregations only count the skip, like the per-point path.
+        let mut w = WindowAggregator::new(Aggregation::Max, Some(300), 0);
+        w.push_partial(&s);
+        assert_eq!(w.non_numeric(), 7);
+        assert!(w.finish().is_empty());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! resolved up front in the series index — so the append hot path does no
 //! string hashing and no key allocation.
 
-use crate::column::{Column, ScanStats};
+use crate::column::{AggScan, Column, ScanItem, ScanStats};
 use crate::field::FieldValue;
 use crate::series::{FieldId, SeriesId};
 use monster_util::Result;
@@ -85,6 +85,22 @@ impl Shard {
     ) -> Result<ScanStats> {
         match self.columns.get(&(series, field)) {
             Some(col) => col.scan(start, end, f),
+            None => Ok(ScanStats::default()),
+        }
+    }
+
+    /// Aggregation-aware scan of one series' field (zone-map pushdown):
+    /// fully contained sealed blocks are emitted as summary partials
+    /// without decompression. See [`Column::scan_agg`].
+    pub fn scan_agg(
+        &self,
+        series: SeriesId,
+        field: FieldId,
+        spec: AggScan,
+        emit: impl FnMut(ScanItem),
+    ) -> Result<ScanStats> {
+        match self.columns.get(&(series, field)) {
+            Some(col) => col.scan_agg(spec, emit),
             None => Ok(ScanStats::default()),
         }
     }

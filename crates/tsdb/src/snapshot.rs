@@ -145,6 +145,25 @@ mod tests {
         assert_eq!(a, b);
     }
 
+    /// Zone-map summaries are rebuilt on restore: a restored-and-compacted
+    /// engine answers windowed aggregations from summaries, identically.
+    #[test]
+    fn summaries_survive_snapshot_restore() {
+        let db = seeded();
+        db.compact();
+        let (bytes, _) = encode(&db).unwrap();
+        let restored = read_snapshot(&bytes, DbConfig::default()).unwrap();
+        restored.compact();
+        let q = Query::select("Power", "Reading", EpochSecs::new(0), EpochSecs::new(500 * 60))
+            .aggregate(Aggregation::Mean)
+            .group_by_time(500 * 60);
+        let (rs_a, cost_a) = db.query(&q).unwrap();
+        let (rs_b, cost_b) = restored.query(&q).unwrap();
+        assert_eq!(rs_a, rs_b);
+        assert!(cost_b.blocks_summarized > 0, "{cost_b:?}");
+        assert_eq!(cost_a.blocks_summarized, cost_b.blocks_summarized);
+    }
+
     #[test]
     fn snapshot_round_trips_through_file() {
         let db = seeded();

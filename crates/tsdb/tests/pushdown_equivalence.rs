@@ -1,0 +1,210 @@
+//! Property tests: aggregation pushdown (zone-map summaries for sealed
+//! blocks) is observationally identical to the full-decode read path.
+//!
+//! Two levels of equivalence are checked:
+//!
+//! 1. **Pushdown vs forced decode, always** — `DbConfig::pushdown =
+//!    false` decodes every eligible block and re-folds the identical
+//!    per-block partial, so the two paths must agree *byte for byte* for
+//!    any window/range/aggregation, including windows that straddle
+//!    blocks and shards. The physical cost must show the trade:
+//!    `pushdown.blocks + pushdown.blocks_summarized ==
+//!    full_decode.blocks`.
+//! 2. **Against the uncompacted per-point reference, for block-aligned
+//!    workloads** — when the window divides the shard duration and each
+//!    column holds at most one sealed block per shard (always true here:
+//!    ≤ 160 points, block capacity 1024), every bucket receives at most
+//!    one partial, so the merged fold is arithmetically the *same
+//!    association* as the per-point fold and even float `sum`/`mean`
+//!    match bit-exactly.
+
+use monster_tsdb::query::Aggregation;
+use monster_tsdb::{DataPoint, Db, DbConfig, Fill, Query};
+use monster_util::EpochSecs;
+use proptest::prelude::*;
+
+const SHARD: i64 = 600; // 10-minute shards
+const HORIZON: i64 = 6 * SHARD;
+
+/// Small closed vocabularies so series collide and queries match data.
+/// Every point carries a float, an int, a string, and a bool field, so
+/// Count pushdown over non-numeric columns is exercised too.
+fn arb_point() -> impl Strategy<Value = DataPoint> {
+    (
+        prop_oneof![Just("Power"), Just("Thermal")],
+        prop_oneof![Just("n1"), Just("n2"), Just("n3"), Just("n4")],
+        0..HORIZON,
+        any::<f64>().prop_filter("finite", |f| f.is_finite()),
+        prop_oneof![Just("ok"), Just("warn"), Just("down")],
+        any::<bool>(),
+    )
+        .prop_map(|(m, node, ts, reading, state, healthy)| {
+            DataPoint::new(m, EpochSecs::new(ts))
+                .tag("NodeId", node)
+                .field_f64("Reading", reading)
+                .field_i64("Sequence", ts)
+                .field_str("State", state)
+                .field_bool("Healthy", healthy)
+        })
+}
+
+fn arb_agg() -> impl Strategy<Value = Aggregation> {
+    prop_oneof![
+        Just(Aggregation::Max),
+        Just(Aggregation::Min),
+        Just(Aggregation::Mean),
+        Just(Aggregation::Sum),
+        Just(Aggregation::Count),
+        Just(Aggregation::First),
+        Just(Aggregation::Last),
+    ]
+}
+
+fn arb_field() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("Reading"), Just("Sequence"), Just("State"), Just("Healthy"), Just("Missing")]
+}
+
+#[derive(Debug, Clone)]
+struct QuerySpec {
+    measurement: &'static str,
+    field: &'static str,
+    agg: Aggregation,
+    fill: Fill,
+    window: i64,
+    node: Option<&'static str>,
+    start: i64,
+    len: i64,
+}
+
+impl QuerySpec {
+    fn build(&self) -> Query {
+        let mut q = Query::select(
+            self.measurement,
+            self.field,
+            EpochSecs::new(self.start),
+            EpochSecs::new(self.start + self.len),
+        )
+        .aggregate(self.agg)
+        .group_by_time(self.window);
+        q.fill = self.fill;
+        if let Some(n) = self.node {
+            q = q.where_tag("NodeId", n);
+        }
+        q
+    }
+}
+
+fn arb_query(window: impl Strategy<Value = i64>) -> impl Strategy<Value = QuerySpec> {
+    (
+        prop_oneof![Just("Power"), Just("Thermal")],
+        arb_field(),
+        arb_agg(),
+        prop_oneof![Just(Fill::None), Just(Fill::Zero), Just(Fill::Previous)],
+        window,
+        prop_oneof![Just(None), Just(Some("n1")), Just(Some("n2")), Just(Some("nX"))],
+        (0..HORIZON, 1..HORIZON),
+    )
+        .prop_map(|(measurement, field, agg, fill, window, node, (start, len))| QuerySpec {
+            measurement,
+            field,
+            agg,
+            fill,
+            window,
+            node,
+            start,
+            len,
+        })
+}
+
+fn db_with(points: &[DataPoint], pushdown: bool, compact: bool) -> Db {
+    let db = Db::new(DbConfig { shard_duration: SHARD, pushdown, ..DbConfig::default() });
+    // Single-point batches in input order: same-timestamp duplicates land
+    // in identical append order in every engine.
+    for p in points {
+        db.write(p.clone()).unwrap();
+    }
+    if compact {
+        db.compact();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pushdown vs forced full decode: bit-identical results for ANY
+    /// window, plus the block-accounting invariant.
+    #[test]
+    fn pushdown_matches_forced_decode_for_any_window(
+        points in prop::collection::vec(arb_point(), 1..160),
+        queries in prop::collection::vec(arb_query(1..HORIZON), 1..6),
+    ) {
+        let pushed = db_with(&points, true, true);
+        let forced = db_with(&points, false, true);
+        for spec in &queries {
+            let q = spec.build();
+            let (rs_p, c_p) = pushed.query(&q).unwrap();
+            let (rs_f, c_f) = forced.query(&q).unwrap();
+            prop_assert!(rs_p == rs_f, "spec {:?}", spec);
+            // Same plan-level counters...
+            prop_assert_eq!(c_p.index_entries, c_f.index_entries);
+            prop_assert_eq!(c_p.series, c_f.series);
+            prop_assert_eq!(c_p.shards_scanned, c_f.shards_scanned);
+            // ...and every sealed block either decoded or summarized.
+            prop_assert_eq!(c_p.blocks + c_p.blocks_summarized, c_f.blocks);
+            prop_assert_eq!(c_f.blocks_summarized, 0);
+            // Summarized blocks decode no points.
+            prop_assert!(c_p.points <= c_f.points);
+        }
+    }
+
+    /// Shard-aligned windows: the summary path also matches the
+    /// *uncompacted* per-point reference bit for bit (each bucket gets at
+    /// most one partial, so the float folds associate identically).
+    #[test]
+    fn pushdown_matches_per_point_reference_for_aligned_windows(
+        points in prop::collection::vec(arb_point(), 1..160),
+        queries in prop::collection::vec(
+            arb_query(prop_oneof![Just(60i64), Just(120), Just(200), Just(300), Just(600)]),
+            1..6,
+        ),
+    ) {
+        let reference = db_with(&points, true, false); // raw tails: per-point
+        let pushed = db_with(&points, true, true);
+        let forced = db_with(&points, false, true);
+        for spec in &queries {
+            let q = spec.build();
+            let (rs_r, _) = reference.query(&q).unwrap();
+            let (rs_p, _) = pushed.query(&q).unwrap();
+            let (rs_f, _) = forced.query(&q).unwrap();
+            prop_assert!(rs_r == rs_p, "reference vs pushdown, spec {:?}", spec);
+            prop_assert!(rs_p == rs_f, "pushdown vs forced, spec {:?}", spec);
+        }
+    }
+}
+
+/// Deterministic sanity check that the property tests above actually
+/// exercise the summary path: a whole-shard window over sealed data must
+/// summarize, and still match the per-point reference bit for bit.
+#[test]
+fn aligned_whole_range_query_actually_summarizes() {
+    let points: Vec<DataPoint> = (0..HORIZON)
+        .step_by(7)
+        .map(|ts| {
+            DataPoint::new("Power", EpochSecs::new(ts))
+                .tag("NodeId", "n1")
+                .field_f64("Reading", 0.1 + (ts % 41) as f64 * 0.3)
+        })
+        .collect();
+    let reference = db_with(&points, true, false);
+    let pushed = db_with(&points, true, true);
+    let q = Query::select("Power", "Reading", EpochSecs::new(0), EpochSecs::new(HORIZON))
+        .aggregate(Aggregation::Mean)
+        .group_by_time(SHARD);
+    let (rs_r, c_r) = reference.query(&q).unwrap();
+    let (rs_p, c_p) = pushed.query(&q).unwrap();
+    assert_eq!(rs_r, rs_p);
+    assert_eq!(c_p.blocks_summarized, 6, "one summarized block per shard");
+    assert_eq!(c_p.points, 0);
+    assert!(c_r.points > 0);
+}

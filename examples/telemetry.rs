@@ -109,6 +109,18 @@ fn main() {
     );
     println!("the 20-second bursts are invisible at 60 s and obvious at 10 s.");
 
+    // Seal the polled history and replay the dashboard aggregation once:
+    // sealed blocks fully inside the window are answered from their
+    // zone-map summaries instead of being decompressed, which shows up in
+    // the blocks_decoded / blocks_summarized counters below.
+    poll.db().compact();
+    let window = MINUTES * 60;
+    let agg =
+        monster::tsdb::Query::select("Power", "Reading", poll.now() - window, poll.now() + 60)
+            .aggregate(Aggregation::Mean)
+            .group_by_time(86_400);
+    poll.db().query(&agg).expect("sealed aggregation");
+
     // The polling run went through the instrumented wire path, so the
     // self-monitoring registry saw every sweep. This is the same exposition
     // the Metrics Builder serves at `GET /metrics`.
@@ -120,6 +132,8 @@ fn main() {
         "monster_redfish_retries_total",
         "monster_collector_points_total",
         "monster_tsdb_points_written_total",
+        "monster_tsdb_blocks_decoded_total",
+        "monster_tsdb_blocks_summarized_total",
     ] {
         println!("{name:36} {}", monster::obs::sample(&text, name).unwrap_or(0.0));
     }
