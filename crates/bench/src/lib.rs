@@ -51,6 +51,7 @@ pub fn populated(
         workload: Some(fixture_workload()),
         horizon_secs: days * 86_400,
         amplify_to_quanah: true,
+        ..MonsterConfig::default()
     });
     let intervals = (days * 86_400 / sample_every_secs) as usize;
     m.run_intervals_bulk(intervals);

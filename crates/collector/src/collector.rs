@@ -4,11 +4,14 @@
 use crate::preprocess::FinishEstimator;
 use crate::schema::{bmc_points, job_points, uge_points, SchemaVersion};
 use monster_redfish::client::{ClientConfig, RedfishClient, SweepOutcome};
+use monster_redfish::resilience::{BreakerCounts, HealthRegistry, ResilienceConfig};
+use monster_redfish::types::{Category, NodeReading};
 use monster_redfish::SimulatedCluster;
 use monster_scheduler::{JobState, Qmaster};
 use monster_sim::VDuration;
 use monster_tsdb::{DataPoint, Db};
-use monster_util::{EpochSecs, JobId, Result};
+use monster_util::{EpochSecs, JobId, NodeId, Result};
+use std::collections::HashMap;
 
 /// Collector configuration.
 #[derive(Debug, Clone)]
@@ -20,6 +23,10 @@ pub struct CollectorConfig {
     pub interval_secs: i64,
     /// Redfish client settings.
     pub client: ClientConfig,
+    /// When set, sweeps run through the resilience layer: per-BMC circuit
+    /// breakers, jittered retry backoff, and the deadline-aware degraded
+    /// sweep scheduler with last-known-good staleness substitution.
+    pub resilience: Option<ResilienceConfig>,
 }
 
 impl Default for CollectorConfig {
@@ -28,6 +35,7 @@ impl Default for CollectorConfig {
             schema: SchemaVersion::Optimized,
             interval_secs: 60,
             client: ClientConfig::default(),
+            resilience: None,
         }
     }
 }
@@ -46,6 +54,17 @@ pub struct IntervalOutput {
     /// Simulated time the whole interval's collection took (sweep
     /// makespan; the UGE pull runs concurrently and is much faster).
     pub simulated_collection_time: VDuration,
+    /// Last-known-good points written tagged `Stale=true` in place of
+    /// missing readings (resilient path only).
+    pub stale_points: usize,
+    /// Nodes that got at least one stale substitution this interval, with
+    /// the number of sweeps since that node was last fully fresh.
+    pub stale_nodes: Vec<(NodeId, u64)>,
+    /// True when the sweep skipped or failed anything — the interval ran
+    /// on partial data.
+    pub degraded: bool,
+    /// Breaker census at sweep end (all-closed on the legacy path).
+    pub breakers: BreakerCounts,
 }
 
 /// The Metrics Collector service.
@@ -53,13 +72,33 @@ pub struct Collector {
     config: CollectorConfig,
     client: RedfishClient,
     finish_estimator: FinishEstimator,
+    /// Per-BMC health and breakers (resilient path only).
+    registry: Option<HealthRegistry>,
+    /// Last successfully parsed reading per (node, category), served
+    /// tagged stale while the node is skipped or failing.
+    last_good: HashMap<(NodeId, Category), NodeReading>,
+    /// Sweep index at which each (node, category) was last fresh.
+    last_fresh: HashMap<(NodeId, Category), u64>,
 }
 
 impl Collector {
     /// Build a collector.
     pub fn new(config: CollectorConfig) -> Self {
         let client = RedfishClient::new(config.client.clone());
-        Collector { config, client, finish_estimator: FinishEstimator::new() }
+        let registry = config.resilience.clone().map(HealthRegistry::new);
+        Collector {
+            config,
+            client,
+            finish_estimator: FinishEstimator::new(),
+            registry,
+            last_good: HashMap::new(),
+            last_fresh: HashMap::new(),
+        }
+    }
+
+    /// The per-BMC health registry, when the resilience layer is on.
+    pub fn registry(&self) -> Option<&HealthRegistry> {
+        self.registry.as_ref()
     }
 
     /// The active configuration.
@@ -78,13 +117,47 @@ impl Collector {
         let span = monster_obs::Span::enter("collector.interval");
 
         // --- out-of-band: Redfish sweep ---
-        let sweep = self.client.sweep(cluster);
+        // Resilient when configured: breakers + backoff + deadline budget;
+        // otherwise the legacy fan-out with immediate retries.
+        let sweep = match &self.registry {
+            Some(registry) => self.client.sweep_resilient(cluster, registry),
+            None => self.client.sweep(cluster),
+        };
+        let resilient = self.registry.is_some();
+        let current_sweep = self.registry.as_ref().map(|r| r.sweep_index()).unwrap_or(0);
         let mut points: Vec<DataPoint> = Vec::with_capacity(cluster.len() * 16);
+        let mut stale_points = 0usize;
+        let mut stale_age: HashMap<NodeId, u64> = HashMap::new();
         for outcome in &sweep.results {
             if let Some(reading) = &outcome.reading {
                 points.extend(bmc_points(self.config.schema, outcome.node, reading, now));
+                if resilient {
+                    self.last_good.insert((outcome.node, outcome.category), reading.clone());
+                    self.last_fresh.insert((outcome.node, outcome.category), current_sweep);
+                }
+            } else if resilient {
+                // Degraded: serve the last-known-good reading for this
+                // (node, category), tagged stale so queries can tell
+                // substituted values from live ones.
+                let key = (outcome.node, outcome.category);
+                if let Some(prev) = self.last_good.get(&key) {
+                    let substituted = bmc_points(self.config.schema, outcome.node, prev, now)
+                        .into_iter()
+                        .map(|p| p.tag("Stale", "true"));
+                    let before = points.len();
+                    points.extend(substituted);
+                    stale_points += points.len() - before;
+                    let age = current_sweep
+                        .saturating_sub(self.last_fresh.get(&key).copied().unwrap_or(0));
+                    let entry = stale_age.entry(outcome.node).or_insert(0);
+                    *entry = (*entry).max(age);
+                }
             }
         }
+        let mut stale_nodes: Vec<(NodeId, u64)> = stale_age.into_iter().collect();
+        stale_nodes.sort_unstable();
+        let degraded = sweep.degraded();
+        let breakers = self.registry.as_ref().map(|r| r.breaker_counts()).unwrap_or_default();
 
         // --- in-band: resource manager pull ---
         let (_, uge_bytes) = monster_scheduler::accounting::accounting_pull(qm);
@@ -124,9 +197,24 @@ impl Collector {
             .add(estimated_finishes.len() as u64);
         monster_obs::histo("monster_collector_interval_seconds")
             .observe_vdur(simulated_collection_time);
+        monster_obs::counter("monster_collector_stale_points_total").add(stale_points as u64);
+        monster_obs::gauge("monster_collector_stale_nodes").set(stale_nodes.len() as i64);
+        if degraded {
+            monster_obs::counter("monster_collector_degraded_sweeps_total").inc();
+        }
         span.finish_after(simulated_collection_time);
 
-        IntervalOutput { points, sweep, uge_bytes, estimated_finishes, simulated_collection_time }
+        IntervalOutput {
+            points,
+            sweep,
+            uge_bytes,
+            estimated_finishes,
+            simulated_collection_time,
+            stale_points,
+            stale_nodes,
+            degraded,
+            breakers,
+        }
     }
 
     /// Collect one interval **without** the Redfish wire layer: readings

@@ -6,7 +6,9 @@ use monster_builder::{build_plan, encode_response, BuilderRequest, ExecMode};
 use monster_collector::{Collector, CollectorConfig, SchemaVersion};
 use monster_compress::Level;
 use monster_redfish::bmc::BmcConfig;
+use monster_redfish::client::ClientConfig;
 use monster_redfish::cluster::{ClusterConfig, SimulatedCluster};
+use monster_redfish::resilience::ResilienceConfig;
 use monster_scheduler::{Qmaster, QmasterConfig, WorkloadConfig, WorkloadGenerator};
 use monster_sim::{DiskModel, VDuration};
 use monster_tsdb::retention::ContinuousQuery;
@@ -33,6 +35,15 @@ pub struct MonsterConfig {
     pub disk: DiskModel,
     /// BMC behaviour model.
     pub bmc: BmcConfig,
+    /// Per-node BMC overrides by enumeration index (heterogeneous fleets:
+    /// one flaky rack in an otherwise healthy cluster).
+    pub bmc_overrides: Vec<(usize, BmcConfig)>,
+    /// Redfish client tunables (timeouts, retries, in-flight budget).
+    pub client: ClientConfig,
+    /// When set, collection runs through the resilience layer: circuit
+    /// breakers, jittered backoff, deadline-aware degraded sweeps with
+    /// stale substitution.
+    pub resilience: Option<ResilienceConfig>,
     /// Synthetic workload (`None` leaves the cluster idle).
     pub workload: Option<WorkloadConfig>,
     /// How much simulated time the workload generator pre-populates.
@@ -51,6 +62,9 @@ impl Default for MonsterConfig {
             interval_secs: 60,
             disk: DiskModel::HDD,
             bmc: BmcConfig::default(),
+            bmc_overrides: Vec::new(),
+            client: ClientConfig::default(),
+            resilience: None,
             workload: Some(WorkloadConfig::default()),
             horizon_secs: 86_400,
             amplify_to_quanah: false,
@@ -69,6 +83,17 @@ pub struct IntervalSummary {
     pub collection_time: VDuration,
     /// BMC requests that failed after retries (zero on the direct path).
     pub bmc_failures: usize,
+    /// Requests the resilient scheduler skipped (breaker open or deadline
+    /// budget exhausted; zero on the legacy path).
+    pub bmc_skipped: usize,
+    /// Last-known-good points written tagged stale this interval.
+    pub stale_points: usize,
+    /// Nodes substituted with stale data, with sweeps-since-fresh ages.
+    pub stale_nodes: Vec<(NodeId, u64)>,
+    /// True when the interval ran on partial data.
+    pub degraded: bool,
+    /// Circuit breakers open at sweep end.
+    pub breakers_open: usize,
 }
 
 /// A running MonSTer deployment.
@@ -92,6 +117,7 @@ impl Monster {
             slots_per_chassis: 4,
             seed: config.seed,
             bmc: config.bmc.clone(),
+            bmc_overrides: config.bmc_overrides.clone(),
         });
         let qm_config = QmasterConfig { nodes: config.nodes, ..QmasterConfig::default() };
         let start = qm_config.start_time;
@@ -112,7 +138,8 @@ impl Monster {
         let collector = Collector::new(CollectorConfig {
             schema: config.schema,
             interval_secs: config.interval_secs,
-            ..CollectorConfig::default()
+            client: config.client.clone(),
+            resilience: config.resilience.clone(),
         });
         Monster {
             config,
@@ -156,6 +183,12 @@ impl Monster {
         &self.qmaster
     }
 
+    /// The collector service (resilience registry access for tests and
+    /// the chaos harness).
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
     /// Mutable scheduler access (failure injection, extra submissions).
     pub fn qmaster_mut(&mut self) -> &mut Qmaster {
         &mut self.qmaster
@@ -186,6 +219,11 @@ impl Monster {
             points: out.points.len(),
             collection_time: out.simulated_collection_time,
             bmc_failures: out.sweep.failures(),
+            bmc_skipped: out.sweep.skipped(),
+            stale_points: out.stale_points,
+            stale_nodes: out.stale_nodes,
+            degraded: out.degraded,
+            breakers_open: out.breakers.open,
         })
     }
 

@@ -87,6 +87,19 @@ impl SimulatedBmc {
         self.alive
     }
 
+    /// The current behaviour model.
+    pub fn config(&self) -> &BmcConfig {
+        &self.config
+    }
+
+    /// Override this BMC's failure/stall rates (fault injection and
+    /// heterogeneous-fleet modelling: one bad rack in an otherwise healthy
+    /// cluster). The latency distribution is untouched.
+    pub fn set_rates(&mut self, failure_rate: f64, stall_rate: f64) {
+        self.config.failure_rate = failure_rate;
+        self.config.stall_rate = stall_rate;
+    }
+
     /// Handle one request against the current sensor state.
     pub fn handle(&mut self, category: Category, sensors: &NodeSensors) -> BmcResponse {
         if !self.alive {

@@ -11,6 +11,7 @@
 use crate::bmc::BmcResponse;
 use crate::cluster::SimulatedCluster;
 use crate::model::parse_reading;
+use crate::resilience::{Admission, HealthRegistry};
 use crate::types::{Category, NodeReading};
 use monster_sim::VDuration;
 use monster_util::pool::ThreadPool;
@@ -42,6 +43,17 @@ impl Default for ClientConfig {
     }
 }
 
+/// Why the resilient sweep scheduler skipped a request without issuing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipReason {
+    /// The node's circuit breaker was open (or half-open beyond its one
+    /// probe request).
+    BreakerOpen,
+    /// The sweep's deadline budget was exhausted before this request could
+    /// be scheduled.
+    Deadline,
+}
+
 /// Outcome of a single request (including its retries).
 #[derive(Debug, Clone)]
 pub struct RequestOutcome {
@@ -49,14 +61,30 @@ pub struct RequestOutcome {
     pub node: NodeId,
     /// Category queried.
     pub category: Category,
-    /// Parsed reading; `None` after exhausting retries.
+    /// Parsed reading; `None` after exhausting retries or being skipped.
     pub reading: Option<NodeReading>,
-    /// Total attempts made (1 = first try succeeded).
+    /// Total attempts made (1 = first try succeeded, 0 = skipped).
     pub attempts: usize,
     /// Attempts that hit the read timeout (stalled BMC).
     pub timeouts: usize,
     /// Simulated elapsed time across all attempts.
     pub elapsed: VDuration,
+    /// Set when the resilient scheduler never issued the request.
+    pub skip: Option<SkipReason>,
+}
+
+impl RequestOutcome {
+    fn skipped(node: NodeId, category: Category, reason: SkipReason) -> RequestOutcome {
+        RequestOutcome {
+            node,
+            category,
+            reading: None,
+            attempts: 0,
+            timeouts: 0,
+            elapsed: VDuration::ZERO,
+            skip: Some(reason),
+        }
+    }
 }
 
 /// Outcome of a full sweep.
@@ -66,6 +94,8 @@ pub struct SweepOutcome {
     pub results: Vec<RequestOutcome>,
     /// Simulated wall time for the sweep under the in-flight budget.
     pub makespan: VDuration,
+    /// The deadline the sweep was budgeted against (resilient path only).
+    pub deadline: Option<VDuration>,
 }
 
 impl SweepOutcome {
@@ -74,14 +104,35 @@ impl SweepOutcome {
         self.results.iter().filter(|r| r.reading.is_some()).count()
     }
 
-    /// Requests that exhausted retries.
+    /// Requests that were issued but exhausted retries.
     pub fn failures(&self) -> usize {
-        self.results.len() - self.successes()
+        self.results.len() - self.successes() - self.skipped()
+    }
+
+    /// Requests the resilient scheduler never issued.
+    pub fn skipped(&self) -> usize {
+        self.results.iter().filter(|r| r.skip.is_some()).count()
+    }
+
+    /// Requests skipped because a circuit breaker was open.
+    pub fn skipped_breaker(&self) -> usize {
+        self.results.iter().filter(|r| r.skip == Some(SkipReason::BreakerOpen)).count()
+    }
+
+    /// Requests skipped because the sweep deadline budget ran out.
+    pub fn skipped_deadline(&self) -> usize {
+        self.results.iter().filter(|r| r.skip == Some(SkipReason::Deadline)).count()
+    }
+
+    /// True when anything was skipped or failed — the sweep is running on
+    /// partial data and staleness substitution applies downstream.
+    pub fn degraded(&self) -> bool {
+        self.skipped() > 0 || self.failures() > 0
     }
 
     /// Extra attempts beyond the first, summed.
     pub fn retries(&self) -> usize {
-        self.results.iter().map(|r| r.attempts - 1).sum()
+        self.results.iter().map(|r| r.attempts.saturating_sub(1)).sum()
     }
 
     /// Read-timeout hits across all requests and attempts.
@@ -154,7 +205,15 @@ impl RedfishClient {
                 Ok(BmcResponse::Ok(payload, latency)) => {
                     elapsed += latency;
                     let reading = parse_reading(category, &payload).ok();
-                    return RequestOutcome { node, category, reading, attempts, timeouts, elapsed };
+                    return RequestOutcome {
+                        node,
+                        category,
+                        reading,
+                        attempts,
+                        timeouts,
+                        elapsed,
+                        skip: None,
+                    };
                 }
                 Ok(BmcResponse::Refused(latency)) => {
                     elapsed += latency;
@@ -172,11 +231,96 @@ impl RedfishClient {
                         attempts,
                         timeouts,
                         elapsed,
+                        skip: None,
                     };
                 }
             }
         }
-        RequestOutcome { node, category, reading: None, attempts, timeouts, elapsed }
+        RequestOutcome { node, category, reading: None, attempts, timeouts, elapsed, skip: None }
+    }
+
+    /// Execute one request with the resilient retry policy: jittered
+    /// exponential backoff between attempts, per-attempt read timeouts
+    /// trimmed to the remaining `budget`, and attempt-level failure
+    /// reporting to `registry` (so a node's breaker can trip mid-request
+    /// and cut the remaining retries).
+    ///
+    /// The total elapsed time never exceeds `budget` — that bound is what
+    /// lets the sweep scheduler guarantee its deadline.
+    pub fn fetch_resilient(
+        &self,
+        cluster: &SimulatedCluster,
+        node: NodeId,
+        category: Category,
+        registry: &HealthRegistry,
+        budget: VDuration,
+        sweep: u64,
+    ) -> RequestOutcome {
+        let rcfg = registry.config();
+        let mut elapsed = VDuration::ZERO;
+        let mut attempts = 0;
+        let mut timeouts = 0;
+        loop {
+            attempts += 1;
+            let remaining = budget.saturating_sub(elapsed);
+            // A real client bounds the read by both its configured timeout
+            // and the time left in the sweep budget.
+            let attempt_timeout = std::cmp::min(self.config.read_timeout, remaining);
+            match cluster.request(node, category) {
+                Ok(BmcResponse::Ok(payload, latency)) if latency <= attempt_timeout => {
+                    elapsed += latency;
+                    registry.record_success(node, latency);
+                    let reading = parse_reading(category, &payload).ok();
+                    return RequestOutcome {
+                        node,
+                        category,
+                        reading,
+                        attempts,
+                        timeouts,
+                        elapsed,
+                        skip: None,
+                    };
+                }
+                Ok(BmcResponse::Ok(..)) => {
+                    // The payload would have arrived after the (possibly
+                    // budget-trimmed) read timeout: the client hangs up.
+                    timeouts += 1;
+                    elapsed += attempt_timeout;
+                    registry.record_failure(node);
+                }
+                Ok(BmcResponse::Refused(latency)) => {
+                    elapsed += std::cmp::min(latency, attempt_timeout);
+                    registry.record_failure(node);
+                }
+                Ok(BmcResponse::Stalled) => {
+                    timeouts += 1;
+                    elapsed += attempt_timeout;
+                    registry.record_failure(node);
+                }
+                Err(_) => {
+                    // Unknown node: not retryable.
+                    return RequestOutcome {
+                        node,
+                        category,
+                        reading: None,
+                        attempts,
+                        timeouts,
+                        elapsed,
+                        skip: None,
+                    };
+                }
+            }
+            if attempts > self.config.max_retries || registry.is_open(node) {
+                break;
+            }
+            let delay = rcfg.backoff.delay(rcfg.seed, node, sweep, attempts as u32);
+            if elapsed + delay + rcfg.min_attempt_budget > budget {
+                break; // not enough budget left for a meaningful retry
+            }
+            elapsed += delay;
+            monster_obs::histo("monster_redfish_backoff_seconds").observe_vdur(delay);
+        }
+        RequestOutcome { node, category, reading: None, attempts, timeouts, elapsed, skip: None }
     }
 
     /// Sweep the whole fleet: fan the request pool out on the worker pool,
@@ -197,7 +341,99 @@ impl RedfishClient {
             *min += t;
         }
         let makespan = bins.into_iter().max().unwrap_or(VDuration::ZERO);
-        let outcome = SweepOutcome { results, makespan };
+        let outcome = SweepOutcome { results, makespan, deadline: None };
+        self.report(&outcome);
+        span.finish_after(makespan);
+        outcome
+    }
+
+    /// Sweep the fleet with the resilience layer engaged: open-circuit
+    /// nodes are skipped outright, half-open nodes get a single probe, and
+    /// the remaining requests are packed cheapest-estimate-first onto the
+    /// in-flight channels against the configured sweep deadline. When the
+    /// budget runs out the sweep returns *degraded* — the unscheduled
+    /// requests are reported as skipped instead of dragging the makespan
+    /// past the collection cadence.
+    ///
+    /// By construction no channel is ever loaded past the deadline: a
+    /// request is only admitted while its latency estimate fits, and
+    /// [`Self::fetch_resilient`] trims per-attempt read timeouts to the
+    /// channel's remaining budget.
+    ///
+    /// Runs single-threaded on purpose: breaker transitions, EWMA updates,
+    /// and per-node RNG draws then happen in one deterministic order, so a
+    /// seeded chaos replay is bit-identical across runs and machines (the
+    /// wall-clock cost of a simulated fetch is microseconds).
+    pub fn sweep_resilient(
+        &self,
+        cluster: &SimulatedCluster,
+        registry: &HealthRegistry,
+    ) -> SweepOutcome {
+        let span = monster_obs::Span::enter("redfish.sweep");
+        registry.begin_sweep();
+        let sweep_idx = registry.sweep_index();
+        let deadline = registry.config().sweep_deadline;
+        let min_budget = registry.config().min_attempt_budget;
+
+        // Breaker admission, node by node.
+        let mut admitted: Vec<(NodeId, Category)> = Vec::new();
+        let mut results: Vec<RequestOutcome> = Vec::new();
+        for &node in cluster.node_ids() {
+            match registry.admit(node) {
+                Admission::Allow => admitted.extend(Category::ALL.into_iter().map(|c| (node, c))),
+                Admission::Probe => {
+                    // One probe request; the other categories stay skipped
+                    // until the breaker closes.
+                    admitted.push((node, Category::ALL[0]));
+                    for &c in &Category::ALL[1..] {
+                        results.push(RequestOutcome::skipped(node, c, SkipReason::BreakerOpen));
+                    }
+                }
+                Admission::Skip => {
+                    for c in Category::ALL {
+                        results.push(RequestOutcome::skipped(node, c, SkipReason::BreakerOpen));
+                    }
+                }
+            }
+        }
+
+        // Cheapest-estimate-first order: deadline exhaustion then sheds the
+        // highest-latency suspects, never the healthy fleet. The sort is
+        // stable, so ties keep management-network order.
+        let mut order: Vec<(VDuration, NodeId, Category)> =
+            admitted.into_iter().map(|(n, c)| (registry.estimate(n), n, c)).collect();
+        order.sort_by_key(|&(estimate, _, _)| estimate);
+
+        // Greedy least-loaded channel packing against the deadline.
+        let channels = self.config.max_inflight.max(1).min(order.len().max(1));
+        let mut bins = vec![VDuration::ZERO; channels];
+        for (estimate, node, category) in order {
+            // A breaker may have opened mid-sweep from this sweep's own
+            // failures; skip the node's remaining requests if so.
+            if registry.is_open(node) {
+                results.push(RequestOutcome::skipped(node, category, SkipReason::BreakerOpen));
+                continue;
+            }
+            let (bin_idx, load) = bins
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| **l)
+                .map(|(i, l)| (i, *l))
+                .expect("non-empty bins");
+            let budget = deadline.saturating_sub(load);
+            if load + estimate > deadline || budget < min_budget {
+                results.push(RequestOutcome::skipped(node, category, SkipReason::Deadline));
+                continue;
+            }
+            let outcome =
+                self.fetch_resilient(cluster, node, category, registry, budget, sweep_idx);
+            bins[bin_idx] += outcome.elapsed;
+            results.push(outcome);
+        }
+
+        let makespan = bins.into_iter().max().unwrap_or(VDuration::ZERO);
+        let outcome = SweepOutcome { results, makespan, deadline: Some(deadline) };
+        registry.publish_gauges();
         self.report(&outcome);
         span.finish_after(makespan);
         outcome
@@ -212,8 +448,9 @@ impl RedfishClient {
         monster_obs::counter("monster_redfish_failures_total").add(outcome.failures() as u64);
         monster_obs::counter("monster_redfish_retries_total").add(outcome.retries() as u64);
         monster_obs::counter("monster_redfish_timeouts_total").add(outcome.timeouts() as u64);
+        monster_obs::counter("monster_redfish_skipped_total").add(outcome.skipped() as u64);
         let histo = monster_obs::histo("monster_redfish_request_seconds");
-        for r in &outcome.results {
+        for r in outcome.results.iter().filter(|r| r.skip.is_none()) {
             histo.observe_vdur(r.elapsed);
         }
     }
@@ -306,5 +543,128 @@ mod tests {
         let o = client.fetch(&cluster, NodeId::new(40, 1), Category::Power);
         assert!(o.reading.is_none());
         assert_eq!(o.attempts, 1);
+    }
+
+    // ---- resilient path -------------------------------------------------
+
+    use crate::resilience::{BreakerState, ResilienceConfig};
+
+    fn clean_cluster(nodes: usize, seed: u64) -> SimulatedCluster {
+        SimulatedCluster::new(ClusterConfig {
+            bmc: BmcConfig { failure_rate: 0.0, stall_rate: 0.0, ..BmcConfig::default() },
+            ..ClusterConfig::small(nodes, seed)
+        })
+    }
+
+    #[test]
+    fn retry_exhaustion_accounts_attempts_timeouts_elapsed() {
+        // The satellite-checklist accounting test: a dead BMC exhausts
+        // max_retries and the outcome reports exactly what was spent.
+        let cluster = clean_cluster(1, 21);
+        let node = cluster.node_ids()[0];
+        cluster.set_bmc_alive(node, false).unwrap();
+        let client = RedfishClient::default();
+        let rcfg = ResilienceConfig::default();
+        let registry = HealthRegistry::new(rcfg.clone());
+        registry.begin_sweep();
+
+        let budget = VDuration::from_secs(300); // ample: no trimming
+        let o = client.fetch_resilient(&cluster, node, Category::Power, &registry, budget, 1);
+        assert!(o.reading.is_none());
+        assert!(o.skip.is_none());
+        // Default breaker threshold is 3: the third stalled attempt trips
+        // the breaker mid-request, so all 3 attempts ran.
+        assert_eq!(o.attempts, client.config().max_retries + 1);
+        assert_eq!(o.timeouts, 3);
+        // Elapsed = 3 read timeouts + the two jittered backoff delays.
+        let d1 = rcfg.backoff.delay(rcfg.seed, node, 1, 1);
+        let d2 = rcfg.backoff.delay(rcfg.seed, node, 1, 2);
+        assert_eq!(o.elapsed, VDuration::from_secs(45) + d1 + d2);
+        assert_eq!(registry.breaker_state(node), BreakerState::Open);
+    }
+
+    #[test]
+    fn budget_cuts_retries_and_bounds_elapsed() {
+        let cluster = clean_cluster(1, 22);
+        let node = cluster.node_ids()[0];
+        cluster.set_bmc_alive(node, false).unwrap();
+        let client = RedfishClient::default();
+        let registry = HealthRegistry::new(ResilienceConfig::default());
+        registry.begin_sweep();
+
+        // 20 s budget: one full 15 s timeout, then no room for another
+        // attempt after backoff — the request gives up inside its budget.
+        let budget = VDuration::from_secs(20);
+        let o = client.fetch_resilient(&cluster, node, Category::Power, &registry, budget, 1);
+        assert!(o.reading.is_none());
+        assert!(o.elapsed <= budget, "elapsed {} > budget {budget}", o.elapsed);
+        assert!(o.attempts <= 2, "attempts {}", o.attempts);
+    }
+
+    #[test]
+    fn resilient_sweep_on_clean_fleet_matches_plain_sweep_semantics() {
+        let cluster = clean_cluster(6, 23);
+        let client = RedfishClient::default();
+        let registry = HealthRegistry::new(ResilienceConfig::default());
+        let sweep = client.sweep_resilient(&cluster, &registry);
+        assert_eq!(sweep.results.len(), 24);
+        assert_eq!(sweep.successes(), 24);
+        assert_eq!(sweep.skipped(), 0);
+        assert!(!sweep.degraded());
+        assert_eq!(sweep.deadline, Some(ResilienceConfig::default().sweep_deadline));
+        assert!(sweep.makespan <= ResilienceConfig::default().sweep_deadline);
+    }
+
+    #[test]
+    fn open_breaker_skips_node_then_probe_recovers_it() {
+        let cluster = clean_cluster(3, 24);
+        let victim = cluster.node_ids()[0];
+        cluster.set_bmc_alive(victim, false).unwrap();
+        let client = RedfishClient::default();
+        let registry = HealthRegistry::new(ResilienceConfig::default());
+
+        // Sweep 1: the victim's first request burns its attempts and trips
+        // the breaker; its other 3 categories are skipped mid-sweep.
+        let s1 = client.sweep_resilient(&cluster, &registry);
+        assert_eq!(s1.failures(), 1);
+        assert_eq!(s1.skipped_breaker(), 3);
+        assert_eq!(registry.breaker_state(victim), BreakerState::Open);
+
+        // Sweeps 2-3 (cooldown): the victim is skipped wholesale at zero
+        // simulated cost.
+        for _ in 0..2 {
+            let s = client.sweep_resilient(&cluster, &registry);
+            assert_eq!(s.skipped_breaker(), 4);
+            assert_eq!(s.failures(), 0);
+        }
+
+        // The BMC comes back; the half-open probe succeeds and closes the
+        // breaker, and the following sweep is fully fresh again.
+        cluster.set_bmc_alive(victim, true).unwrap();
+        let s4 = client.sweep_resilient(&cluster, &registry);
+        assert_eq!(s4.skipped_breaker(), 3, "only the probe ran");
+        assert_eq!(registry.breaker_state(victim), BreakerState::Closed);
+        let s5 = client.sweep_resilient(&cluster, &registry);
+        assert_eq!(s5.successes(), 12);
+        assert!(!s5.degraded());
+    }
+
+    #[test]
+    fn deadline_sheds_load_instead_of_overrunning() {
+        // 8 nodes / 32 requests forced through 2 channels with a tight
+        // deadline: the sweep must degrade, not overrun.
+        let cluster = clean_cluster(8, 25);
+        let client =
+            RedfishClient::new(ClientConfig { max_inflight: 2, ..ClientConfig::default() });
+        let rcfg = ResilienceConfig {
+            sweep_deadline: VDuration::from_secs(30),
+            ..ResilienceConfig::default()
+        };
+        let registry = HealthRegistry::new(rcfg);
+        let sweep = client.sweep_resilient(&cluster, &registry);
+        assert!(sweep.makespan <= VDuration::from_secs(30), "makespan {}", sweep.makespan);
+        assert!(sweep.skipped_deadline() > 0, "nothing shed under a 30 s / 2-channel budget");
+        assert!(sweep.successes() > 0, "everything shed");
+        assert!(sweep.degraded());
     }
 }

@@ -22,8 +22,12 @@ pub struct ClusterConfig {
     pub slots_per_chassis: u16,
     /// Master seed for all per-node streams.
     pub seed: u64,
-    /// BMC behaviour.
+    /// BMC behaviour applied to every node.
     pub bmc: BmcConfig,
+    /// Per-node BMC overrides by enumeration index, applied on top of
+    /// `bmc` — a heterogeneous fleet (one flaky rack) in one config.
+    /// Empty by default.
+    pub bmc_overrides: Vec<(usize, BmcConfig)>,
 }
 
 impl Default for ClusterConfig {
@@ -33,6 +37,7 @@ impl Default for ClusterConfig {
             slots_per_chassis: 4,
             seed: 20_170_101, // Quanah commissioning date
             bmc: BmcConfig::default(),
+            bmc_overrides: Vec::new(),
         }
     }
 }
@@ -63,11 +68,19 @@ impl SimulatedCluster {
         let ids = NodeId::enumerate(config.nodes, config.slots_per_chassis);
         let cells = ids
             .iter()
-            .map(|&id| {
+            .enumerate()
+            .map(|(index, &id)| {
                 let mut sensor_rng =
                     SimRng::derive(config.seed, &format!("sensors/{}", id.bmc_addr()));
                 let sensors = NodeSensors::new(&mut sensor_rng);
-                let bmc = SimulatedBmc::new(id, config.bmc.clone(), config.seed);
+                let bmc_config = config
+                    .bmc_overrides
+                    .iter()
+                    .rev()
+                    .find(|(i, _)| *i == index)
+                    .map(|(_, c)| c.clone())
+                    .unwrap_or_else(|| config.bmc.clone());
+                let bmc = SimulatedBmc::new(id, bmc_config, config.seed);
                 (id, Mutex::new(NodeCell { bmc, sensors, sensor_rng }))
             })
             .collect();
@@ -114,6 +127,27 @@ impl SimulatedCluster {
         let cell =
             self.cells.get(&node).ok_or_else(|| Error::not_found(format!("no node {node}")))?;
         cell.lock().bmc.set_alive(alive);
+        Ok(())
+    }
+
+    /// Fault injection: override one node's failure/stall rates at runtime
+    /// (the chaos harness drives these from a [`monster_sim::FaultProfile`]
+    /// schedule).
+    pub fn set_bmc_rates(&self, node: NodeId, failure_rate: f64, stall_rate: f64) -> Result<()> {
+        let cell =
+            self.cells.get(&node).ok_or_else(|| Error::not_found(format!("no node {node}")))?;
+        cell.lock().bmc.set_rates(failure_rate, stall_rate);
+        Ok(())
+    }
+
+    /// Apply a [`monster_sim::FaultSpec`] to one node: rates plus
+    /// dead/alive state in a single call.
+    pub fn apply_fault(&self, node: NodeId, spec: monster_sim::FaultSpec) -> Result<()> {
+        let cell =
+            self.cells.get(&node).ok_or_else(|| Error::not_found(format!("no node {node}")))?;
+        let mut cell = cell.lock();
+        cell.bmc.set_rates(spec.failure_rate, spec.stall_rate);
+        cell.bmc.set_alive(!spec.dead);
         Ok(())
     }
 
@@ -208,6 +242,52 @@ mod tests {
             c.node_ids().iter().map(|&id| c.sensors(id).unwrap().nine_metrics()).collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn per_node_overrides_make_heterogeneous_fleets() {
+        // Node 0 is configured always-refusing, node 1 keeps the clean
+        // cluster-wide default: one bad sled, one good one.
+        let cfg = ClusterConfig {
+            bmc: BmcConfig { failure_rate: 0.0, stall_rate: 0.0, ..BmcConfig::default() },
+            bmc_overrides: vec![(
+                0,
+                BmcConfig { failure_rate: 1.0, stall_rate: 0.0, ..BmcConfig::default() },
+            )],
+            ..ClusterConfig::small(2, 11)
+        };
+        let c = SimulatedCluster::new(cfg);
+        let (bad, good) = (c.node_ids()[0], c.node_ids()[1]);
+        for _ in 0..20 {
+            assert!(matches!(c.request(bad, Category::Power).unwrap(), BmcResponse::Refused(_)));
+            assert!(matches!(c.request(good, Category::Power).unwrap(), BmcResponse::Ok(..)));
+        }
+    }
+
+    #[test]
+    fn runtime_rate_overrides_apply_and_clear() {
+        let cfg = ClusterConfig {
+            bmc: BmcConfig { failure_rate: 0.0, stall_rate: 0.0, ..BmcConfig::default() },
+            ..ClusterConfig::small(2, 12)
+        };
+        let c = SimulatedCluster::new(cfg);
+        let node = c.node_ids()[0];
+        c.set_bmc_rates(node, 0.0, 1.0).unwrap();
+        for _ in 0..5 {
+            assert_eq!(c.request(node, Category::Thermal).unwrap(), BmcResponse::Stalled);
+        }
+        c.set_bmc_rates(node, 0.0, 0.0).unwrap();
+        assert!(matches!(c.request(node, Category::Thermal).unwrap(), BmcResponse::Ok(..)));
+        // apply_fault drives both rates and liveness.
+        c.apply_fault(
+            node,
+            monster_sim::FaultSpec { failure_rate: 0.0, stall_rate: 0.0, dead: true },
+        )
+        .unwrap();
+        assert_eq!(c.request(node, Category::Thermal).unwrap(), BmcResponse::Stalled);
+        c.apply_fault(node, monster_sim::FaultSpec::NONE).unwrap();
+        assert!(matches!(c.request(node, Category::Thermal).unwrap(), BmcResponse::Ok(..)));
+        assert!(c.set_bmc_rates(NodeId::new(99, 9), 0.5, 0.5).is_err());
     }
 
     #[test]

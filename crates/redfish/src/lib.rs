@@ -21,6 +21,9 @@
 //!   streams, advanced in lockstep with the scheduler simulation;
 //! * [`client`] — the polling client: request-pool fan-out on a worker
 //!   pool, timeout + retry policy, simulated sweep makespan;
+//! * [`resilience`] — per-BMC health registry (EWMA latency, consecutive
+//!   failures), circuit breakers, and jittered retry backoff feeding the
+//!   client's deadline-aware degraded sweeps;
 //! * [`gateway`] — an HTTP facade that serves the simulated fleet over
 //!   real sockets (`/nodes/:addr/redfish/v1/...`) for end-to-end tests;
 //! * [`telemetry`] — the DMTF Telemetry Service (the paper's §VI future
@@ -35,6 +38,7 @@ pub mod client;
 pub mod cluster;
 pub mod gateway;
 pub mod model;
+pub mod resilience;
 pub mod sensors;
 pub mod telemetry;
 pub mod types;
@@ -42,4 +46,5 @@ pub mod types;
 pub use bmc::{BmcConfig, SimulatedBmc};
 pub use client::{RedfishClient, SweepOutcome};
 pub use cluster::{ClusterConfig, SimulatedCluster};
+pub use resilience::{BreakerState, HealthRegistry, ResilienceConfig};
 pub use types::{Category, HealthState, NodeReading};

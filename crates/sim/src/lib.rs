@@ -16,6 +16,8 @@
 //!   experiments of Figs. 17 & 19 and the Table IV bandwidth accounting;
 //! * [`event`] — a discrete-event queue driving the UGE simulator and the
 //!   collection loop;
+//! * [`fault`] — named, seeded fault profiles (per-entity failure/stall
+//!   schedules over virtual time) replayed by the chaos harness;
 //! * [`hosts`] — the Table III host profiles as constants.
 //!
 //! Everything here returns *virtual* time ([`vtime::VDuration`]): paper-scale
@@ -26,6 +28,7 @@
 
 pub mod disk;
 pub mod event;
+pub mod fault;
 pub mod hosts;
 pub mod net;
 pub mod rng;
@@ -33,6 +36,7 @@ pub mod vtime;
 
 pub use disk::DiskModel;
 pub use event::EventQueue;
+pub use fault::{FaultProfile, FaultSpec};
 pub use net::NetModel;
 pub use rng::{LatencyDist, SimRng};
 pub use vtime::{VDuration, VInstant};

@@ -53,7 +53,7 @@ fn batch_at(ts: i64) -> Vec<DataPoint> {
                 .tag("NodeId", format!("10.101.1.{n}"))
                 .tag("Label", "NodePower")
                 .field_f64("Reading", 250.0 + n as f64)
-                .field_i64("Health", (ts % 3) as i64)
+                .field_i64("Health", ts % 3)
         })
         .collect()
 }

@@ -716,13 +716,14 @@ mod tests {
         let mut rng = Prng::new(3);
         let (mut ones, mut twos, mut ranged) = (0, 0, 0);
         for _ in 0..300 {
-            match s.sample(&mut rng) {
-                x if x == 1.0 => ones += 1,
-                x if x == 2.0 => twos += 1,
-                x => {
-                    assert!((-10.0..10.0).contains(&x));
-                    ranged += 1;
-                }
+            let x = s.sample(&mut rng);
+            if x == 1.0 {
+                ones += 1;
+            } else if x == 2.0 {
+                twos += 1;
+            } else {
+                assert!((-10.0..10.0).contains(&x));
+                ranged += 1;
             }
         }
         assert!(ones > 50 && twos > 50 && ranged > 50);
@@ -820,7 +821,7 @@ mod tests {
             (x, n) in (0.25..0.75f64, 1u8..=4),
             v in prop::collection::vec(any::<u8>(), 0..8),
         ) {
-            prop_assert!(x >= 0.25 && x < 0.75);
+            prop_assert!((0.25..0.75).contains(&x));
             prop_assert!((1..=4).contains(&n));
             prop_assert!(v.len() < 8);
             prop_assert_eq!(x.is_finite(), true);

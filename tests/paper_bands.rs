@@ -31,6 +31,7 @@ fn populated(schema: SchemaVersion, disk: DiskModel) -> Monster {
         }),
         horizon_secs: 86_400,
         amplify_to_quanah: true,
+        ..MonsterConfig::default()
     });
     m.run_intervals_bulk(288);
     m
