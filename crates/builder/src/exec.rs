@@ -107,6 +107,9 @@ fn points_by_tag(rs: &ResultSet, tag: &str) -> (Value, usize) {
 /// compose as described in `monster_tsdb::concurrent`.
 pub fn execute(db: &Arc<Db>, plan: &[PlannedQuery], mode: ExecMode) -> Result<BuilderOutcome> {
     let span = monster_obs::Span::enter("builder.execute");
+    // Make the execute span the parent of the per-query scan spans the
+    // storage engine opens underneath this batch.
+    let _trace_guard = monster_obs::trace::set_current(span.context());
     let queries: Vec<_> = plan.iter().map(|p| p.query.clone()).collect();
     let batch = match mode {
         ExecMode::Sequential => concurrent::run_sequential(db, &queries),

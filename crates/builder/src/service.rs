@@ -5,11 +5,16 @@
 //! * `GET /v1/nodes` — the monitored node inventory.
 //! * `GET /v1/metrics?start=..&end=..[&interval=5m][&aggregation=max]`
 //!   `[&compress=true]` — the assembled response document, with
-//!   `X-Query-Processing-Ms` and `X-Cache` observability headers.
-//! * `GET /metrics` — Prometheus-style text exposition of the pipeline's
-//!   own metrics (self-monitoring).
+//!   `X-Query-Processing-Ms`, `X-Cache`, `traceparent`, and
+//!   `X-Freshness-Lag-Seconds` observability headers. Requests carrying a
+//!   well-formed W3C `traceparent` header join that trace; malformed
+//!   headers are ignored (a new root trace is started).
+//! * `GET /metrics` — Prometheus/OpenMetrics text exposition of the
+//!   pipeline's own metrics (self-monitoring), exemplars included.
 //! * `GET /debug/trace` — recent vtime-stamped spans as chrome-trace
-//!   JSON.
+//!   JSON with trace/span/parent lineage in `args`.
+//! * `GET /debug/pipeline` — the freshness SLO report: staleness
+//!   percentiles, attainment, and multi-window burn rates.
 
 use crate::cache::ResponseCache;
 use crate::exec::{execute, ExecMode};
@@ -56,6 +61,18 @@ fn bad_request(msg: &str) -> Response {
     Response::error(Status::BAD_REQUEST, msg)
 }
 
+/// Stamp the trace/freshness headers every `/v1/metrics` response carries:
+/// `traceparent` echoes the server-side span (joined to the caller's trace
+/// when the request carried a well-formed `traceparent`), and
+/// `X-Freshness-Lag-Seconds` reports the worst last-good-ingest lag across
+/// the tracked fleet at response time.
+fn stamp_trace_headers(mut resp: Response, ctx: monster_obs::TraceContext) -> Response {
+    resp.headers.set("traceparent", ctx.to_traceparent());
+    let lag = monster_obs::freshness().max_lag_secs().unwrap_or(0.0);
+    resp.headers.set("X-Freshness-Lag-Seconds", format!("{lag:.3}"));
+    resp
+}
+
 /// Parse `/v1/metrics` query parameters into a request. The `start` and
 /// `end` parameters are required RFC 3339 timestamps; `interval` (default
 /// `5m`) and `aggregation` (default `max`) are optional.
@@ -99,26 +116,51 @@ pub fn router(db: Arc<Db>, nodes: Vec<NodeId>, config: ServiceConfig) -> Router 
     Router::new()
         .route(Method::Get, "/v1/nodes", move |_req, _params| Response::json(&nodes_doc))
         .route(Method::Get, "/v1/metrics", move |req, _params| {
+            // Join the caller's trace when the request carries a
+            // well-formed W3C traceparent; a malformed or absent header
+            // starts a new root — never an error.
+            let parent = req
+                .headers
+                .get("traceparent")
+                .and_then(monster_obs::TraceContext::parse_traceparent);
+            let mut span = match parent {
+                Some(parent) => monster_obs::Span::child_of("builder.api_request", parent),
+                None => monster_obs::Span::root("builder.api_request"),
+            };
+            let ctx = span.context();
+            // Install the context so the execute/query/lock spans and
+            // exemplars underneath this request join its trace.
+            let _trace_guard = monster_obs::trace::set_current(ctx);
             let builder_req = match parse_metrics_request(req) {
                 Ok(r) => r,
-                Err(resp) => return resp,
+                Err(resp) => {
+                    span.set_attr("outcome", "bad_request");
+                    span.finish();
+                    return stamp_trace_headers(resp, ctx);
+                }
             };
             let key = format!("{}?{}", req.path, req.query);
             let version = metrics_db.stats().batches as u64;
             if let Some(mut cached) = cache.get(&key, version) {
                 cached.headers.set("X-Cache", "hit");
-                return cached;
+                span.set_attr("cache", "hit");
+                span.finish();
+                return stamp_trace_headers(cached, ctx);
             }
-            let span = monster_obs::Span::enter("builder.api_request");
             let mut plan = build_plan(metrics_config.schema, &metrics_nodes, &builder_req);
             crate::rollup::reroute(&mut plan, &metrics_config.rollup_routes);
             let outcome = match execute(&metrics_db, &plan, metrics_config.exec) {
                 Ok(o) => o,
                 Err(e) => {
-                    return Response::error(
-                        Status::INTERNAL_ERROR,
-                        &format!("query execution failed: {e}"),
-                    )
+                    span.set_attr("outcome", "error");
+                    span.finish();
+                    return stamp_trace_headers(
+                        Response::error(
+                            Status::INTERNAL_ERROR,
+                            &format!("query execution failed: {e}"),
+                        ),
+                        ctx,
+                    );
                 }
             };
             let mut resp = Response::json(&outcome.document);
@@ -130,9 +172,15 @@ pub fn router(db: Arc<Db>, nodes: Vec<NodeId>, config: ServiceConfig) -> Router 
                 format!("{:.3}", outcome.query_processing_time().as_millis_f64()),
             );
             resp.headers.set("X-Cache", "miss");
+            span.set_attr("cache", "miss");
+            monster_obs::histo_help(
+                "monster_builder_request_seconds",
+                "End-to-end simulated latency of /v1/metrics requests.",
+            )
+            .observe_vdur_traced(outcome.query_processing_time(), Some(ctx));
             span.finish_after(outcome.query_processing_time());
             cache.put(&key, version, resp.clone());
-            resp
+            stamp_trace_headers(resp, ctx)
         })
         .route(Method::Get, "/metrics", |_req, _params| {
             Response::bytes(
@@ -142,6 +190,9 @@ pub fn router(db: Arc<Db>, nodes: Vec<NodeId>, config: ServiceConfig) -> Router 
         })
         .route(Method::Get, "/debug/trace", |_req, _params| {
             Response::json(&monster_obs::global().trace_json())
+        })
+        .route(Method::Get, "/debug/pipeline", |_req, _params| {
+            Response::json(&monster_obs::freshness().report())
         })
         .route(Method::Get, "/healthz", |_req, _params| {
             Response::json(&jobj! { "status" => "ok", "checks" => jarr!["registry", "db"] })
@@ -258,6 +309,62 @@ mod tests {
         let doc_routed = get(&routed, url).json_body().unwrap();
         assert_eq!(doc_raw, doc_routed);
         assert!(doc_routed.get("10.101.1.1").unwrap().get("power").is_some());
+    }
+
+    #[test]
+    fn metrics_endpoint_trace_and_freshness_headers() {
+        let (_db, router) = service();
+        let url = "/v1/metrics?start=1970-01-01T00:00:00Z&end=1970-01-01T01:00:00Z&interval=5m";
+
+        // No traceparent: the response carries a fresh, well-formed one.
+        let resp = get(&router, url);
+        assert_eq!(resp.status, Status::OK);
+        let tp = resp.headers.get("traceparent").expect("traceparent header");
+        let ctx = monster_obs::TraceContext::parse_traceparent(tp).expect("well-formed");
+        let lag = resp.headers.get("X-Freshness-Lag-Seconds").expect("freshness header");
+        assert!(lag.parse::<f64>().unwrap() >= 0.0);
+
+        // A valid inbound traceparent joins: same trace id, new span id.
+        let inbound = monster_obs::TraceContext::root();
+        let req = Request::get(url).with_header("traceparent", inbound.to_traceparent());
+        let resp = router.dispatch(&req);
+        let echoed =
+            monster_obs::TraceContext::parse_traceparent(resp.headers.get("traceparent").unwrap())
+                .unwrap();
+        assert_eq!(echoed.trace, inbound.trace);
+        assert_ne!(echoed.span, inbound.span);
+        assert_ne!(echoed.trace, ctx.trace);
+        // Cache hits are stamped too.
+        assert_eq!(resp.headers.get("X-Cache"), Some("hit"));
+        assert!(resp.headers.get("X-Freshness-Lag-Seconds").is_some());
+
+        // Malformed traceparent: ignored, new root, still 200.
+        let req = Request::get(url).with_header("traceparent", "zz-not-a-trace");
+        let resp = router.dispatch(&req);
+        assert_eq!(resp.status, Status::OK);
+        let fresh =
+            monster_obs::TraceContext::parse_traceparent(resp.headers.get("traceparent").unwrap())
+                .unwrap();
+        assert_ne!(fresh.trace, inbound.trace);
+
+        // Error responses carry the headers as well.
+        let bad = get(&router, "/v1/metrics");
+        assert_eq!(bad.status, Status::BAD_REQUEST);
+        assert!(bad.headers.get("traceparent").is_some());
+    }
+
+    #[test]
+    fn pipeline_endpoint_reports_freshness() {
+        let (_db, router) = service();
+        monster_obs::freshness().record_ingest("10.101.9.9", "Thermal", 0.0);
+        monster_obs::freshness().record_sweep(0.0);
+        let resp = get(&router, "/debug/pipeline");
+        assert_eq!(resp.status, Status::OK);
+        let doc = resp.json_body().unwrap();
+        assert!(doc.get("tracked_series").unwrap().as_i64().unwrap() >= 1);
+        assert!(doc.get("staleness_secs").unwrap().get("p99").is_some());
+        assert!(doc.get("attainment").unwrap().as_f64().is_some());
+        assert!(doc.get("burn_rate").unwrap().get("fast").is_some());
     }
 
     #[test]

@@ -42,6 +42,10 @@ impl Default for CollectorConfig {
 
 /// What one interval produced.
 pub struct IntervalOutput {
+    /// The trace this interval's pipeline pass belongs to: the sweep, its
+    /// per-BMC children, and (via [`Collector::collect_and_store`]) the
+    /// TSDB write batches all hang off this context's span.
+    pub trace: monster_obs::TraceContext,
     /// Points built this interval.
     pub points: Vec<DataPoint>,
     /// The BMC sweep outcome (latency/makespan statistics).
@@ -115,6 +119,11 @@ impl Collector {
         now: EpochSecs,
     ) -> IntervalOutput {
         let span = monster_obs::Span::enter("collector.interval");
+        // Mint this interval's trace context and install it for the
+        // duration: the sweep, its per-BMC child spans, and any TSDB
+        // writes made while we hold the guard all join the same trace.
+        let trace_ctx = span.context();
+        let _trace_guard = monster_obs::trace::set_current(trace_ctx);
 
         // --- out-of-band: Redfish sweep ---
         // Resilient when configured: breakers + backoff + deadline budget;
@@ -131,6 +140,13 @@ impl Collector {
         for outcome in &sweep.results {
             if let Some(reading) = &outcome.reading {
                 points.extend(bmc_points(self.config.schema, outcome.node, reading, now));
+                // A live reading advances this series' last-good-ingest
+                // watermark — the raw material of the freshness SLO.
+                monster_obs::freshness().record_ingest(
+                    &outcome.node.to_string(),
+                    &outcome.category.to_string(),
+                    now.as_secs() as f64,
+                );
                 if resilient {
                     self.last_good.insert((outcome.node, outcome.category), reading.clone());
                     self.last_fresh.insert((outcome.node, outcome.category), current_sweep);
@@ -202,9 +218,13 @@ impl Collector {
         if degraded {
             monster_obs::counter("monster_collector_degraded_sweeps_total").inc();
         }
+        // Sweep tick: freezes this interval's attainment sample for the
+        // burn-rate windows and advances the lag reference time.
+        monster_obs::freshness().record_sweep(now.as_secs() as f64);
         span.finish_after(simulated_collection_time);
 
         IntervalOutput {
+            trace: trace_ctx,
             points,
             sweep,
             uge_bytes,
@@ -333,6 +353,9 @@ impl Collector {
         db: &Db,
     ) -> Result<IntervalOutput> {
         let out = self.collect_interval(cluster, qm, now);
+        // Re-install the interval's trace context so the write batches
+        // join it (the guard inside collect_interval has already dropped).
+        let _trace_guard = monster_obs::trace::set_current(out.trace);
         for chunk in out.points.chunks(10_000) {
             db.write_batch(chunk)?;
         }

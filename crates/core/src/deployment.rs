@@ -6,7 +6,7 @@ use monster_builder::{build_plan, encode_response, BuilderRequest, ExecMode};
 use monster_collector::{Collector, CollectorConfig, SchemaVersion};
 use monster_compress::Level;
 use monster_redfish::bmc::BmcConfig;
-use monster_redfish::client::ClientConfig;
+use monster_redfish::client::{ClientConfig, SkipReason};
 use monster_redfish::cluster::{ClusterConfig, SimulatedCluster};
 use monster_redfish::resilience::ResilienceConfig;
 use monster_scheduler::{Qmaster, QmasterConfig, WorkloadConfig, WorkloadGenerator};
@@ -94,6 +94,12 @@ pub struct IntervalSummary {
     pub degraded: bool,
     /// Circuit breakers open at sweep end.
     pub breakers_open: usize,
+    /// The distributed-trace context this interval's pipeline pass ran
+    /// under (sweep, per-BMC children, and TSDB writes share it).
+    pub trace: monster_obs::TraceContext,
+    /// Nodes the resilient scheduler skipped this interval, with the
+    /// reason (`BreakerOpen` / `Deadline`) — deduplicated per node.
+    pub skipped_nodes: Vec<(NodeId, SkipReason)>,
 }
 
 /// A running MonSTer deployment.
@@ -214,6 +220,14 @@ impl Monster {
             self.collector.collect_and_store(&self.cluster, &self.qmaster, self.now, &self.db)?;
         self.intervals_run += 1;
         self.maintain_rollups();
+        let mut skipped_nodes: Vec<(NodeId, SkipReason)> = out
+            .sweep
+            .results
+            .iter()
+            .filter_map(|r| r.skip.map(|reason| (r.node, reason)))
+            .collect();
+        skipped_nodes.sort_unstable_by_key(|&(n, _)| n);
+        skipped_nodes.dedup_by_key(|&mut (n, _)| n);
         Ok(IntervalSummary {
             time: self.now,
             points: out.points.len(),
@@ -224,6 +238,8 @@ impl Monster {
             stale_nodes: out.stale_nodes,
             degraded: out.degraded,
             breakers_open: out.breakers.open,
+            trace: out.trace,
+            skipped_nodes,
         })
     }
 

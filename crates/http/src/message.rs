@@ -164,6 +164,13 @@ impl Request {
         self
     }
 
+    /// Builder-style header attachment (e.g. a `traceparent` to join the
+    /// caller's distributed trace).
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Request {
+        self.headers.set(name, value);
+        self
+    }
+
     /// A POST with a JSON body.
     pub fn post_json(path_and_query: &str, v: &Value) -> Request {
         let (path, query) = split_query(path_and_query);

@@ -19,6 +19,15 @@
 //! their begin/end against it, so a trace of a simulated day lines up
 //! with the simulated sweeps rather than host wall time.
 //!
+//! Since PR 5 the spans form a **distributed trace**: every span carries
+//! a [`TraceId`]/[`SpanId`] pair with parent links (see [`trace`]),
+//! propagated in-process via a thread-local [`TraceContext`] and over
+//! HTTP as W3C `traceparent` headers. Histograms can park per-bucket
+//! [`Exemplar`]s linking a latency bucket to the trace that produced it,
+//! and the registry hosts a [`FreshnessTracker`] that turns per-series
+//! last-good-ingest watermarks into staleness percentiles, SLO
+//! attainment, and burn rates for `GET /debug/pipeline`.
+//!
 //! # Quick use
 //!
 //! ```
@@ -43,11 +52,15 @@
 
 mod metrics;
 mod registry;
+mod slo;
 mod span;
+pub mod trace;
 
-pub use metrics::{Counter, Gauge, Histo, BUCKETS};
-pub use registry::{sample, Registry};
+pub use metrics::{Counter, Exemplar, Gauge, Histo, BUCKETS};
+pub use registry::{sample, Registry, DEFAULT_SPAN_CAPACITY};
+pub use slo::{percentile, FreshnessTracker, SloConfig};
 pub use span::{Span, SpanRecord};
+pub use trace::{SpanId, TraceContext, TraceId};
 
 use std::sync::{Arc, OnceLock};
 
@@ -72,6 +85,33 @@ pub fn gauge(name: &str) -> Arc<Gauge> {
 /// Get or create a histogram in the global registry.
 pub fn histo(name: &str) -> Arc<Histo> {
     global().histo(name)
+}
+
+/// Get or create a counter in the global registry, attaching a `# HELP`
+/// string for the text exposition.
+pub fn counter_help(name: &str, help: &str) -> Arc<Counter> {
+    global().describe(name, help);
+    global().counter(name)
+}
+
+/// Get or create a gauge in the global registry, attaching a `# HELP`
+/// string for the text exposition.
+pub fn gauge_help(name: &str, help: &str) -> Arc<Gauge> {
+    global().describe(name, help);
+    global().gauge(name)
+}
+
+/// Get or create a histogram in the global registry, attaching a `# HELP`
+/// string for the text exposition.
+pub fn histo_help(name: &str, help: &str) -> Arc<Histo> {
+    global().describe(name, help);
+    global().histo(name)
+}
+
+/// The global registry's freshness SLO tracker (watermarks, attainment,
+/// burn rates).
+pub fn freshness() -> &'static FreshnessTracker {
+    global().freshness()
 }
 
 #[cfg(test)]

@@ -6,7 +6,9 @@
 //! [`Registry`](crate::Registry), so hot call sites can cache the handle
 //! in a `OnceLock` and pay only the atomic update per event.
 
+use crate::trace::{SpanId, TraceContext, TraceId};
 use monster_sim::VDuration;
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// A monotonically increasing event counter.
@@ -71,6 +73,29 @@ impl Gauge {
 /// overflow bucket catches everything above `bound(BUCKETS - 1)` (≈ 9.5 h).
 pub const BUCKETS: usize = 36;
 
+/// A trace reference attached to one histogram bucket: the most recent
+/// traced observation that landed there. Exported in OpenMetrics exemplar
+/// syntax (`... # {trace_id="...",span_id="..."} value`) so a dashboard
+/// can jump from a suspicious latency bucket straight to the trace that
+/// produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The observed value, in nanoseconds (kept integral so the type stays
+    /// `Eq`; render with [`Exemplar::value_secs`]).
+    pub value_nanos: u64,
+    /// Trace the observation belonged to.
+    pub trace: TraceId,
+    /// Span the observation belonged to.
+    pub span: SpanId,
+}
+
+impl Exemplar {
+    /// The observed value in seconds.
+    pub fn value_secs(&self) -> f64 {
+        self.value_nanos as f64 / 1e9
+    }
+}
+
 /// A latency histogram with fixed log-scale (power-of-two) buckets.
 ///
 /// The bucket layout is identical for every `Histo`, which keeps
@@ -79,11 +104,16 @@ pub const BUCKETS: usize = 36;
 /// non-finite values are ignored (the invariant tested by the crate's
 /// proptest: bucket counts always sum to the number of *finite*
 /// observations).
+///
+/// Observations made through [`observe_traced`](Histo::observe_traced)
+/// with a live [`TraceContext`] additionally park an [`Exemplar`] on the
+/// bucket they land in; plain [`observe`](Histo::observe) stays lock-free.
 #[derive(Debug)]
 pub struct Histo {
     counts: [AtomicU64; BUCKETS + 1],
     count: AtomicU64,
     sum_nanos: AtomicU64,
+    exemplars: Mutex<[Option<Exemplar>; BUCKETS + 1]>,
 }
 
 impl Default for Histo {
@@ -99,6 +129,7 @@ impl Histo {
             counts: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum_nanos: AtomicU64::new(0),
+            exemplars: Mutex::new([None; BUCKETS + 1]),
         }
     }
 
@@ -135,6 +166,36 @@ impl Histo {
     /// Record a simulated duration (convenience for vtime call sites).
     pub fn observe_vdur(&self, d: VDuration) {
         self.observe(d.as_secs_f64());
+    }
+
+    /// Record one observation and, when `ctx` is present, park an
+    /// [`Exemplar`] on the bucket the observation lands in (overwriting
+    /// any previous one — each bucket keeps its most recent trace ref).
+    pub fn observe_traced(&self, secs: f64, ctx: Option<TraceContext>) {
+        self.observe(secs);
+        if !secs.is_finite() {
+            return;
+        }
+        if let Some(ctx) = ctx {
+            let secs = secs.max(0.0);
+            let slot = Self::bucket_index(secs);
+            self.exemplars.lock()[slot] = Some(Exemplar {
+                value_nanos: (secs * 1e9) as u64,
+                trace: ctx.trace,
+                span: ctx.span,
+            });
+        }
+    }
+
+    /// Record a simulated duration with an optional trace exemplar.
+    pub fn observe_vdur_traced(&self, d: VDuration, ctx: Option<TraceContext>) {
+        self.observe_traced(d.as_secs_f64(), ctx);
+    }
+
+    /// Snapshot of the per-bucket exemplars (length `BUCKETS + 1`,
+    /// parallel to [`counts`](Histo::counts)).
+    pub fn exemplars(&self) -> Vec<Option<Exemplar>> {
+        self.exemplars.lock().to_vec()
     }
 
     /// Total number of recorded observations.
@@ -222,5 +283,32 @@ mod tests {
         assert!((h.mean_secs().unwrap() - 2.0).abs() < 1e-9);
         h.observe_vdur(VDuration::from_millis(500));
         assert!((h.sum_secs() - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exemplars_park_on_the_observed_bucket() {
+        let h = Histo::new();
+        // Untraced observations never set an exemplar.
+        h.observe(0.5);
+        assert!(h.exemplars().iter().all(|e| e.is_none()));
+
+        let ctx = TraceContext::root();
+        h.observe_traced(0.5, Some(ctx));
+        let slot = (0..BUCKETS)
+            .find(|&i| 0.5 <= Histo::upper_bound(i))
+            .expect("0.5s fits a finite bucket");
+        let ex = h.exemplars()[slot].expect("exemplar parked");
+        assert_eq!(ex.trace, ctx.trace);
+        assert_eq!(ex.span, ctx.span);
+        assert!((ex.value_secs() - 0.5).abs() < 1e-9);
+
+        // A later traced observation in the same bucket overwrites.
+        let ctx2 = TraceContext::root();
+        h.observe_traced(0.4, Some(ctx2));
+        assert_eq!(h.exemplars()[slot].unwrap().trace, ctx2.trace);
+
+        // Non-finite traced observations are skipped entirely.
+        h.observe_traced(f64::NAN, Some(ctx2));
+        assert_eq!(h.count(), 3);
     }
 }

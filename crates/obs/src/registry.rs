@@ -2,40 +2,92 @@
 //! and the two export formats (Prometheus-style text, chrome-trace JSON).
 
 use crate::metrics::{Counter, Gauge, Histo, BUCKETS};
+use crate::slo::FreshnessTracker;
 use crate::span::SpanRecord;
 use monster_json::{jobj, Value};
 use monster_sim::VInstant;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// Maximum number of completed spans retained for `/debug/trace`.
-const SPAN_RING_CAPACITY: usize = 512;
+/// Default number of completed spans retained for `/debug/trace`; tune
+/// per-registry with [`Registry::with_span_capacity`] or at runtime with
+/// [`Registry::set_span_capacity`].
+pub const DEFAULT_SPAN_CAPACITY: usize = 512;
 
-/// A named collection of metrics plus a trace ring buffer and a virtual
-/// clock.
+/// A named collection of metrics plus a trace ring buffer, a freshness
+/// tracker, and a virtual clock.
 ///
 /// Handles returned by [`counter`](Registry::counter) /
 /// [`gauge`](Registry::gauge) / [`histo`](Registry::histo) are `Arc`s:
 /// hot call sites should resolve a handle once (e.g. in a `OnceLock`) and
 /// then update it lock-free. Metric names are stored in `BTreeMap`s so the
 /// text exposition is deterministic.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Registry {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histos: RwLock<BTreeMap<String, Arc<Histo>>>,
-    spans: Mutex<VecDeque<SpanRecord>>,
+    helps: RwLock<BTreeMap<String, String>>,
+    spans: Mutex<VecDeque<Arc<SpanRecord>>>,
+    span_capacity: AtomicUsize,
+    spans_dropped: Counter,
+    freshness: FreshnessTracker,
     vclock: AtomicU64,
 }
 
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::with_span_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+}
+
 impl Registry {
-    /// New empty registry with the virtual clock at
-    /// [`VInstant::EPOCH`].
+    /// New empty registry with the virtual clock at [`VInstant::EPOCH`]
+    /// and the default span ring capacity.
     pub fn new() -> Registry {
         Registry::default()
+    }
+
+    /// New empty registry retaining up to `capacity` completed spans
+    /// (minimum 1).
+    pub fn with_span_capacity(capacity: usize) -> Registry {
+        Registry {
+            counters: RwLock::default(),
+            gauges: RwLock::default(),
+            histos: RwLock::default(),
+            helps: RwLock::default(),
+            spans: Mutex::default(),
+            span_capacity: AtomicUsize::new(capacity.max(1)),
+            spans_dropped: Counter::new(),
+            freshness: FreshnessTracker::new(),
+            vclock: AtomicU64::new(0),
+        }
+    }
+
+    /// Resize the span ring at runtime (minimum 1). Shrinking evicts the
+    /// oldest spans immediately; evictions count as drops.
+    pub fn set_span_capacity(&self, capacity: usize) {
+        let capacity = capacity.max(1);
+        self.span_capacity.store(capacity, Ordering::Relaxed);
+        let mut spans = self.spans.lock();
+        while spans.len() > capacity {
+            spans.pop_front();
+            self.spans_dropped.inc();
+        }
+    }
+
+    /// Current span ring capacity.
+    pub fn span_capacity(&self) -> usize {
+        self.span_capacity.load(Ordering::Relaxed)
+    }
+
+    /// Total spans evicted from the ring before being exported
+    /// (`monster_obs_spans_dropped_total`).
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans_dropped.get()
     }
 
     /// Get or create the counter named `name`.
@@ -62,6 +114,19 @@ impl Registry {
         Arc::clone(self.histos.write().entry(name.to_string()).or_default())
     }
 
+    /// Attach a `# HELP` string to the metric named `name` (first writer
+    /// wins; re-registration with a different string is ignored so hot
+    /// paths can describe unconditionally).
+    pub fn describe(&self, name: &str, help: &str) {
+        self.helps.write().entry(name.to_string()).or_insert_with(|| help.to_string());
+    }
+
+    /// The freshness SLO tracker backing `/debug/pipeline` and the
+    /// `X-Freshness-Lag-Seconds` response header.
+    pub fn freshness(&self) -> &FreshnessTracker {
+        &self.freshness
+    }
+
     /// Current virtual time.
     pub fn vtime(&self) -> VInstant {
         VInstant::from_nanos(self.vclock.load(Ordering::Relaxed))
@@ -74,23 +139,45 @@ impl Registry {
         self.vclock.fetch_max(t.as_nanos(), Ordering::Relaxed);
     }
 
-    /// Append a completed span to the trace ring buffer (oldest spans are
-    /// evicted beyond [`SPAN_RING_CAPACITY`] entries).
+    /// Append a completed span to the trace ring buffer. Oldest spans are
+    /// evicted beyond the configured capacity and counted in
+    /// `monster_obs_spans_dropped_total` so trace loss is visible.
     pub fn record_span(&self, record: SpanRecord) {
+        let record = Arc::new(record);
+        let capacity = self.span_capacity();
         let mut spans = self.spans.lock();
-        if spans.len() == SPAN_RING_CAPACITY {
+        while spans.len() >= capacity {
             spans.pop_front();
+            self.spans_dropped.inc();
         }
         spans.push_back(record);
     }
 
-    /// Snapshot of the retained spans, oldest first.
-    pub fn recent_spans(&self) -> Vec<SpanRecord> {
-        self.spans.lock().iter().cloned().collect()
+    /// Snapshot of the retained spans, oldest first. Clones `Arc`s, not
+    /// span payloads, so a `/debug/trace` scrape holds the ring lock for
+    /// O(capacity) pointer copies rather than O(total string bytes).
+    pub fn recent_spans(&self) -> Vec<Arc<SpanRecord>> {
+        let spans = self.spans.lock();
+        spans.iter().cloned().collect()
+    }
+
+    /// Every registered metric name with its kind (`"counter"`,
+    /// `"gauge"`, or `"histogram"`), including the synthetic ring-drop
+    /// counter. A name appearing twice means it was registered as two
+    /// different kinds — the metrics-name lint fails on that.
+    pub fn metric_kinds(&self) -> Vec<(String, &'static str)> {
+        let mut out = vec![("monster_obs_spans_dropped_total".to_string(), "counter")];
+        out.extend(self.counters.read().keys().map(|n| (n.clone(), "counter")));
+        out.extend(self.gauges.read().keys().map(|n| (n.clone(), "gauge")));
+        out.extend(self.histos.read().keys().map(|n| (n.clone(), "histogram")));
+        out
     }
 
     /// Current value of a counter, or 0 if it has never been touched.
     pub fn counter_value(&self, name: &str) -> u64 {
+        if name == "monster_obs_spans_dropped_total" {
+            return self.spans_dropped();
+        }
         self.counters.read().get(name).map(|c| c.get()).unwrap_or(0)
     }
 
@@ -99,31 +186,70 @@ impl Registry {
         self.gauges.read().get(name).map(|g| g.get()).unwrap_or(0)
     }
 
-    /// Render every metric in Prometheus text exposition format.
+    /// Render every metric in Prometheus/OpenMetrics text exposition.
     ///
-    /// Counters and gauges emit a `# TYPE` line followed by `name value`;
-    /// histograms emit cumulative `name_bucket{le="..."}` lines plus
-    /// `name_sum` / `name_count`. Output order is lexicographic within
-    /// each metric kind, so successive scrapes diff cleanly.
+    /// Counters and gauges emit `# HELP` (when described) and `# TYPE`
+    /// lines followed by `name value`; histograms emit cumulative
+    /// `name_bucket{le="..."}` lines plus `name_sum` / `name_count`.
+    /// Buckets holding a traced observation append an OpenMetrics
+    /// exemplar: `... # {trace_id="...",span_id="..."} value`. Output
+    /// order is lexicographic within each metric kind, so successive
+    /// scrapes diff cleanly.
     pub fn text_exposition(&self) -> String {
+        let helps = self.helps.read();
+        let help_line = |out: &mut String, name: &str| {
+            if let Some(help) = helps.get(name) {
+                let _ = writeln!(out, "# HELP {name} {help}");
+            }
+        };
         let mut out = String::new();
+        help_line(&mut out, "monster_obs_spans_dropped_total");
+        let _ = writeln!(
+            out,
+            "# TYPE monster_obs_spans_dropped_total counter\nmonster_obs_spans_dropped_total {}",
+            self.spans_dropped()
+        );
         for (name, c) in self.counters.read().iter() {
+            help_line(&mut out, name);
             let _ = writeln!(out, "# TYPE {name} counter\n{name} {}", c.get());
         }
         for (name, g) in self.gauges.read().iter() {
+            help_line(&mut out, name);
             let _ = writeln!(out, "# TYPE {name} gauge\n{name} {}", g.get());
         }
         for (name, h) in self.histos.read().iter() {
+            help_line(&mut out, name);
             let _ = writeln!(out, "# TYPE {name} histogram");
             let counts = h.counts();
+            let exemplars = h.exemplars();
             let mut cumulative = 0u64;
             for (i, &c) in counts.iter().take(BUCKETS).enumerate() {
                 cumulative += c;
                 let _ =
-                    writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", Histo::upper_bound(i));
+                    write!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", Histo::upper_bound(i));
+                if let Some(ex) = &exemplars[i] {
+                    let _ = write!(
+                        out,
+                        " # {{trace_id=\"{}\",span_id=\"{}\"}} {}",
+                        ex.trace,
+                        ex.span,
+                        ex.value_secs()
+                    );
+                }
+                out.push('\n');
             }
             cumulative += counts[BUCKETS];
-            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            let _ = write!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            if let Some(ex) = &exemplars[BUCKETS] {
+                let _ = write!(
+                    out,
+                    " # {{trace_id=\"{}\",span_id=\"{}\"}} {}",
+                    ex.trace,
+                    ex.span,
+                    ex.value_secs()
+                );
+            }
+            out.push('\n');
             let _ = writeln!(out, "{name}_sum {}", h.sum_secs());
             let _ = writeln!(out, "{name}_count {cumulative}");
         }
@@ -132,13 +258,22 @@ impl Registry {
 
     /// Render the retained spans as a chrome-trace JSON document
     /// (`{"traceEvents": [...]}`, complete `"X"` events, microsecond
-    /// virtual timestamps). Load it in `chrome://tracing` or Perfetto.
+    /// virtual timestamps). Trace lineage and attributes ride in each
+    /// event's `args`. Load it in `chrome://tracing` or Perfetto.
     pub fn trace_json(&self) -> Value {
         let events: Vec<Value> = self
-            .spans
-            .lock()
+            .recent_spans()
             .iter()
             .map(|s| {
+                let mut args = monster_json::Object::new();
+                args.insert("trace_id", Value::Str(s.trace.to_string()));
+                args.insert("span_id", Value::Str(s.span.to_string()));
+                if let Some(parent) = s.parent {
+                    args.insert("parent_span_id", Value::Str(parent.to_string()));
+                }
+                for (k, v) in &s.attrs {
+                    args.insert(k, Value::Str(v.clone()));
+                }
                 jobj! {
                     "name" => s.name.as_str(),
                     "ph" => "X",
@@ -146,6 +281,7 @@ impl Registry {
                     "dur" => (s.duration().as_nanos() / 1_000) as i64,
                     "pid" => 1,
                     "tid" => 1,
+                    "args" => Value::Object(args),
                 }
             })
             .collect();
@@ -155,9 +291,11 @@ impl Registry {
 
 /// Parse one sample out of a text exposition: returns the value on the
 /// line whose metric name (including any `{labels}` part) is exactly
-/// `name`. Intended for tests asserting on scraped `/metrics` bodies.
+/// `name`. OpenMetrics exemplar suffixes (`... # {...} value`) are
+/// ignored. Intended for tests asserting on scraped `/metrics` bodies.
 pub fn sample(exposition: &str, name: &str) -> Option<f64> {
     exposition.lines().filter(|l| !l.starts_with('#')).find_map(|line| {
+        let line = line.split(" # ").next()?;
         let (metric, value) = line.rsplit_once(' ')?;
         if metric == name {
             value.parse().ok()
@@ -170,7 +308,21 @@ pub fn sample(exposition: &str, name: &str) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::TraceContext;
     use monster_sim::VDuration;
+
+    fn rec(name: &str, begin: VInstant, end: VInstant) -> SpanRecord {
+        let ctx = TraceContext::root();
+        SpanRecord {
+            name: name.into(),
+            begin,
+            end,
+            trace: ctx.trace,
+            span: ctx.span,
+            parent: None,
+            attrs: Vec::new(),
+        }
+    }
 
     #[test]
     fn handles_are_shared() {
@@ -190,14 +342,20 @@ mod tests {
         r.counter("m_a_total").add(7);
         r.gauge("m_depth").set(3);
         r.histo("m_seconds").observe(1.5e-6);
+        r.describe("m_a_total", "events of kind a");
+        r.describe("m_a_total", "ignored re-registration");
         let text = r.text_exposition();
         // Lexicographic counter order.
         let a = text.find("m_a_total 7").unwrap();
         let b = text.find("m_b_total 1").unwrap();
         assert!(a < b);
+        assert!(text.contains("# HELP m_a_total events of kind a"));
+        assert!(!text.contains("ignored re-registration"));
         assert!(text.contains("# TYPE m_a_total counter"));
         assert!(text.contains("# TYPE m_depth gauge\nm_depth 3"));
         assert!(text.contains("# TYPE m_seconds histogram"));
+        // The ring-drop counter is always exported.
+        assert!(text.contains("# TYPE monster_obs_spans_dropped_total counter"));
         // Cumulative buckets: the 2 µs bucket already includes the 1.5 µs
         // observation, and +Inf equals the total count.
         assert!(text.contains("m_seconds_bucket{le=\"0.000002\"} 1"));
@@ -212,6 +370,24 @@ mod tests {
     }
 
     #[test]
+    fn exposition_exemplars_parse_back_out() {
+        let r = Registry::new();
+        let ctx = TraceContext::root();
+        r.histo("ex_seconds").observe_traced(0.5, Some(ctx));
+        let text = r.text_exposition();
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("ex_seconds_bucket") && l.contains(" # "))
+            .expect("exemplar line present");
+        assert!(line.contains(&format!("trace_id=\"{}\"", ctx.trace)), "line: {line}");
+        assert!(line.contains(&format!("span_id=\"{}\"", ctx.span)));
+        assert!(line.ends_with(" 0.5"));
+        // sample() ignores the exemplar suffix.
+        let bucket = line.split(' ').next().unwrap();
+        assert_eq!(sample(&text, bucket), Some(1.0));
+    }
+
+    #[test]
     fn vclock_is_monotone() {
         let r = Registry::new();
         r.set_vtime(VInstant::from_nanos(100));
@@ -220,28 +396,71 @@ mod tests {
     }
 
     #[test]
-    fn span_ring_evicts_oldest() {
-        let r = Registry::new();
-        for i in 0..(SPAN_RING_CAPACITY + 10) {
-            r.record_span(SpanRecord {
-                name: format!("s{i}"),
-                begin: VInstant::EPOCH,
-                end: VInstant::EPOCH + VDuration::from_nanos(i as u64),
-            });
+    fn span_ring_evicts_oldest_and_counts_drops() {
+        let r = Registry::with_span_capacity(32);
+        assert_eq!(r.span_capacity(), 32);
+        for i in 0..42 {
+            r.record_span(rec(
+                &format!("s{i}"),
+                VInstant::EPOCH,
+                VInstant::EPOCH + VDuration::from_nanos(i as u64),
+            ));
         }
         let spans = r.recent_spans();
-        assert_eq!(spans.len(), SPAN_RING_CAPACITY);
+        assert_eq!(spans.len(), 32);
         assert_eq!(spans[0].name, "s10");
+        assert_eq!(r.spans_dropped(), 10);
+        assert_eq!(r.counter_value("monster_obs_spans_dropped_total"), 10);
+
+        // Shrinking trims immediately and counts the evictions.
+        r.set_span_capacity(8);
+        assert_eq!(r.recent_spans().len(), 8);
+        assert_eq!(r.spans_dropped(), 34);
+
+        // Growing allows the ring to fill further.
+        r.set_span_capacity(64);
+        for i in 0..40 {
+            r.record_span(rec(&format!("t{i}"), VInstant::EPOCH, VInstant::EPOCH));
+        }
+        assert_eq!(r.recent_spans().len(), 48);
+        assert_eq!(r.spans_dropped(), 34);
+    }
+
+    #[test]
+    fn scrape_does_not_stall_writers() {
+        // A /debug/trace snapshot while record_span runs from other
+        // threads: everything lands, nothing deadlocks, and snapshots
+        // are cheap Arc clones.
+        let r = Registry::with_span_capacity(256);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let r = &r;
+                s.spawn(move || {
+                    for i in 0..500 {
+                        r.record_span(rec(&format!("w{t}.{i}"), VInstant::EPOCH, VInstant::EPOCH));
+                    }
+                });
+            }
+            let r = &r;
+            s.spawn(move || {
+                for _ in 0..200 {
+                    let snap = r.recent_spans();
+                    assert!(snap.len() <= 256);
+                    let _ = r.trace_json();
+                }
+            });
+        });
+        assert_eq!(r.recent_spans().len(), 256);
+        assert_eq!(r.spans_dropped(), 4 * 500 - 256);
     }
 
     #[test]
     fn trace_json_shape() {
         let r = Registry::new();
-        r.record_span(SpanRecord {
-            name: "sweep".into(),
-            begin: VInstant::from_nanos(2_000),
-            end: VInstant::from_nanos(5_000),
-        });
+        let mut record = rec("sweep", VInstant::from_nanos(2_000), VInstant::from_nanos(5_000));
+        record.attrs.push(("SkipReason".into(), "BreakerOpen".into()));
+        let expected_trace = record.trace.to_string();
+        r.record_span(record);
         let v = r.trace_json();
         let events = v.get("traceEvents").unwrap().as_array().unwrap();
         assert_eq!(events.len(), 1);
@@ -249,5 +468,9 @@ mod tests {
         assert_eq!(events[0].get("ph").unwrap().as_str(), Some("X"));
         assert_eq!(events[0].get("ts").unwrap().as_i64(), Some(2));
         assert_eq!(events[0].get("dur").unwrap().as_i64(), Some(3));
+        let args = events[0].get("args").unwrap();
+        assert_eq!(args.get("trace_id").unwrap().as_str(), Some(expected_trace.as_str()));
+        assert_eq!(args.get("SkipReason").unwrap().as_str(), Some("BreakerOpen"));
+        assert!(args.get("parent_span_id").is_none());
     }
 }

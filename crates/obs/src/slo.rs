@@ -1,0 +1,322 @@
+//! Data-freshness SLO engine: watermarks, staleness percentiles, and
+//! multi-window burn rates.
+//!
+//! The paper's promise is timeliness — a 60 s cadence whose data is only
+//! useful if it is *recent*. PR 4's resilient sweeps made staleness a
+//! first-class outcome (`Stale=true` substitution when a BMC is skipped),
+//! but offered no aggregate answer to "how fresh is the pipeline right
+//! now?". This module keeps a **last-good-ingest watermark** per
+//! `(node, category)` series: the collector bumps it whenever a sweep
+//! returns a live (non-substituted) reading, and every sweep tick records
+//! an **attainment sample** — the fraction of tracked series whose lag is
+//! within the SLO threshold (default: 2 cadences, 120 s).
+//!
+//! From those two ingredients the tracker derives everything
+//! `GET /debug/pipeline` reports:
+//!
+//! * staleness percentiles (p50/p90/p99/max) over current per-series lags;
+//! * SLO attainment vs. the target (default "99% of series fresher than
+//!   2 cadences");
+//! * burn rates over a fast and a slow window — the standard
+//!   multi-window alerting pair. A burn rate of 1.0 means the error
+//!   budget is being consumed exactly at the sustainable rate; 10× means
+//!   ten times too fast.
+//!
+//! The builder reads the same watermarks to stamp `/v1/metrics` responses
+//! with `X-Freshness-Lag-Seconds`.
+//!
+//! Time is the simulation's epoch-seconds timeline (the collector's
+//! `now`), not host wall time, so chaos replays yield identical reports.
+
+use monster_json::{jobj, Value};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Freshness SLO parameters. Defaults encode the paper's cadence: a
+/// series is "fresh" within 2 × 60 s, and the target is 99% of series
+/// fresh.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloConfig {
+    /// Collection cadence in seconds (the paper's 60 s).
+    pub cadence_secs: f64,
+    /// Lag at or under which a series counts as fresh (2 cadences).
+    pub fresh_within_secs: f64,
+    /// Target fraction of series fresh (0.99 = "99% of nodes fresher
+    /// than 2 cadences").
+    pub target: f64,
+    /// Fast burn-rate window in seconds (default 5 min).
+    pub fast_window_secs: f64,
+    /// Slow burn-rate window in seconds (default 1 h).
+    pub slow_window_secs: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> SloConfig {
+        SloConfig {
+            cadence_secs: 60.0,
+            fresh_within_secs: 120.0,
+            target: 0.99,
+            fast_window_secs: 300.0,
+            slow_window_secs: 3600.0,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    /// (node, category) → epoch-seconds of the last live ingest.
+    watermarks: BTreeMap<(String, String), f64>,
+    /// Epoch-seconds of the most recent sweep tick.
+    latest: f64,
+    /// (sweep time, attainment) samples, oldest first, trimmed to the
+    /// slow burn-rate window.
+    attainment: Vec<(f64, f64)>,
+}
+
+/// Per-series freshness watermarks plus the attainment history that burn
+/// rates are computed from. One lives in the global
+/// [`Registry`](crate::Registry); stages reach it via
+/// [`crate::freshness`].
+#[derive(Debug, Default)]
+pub struct FreshnessTracker {
+    config: Mutex<SloConfig>,
+    state: Mutex<State>,
+}
+
+impl FreshnessTracker {
+    /// New tracker with default [`SloConfig`].
+    pub fn new() -> FreshnessTracker {
+        FreshnessTracker::default()
+    }
+
+    /// Replace the SLO parameters (cadence, thresholds, windows).
+    pub fn configure(&self, config: SloConfig) {
+        *self.config.lock() = config;
+    }
+
+    /// Current SLO parameters.
+    pub fn config(&self) -> SloConfig {
+        *self.config.lock()
+    }
+
+    /// Record a live (non-substituted) reading for `(node, category)`
+    /// ingested at epoch-seconds `now`. Watermarks are monotone.
+    pub fn record_ingest(&self, node: &str, category: &str, now_secs: f64) {
+        let mut state = self.state.lock();
+        let w = state.watermarks.entry((node.to_string(), category.to_string())).or_insert(0.0);
+        if now_secs > *w {
+            *w = now_secs;
+        }
+    }
+
+    /// Mark a sweep tick at epoch-seconds `now`: advances the reference
+    /// time lags are measured against and appends an attainment sample
+    /// for the burn-rate windows.
+    pub fn record_sweep(&self, now_secs: f64) {
+        let config = self.config();
+        let mut state = self.state.lock();
+        if now_secs > state.latest {
+            state.latest = now_secs;
+        }
+        let attainment = attainment_of(&state, config.fresh_within_secs);
+        state.attainment.push((now_secs, attainment));
+        let cutoff = now_secs - config.slow_window_secs;
+        state.attainment.retain(|&(t, _)| t >= cutoff);
+    }
+
+    /// Number of `(node, category)` series with a watermark.
+    pub fn tracked_series(&self) -> usize {
+        self.state.lock().watermarks.len()
+    }
+
+    /// Current lag (seconds behind the latest sweep) of every tracked
+    /// series, unsorted.
+    pub fn lags(&self) -> Vec<f64> {
+        let state = self.state.lock();
+        state.watermarks.values().map(|&w| (state.latest - w).max(0.0)).collect()
+    }
+
+    /// Worst lag across all tracked series, or `None` if nothing is
+    /// tracked yet.
+    pub fn max_lag_secs(&self) -> Option<f64> {
+        self.lags().into_iter().fold(None, |acc, l| Some(acc.map_or(l, |a: f64| a.max(l))))
+    }
+
+    /// Worst lag across the series of the named node (any category), or
+    /// `None` if the node is untracked.
+    pub fn node_lag_secs(&self, node: &str) -> Option<f64> {
+        let state = self.state.lock();
+        let latest = state.latest;
+        state
+            .watermarks
+            .iter()
+            .filter(|((n, _), _)| n == node)
+            .map(|(_, &w)| (latest - w).max(0.0))
+            .fold(None, |acc, l| Some(acc.map_or(l, |a: f64| a.max(l))))
+    }
+
+    /// Fraction of tracked series currently within the SLO freshness
+    /// threshold (1.0 when nothing is tracked — no data is not an SLO
+    /// violation).
+    pub fn attainment(&self) -> f64 {
+        attainment_of(&self.state.lock(), self.config().fresh_within_secs)
+    }
+
+    /// Error-budget burn rate averaged over the trailing `window_secs`:
+    /// `(1 - attainment) / (1 - target)`. 0.0 with no samples in window.
+    pub fn burn_rate(&self, window_secs: f64) -> f64 {
+        let config = self.config();
+        let state = self.state.lock();
+        let cutoff = state.latest - window_secs;
+        let in_window: Vec<f64> =
+            state.attainment.iter().filter(|&&(t, _)| t >= cutoff).map(|&(_, a)| a).collect();
+        if in_window.is_empty() {
+            return 0.0;
+        }
+        let mean = in_window.iter().sum::<f64>() / in_window.len() as f64;
+        let budget = (1.0 - config.target).max(1e-9);
+        (1.0 - mean) / budget
+    }
+
+    /// Forget all watermarks and attainment history (the chaos harness
+    /// calls this between cells so runs don't contaminate each other).
+    pub fn reset(&self) {
+        *self.state.lock() = State::default();
+    }
+
+    /// The full `/debug/pipeline` report as a JSON value.
+    pub fn report(&self) -> Value {
+        let config = self.config();
+        let mut lags = self.lags();
+        lags.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let attainment = self.attainment();
+        let budget = (1.0 - config.target).max(1e-9);
+        jobj! {
+            "tracked_series" => lags.len() as i64,
+            "latest_sweep_epoch_secs" => self.state.lock().latest,
+            "slo" => jobj! {
+                "cadence_secs" => config.cadence_secs,
+                "fresh_within_secs" => config.fresh_within_secs,
+                "target" => config.target,
+            },
+            "staleness_secs" => jobj! {
+                "p50" => percentile(&lags, 0.50),
+                "p90" => percentile(&lags, 0.90),
+                "p99" => percentile(&lags, 0.99),
+                "max" => lags.last().copied().unwrap_or(0.0),
+            },
+            "attainment" => attainment,
+            "error_budget_used" => ((1.0 - attainment) / budget).min(1e9),
+            "burn_rate" => jobj! {
+                "fast_window_secs" => config.fast_window_secs,
+                "fast" => self.burn_rate(config.fast_window_secs),
+                "slow_window_secs" => config.slow_window_secs,
+                "slow" => self.burn_rate(config.slow_window_secs),
+            },
+        }
+    }
+}
+
+fn attainment_of(state: &State, fresh_within_secs: f64) -> f64 {
+    if state.watermarks.is_empty() {
+        return 1.0;
+    }
+    let fresh = state
+        .watermarks
+        .values()
+        .filter(|&&w| (state.latest - w).max(0.0) <= fresh_within_secs)
+        .count();
+    fresh as f64 / state.watermarks.len() as f64
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice; 0.0 if empty.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermarks_drive_lags_and_attainment() {
+        let t = FreshnessTracker::new();
+        assert_eq!(t.attainment(), 1.0);
+        assert_eq!(t.max_lag_secs(), None);
+
+        // Three series: two fresh, one stale by 3 cadences.
+        t.record_ingest("node-1", "Thermal", 1000.0);
+        t.record_ingest("node-1", "Power", 1000.0);
+        t.record_ingest("node-2", "Thermal", 820.0);
+        t.record_sweep(1000.0);
+
+        assert_eq!(t.tracked_series(), 3);
+        assert_eq!(t.max_lag_secs(), Some(180.0));
+        assert_eq!(t.node_lag_secs("node-2"), Some(180.0));
+        assert_eq!(t.node_lag_secs("node-1"), Some(0.0));
+        assert_eq!(t.node_lag_secs("node-9"), None);
+        let a = t.attainment();
+        assert!((a - 2.0 / 3.0).abs() < 1e-9, "attainment {a}");
+
+        // Watermarks are monotone: an older ingest can't regress one.
+        t.record_ingest("node-1", "Thermal", 900.0);
+        assert_eq!(t.node_lag_secs("node-1"), Some(0.0));
+    }
+
+    #[test]
+    fn burn_rate_windows() {
+        let t = FreshnessTracker::new();
+        t.configure(SloConfig { target: 0.9, ..SloConfig::default() });
+        t.record_ingest("n", "Thermal", 0.0);
+        // Sweep at t=0: the series is fresh → attainment 1, burn 0.
+        t.record_sweep(0.0);
+        assert_eq!(t.burn_rate(300.0), 0.0);
+        // Sweep at t=180 with the watermark stuck at 0 → lag 180 > 120 →
+        // attainment 0 for that sample.
+        t.record_sweep(180.0);
+        // Window covering both samples: mean attainment 0.5, budget 0.1 →
+        // burn 5.0.
+        assert!((t.burn_rate(300.0) - 5.0).abs() < 1e-9);
+        // Window covering only the latest sample: burn 10.0.
+        assert!((t.burn_rate(60.0) - 10.0).abs() < 1e-9);
+        // No samples in a zero-width future window.
+        let empty = FreshnessTracker::new();
+        assert_eq!(empty.burn_rate(300.0), 0.0);
+    }
+
+    #[test]
+    fn report_shape_and_percentiles() {
+        let t = FreshnessTracker::new();
+        for i in 0..100 {
+            t.record_ingest(&format!("node-{i}"), "Thermal", 1000.0 - i as f64);
+        }
+        t.record_sweep(1000.0);
+        let report = t.report();
+        assert_eq!(report.get("tracked_series").unwrap().as_i64(), Some(100));
+        let stale = report.get("staleness_secs").unwrap();
+        assert_eq!(stale.get("p50").unwrap().as_f64(), Some(49.0));
+        assert_eq!(stale.get("p99").unwrap().as_f64(), Some(98.0));
+        assert_eq!(stale.get("max").unwrap().as_f64(), Some(99.0));
+        let burn = report.get("burn_rate").unwrap();
+        assert!(burn.get("fast").unwrap().as_f64().is_some());
+        assert!(burn.get("slow").unwrap().as_f64().is_some());
+
+        t.reset();
+        assert_eq!(t.tracked_series(), 0);
+        assert_eq!(t.max_lag_secs(), None);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.5), 2.0);
+        assert_eq!(percentile(&v, 0.75), 3.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+    }
+}

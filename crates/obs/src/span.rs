@@ -1,4 +1,4 @@
-//! Virtual-time-aware spans.
+//! Virtual-time-aware spans with distributed-trace lineage.
 //!
 //! A [`Span`] brackets a unit of pipeline work (a sweep, a collection
 //! interval, a builder request) and records a [`SpanRecord`] into the
@@ -6,8 +6,17 @@
 //! the registry's **virtual clock** — the same `monster_sim` time that
 //! drives sweeps and query costs — so exported traces line up with
 //! simulated activity instead of host wall time.
+//!
+//! Every span carries a [`TraceContext`]: which trace it belongs to and
+//! its own span id, plus an optional parent span id. [`Span::enter`]
+//! joins the thread's current context (see [`crate::trace`]) as a child,
+//! or starts a fresh root trace when none is installed; [`Span::root`]
+//! and [`Span::child_of`] make the choice explicit. Key/value attributes
+//! (`SkipReason`, node addresses, attempt counts) ride along on the
+//! record.
 
 use crate::global;
+use crate::trace::{self, SpanId, TraceContext, TraceId};
 use monster_sim::{VDuration, VInstant};
 
 /// A completed span, as stored in the registry's trace ring buffer.
@@ -19,12 +28,25 @@ pub struct SpanRecord {
     pub begin: VInstant,
     /// Virtual end time (`>= begin`).
     pub end: VInstant,
+    /// The trace this span belongs to.
+    pub trace: TraceId,
+    /// This span's id.
+    pub span: SpanId,
+    /// Parent span id (`None` for a trace root).
+    pub parent: Option<SpanId>,
+    /// Key/value attributes (`SkipReason`, node, attempts, ...).
+    pub attrs: Vec<(String, String)>,
 }
 
 impl SpanRecord {
     /// Span duration in virtual time.
     pub fn duration(&self) -> VDuration {
         self.end.since(self.begin)
+    }
+
+    /// Look up an attribute by key.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
     }
 }
 
@@ -34,19 +56,70 @@ impl SpanRecord {
 pub struct Span {
     name: String,
     begin: VInstant,
+    ctx: TraceContext,
+    parent: Option<SpanId>,
+    attrs: Vec<(String, String)>,
     done: bool,
 }
 
 impl Span {
     /// Open a span named `name`, stamped with the registry's current
-    /// virtual time.
+    /// virtual time. If a trace context is installed on this thread (see
+    /// [`trace::set_current`]) the span joins it as a child; otherwise it
+    /// starts a fresh root trace.
     pub fn enter(name: impl Into<String>) -> Span {
-        Span { name: name.into(), begin: global().vtime(), done: false }
+        match trace::current() {
+            Some(parent) => Span::child_of(name, parent),
+            None => Span::root(name),
+        }
+    }
+
+    /// Open a span that starts a fresh trace, ignoring any installed
+    /// context.
+    pub fn root(name: impl Into<String>) -> Span {
+        Span {
+            name: name.into(),
+            begin: global().vtime(),
+            ctx: TraceContext::root(),
+            parent: None,
+            attrs: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Open a span as an explicit child of `parent`.
+    pub fn child_of(name: impl Into<String>, parent: TraceContext) -> Span {
+        Span {
+            name: name.into(),
+            begin: global().vtime(),
+            ctx: parent.child(),
+            parent: Some(parent.span),
+            attrs: Vec::new(),
+            done: false,
+        }
     }
 
     /// Virtual time at which the span was opened.
     pub fn begin(&self) -> VInstant {
         self.begin
+    }
+
+    /// This span's context — hand it to children (or serialize it as a
+    /// `traceparent` header).
+    pub fn context(&self) -> TraceContext {
+        self.ctx
+    }
+
+    /// Attach a key/value attribute (later values for the same key are
+    /// appended, not replaced — records are cheap and append-only).
+    pub fn set_attr(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.attrs.push((key.into(), value.into()));
+    }
+
+    /// Builder-style attribute attachment.
+    pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Span {
+        self.set_attr(key, value);
+        self
     }
 
     /// Close the span at the registry's current virtual time.
@@ -64,6 +137,15 @@ impl Span {
         self.record(end);
     }
 
+    /// Close the span `dur` after it began **without** advancing the
+    /// registry clock. Use this for work that overlaps other work in
+    /// virtual time (per-request spans inside a sweep run on parallel
+    /// channels; summing their durations onto the clock would be wrong).
+    pub fn finish_spanning(mut self, dur: VDuration) {
+        let end = self.begin + dur;
+        self.record(end);
+    }
+
     fn record(&mut self, end: VInstant) {
         if self.done {
             return;
@@ -73,6 +155,10 @@ impl Span {
             name: std::mem::take(&mut self.name),
             begin: self.begin,
             end: end.max(self.begin),
+            trace: self.ctx.trace,
+            span: self.ctx.span,
+            parent: self.parent,
+            attrs: std::mem::take(&mut self.attrs),
         });
     }
 }
@@ -106,5 +192,53 @@ mod tests {
         }
         let after = global().recent_spans().len();
         assert_eq!(after, before + 1);
+    }
+
+    #[test]
+    fn enter_joins_installed_context() {
+        let root = Span::root("test.parent");
+        let root_ctx = root.context();
+        let child_ctx = {
+            let _g = trace::set_current(root_ctx);
+            let child = Span::enter("test.child").with_attr("k", "v");
+            let ctx = child.context();
+            child.finish();
+            ctx
+        };
+        root.finish();
+        assert_eq!(child_ctx.trace, root_ctx.trace);
+        let spans = global().recent_spans();
+        let child = spans.iter().rev().find(|s| s.name == "test.child").unwrap();
+        let parent = spans.iter().rev().find(|s| s.name == "test.parent").unwrap();
+        assert_eq!(child.trace, parent.trace);
+        assert_eq!(child.parent, Some(parent.span));
+        assert_eq!(parent.parent, None);
+        assert_eq!(child.attr("k"), Some("v"));
+        assert_eq!(child.attr("missing"), None);
+    }
+
+    #[test]
+    fn enter_without_context_is_a_root() {
+        let span = Span::enter("test.rootless");
+        assert!(span.context().trace.0 != 0);
+        let ctx = span.context();
+        span.finish();
+        let spans = global().recent_spans();
+        let rec = spans.iter().rev().find(|s| s.name == "test.rootless").unwrap();
+        assert_eq!(rec.trace, ctx.trace);
+        assert_eq!(rec.parent, None);
+    }
+
+    #[test]
+    fn finish_spanning_does_not_advance_the_clock() {
+        let t0 = global().vtime();
+        let span = Span::enter("test.spanning");
+        span.finish_spanning(VDuration::from_secs(3600));
+        // The clock may have been advanced by concurrent tests, but never
+        // by the full hour this span covered.
+        assert!(global().vtime() < t0 + VDuration::from_secs(3600));
+        let spans = global().recent_spans();
+        let rec = spans.iter().rev().find(|s| s.name == "test.spanning").unwrap();
+        assert_eq!(rec.duration(), VDuration::from_secs(3600));
     }
 }

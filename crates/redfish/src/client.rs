@@ -342,7 +342,7 @@ impl RedfishClient {
         }
         let makespan = bins.into_iter().max().unwrap_or(VDuration::ZERO);
         let outcome = SweepOutcome { results, makespan, deadline: None };
-        self.report(&outcome);
+        self.report(&outcome, span.context(), makespan);
         span.finish_after(makespan);
         outcome
     }
@@ -434,24 +434,64 @@ impl RedfishClient {
         let makespan = bins.into_iter().max().unwrap_or(VDuration::ZERO);
         let outcome = SweepOutcome { results, makespan, deadline: Some(deadline) };
         registry.publish_gauges();
-        self.report(&outcome);
+        self.report(&outcome, span.context(), makespan);
         span.finish_after(makespan);
         outcome
     }
 
     /// Publish a sweep's health to the self-monitoring registry
-    /// (`monster_redfish_*` series on `GET /metrics`). Kept out of
-    /// [`Self::fetch`] so the per-request hot path stays untouched.
-    fn report(&self, outcome: &SweepOutcome) {
+    /// (`monster_redfish_*` series on `GET /metrics`) and record the
+    /// sweep's *interesting* per-BMC requests — skips, failures, retries —
+    /// as child spans of the sweep span, each tagged with node/category
+    /// (and `SkipReason` for skips). Healthy first-try requests stay out
+    /// of the ring: at Quanah scale a sweep issues 1868 requests and the
+    /// trace would be all noise. Kept out of [`Self::fetch`] so the
+    /// per-request hot path stays untouched.
+    fn report(
+        &self,
+        outcome: &SweepOutcome,
+        sweep_ctx: monster_obs::TraceContext,
+        makespan: VDuration,
+    ) {
         monster_obs::counter("monster_redfish_sweeps_total").inc();
         monster_obs::counter("monster_redfish_requests_total").add(outcome.results.len() as u64);
         monster_obs::counter("monster_redfish_failures_total").add(outcome.failures() as u64);
         monster_obs::counter("monster_redfish_retries_total").add(outcome.retries() as u64);
         monster_obs::counter("monster_redfish_timeouts_total").add(outcome.timeouts() as u64);
         monster_obs::counter("monster_redfish_skipped_total").add(outcome.skipped() as u64);
+        monster_obs::histo_help(
+            "monster_sweep_duration_seconds",
+            "Simulated makespan of one full-fleet Redfish sweep.",
+        )
+        .observe_vdur_traced(makespan, Some(sweep_ctx));
         let histo = monster_obs::histo("monster_redfish_request_seconds");
         for r in outcome.results.iter().filter(|r| r.skip.is_none()) {
             histo.observe_vdur(r.elapsed);
+        }
+        for r in &outcome.results {
+            match r.skip {
+                Some(reason) => {
+                    monster_obs::Span::child_of("redfish.skip", sweep_ctx)
+                        .with_attr("node", r.node.to_string())
+                        .with_attr("category", r.category.to_string())
+                        .with_attr("SkipReason", format!("{reason:?}"))
+                        .finish_spanning(VDuration::ZERO);
+                }
+                None if r.reading.is_none() || r.attempts > 1 => {
+                    let mut span = monster_obs::Span::child_of("redfish.request", sweep_ctx)
+                        .with_attr("node", r.node.to_string())
+                        .with_attr("category", r.category.to_string())
+                        .with_attr("attempts", r.attempts.to_string())
+                        .with_attr("timeouts", r.timeouts.to_string());
+                    if r.reading.is_none() {
+                        span.set_attr("outcome", "failed");
+                    } else {
+                        span.set_attr("outcome", "retried_ok");
+                    }
+                    span.finish_spanning(r.elapsed);
+                }
+                None => {}
+            }
         }
     }
 }

@@ -84,7 +84,12 @@ pub fn run_concurrent(db: &Arc<Db>, queries: Vec<Query>, workers: usize) -> Batc
     let n = queries.len();
     let workers = workers.max(1);
     let pool = ThreadPool::new(workers);
+    // Pool threads don't inherit the caller's thread-local trace context;
+    // re-install it per task so each query's scan span stays a child of
+    // the request that issued the batch.
+    let ctx = monster_obs::trace::current();
     let outputs = pool.scope_map(queries, |q| {
+        let _trace = ctx.map(monster_obs::trace::set_current);
         let (rs, cost) = db.query(&q)?;
         let (cpu, io) = db.config().cost.split(&cost, &db.config().disk);
         Ok::<_, monster_util::Error>((rs, cost, cpu, io))

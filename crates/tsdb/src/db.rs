@@ -143,7 +143,13 @@ impl Db {
     /// we held it. Histogram updates are lock-free and happen after the
     /// guard is dropped (the PR 1 "outside critical sections" convention).
     fn observe_lock(&self, wait_start: Instant, acquired: Instant) {
-        self.lock_wait.observe(acquired.duration_since(wait_start).as_secs_f64());
+        // The wait histogram parks an exemplar pointing at whichever trace
+        // was stalled, so a lock-contention spike links to the sweep or
+        // query that suffered it.
+        self.lock_wait.observe_traced(
+            acquired.duration_since(wait_start).as_secs_f64(),
+            monster_obs::trace::current(),
+        );
         self.lock_hold.observe(acquired.elapsed().as_secs_f64());
     }
 
@@ -204,6 +210,14 @@ impl Db {
     /// section is a pure `(u32, u32)`-keyed append — no string hashing, no
     /// allocation, and never more than one shard lock held at a time.
     pub fn write_batch(&self, points: &[DataPoint]) -> Result<()> {
+        // Joins the collector's interval trace when one is installed on
+        // this thread, so "shard 7 write" hangs off "sweep 812". Untraced
+        // writes skip the span: steady-state ingest stays allocation-free.
+        let mut span = monster_obs::trace::current().map(|ctx| {
+            let mut s = monster_obs::Span::child_of("tsdb.write_batch", ctx);
+            s.set_attr("points", points.len().to_string());
+            s
+        });
         for p in points {
             if !p.is_valid() {
                 return Err(Error::invalid(format!(
@@ -331,12 +345,17 @@ impl Db {
         let shard_count = self.shards.read().len() as i64;
         monster_obs::counter("monster_tsdb_write_batches_total").inc();
         monster_obs::counter("monster_tsdb_points_written_total").add(applied as u64);
-        monster_obs::histo("monster_tsdb_write_batch_size").observe(points.len() as f64);
+        monster_obs::histo("monster_tsdb_write_batch_points").observe(points.len() as f64);
         monster_obs::gauge("monster_tsdb_series").set(series);
         monster_obs::gauge("monster_tsdb_shards").set(shard_count);
-        for (start, count) in shard_gauges {
+        for (start, count) in &shard_gauges {
             monster_obs::gauge(&format!("monster_tsdb_shard_points{{shard=\"{start}\"}}"))
-                .set(count);
+                .set(*count);
+        }
+        if let Some(mut span) = span.take() {
+            span.set_attr("applied", applied.to_string());
+            span.set_attr("shards", shard_gauges.len().to_string());
+            span.finish();
         }
         result
     }
@@ -355,6 +374,9 @@ impl Db {
     /// thread, so results are byte-identical to a sequential execution.
     pub fn query(&self, q: &Query) -> Result<(ResultSet, QueryCost)> {
         q.validate()?;
+        let mut span = monster_obs::Span::enter("tsdb.query_scan");
+        span.set_attr("measurement", q.measurement.clone());
+        let span_ctx = span.context();
         let mut cost = QueryCost { queries: 1, ..QueryCost::default() };
 
         // Planning under the index read lock: the index work scales with
@@ -497,8 +519,14 @@ impl Db {
         monster_obs::counter("monster_tsdb_blocks_decoded_total").add(cost.blocks as u64);
         monster_obs::counter("monster_tsdb_blocks_summarized_total")
             .add(cost.blocks_summarized as u64);
+        let elapsed = self.config.cost.elapsed(&cost, &self.config.disk);
         monster_obs::histo("monster_tsdb_query_seconds")
-            .observe_vdur(self.config.cost.elapsed(&cost, &self.config.disk));
+            .observe_vdur_traced(elapsed, Some(span_ctx));
+        span.set_attr("shards_scanned", cost.shards_scanned.to_string());
+        span.set_attr("points", cost.points.to_string());
+        // Queries overlap other pipeline work in virtual time, so the scan
+        // span covers its simulated cost without advancing the clock.
+        span.finish_spanning(elapsed);
         Ok((ResultSet { series: series_out }, cost))
     }
 

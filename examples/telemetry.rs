@@ -158,5 +158,39 @@ fn main() {
     for line in text.lines().filter(|l| l.starts_with("monster_tsdb_shard_points{")) {
         println!("  {line}");
     }
-    println!("(serve these live: `deployment.serve_api(port)` then GET /metrics)");
+
+    // Latency histograms carry OpenMetrics exemplars: the bucket line
+    // remembers the trace id of the last observation that landed in it,
+    // so a dashboard spike links straight to the sweep or request that
+    // caused it (`GET /debug/trace` exports the spans).
+    println!("\n== Exemplars (histogram bucket -> trace) ==");
+    for line in text
+        .lines()
+        .filter(|l| l.starts_with("monster_sweep_duration_seconds_bucket") && l.contains(" # "))
+        .take(2)
+    {
+        println!("  {line}");
+    }
+
+    // The freshness SLO engine watches per-(node, metric) ingest
+    // watermarks; `GET /debug/pipeline` serves this same report.
+    let report = monster::obs::freshness().report();
+    let f = |path: &[&str]| {
+        let mut v = Some(&report);
+        for k in path {
+            v = v.and_then(|v| v.get(k));
+        }
+        v.and_then(|v| v.as_f64()).unwrap_or(f64::NAN)
+    };
+    println!("\n== Freshness SLO (/debug/pipeline) ==");
+    println!("  tracked series     {}", f(&["tracked_series"]));
+    println!("  attainment         {:.4} (target {})", f(&["attainment"]), f(&["slo", "target"]));
+    println!("  error budget used  {:.4}", f(&["error_budget_used"]));
+    println!(
+        "  staleness p50/p99  {}s / {}s",
+        f(&["staleness_secs", "p50"]),
+        f(&["staleness_secs", "p99"])
+    );
+    println!("(serve these live: `deployment.serve_api(port)` then GET /metrics,");
+    println!(" /debug/trace, /debug/pipeline)");
 }

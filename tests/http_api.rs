@@ -61,6 +61,18 @@ fn builder_api_full_consumer_flow() {
 
     // Timing headers present (the observability contract).
     assert!(plain.headers.get("X-Query-Processing-Ms").is_some());
+
+    // Distributed-tracing contract: every /v1/metrics response carries a
+    // well-formed W3C traceparent and the freshness-lag header.
+    let tp = plain.headers.get("traceparent").expect("traceparent header");
+    assert!(monster::obs::TraceContext::parse_traceparent(tp).is_some(), "bad traceparent: {tp}");
+    let lag: f64 = plain
+        .headers
+        .get("X-Freshness-Lag-Seconds")
+        .expect("freshness header")
+        .parse()
+        .expect("freshness header must be numeric");
+    assert!(lag >= 0.0);
 }
 
 #[test]
