@@ -90,6 +90,33 @@ fn lint_kinds(kinds: &[(String, &'static str)]) -> Vec<String> {
     violations
 }
 
+/// Label-cardinality budget: labels live in the metric name
+/// (`monster_alert_active{severity="critical"}`), so one runaway label —
+/// a node address, a job id — quietly multiplies a family into thousands
+/// of series. Cap every family at `budget` distinct series; the limit is
+/// generous for legitimate enums (severity, shard, reason) and fatal for
+/// unbounded ones.
+fn lint_cardinality(kinds: &[(String, &'static str)], budget: usize) -> Vec<String> {
+    let mut families: Vec<(&str, usize)> = Vec::new();
+    for (name, _) in kinds {
+        let base = base_name(name);
+        match families.iter_mut().find(|(f, _)| *f == base) {
+            Some((_, n)) => *n += 1,
+            None => families.push((base, 1)),
+        }
+    }
+    families
+        .iter()
+        .filter(|&&(_, n)| n > budget)
+        .map(|&(family, n)| {
+            format!(
+                "family `{family}` has {n} series, over the {budget}-series label budget \
+                 (set METRICS_SERIES_BUDGET to raise it deliberately)"
+            )
+        })
+        .collect()
+}
+
 /// Lint the scraped text: `# TYPE` lines must agree with the registry
 /// rules too (this is what an external Prometheus actually sees), and
 /// exemplar suffixes must be well-formed.
@@ -193,9 +220,25 @@ fn main() {
         Client::new().send_ok(server.addr(), &Request::get("/metrics")).expect("GET /metrics");
     let text = String::from_utf8(resp.body).expect("utf-8 exposition");
 
+    let budget: usize = std::env::var("METRICS_SERIES_BUDGET")
+        .ok()
+        .map(|s| s.parse().expect("METRICS_SERIES_BUDGET must be an integer"))
+        .unwrap_or(32);
     let kinds = global().metric_kinds();
     let mut violations = lint_kinds(&kinds);
+    violations.extend(lint_cardinality(&kinds, budget));
     violations.extend(lint_exposition(&text));
+
+    // The alert gauges register (with HELP and an explicit 0) at engine
+    // construction, so a dashboard can tell "no alerts" from "alerting
+    // not wired" on the very first scrape.
+    for severity in ["info", "warning", "critical"] {
+        let series = format!("monster_alert_active{{severity=\"{severity}\"}}");
+        assert!(
+            text.lines().any(|l| l.starts_with(&series)),
+            "`{series}` missing from the first scrape"
+        );
+    }
 
     println!("== metrics-name lint: {} metrics scraped ==", kinds.len());
     for (name, kind) in &kinds {
@@ -208,7 +251,10 @@ fn main() {
         }
         std::process::exit(1);
     }
-    println!("all names conform (counters _total; histograms {})", UNIT_SUFFIXES.join("/"));
+    println!(
+        "all names conform (counters _total; histograms {}; families within {budget} series)",
+        UNIT_SUFFIXES.join("/")
+    );
 
     assert_scrape_does_not_stall_writers();
     assert!(global().vtime() > VInstant::EPOCH, "pipeline advanced the virtual clock");

@@ -15,6 +15,12 @@
 //!   JSON with trace/span/parent lineage in `args`.
 //! * `GET /debug/pipeline` — the freshness SLO report: staleness
 //!   percentiles, attainment, and multi-window burn rates.
+//! * `GET /v1/alerts` — active and recently resolved alerts with severity
+//!   counts (when the deployment runs an alert engine).
+//! * `GET /v1/alerts/:id` — one alert's detail: rule, state, flap count,
+//!   attributed job ids, and the exemplar trace id of the offending
+//!   reading (join it against `GET /debug/trace`).
+//! * `GET /v1/silences` — unexpired alert silences.
 
 use crate::cache::ResponseCache;
 use crate::exec::{execute, ExecMode};
@@ -43,6 +49,9 @@ pub struct ServiceConfig {
     /// [`crate::materializer::Materializer::routes`]. Empty disables
     /// rerouting.
     pub rollup_routes: Vec<crate::rollup::RollupRoute>,
+    /// The deployment's alert engine, when alerting is on; backs
+    /// `/v1/alerts` and `/v1/silences`. `None` serves 404s there.
+    pub alerts: Option<Arc<monster_alert::AlertEngine>>,
 }
 
 impl Default for ServiceConfig {
@@ -53,6 +62,7 @@ impl Default for ServiceConfig {
             level: Level::default(),
             cache_entries: 64,
             rollup_routes: Vec::new(),
+            alerts: None,
         }
     }
 }
@@ -193,6 +203,35 @@ pub fn router(db: Arc<Db>, nodes: Vec<NodeId>, config: ServiceConfig) -> Router 
         })
         .route(Method::Get, "/debug/pipeline", |_req, _params| {
             Response::json(&monster_obs::freshness().report())
+        })
+        .route(Method::Get, "/v1/alerts", {
+            let engine = config.alerts.clone();
+            move |_req, _params| match &engine {
+                Some(e) => Response::json(&e.alerts_json()),
+                None => Response::error(Status::NOT_FOUND, "alerting is not enabled"),
+            }
+        })
+        .route(Method::Get, "/v1/alerts/:id", {
+            let engine = config.alerts.clone();
+            move |_req, params| {
+                let Some(engine) = &engine else {
+                    return Response::error(Status::NOT_FOUND, "alerting is not enabled");
+                };
+                let Some(id) = params.get("id").and_then(|s| s.parse::<u64>().ok()) else {
+                    return bad_request("alert id must be an integer");
+                };
+                match engine.alert(id) {
+                    Some(alert) => Response::json(&alert.to_json()),
+                    None => Response::error(Status::NOT_FOUND, &format!("no alert {id}")),
+                }
+            }
+        })
+        .route(Method::Get, "/v1/silences", {
+            let engine = config.alerts.clone();
+            move |_req, _params| match &engine {
+                Some(e) => Response::json(&e.silences_json()),
+                None => Response::error(Status::NOT_FOUND, "alerting is not enabled"),
+            }
         })
         .route(Method::Get, "/healthz", |_req, _params| {
             Response::json(&jobj! { "status" => "ok", "checks" => jarr!["registry", "db"] })
@@ -365,6 +404,61 @@ mod tests {
         assert!(doc.get("staleness_secs").unwrap().get("p99").is_some());
         assert!(doc.get("attainment").unwrap().as_f64().is_some());
         assert!(doc.get("burn_rate").unwrap().get("fast").is_some());
+    }
+
+    /// Leaf paths of a JSON document with their types — the golden shape
+    /// of `/debug/pipeline`. Values vary with whatever the process-global
+    /// tracker has seen; the key tree and types must not.
+    fn shape_of(v: &Value, prefix: &str, out: &mut Vec<String>) {
+        match v {
+            Value::Object(o) => {
+                for (k, inner) in o.iter() {
+                    let path =
+                        if prefix.is_empty() { k.to_string() } else { format!("{prefix}.{k}") };
+                    shape_of(inner, &path, out);
+                }
+            }
+            Value::Array(_) => out.push(format!("{prefix}:array")),
+            Value::Int(_) | Value::Float(_) => out.push(format!("{prefix}:number")),
+            Value::Str(_) => out.push(format!("{prefix}:string")),
+            Value::Bool(_) => out.push(format!("{prefix}:bool")),
+            Value::Null => out.push(format!("{prefix}:null")),
+        }
+    }
+
+    #[test]
+    fn pipeline_endpoint_shape_is_golden() {
+        // Dashboards and the chaos harness key into this document by
+        // path; adding a field is fine everywhere *except* silently, and
+        // renaming one breaks consumers. This golden list is the contract
+        // — update it deliberately, in the same commit as the consumer.
+        let (_db, router) = service();
+        monster_obs::freshness().record_ingest("10.101.9.8", "Thermal", 0.0);
+        monster_obs::freshness().record_sweep(0.0);
+        let doc = get(&router, "/debug/pipeline").json_body().unwrap();
+        let mut got = Vec::new();
+        shape_of(&doc, "", &mut got);
+        assert_eq!(
+            got,
+            [
+                "tracked_series:number",
+                "latest_sweep_epoch_secs:number",
+                "slo.cadence_secs:number",
+                "slo.fresh_within_secs:number",
+                "slo.target:number",
+                "staleness_secs.p50:number",
+                "staleness_secs.p90:number",
+                "staleness_secs.p99:number",
+                "staleness_secs.max:number",
+                "attainment:number",
+                "error_budget_used:number",
+                "burn_rate.fast_window_secs:number",
+                "burn_rate.fast:number",
+                "burn_rate.slow_window_secs:number",
+                "burn_rate.slow:number",
+            ],
+            "GET /debug/pipeline shape drifted"
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::preprocess::FinishEstimator;
 use crate::schema::{bmc_points, job_points, uge_points, SchemaVersion};
+use monster_alert::{AnomalyEvent, DetectorBank, DetectorConfig};
 use monster_redfish::client::{ClientConfig, RedfishClient, SweepOutcome};
 use monster_redfish::resilience::{BreakerCounts, HealthRegistry, ResilienceConfig};
 use monster_redfish::types::{Category, NodeReading};
@@ -27,6 +28,12 @@ pub struct CollectorConfig {
     /// breakers, jittered retry backoff, and the deadline-aware degraded
     /// sweep scheduler with last-known-good staleness substitution.
     pub resilience: Option<ResilienceConfig>,
+    /// When set, every live reading is folded through the streaming
+    /// anomaly detectors (EWMA z-score, rate-of-change, flatline) as it is
+    /// ingested, and transitions surface in
+    /// [`IntervalOutput::anomalies`]. On by default — detection is the
+    /// product, not an add-on.
+    pub detectors: Option<DetectorConfig>,
 }
 
 impl Default for CollectorConfig {
@@ -36,6 +43,7 @@ impl Default for CollectorConfig {
             interval_secs: 60,
             client: ClientConfig::default(),
             resilience: None,
+            detectors: Some(DetectorConfig::default()),
         }
     }
 }
@@ -69,6 +77,9 @@ pub struct IntervalOutput {
     pub degraded: bool,
     /// Breaker census at sweep end (all-closed on the legacy path).
     pub breakers: BreakerCounts,
+    /// Detector transitions observed while ingesting this interval's live
+    /// readings (empty when detectors are off — and on a healthy interval).
+    pub anomalies: Vec<AnomalyEvent>,
 }
 
 /// The Metrics Collector service.
@@ -83,6 +94,8 @@ pub struct Collector {
     last_good: HashMap<(NodeId, Category), NodeReading>,
     /// Sweep index at which each (node, category) was last fresh.
     last_fresh: HashMap<(NodeId, Category), u64>,
+    /// Streaming per-(node, signal) anomaly detectors, fed live readings.
+    detectors: Option<DetectorBank>,
 }
 
 impl Collector {
@@ -90,6 +103,15 @@ impl Collector {
     pub fn new(config: CollectorConfig) -> Self {
         let client = RedfishClient::new(config.client.clone());
         let registry = config.resilience.clone().map(HealthRegistry::new);
+        let detectors = config.detectors.map(DetectorBank::new);
+        if detectors.is_some() {
+            // Register the event counter up front so a scrape before the
+            // first anomaly sees an explicit 0, not a missing family.
+            monster_obs::counter_help(
+                "monster_anomaly_events_total",
+                "Streaming detector transitions (raises + clears) observed at ingest.",
+            );
+        }
         Collector {
             config,
             client,
@@ -97,7 +119,13 @@ impl Collector {
             registry,
             last_good: HashMap::new(),
             last_fresh: HashMap::new(),
+            detectors,
         }
+    }
+
+    /// The streaming detector bank, when detection is on.
+    pub fn detector_bank(&self) -> Option<&DetectorBank> {
+        self.detectors.as_ref()
     }
 
     /// The per-BMC health registry, when the resilience layer is on.
@@ -137,9 +165,24 @@ impl Collector {
         let mut points: Vec<DataPoint> = Vec::with_capacity(cluster.len() * 16);
         let mut stale_points = 0usize;
         let mut stale_age: HashMap<NodeId, u64> = HashMap::new();
+        // `Vec::new` defers its first allocation to the first push, so a
+        // healthy interval (no transitions) stays allocation-free here.
+        let mut anomalies: Vec<AnomalyEvent> = Vec::new();
         for outcome in &sweep.results {
             if let Some(reading) = &outcome.reading {
                 points.extend(bmc_points(self.config.schema, outcome.node, reading, now));
+                // Streaming detection happens at ingest: only *live*
+                // readings are evaluated — stale substitutions repeat
+                // last-known-good values and would fake flatlines.
+                if let Some(bank) = &mut self.detectors {
+                    bank.observe_reading(
+                        outcome.node,
+                        reading,
+                        now,
+                        Some(trace_ctx),
+                        &mut anomalies,
+                    );
+                }
                 // A live reading advances this series' last-good-ingest
                 // watermark — the raw material of the freshness SLO.
                 monster_obs::freshness().record_ingest(
@@ -218,6 +261,9 @@ impl Collector {
         if degraded {
             monster_obs::counter("monster_collector_degraded_sweeps_total").inc();
         }
+        if !anomalies.is_empty() {
+            monster_obs::counter("monster_anomaly_events_total").add(anomalies.len() as u64);
+        }
         // Sweep tick: freezes this interval's attainment sample for the
         // burn-rate windows and advances the lag reference time.
         monster_obs::freshness().record_sweep(now.as_secs() as f64);
@@ -234,6 +280,7 @@ impl Collector {
             stale_nodes,
             degraded,
             breakers,
+            anomalies,
         }
     }
 

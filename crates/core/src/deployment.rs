@@ -1,6 +1,7 @@
 //! The deployment driver: cluster + scheduler + collector + storage +
 //! builder, advanced in lock-step.
 
+use monster_alert::{AlertEngine, DetectorConfig, EngineConfig, IntervalInput, NodeInterval};
 use monster_builder::rollup::RollupRoute;
 use monster_builder::{build_plan, encode_response, BuilderRequest, ExecMode};
 use monster_collector::{Collector, CollectorConfig, SchemaVersion};
@@ -13,7 +14,8 @@ use monster_scheduler::{Qmaster, QmasterConfig, WorkloadConfig, WorkloadGenerato
 use monster_sim::{DiskModel, VDuration};
 use monster_tsdb::retention::ContinuousQuery;
 use monster_tsdb::{Aggregation, CostParams, Db, DbConfig};
-use monster_util::{EpochSecs, NodeId, Result};
+use monster_util::{EpochSecs, JobId, NodeId, Result};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Quanah's size; amplification defaults scale against it.
@@ -44,6 +46,13 @@ pub struct MonsterConfig {
     /// breakers, jittered backoff, deadline-aware degraded sweeps with
     /// stale substitution.
     pub resilience: Option<ResilienceConfig>,
+    /// Streaming anomaly detector tuning for the collector (`None`
+    /// disables detection; on by default).
+    pub detectors: Option<DetectorConfig>,
+    /// Alert engine tuning (`None` disables alerting; on by default). The
+    /// engine consumes detector events, collection health, and freshness
+    /// burn each interval, and serves `GET /v1/alerts`.
+    pub alerting: Option<EngineConfig>,
     /// Synthetic workload (`None` leaves the cluster idle).
     pub workload: Option<WorkloadConfig>,
     /// How much simulated time the workload generator pre-populates.
@@ -65,6 +74,8 @@ impl Default for MonsterConfig {
             bmc_overrides: Vec::new(),
             client: ClientConfig::default(),
             resilience: None,
+            detectors: Some(DetectorConfig::default()),
+            alerting: Some(EngineConfig::default()),
             workload: Some(WorkloadConfig::default()),
             horizon_secs: 86_400,
             amplify_to_quanah: false,
@@ -100,6 +111,11 @@ pub struct IntervalSummary {
     /// Nodes the resilient scheduler skipped this interval, with the
     /// reason (`BreakerOpen` / `Deadline`) — deduplicated per node.
     pub skipped_nodes: Vec<(NodeId, SkipReason)>,
+    /// Detector transitions observed while ingesting this interval.
+    pub anomaly_events: usize,
+    /// What the alert engine did this interval (all zero with alerting
+    /// off).
+    pub alerts: monster_alert::IntervalOutcome,
 }
 
 /// A running MonSTer deployment.
@@ -113,6 +129,8 @@ pub struct Monster {
     intervals_run: usize,
     /// Maintained continuous-query roll-ups plus their routing table.
     rollups: Option<(Vec<ContinuousQuery>, Vec<RollupRoute>)>,
+    /// The alert engine, shared with the HTTP service when serving.
+    alerts: Option<Arc<AlertEngine>>,
 }
 
 impl Monster {
@@ -146,7 +164,9 @@ impl Monster {
             interval_secs: config.interval_secs,
             client: config.client.clone(),
             resilience: config.resilience.clone(),
+            detectors: config.detectors,
         });
+        let alerts = config.alerting.map(|c| Arc::new(AlertEngine::new(c)));
         Monster {
             config,
             cluster,
@@ -156,6 +176,7 @@ impl Monster {
             now: start,
             intervals_run: 0,
             rollups: None,
+            alerts,
         }
     }
 
@@ -200,6 +221,11 @@ impl Monster {
         &mut self.qmaster
     }
 
+    /// The alert engine, when alerting is on.
+    pub fn alerts(&self) -> Option<&Arc<AlertEngine>> {
+        self.alerts.as_ref()
+    }
+
     /// Node inventory.
     pub fn node_ids(&self) -> Vec<NodeId> {
         self.cluster.node_ids().to_vec()
@@ -228,6 +254,64 @@ impl Monster {
             .collect();
         skipped_nodes.sort_unstable_by_key(|&(n, _)| n);
         skipped_nodes.dedup_by_key(|&mut (n, _)| n);
+
+        // Fold the interval through the alert engine: detector events,
+        // per-node collection health, freshness burn, and the scheduler's
+        // placement for job attribution.
+        let alerts = match &self.alerts {
+            Some(engine) => {
+                let mut per_node: BTreeMap<NodeId, NodeInterval> = self
+                    .cluster
+                    .node_ids()
+                    .iter()
+                    .map(|&node| {
+                        (
+                            node,
+                            NodeInterval {
+                                node,
+                                live_readings: 0,
+                                skipped: 0,
+                                breaker_open: false,
+                                stale_age_sweeps: 0,
+                            },
+                        )
+                    })
+                    .collect();
+                for r in &out.sweep.results {
+                    if let Some(entry) = per_node.get_mut(&r.node) {
+                        if r.reading.is_some() {
+                            entry.live_readings += 1;
+                        }
+                        if let Some(reason) = r.skip {
+                            entry.skipped += 1;
+                            if reason == SkipReason::BreakerOpen {
+                                entry.breaker_open = true;
+                            }
+                        }
+                    }
+                }
+                for &(node, age) in &out.stale_nodes {
+                    if let Some(entry) = per_node.get_mut(&node) {
+                        entry.stale_age_sweeps = age;
+                    }
+                }
+                let jobs: BTreeMap<NodeId, Vec<JobId>> =
+                    per_node.keys().map(|&n| (n, self.qmaster.jobs_on(n))).collect();
+                let nodes: Vec<NodeInterval> = per_node.into_values().collect();
+                let fresh = monster_obs::freshness();
+                let slo = fresh.config();
+                engine.observe_interval(&IntervalInput {
+                    now: self.now,
+                    anomalies: &out.anomalies,
+                    nodes: &nodes,
+                    burn_fast: fresh.burn_rate(slo.fast_window_secs),
+                    burn_slow: fresh.burn_rate(slo.slow_window_secs),
+                    jobs: &jobs,
+                })
+            }
+            None => monster_alert::IntervalOutcome::default(),
+        };
+
         Ok(IntervalSummary {
             time: self.now,
             points: out.points.len(),
@@ -240,6 +324,8 @@ impl Monster {
             breakers_open: out.breakers.open,
             trace: out.trace,
             skipped_nodes,
+            anomaly_events: out.anomalies.len(),
+            alerts,
         })
     }
 
@@ -380,6 +466,7 @@ impl Monster {
             self.node_ids(),
             monster_builder::service::ServiceConfig {
                 schema: self.config.schema,
+                alerts: self.alerts.clone(),
                 ..monster_builder::service::ServiceConfig::default()
             },
         );

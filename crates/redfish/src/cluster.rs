@@ -151,6 +151,17 @@ impl SimulatedCluster {
         Ok(())
     }
 
+    /// Inject an additive power fault on one node (W): the sensor model
+    /// adds it every step, so the reading jumps by an amount no load
+    /// change explains — exactly what the streaming detectors exist to
+    /// catch. Zero restores healthy physics.
+    pub fn set_power_offset(&self, node: NodeId, watts: f64) -> Result<()> {
+        let cell =
+            self.cells.get(&node).ok_or_else(|| Error::not_found(format!("no node {node}")))?;
+        cell.lock().sensors.power_offset = watts;
+        Ok(())
+    }
+
     /// Snapshot a node's current sensor state (ground truth for tests and
     /// the analysis pipeline).
     pub fn sensors(&self, node: NodeId) -> Result<NodeSensors> {

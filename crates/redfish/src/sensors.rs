@@ -39,6 +39,10 @@ pub struct NodeSensors {
     pub fans: [f64; FANS_PER_NODE],
     /// Node power draw (W).
     pub power: f64,
+    /// Additive fault injection on the power rail (W): a shorted VRM or
+    /// runaway component that physical load cannot explain. Zero in
+    /// healthy operation; the chaos harness and detector tests set it.
+    pub power_offset: f64,
     /// Host health (derived from temperatures).
     pub host_health: HealthState,
     /// BMC health (rare independent hiccups).
@@ -59,6 +63,7 @@ impl NodeSensors {
             inlet,
             fans: [4400.0; FANS_PER_NODE],
             power: POWER_IDLE,
+            power_offset: 0.0,
             host_health: HealthState::Ok,
             bmc_health: HealthState::Ok,
             socket_bias,
@@ -96,8 +101,11 @@ impl NodeSensors {
 
         // Power responds almost instantly to load, plus fan draw.
         let fan_watts = self.fans.iter().sum::<f64>() / (16000.0 * 4.0) * 35.0;
-        self.power =
-            POWER_IDLE + (POWER_PEAK - POWER_IDLE) * load + fan_watts + rng.normal(0.0, 4.0);
+        self.power = POWER_IDLE
+            + (POWER_PEAK - POWER_IDLE) * load
+            + fan_watts
+            + self.power_offset
+            + rng.normal(0.0, 4.0);
         self.power = self.power.max(80.0);
 
         // Health derivation.

@@ -534,6 +534,13 @@ impl Qmaster {
         self.hosts.values().map(|h| h.load_report(self.now)).collect()
     }
 
+    /// Ids of the jobs currently placed on `node` — the attribution the
+    /// alert engine stamps on node-scoped alerts, so an operator can see
+    /// whose work a failing node is carrying.
+    pub fn jobs_on(&self, node: NodeId) -> Vec<JobId> {
+        self.hosts.get(&node).map(|h| h.job_ids()).unwrap_or_default()
+    }
+
     /// CPU utilization of a node, 0..=1 (drives the BMC sensor model).
     pub fn utilization(&self, node: NodeId) -> f64 {
         self.hosts.get(&node).map(|h| h.slots_used() as f64 / SLOTS_PER_NODE as f64).unwrap_or(0.0)

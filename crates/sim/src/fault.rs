@@ -150,6 +150,17 @@ impl FaultProfile {
         }
         out
     }
+
+    /// Entities this profile kills outright (dead BMCs, not merely flaky)
+    /// at any point in `[0, active_ticks)` — the set an alert engine must
+    /// flag unreachable, with exactly one critical each.
+    pub fn dead_entities(&self, seed: u64, total: usize, active_ticks: u64) -> Vec<usize> {
+        (0..total)
+            .filter(|&entity| {
+                (0..active_ticks).any(|t| self.spec(seed, entity, total, t, active_ticks).dead)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +178,22 @@ mod tests {
     #[test]
     fn calm_never_perturbs() {
         assert!(FaultProfile::Calm.perturbed(1, 64, 100).is_empty());
+    }
+
+    #[test]
+    fn dead_entities_is_exactly_the_dead_rack() {
+        // Only dead-rack kills; the flaky/brownout profiles perturb
+        // without killing, so their dead set is empty.
+        assert!(FaultProfile::FlakyTail.dead_entities(1, 96, 10).is_empty());
+        assert!(FaultProfile::RollingBrownout.dead_entities(1, 96, 10).is_empty());
+        let dead = FaultProfile::DeadRack.dead_entities(5, 96, 10);
+        assert_eq!(dead.len(), 96 / RACKS);
+        assert_eq!(
+            dead,
+            (0..96)
+                .filter(|&e| FaultProfile::DeadRack.spec(5, e, 96, 0, 10).dead)
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

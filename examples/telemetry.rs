@@ -109,6 +109,16 @@ fn main() {
     );
     println!("the 20-second bursts are invisible at 60 s and obvious at 10 s.");
 
+    // Streaming detectors watch every reading at ingest, and the alert
+    // engine turns their transitions into paging decisions. Inject a
+    // fault no workload explains — +450 W on one node's power rail, past
+    // the slew bound — and let the pipeline catch it in the act.
+    let victim = poll.node_ids()[1];
+    poll.cluster().set_power_offset(victim, 450.0).expect("known node");
+    for _ in 0..4 {
+        poll.run_interval().expect("interval");
+    }
+
     // Seal the polled history and replay the dashboard aggregation once:
     // sealed blocks fully inside the window are answered from their
     // zone-map summaries instead of being decompressed, which shows up in
@@ -140,6 +150,18 @@ fn main() {
     let sweep_latency = monster::obs::histo("monster_redfish_request_seconds");
     if let Some(mean) = sweep_latency.mean_secs() {
         println!("mean simulated request latency          {mean:.2}s");
+    }
+
+    // The detectors flagged the shorted rail above; the engine graded and
+    // deduplicated it. `GET /v1/alerts` serves the same list.
+    println!("\n== Alerting (GET /v1/alerts) ==");
+    for name in ["monster_anomaly_events_total", "monster_alert_transitions_total"] {
+        println!("{name:36} {}", monster::obs::sample(&text, name).unwrap_or(0.0));
+    }
+    if let Some(engine) = poll.alerts() {
+        for alert in engine.active() {
+            println!("  [{:8}] {}", alert.severity.to_string(), alert.description);
+        }
     }
 
     // The storage engine's shard locks report how contended they were:

@@ -21,6 +21,7 @@
 
 pub use monster_core::*;
 
+pub use monster_alert as alert;
 pub use monster_analysis as analysis;
 pub use monster_builder as builder;
 pub use monster_collector as collector;
