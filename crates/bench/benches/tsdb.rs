@@ -72,6 +72,73 @@ fn bench_codecs(c: &mut Criterion) {
     g.finish();
 }
 
+/// Whole-block array decoding (`decode_into` into a reused buffer — the
+/// path query scans and snapshot restore now ride) versus the streaming
+/// point-at-a-time `iter()` reference decoder, for all five codecs over
+/// one sealed block's worth of data. The spread between the two is the
+/// vectorization win the batch-staging rework banks on.
+fn bench_batch_codecs(c: &mut Criterion) {
+    const N: usize = 4096;
+    let mut g = c.benchmark_group("tsdb/batch_codecs");
+    g.throughput(Throughput::Elements(N as u64));
+
+    let ts: Vec<i64> = (0..N as i64).map(|i| 1_583_792_296 + i * 60).collect();
+    let tenc = monster_tsdb::encode::timestamps::encode(&ts);
+    let mut tbuf: Vec<i64> = Vec::new();
+    g.bench_function("timestamps_array", |b| {
+        b.iter(|| monster_tsdb::encode::timestamps::decode_into(&tenc, N, &mut tbuf).unwrap())
+    });
+    g.bench_function("timestamps_iter", |b| {
+        b.iter(|| monster_tsdb::encode::timestamps::iter(&tenc, N).map(|r| r.unwrap()).sum::<i64>())
+    });
+
+    let vals: Vec<f64> = (0..N).map(|i| 273.8 + (i % 60) as f64 * 0.1).collect();
+    let fenc = monster_tsdb::encode::floats::encode(&vals);
+    let mut fbuf: Vec<f64> = Vec::new();
+    g.bench_function("floats_array", |b| {
+        b.iter(|| monster_tsdb::encode::floats::decode_into(&fenc, N, &mut fbuf).unwrap())
+    });
+    g.bench_function("floats_iter", |b| {
+        b.iter(|| monster_tsdb::encode::floats::iter(&fenc, N).map(|r| r.unwrap()).sum::<f64>())
+    });
+
+    let ints: Vec<i64> = (0..N as i64).map(|i| 1_000_000 + i * 7 - (i % 5) * 3).collect();
+    let ienc = monster_tsdb::encode::ints::encode(&ints);
+    let mut ibuf: Vec<i64> = Vec::new();
+    g.bench_function("ints_array", |b| {
+        b.iter(|| monster_tsdb::encode::ints::decode_into(&ienc, N, &mut ibuf).unwrap())
+    });
+    g.bench_function("ints_iter", |b| {
+        b.iter(|| monster_tsdb::encode::ints::iter(&ienc, N).map(|r| r.unwrap()).sum::<i64>())
+    });
+
+    let bools: Vec<bool> = (0..N).map(|i| i % 97 == 0).collect();
+    let benc = monster_tsdb::encode::bools::encode(&bools);
+    let mut bbuf: Vec<bool> = Vec::new();
+    g.bench_function("bools_array", |b| {
+        b.iter(|| monster_tsdb::encode::bools::decode_into(&benc, N, &mut bbuf).unwrap())
+    });
+    g.bench_function("bools_iter", |b| {
+        b.iter(|| {
+            monster_tsdb::encode::bools::iter(&benc, N).filter(|r| *r.as_ref().unwrap()).count()
+        })
+    });
+
+    let strings: Vec<String> =
+        (0..N).map(|i| format!("['131{}', '1318962', '1318307']", i % 23)).collect();
+    let senc = monster_tsdb::encode::strings::encode(&strings);
+    let mut sbuf: Vec<String> = Vec::new();
+    g.bench_function("strings_array", |b| {
+        b.iter(|| monster_tsdb::encode::strings::decode_into(&senc, N, &mut sbuf).unwrap())
+    });
+    g.bench_function("strings_iter", |b| {
+        b.iter(|| {
+            monster_tsdb::encode::strings::iter(&senc, N).map(|r| r.unwrap().len()).sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
 fn bench_ingest(c: &mut Criterion) {
     let mut g = c.benchmark_group("tsdb/ingest");
     g.sample_size(20);
@@ -81,6 +148,17 @@ fn bench_ingest(c: &mut Criterion) {
         b.iter_batched(
             || (Db::new(DbConfig::default()), points.clone()),
             |(db, pts)| db.write_batch(&pts).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("stage_batch_10k", |b| {
+        b.iter_batched(
+            || (Db::new(DbConfig::default()), points.clone()),
+            |(db, pts)| {
+                let mut stager = db.stager();
+                stager.stage_batch(&pts).unwrap();
+                stager.flush().unwrap();
+            },
             BatchSize::LargeInput,
         )
     });
@@ -170,5 +248,12 @@ fn bench_query(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_codecs, bench_ingest, bench_contention, bench_query);
+criterion_group!(
+    benches,
+    bench_codecs,
+    bench_batch_codecs,
+    bench_ingest,
+    bench_contention,
+    bench_query
+);
 criterion_main!(benches);

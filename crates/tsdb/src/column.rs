@@ -140,6 +140,67 @@ pub enum ScanItem {
     Partial(BlockSummary),
 }
 
+/// A typed, contiguous run of values staged for bulk append — the unit
+/// the vectorized write path moves around instead of one `FieldValue` at
+/// a time.
+#[derive(Debug, Clone, Copy)]
+pub enum RunSlice<'a> {
+    /// Float run.
+    Float(&'a [f64]),
+    /// Integer run.
+    Int(&'a [i64]),
+    /// Boolean run.
+    Bool(&'a [bool]),
+    /// String run.
+    Str(&'a [String]),
+}
+
+impl RunSlice<'_> {
+    /// Number of values in the run.
+    pub fn len(&self) -> usize {
+        match self {
+            RunSlice::Float(s) => s.len(),
+            RunSlice::Int(s) => s.len(),
+            RunSlice::Bool(s) => s.len(),
+            RunSlice::Str(s) => s.len(),
+        }
+    }
+
+    /// True when the run holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            RunSlice::Float(_) => "float",
+            RunSlice::Int(_) => "integer",
+            RunSlice::Bool(_) => "boolean",
+            RunSlice::Str(_) => "string",
+        }
+    }
+}
+
+/// Reusable whole-block decode buffers. One scratch serves a whole column
+/// scan: each sealed block decodes into these contiguous arrays (cleared,
+/// never shrunk), so a warm scan performs zero allocations per block for
+/// numeric columns.
+#[derive(Debug, Default)]
+pub struct DecodeScratch {
+    ts: Vec<i64>,
+    floats: Vec<f64>,
+    ints: Vec<i64>,
+    bools: Vec<bool>,
+    strs: Vec<String>,
+}
+
+impl DecodeScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> DecodeScratch {
+        DecodeScratch::default()
+    }
+}
+
 /// Value payload of a sealed block.
 #[derive(Debug)]
 enum BlockValues {
@@ -168,42 +229,64 @@ impl SealedBlock {
         self.ts_bytes.len() + v + 80 // block header: count + time bounds + zone map
     }
 
-    /// Decode and emit every in-range point.
-    fn decode_each(&self, start: i64, end: i64, f: &mut impl FnMut(i64, FieldValue)) -> Result<()> {
+    /// Decode the whole block into `scratch`'s contiguous arrays — the
+    /// vectorized path every read goes through. Timestamps always land in
+    /// `scratch.ts`; values land in the matching typed buffer.
+    fn decode_arrays(&self, scratch: &mut DecodeScratch) -> Result<()> {
         let count = self.summary.count;
-        let ts = timestamps::decode(&self.ts_bytes, count)?;
+        timestamps::decode_into(&self.ts_bytes, count, &mut scratch.ts)?;
         match &self.values {
-            BlockValues::Float(b) => {
-                let vals = floats::decode(b, count)?;
-                for (t, v) in ts.iter().zip(vals) {
-                    if *t >= start && *t < end {
-                        f(*t, FieldValue::Float(v));
+            BlockValues::Float(b) => floats::decode_into(b, count, &mut scratch.floats),
+            BlockValues::Int(b) => ints::decode_into(b, count, &mut scratch.ints),
+            BlockValues::Bool(b) => bools::decode_into(b, count, &mut scratch.bools),
+            BlockValues::Str(b) => strings::decode_into(b, count, &mut scratch.strs),
+        }
+    }
+
+    /// Decode and emit every in-range point. The point-at-a-time shape the
+    /// scan API exposes is built on top of [`Self::decode_arrays`]: one
+    /// whole-block decode into reused scratch, then a filter over the
+    /// arrays.
+    fn decode_each(
+        &self,
+        start: i64,
+        end: i64,
+        scratch: &mut DecodeScratch,
+        f: &mut impl FnMut(i64, FieldValue),
+    ) -> Result<()> {
+        self.decode_arrays(scratch)?;
+        match &self.values {
+            BlockValues::Float(_) => {
+                for (&t, &v) in scratch.ts.iter().zip(&scratch.floats) {
+                    if t >= start && t < end {
+                        f(t, FieldValue::Float(v));
                     }
                 }
             }
-            BlockValues::Int(b) => {
-                let vals = ints::decode(b, count)?;
-                for (t, v) in ts.iter().zip(vals) {
-                    if *t >= start && *t < end {
-                        f(*t, FieldValue::Int(v));
+            BlockValues::Int(_) => {
+                for (&t, &v) in scratch.ts.iter().zip(&scratch.ints) {
+                    if t >= start && t < end {
+                        f(t, FieldValue::Int(v));
                     }
                 }
             }
-            BlockValues::Bool(b) => {
-                let vals = bools::decode(b, count)?;
-                for (t, v) in ts.iter().zip(vals) {
-                    if *t >= start && *t < end {
-                        f(*t, FieldValue::Bool(v));
+            BlockValues::Bool(_) => {
+                for (&t, &v) in scratch.ts.iter().zip(&scratch.bools) {
+                    if t >= start && t < end {
+                        f(t, FieldValue::Bool(v));
                     }
                 }
             }
-            BlockValues::Str(b) => {
-                let vals = strings::decode(b, count)?;
-                for (t, v) in ts.iter().zip(vals) {
-                    if *t >= start && *t < end {
-                        f(*t, FieldValue::Str(v));
+            BlockValues::Str(_) => {
+                // Move the strings out (no per-value clone) while keeping
+                // the outer vector's capacity for the next block.
+                let mut vals = std::mem::take(&mut scratch.strs);
+                for (&t, v) in scratch.ts.iter().zip(vals.drain(..)) {
+                    if t >= start && t < end {
+                        f(t, FieldValue::Str(v));
                     }
                 }
+                scratch.strs = vals;
             }
         }
         Ok(())
@@ -212,21 +295,19 @@ impl SealedBlock {
     /// Recompute the summary from decoded points (forced-decode mode). The
     /// fold is identical to the one performed at seal time, so the result
     /// equals the stored summary bit for bit.
-    fn recompute_summary(&self) -> Result<BlockSummary> {
-        let count = self.summary.count;
-        let ts = timestamps::decode(&self.ts_bytes, count)?;
+    fn recompute_summary(&self, scratch: &mut DecodeScratch) -> Result<BlockSummary> {
+        self.decode_arrays(scratch)?;
         let numeric = match &self.values {
-            BlockValues::Float(b) => {
-                Some(NumericSummary::fold(&ts, floats::decode(b, count)?.into_iter()))
+            BlockValues::Float(_) => {
+                Some(NumericSummary::fold(&scratch.ts, scratch.floats.iter().copied()))
             }
-            BlockValues::Int(b) => Some(NumericSummary::fold(
-                &ts,
-                ints::decode(b, count)?.into_iter().map(|v| v as f64),
-            )),
+            BlockValues::Int(_) => {
+                Some(NumericSummary::fold(&scratch.ts, scratch.ints.iter().map(|&v| v as f64)))
+            }
             BlockValues::Bool(_) | BlockValues::Str(_) => None,
         };
         Ok(BlockSummary {
-            count,
+            count: self.summary.count,
             ts_min: self.summary.ts_min,
             ts_max: self.summary.ts_max,
             numeric,
@@ -278,6 +359,79 @@ impl Column {
         Column { sealed: Vec::new(), tail_ts: Vec::new(), tail, encoded: 0 }
     }
 
+    /// Create a column typed after the run about to be appended.
+    pub fn new_for(run: RunSlice<'_>) -> Self {
+        let tail = match run {
+            RunSlice::Float(_) => Tail::Float(Vec::new()),
+            RunSlice::Int(_) => Tail::Int(Vec::new()),
+            RunSlice::Bool(_) => Tail::Bool(Vec::new()),
+            RunSlice::Str(_) => Tail::Str(Vec::new()),
+        };
+        Column { sealed: Vec::new(), tail_ts: Vec::new(), tail, encoded: 0 }
+    }
+
+    /// Bulk-append a typed run of `(timestamp, value)` pairs.
+    ///
+    /// The type check runs once for the whole run (all-or-nothing: a
+    /// conflicting run leaves the column untouched), values land via
+    /// `extend_from_slice`, and the tail is chunked to exactly
+    /// [`BLOCK_SIZE`] before sealing — so the resulting block layout is
+    /// bit-identical to appending the same points one at a time.
+    pub fn append_run(&mut self, ts: &[i64], values: RunSlice<'_>) -> Result<()> {
+        if ts.len() != values.len() {
+            return Err(Error::invalid(format!(
+                "run length mismatch: {} timestamps vs {} values",
+                ts.len(),
+                values.len()
+            )));
+        }
+        match (&self.tail, &values) {
+            (Tail::Float(_), RunSlice::Float(_))
+            | (Tail::Int(_), RunSlice::Int(_))
+            | (Tail::Bool(_), RunSlice::Bool(_))
+            | (Tail::Str(_), RunSlice::Str(_)) => {}
+            (tail, run) => {
+                return Err(Error::invalid(format!(
+                    "field type conflict: column is {}, run has {}",
+                    tail.type_name(),
+                    run.type_name()
+                )))
+            }
+        }
+        let mut off = 0;
+        while off < ts.len() {
+            let room = BLOCK_SIZE - self.tail_ts.len();
+            let take = room.min(ts.len() - off);
+            self.tail_ts.extend_from_slice(&ts[off..off + take]);
+            match (&mut self.tail, values) {
+                (Tail::Float(v), RunSlice::Float(s)) => {
+                    v.extend_from_slice(&s[off..off + take]);
+                    self.encoded += take * 16;
+                }
+                (Tail::Int(v), RunSlice::Int(s)) => {
+                    v.extend_from_slice(&s[off..off + take]);
+                    self.encoded += take * 16;
+                }
+                (Tail::Bool(v), RunSlice::Bool(s)) => {
+                    v.extend_from_slice(&s[off..off + take]);
+                    self.encoded += take * 9;
+                }
+                (Tail::Str(v), RunSlice::Str(s)) => {
+                    for x in &s[off..off + take] {
+                        self.encoded += 8 + x.len() + 8;
+                        v.push(x.clone());
+                    }
+                }
+                _ => unreachable!("run type checked above"),
+            }
+            off += take;
+            if self.tail_ts.len() >= BLOCK_SIZE {
+                self.seal_tail();
+            }
+        }
+        Ok(())
+    }
+
     /// Append one (timestamp, value). Errors on a field-type conflict —
     /// the same hard error InfluxDB raises.
     pub fn append(&mut self, ts: i64, value: &FieldValue) -> Result<()> {
@@ -315,41 +469,43 @@ impl Column {
         Ok(())
     }
 
-    /// Compress the tail into a sealed block.
+    /// Compress the tail into a sealed block. Encodes from the tail
+    /// buffers in place and `clear()`s them afterwards (never `take`s), so
+    /// a column that keeps ingesting reuses its tail capacity across seals
+    /// instead of re-growing it from zero for every block.
     fn seal_tail(&mut self) {
         if self.tail_ts.is_empty() {
             return;
         }
         let tail_bytes = self.tail_bytes();
-        let ts = std::mem::take(&mut self.tail_ts);
+        let ts = &self.tail_ts;
         let ts_min = *ts.iter().min().expect("non-empty");
         let ts_max = *ts.iter().max().expect("non-empty");
-        let ts_bytes = timestamps::encode(&ts);
-        let (values, count, numeric) = match &mut self.tail {
+        let ts_bytes = timestamps::encode(ts);
+        let (values, count, numeric) = match &self.tail {
             Tail::Float(v) => {
-                let vals = std::mem::take(v);
-                let numeric = NumericSummary::fold(&ts, vals.iter().copied());
-                (BlockValues::Float(floats::encode(&vals)), vals.len(), Some(numeric))
+                let numeric = NumericSummary::fold(ts, v.iter().copied());
+                (BlockValues::Float(floats::encode(v)), v.len(), Some(numeric))
             }
             Tail::Int(v) => {
-                let vals = std::mem::take(v);
-                let numeric = NumericSummary::fold(&ts, vals.iter().map(|&x| x as f64));
-                (BlockValues::Int(ints::encode(&vals)), vals.len(), Some(numeric))
+                let numeric = NumericSummary::fold(ts, v.iter().map(|&x| x as f64));
+                (BlockValues::Int(ints::encode(v)), v.len(), Some(numeric))
             }
-            Tail::Bool(v) => {
-                let vals = std::mem::take(v);
-                (BlockValues::Bool(bools::encode(&vals)), vals.len(), None)
-            }
-            Tail::Str(v) => {
-                let vals = std::mem::take(v);
-                (BlockValues::Str(strings::encode(&vals)), vals.len(), None)
-            }
+            Tail::Bool(v) => (BlockValues::Bool(bools::encode(v)), v.len(), None),
+            Tail::Str(v) => (BlockValues::Str(strings::encode(v)), v.len(), None),
         };
         debug_assert_eq!(count, ts.len());
         let summary = BlockSummary { count, ts_min, ts_max, numeric };
         let block = SealedBlock { summary, ts_bytes, values };
         self.encoded = self.encoded - tail_bytes + block.encoded_bytes();
         self.sealed.push(block);
+        self.tail_ts.clear();
+        match &mut self.tail {
+            Tail::Float(v) => v.clear(),
+            Tail::Int(v) => v.clear(),
+            Tail::Bool(v) => v.clear(),
+            Tail::Str(v) => v.clear(),
+        }
     }
 
     /// At-rest bytes of the raw tail at its in-memory width.
@@ -404,8 +560,16 @@ impl Column {
 
     /// Scan all points overlapping `[start, end)`, invoking `f(ts, value)`.
     /// Returns scan accounting: (blocks touched, points decoded, bytes read).
-    pub fn scan(
+    pub fn scan(&self, start: i64, end: i64, f: impl FnMut(i64, FieldValue)) -> Result<ScanStats> {
+        self.scan_with(&mut DecodeScratch::new(), start, end, f)
+    }
+
+    /// [`Self::scan`] with caller-provided decode scratch, so a scan over
+    /// many columns reuses one set of block buffers instead of allocating
+    /// per column.
+    pub fn scan_with(
         &self,
+        scratch: &mut DecodeScratch,
         start: i64,
         end: i64,
         mut f: impl FnMut(i64, FieldValue),
@@ -418,7 +582,7 @@ impl Column {
             stats.blocks += 1;
             stats.bytes += block.encoded_bytes();
             stats.points += block.summary.count;
-            block.decode_each(start, end, &mut f)?;
+            block.decode_each(start, end, scratch, &mut f)?;
         }
         self.scan_tail(start, end, &mut stats, &mut f);
         Ok(stats)
@@ -433,7 +597,17 @@ impl Column {
     /// decoded and their partials re-folded, keeping the emitted item
     /// sequence identical while charging the full decode cost — the
     /// baseline the pushdown speedup is measured against.
-    pub fn scan_agg(&self, spec: AggScan, mut emit: impl FnMut(ScanItem)) -> Result<ScanStats> {
+    pub fn scan_agg(&self, spec: AggScan, emit: impl FnMut(ScanItem)) -> Result<ScanStats> {
+        self.scan_agg_with(&mut DecodeScratch::new(), spec, emit)
+    }
+
+    /// [`Self::scan_agg`] with caller-provided decode scratch.
+    pub fn scan_agg_with(
+        &self,
+        scratch: &mut DecodeScratch,
+        spec: AggScan,
+        mut emit: impl FnMut(ScanItem),
+    ) -> Result<ScanStats> {
         let mut stats = ScanStats::default();
         for block in &self.sealed {
             let s = &block.summary;
@@ -445,7 +619,7 @@ impl Column {
                     stats.blocks += 1;
                     stats.bytes += block.encoded_bytes();
                     stats.points += s.count;
-                    let recomputed = block.recompute_summary()?;
+                    let recomputed = block.recompute_summary(scratch)?;
                     debug_assert_eq!(&recomputed, s, "stored zone map diverged from data");
                     emit(ScanItem::Partial(recomputed));
                 } else {
@@ -456,7 +630,9 @@ impl Column {
                 stats.blocks += 1;
                 stats.bytes += block.encoded_bytes();
                 stats.points += s.count;
-                block.decode_each(spec.start, spec.end, &mut |t, v| emit(ScanItem::Point(t, v)))?;
+                block.decode_each(spec.start, spec.end, scratch, &mut |t, v| {
+                    emit(ScanItem::Point(t, v))
+                })?;
             }
         }
         self.scan_tail(spec.start, spec.end, &mut stats, &mut |t, v| emit(ScanItem::Point(t, v)));
@@ -650,7 +826,7 @@ mod tests {
         assert_eq!((n.first_ts, n.first), (0, 0.0));
         assert_eq!((n.last_ts, n.last), (BLOCK_SIZE as i64 - 1, n.max));
         // The stored fold matches a fresh recompute bit for bit.
-        assert_eq!(col.sealed[0].recompute_summary().unwrap(), s);
+        assert_eq!(col.sealed[0].recompute_summary(&mut DecodeScratch::new()).unwrap(), s);
     }
 
     #[test]
@@ -733,6 +909,100 @@ mod tests {
                 assert!(s.numeric.is_none());
             }
             other => panic!("expected partial, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn append_run_matches_point_appends_bit_for_bit() {
+        // Runs of awkward sizes straddling several block boundaries.
+        let n = BLOCK_SIZE * 3 + 17;
+        let ts: Vec<i64> = (0..n as i64).collect();
+        let floats_v: Vec<f64> = (0..n).map(|i| (i % 89) as f64 * 0.7).collect();
+        let ints_v: Vec<i64> = (0..n).map(|i| (i as i64) * 13 - 5).collect();
+        let bools_v: Vec<bool> = (0..n).map(|i| i % 5 == 0).collect();
+        let strs_v: Vec<String> = (0..n).map(|i| format!("s{}", i % 7)).collect();
+        let runs: Vec<RunSlice<'_>> = vec![
+            RunSlice::Float(&floats_v),
+            RunSlice::Int(&ints_v),
+            RunSlice::Bool(&bools_v),
+            RunSlice::Str(&strs_v),
+        ];
+        for run in runs {
+            // Point-at-a-time reference column.
+            let make = |i: usize| match run {
+                RunSlice::Float(s) => FieldValue::Float(s[i]),
+                RunSlice::Int(s) => FieldValue::Int(s[i]),
+                RunSlice::Bool(s) => FieldValue::Bool(s[i]),
+                RunSlice::Str(s) => FieldValue::Str(s[i].clone()),
+            };
+            let mut reference = Column::new_for(run);
+            for (i, &t) in ts.iter().enumerate() {
+                reference.append(t, &make(i)).unwrap();
+            }
+            // Bulk column fed the same points in uneven chunks.
+            let mut bulk = Column::new_for(run);
+            let mut off = 0;
+            for chunk in [1usize, 3, BLOCK_SIZE - 4, BLOCK_SIZE + 9, 700, usize::MAX] {
+                let take = chunk.min(n - off);
+                let sub = match run {
+                    RunSlice::Float(s) => RunSlice::Float(&s[off..off + take]),
+                    RunSlice::Int(s) => RunSlice::Int(&s[off..off + take]),
+                    RunSlice::Bool(s) => RunSlice::Bool(&s[off..off + take]),
+                    RunSlice::Str(s) => RunSlice::Str(&s[off..off + take]),
+                };
+                bulk.append_run(&ts[off..off + take], sub).unwrap();
+                off += take;
+            }
+            assert_eq!(off, n);
+            assert_eq!(bulk.point_count(), reference.point_count());
+            assert_eq!(bulk.sealed.len(), reference.sealed.len());
+            for (a, b) in bulk.sealed.iter().zip(&reference.sealed) {
+                assert_eq!(a.summary, b.summary);
+                assert_eq!(a.ts_bytes, b.ts_bytes, "sealed timestamp bytes diverged");
+                let (av, bv) = match (&a.values, &b.values) {
+                    (BlockValues::Float(x), BlockValues::Float(y))
+                    | (BlockValues::Int(x), BlockValues::Int(y))
+                    | (BlockValues::Bool(x), BlockValues::Bool(y))
+                    | (BlockValues::Str(x), BlockValues::Str(y)) => (x, y),
+                    _ => panic!("block type diverged"),
+                };
+                assert_eq!(av, bv, "sealed value bytes diverged");
+            }
+            assert_eq!(bulk.encoded_bytes(), reference.encoded_bytes());
+            assert_eq!(bulk.encoded_bytes(), bulk.recompute_encoded_bytes());
+            assert_eq!(collect(&bulk, i64::MIN, i64::MAX), collect(&reference, i64::MIN, i64::MAX));
+        }
+    }
+
+    #[test]
+    fn append_run_type_conflict_leaves_column_untouched() {
+        let mut col = Column::new(&FieldValue::Float(0.0));
+        col.append(0, &FieldValue::Float(1.0)).unwrap();
+        let err = col.append_run(&[1, 2], RunSlice::Int(&[1, 2])).unwrap_err();
+        assert!(err.to_string().contains("type conflict"));
+        assert_eq!(col.point_count(), 1);
+        assert_eq!(col.encoded_bytes(), col.recompute_encoded_bytes());
+        // Length mismatch is rejected up front too.
+        assert!(col.append_run(&[1], RunSlice::Float(&[1.0, 2.0])).is_err());
+        assert_eq!(col.point_count(), 1);
+    }
+
+    #[test]
+    fn scan_with_reuses_scratch_across_columns() {
+        let mut scratch = DecodeScratch::new();
+        for proto in [FieldValue::Float(0.0), FieldValue::Int(0), FieldValue::Str(String::new())] {
+            let mut col = Column::new(&proto);
+            for i in 0..(BLOCK_SIZE as i64 + 3) {
+                let v = match proto {
+                    FieldValue::Float(_) => FieldValue::Float(i as f64),
+                    FieldValue::Int(_) => FieldValue::Int(i),
+                    _ => FieldValue::Str(format!("v{}", i % 2)),
+                };
+                col.append(i, &v).unwrap();
+            }
+            let mut seen = 0usize;
+            col.scan_with(&mut scratch, i64::MIN, i64::MAX, |_, _| seen += 1).unwrap();
+            assert_eq!(seen, BLOCK_SIZE + 3);
         }
     }
 

@@ -142,7 +142,7 @@ impl Db {
     /// Record one lock acquisition: how long we queued for it and how long
     /// we held it. Histogram updates are lock-free and happen after the
     /// guard is dropped (the PR 1 "outside critical sections" convention).
-    fn observe_lock(&self, wait_start: Instant, acquired: Instant) {
+    pub(crate) fn observe_lock(&self, wait_start: Instant, acquired: Instant) {
         // The wait histogram parks an exemplar pointing at whichever trace
         // was stalled, so a lock-contention spike links to the sweep or
         // query that suffered it.
@@ -156,7 +156,7 @@ impl Db {
     /// Fetch the shard covering `start`, creating it if needed. Only the
     /// shard-map lock is touched; the returned handle is locked by the
     /// caller.
-    fn shard_for(&self, start: i64) -> Arc<RwLock<Shard>> {
+    pub(crate) fn shard_for(&self, start: i64) -> Arc<RwLock<Shard>> {
         let wait = Instant::now();
         {
             let map = self.shards.read();
@@ -218,58 +218,13 @@ impl Db {
             s.set_attr("points", points.len().to_string());
             s
         });
-        for p in points {
-            if !p.is_valid() {
-                return Err(Error::invalid(format!(
-                    "point for measurement {:?} has no fields",
-                    p.measurement
-                )));
-            }
-        }
+        Self::validate_points(points)?;
 
         // --- resolve all series & field ids up front ---------------------
-        let n = points.len();
         let total_fields: usize = points.iter().map(|p| p.fields.len()).sum();
-        let mut sids: Vec<Option<SeriesId>> = vec![None; n];
+        let mut sids: Vec<Option<SeriesId>> = Vec::with_capacity(points.len());
         let mut fids: Vec<Option<FieldId>> = Vec::with_capacity(total_fields);
-        let mut missing = false;
-        {
-            // Fast path: everything already known — a shared read lock.
-            let wait = Instant::now();
-            let idx = self.index.read();
-            let acquired = Instant::now();
-            for (i, p) in points.iter().enumerate() {
-                sids[i] = idx.id_of_point(p);
-                missing |= sids[i].is_none();
-                for (name, _) in &p.fields {
-                    let f = idx.field_id(name);
-                    missing |= f.is_none();
-                    fids.push(f);
-                }
-            }
-            drop(idx);
-            self.observe_lock(wait, acquired);
-        }
-        if missing {
-            // Slow path: register new series/fields under the write lock.
-            let wait = Instant::now();
-            let mut idx = self.index.write();
-            let acquired = Instant::now();
-            let mut fi = 0usize;
-            for (i, p) in points.iter().enumerate() {
-                if sids[i].is_none() {
-                    sids[i] = Some(idx.get_or_create(&SeriesKey::of(p)));
-                }
-                for (name, _) in &p.fields {
-                    if fids[fi].is_none() {
-                        fids[fi] = Some(idx.intern_field(name));
-                    }
-                    fi += 1;
-                }
-            }
-            drop(idx);
-            self.observe_lock(wait, acquired);
-        }
+        self.resolve_ids(points, &mut sids, &mut fids);
 
         // --- pre-group by shard (no locks held) --------------------------
         let duration = self.config.shard_duration;
@@ -312,14 +267,21 @@ impl Db {
                     continue;
                 }
                 let bytes_before = shard.encoded_bytes();
-                for (sid, fid, ts, value) in group {
-                    match shard.append(*sid, *fid, *ts, value) {
-                        Ok(()) => applied += 1,
-                        Err(e) => {
-                            result = Err(e);
-                            break;
-                        }
+                // Walk maximal consecutive same-(series, field) spans: one
+                // column lookup per span instead of per point, in exactly
+                // the original batch order.
+                let mut i = 0usize;
+                while i < group.len() {
+                    let (sid, fid, _, _) = group[i];
+                    let mut j = i + 1;
+                    while j < group.len() && group[j].0 == sid && group[j].1 == fid {
+                        j += 1;
                     }
+                    if let Err(e) = shard.append_span(sid, fid, &group[i..j], &mut applied) {
+                        result = Err(e);
+                        break;
+                    }
+                    i = j;
                 }
                 encoded_delta += shard.encoded_bytes() as i64 - bytes_before as i64;
                 shard_gauges.push((*start, shard.point_count() as i64));
@@ -334,20 +296,15 @@ impl Db {
 
         // --- incremental statistics & self-monitoring --------------------
         self.batches.fetch_add(1, Ordering::Relaxed);
-        self.points.fetch_add(applied, Ordering::Relaxed);
-        self.encoded_bytes.fetch_add(encoded_delta, Ordering::Relaxed);
         if result.is_ok() {
             let wire: usize = points.iter().map(DataPoint::wire_size).sum();
             self.wire_bytes.fetch_add(wire, Ordering::Relaxed);
         }
+        self.note_applied(applied, encoded_delta);
 
-        let series = self.index.read().cardinality() as i64;
-        let shard_count = self.shards.read().len() as i64;
         monster_obs::counter("monster_tsdb_write_batches_total").inc();
-        monster_obs::counter("monster_tsdb_points_written_total").add(applied as u64);
         monster_obs::histo("monster_tsdb_write_batch_points").observe(points.len() as f64);
-        monster_obs::gauge("monster_tsdb_series").set(series);
-        monster_obs::gauge("monster_tsdb_shards").set(shard_count);
+        self.update_topology_gauges();
         for (start, count) in &shard_gauges {
             monster_obs::gauge(&format!("monster_tsdb_shard_points{{shard=\"{start}\"}}"))
                 .set(*count);
@@ -358,6 +315,116 @@ impl Db {
             span.finish();
         }
         result
+    }
+
+    /// Reject batches containing field-less points — whole-batch, before
+    /// any state changes. Shared by the locked and staged write paths.
+    pub(crate) fn validate_points(points: &[DataPoint]) -> Result<()> {
+        for p in points {
+            if !p.is_valid() {
+                return Err(Error::invalid(format!(
+                    "point for measurement {:?} has no fields",
+                    p.measurement
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve every series and field id for `points` into the
+    /// caller-provided buffers (cleared first; `fids` gets one entry per
+    /// field in point order). One index read-lock acquisition on the fast
+    /// path, plus one write acquisition only when new series or field names
+    /// appear. Callers that reuse the buffers (the staging path) resolve a
+    /// whole batch without allocating.
+    pub(crate) fn resolve_ids(
+        &self,
+        points: &[DataPoint],
+        sids: &mut Vec<Option<SeriesId>>,
+        fids: &mut Vec<Option<FieldId>>,
+    ) {
+        sids.clear();
+        sids.resize(points.len(), None);
+        fids.clear();
+        let mut missing = false;
+        {
+            // Fast path: everything already known — a shared read lock.
+            let wait = Instant::now();
+            let idx = self.index.read();
+            let acquired = Instant::now();
+            for (i, p) in points.iter().enumerate() {
+                sids[i] = idx.id_of_point(p);
+                missing |= sids[i].is_none();
+                for (name, _) in &p.fields {
+                    let f = idx.field_id(name);
+                    missing |= f.is_none();
+                    fids.push(f);
+                }
+            }
+            drop(idx);
+            self.observe_lock(wait, acquired);
+        }
+        if missing {
+            // Slow path: register new series/fields under the write lock.
+            let wait = Instant::now();
+            let mut idx = self.index.write();
+            let acquired = Instant::now();
+            let mut fi = 0usize;
+            for (i, p) in points.iter().enumerate() {
+                if sids[i].is_none() {
+                    sids[i] = Some(idx.get_or_create(&SeriesKey::of(p)));
+                }
+                for (name, _) in &p.fields {
+                    if fids[fi].is_none() {
+                        fids[fi] = Some(idx.intern_field(name));
+                    }
+                    fi += 1;
+                }
+            }
+            drop(idx);
+            self.observe_lock(wait, acquired);
+        }
+    }
+
+    /// Record an accepted batch's wire-level statistics (staging path; the
+    /// locked write path inlines the equivalent updates).
+    pub(crate) fn note_batch(&self, batch_points: usize, wire_bytes: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.wire_bytes.fetch_add(wire_bytes, Ordering::Relaxed);
+        monster_obs::counter("monster_tsdb_write_batches_total").inc();
+        monster_obs::histo("monster_tsdb_write_batch_points").observe(batch_points as f64);
+    }
+
+    /// Fold applied points and their encoded-size delta into the
+    /// incremental statistics (shared by both write paths).
+    pub(crate) fn note_applied(&self, applied: usize, encoded_delta: i64) {
+        self.points.fetch_add(applied, Ordering::Relaxed);
+        self.encoded_bytes.fetch_add(encoded_delta, Ordering::Relaxed);
+        monster_obs::counter("monster_tsdb_points_written_total").add(applied as u64);
+    }
+
+    /// Refresh the series/shard-count gauges (short index + shard-map
+    /// reads; no shard data touched).
+    pub(crate) fn update_topology_gauges(&self) {
+        let series = self.index.read().cardinality() as i64;
+        let shard_count = self.shards.read().len() as i64;
+        monster_obs::gauge("monster_tsdb_series").set(series);
+        monster_obs::gauge("monster_tsdb_shards").set(shard_count);
+    }
+
+    /// Per-writer staging buffer in front of this database's shards; see
+    /// [`crate::staging::WriteStager`].
+    pub fn stager(&self) -> crate::staging::WriteStager<'_> {
+        crate::staging::WriteStager::new(self)
+    }
+
+    /// [`Db::stager`] with an explicit auto-flush threshold (staged field
+    /// values, across all runs).
+    pub fn stager_with_capacity(
+        &self,
+        max_staged_points: usize,
+    ) -> crate::staging::WriteStager<'_> {
+        crate::staging::WriteStager::with_capacity(self, max_staged_points)
     }
 
     /// Parse and run a query string.

@@ -13,12 +13,52 @@ pub fn encode(vals: &[bool]) -> Vec<u8> {
     out
 }
 
-/// Decode `count` booleans.
+/// Decode `count` booleans into a fresh vector.
 pub fn decode(data: &[u8], count: usize) -> Result<Vec<bool>> {
+    let mut out = Vec::with_capacity(count);
+    decode_into(data, count, &mut out)?;
+    Ok(out)
+}
+
+/// Decode `count` booleans into `out`, clearing it first (the array fast
+/// path; scans reuse the buffer so warm decodes never allocate).
+pub fn decode_into(data: &[u8], count: usize, out: &mut Vec<bool>) -> Result<()> {
     if data.len() < count.div_ceil(8) {
         return Err(Error::Corrupt("bool column truncated".into()));
     }
-    Ok((0..count).map(|i| data[i / 8] & (1 << (i % 8)) != 0).collect())
+    out.clear();
+    out.reserve(count);
+    out.extend((0..count).map(|i| data[i / 8] & (1 << (i % 8)) != 0));
+    Ok(())
+}
+
+/// Point-at-a-time streaming decoder — the reference implementation the
+/// array path is proptested against.
+pub struct Iter<'a> {
+    data: &'a [u8],
+    i: usize,
+    count: usize,
+}
+
+/// Stream `count` booleans out of an encoded block one at a time.
+pub fn iter(data: &[u8], count: usize) -> Iter<'_> {
+    Iter { data, i: 0, count }
+}
+
+impl Iterator for Iter<'_> {
+    type Item = Result<bool>;
+
+    fn next(&mut self) -> Option<Result<bool>> {
+        if self.i >= self.count {
+            return None;
+        }
+        let i = self.i;
+        self.i += 1;
+        Some(match self.data.get(i / 8) {
+            Some(byte) => Ok(byte & (1 << (i % 8)) != 0),
+            None => Err(Error::Corrupt("bool column truncated".into())),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -29,7 +69,13 @@ mod tests {
     fn round_trips() {
         for n in [0usize, 1, 7, 8, 9, 100] {
             let vals: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
-            assert_eq!(decode(&encode(&vals), n).unwrap(), vals);
+            let enc = encode(&vals);
+            assert_eq!(decode(&enc, n).unwrap(), vals);
+            let streamed: Vec<bool> = iter(&enc, n).map(|r| r.unwrap()).collect();
+            assert_eq!(streamed, vals);
+            let mut buf = vec![true; 3];
+            decode_into(&enc, n, &mut buf).unwrap();
+            assert_eq!(buf, vals);
         }
     }
 

@@ -54,11 +54,21 @@ pub fn encode(vals: &[f64]) -> Vec<u8> {
     w.finish()
 }
 
-/// Decode `count` floats.
+/// Decode `count` floats into a fresh vector.
 pub fn decode(data: &[u8], count: usize) -> Result<Vec<f64>> {
     let mut out = Vec::with_capacity(count);
+    decode_into(data, count, &mut out)?;
+    Ok(out)
+}
+
+/// Decode `count` floats into `out`, clearing it first. The array fast
+/// path: scans pass a reused scratch buffer so warm block decodes do not
+/// allocate.
+pub fn decode_into(data: &[u8], count: usize, out: &mut Vec<f64>) -> Result<()> {
+    out.clear();
+    out.reserve(count);
     if count == 0 {
-        return Ok(out);
+        return Ok(());
     }
     let mut r = BitReader::new(data);
     let lo = r.read(32)?;
@@ -88,7 +98,73 @@ pub fn decode(data: &[u8], count: usize) -> Result<Vec<f64>> {
         prev ^= xor;
         out.push(f64::from_bits(prev));
     }
-    Ok(out)
+    Ok(())
+}
+
+/// Point-at-a-time streaming decoder — the reference the array path is
+/// proptested against and benchmarked over.
+pub struct Iter<'a> {
+    r: BitReader<'a>,
+    remaining: usize,
+    started: bool,
+    prev: u64,
+    lead: u32,
+    trail: u32,
+    have_window: bool,
+}
+
+/// Stream `count` floats out of an encoded block one at a time.
+pub fn iter(data: &[u8], count: usize) -> Iter<'_> {
+    Iter {
+        r: BitReader::new(data),
+        remaining: count,
+        started: false,
+        prev: 0,
+        lead: 0,
+        trail: 0,
+        have_window: false,
+    }
+}
+
+impl Iter<'_> {
+    fn step(&mut self) -> Result<f64> {
+        if !self.started {
+            self.started = true;
+            let lo = self.r.read(32)?;
+            let hi = self.r.read(32)?;
+            self.prev = lo | (hi << 32);
+            return Ok(f64::from_bits(self.prev));
+        }
+        if self.r.read_bit()? == 0 {
+            return Ok(f64::from_bits(self.prev));
+        }
+        if self.r.read_bit()? == 0 {
+            if !self.have_window {
+                return Err(Error::Corrupt("float window reuse before definition".into()));
+            }
+        } else {
+            self.lead = self.r.read(6)? as u32;
+            let sig = self.r.read(6)? as u32 + 1;
+            self.trail = 64 - self.lead - sig;
+            self.have_window = true;
+        }
+        let sig = 64 - self.lead - self.trail;
+        let xor = read_wide(&mut self.r, sig)? << self.trail;
+        self.prev ^= xor;
+        Ok(f64::from_bits(self.prev))
+    }
+}
+
+impl Iterator for Iter<'_> {
+    type Item = Result<f64>;
+
+    fn next(&mut self) -> Option<Result<f64>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(self.step())
+    }
 }
 
 /// BitWriter caps single writes at 57 bits; split wider values.
@@ -130,6 +206,16 @@ mod tests {
         for (a, b) in dec.iter().zip(vals) {
             assert!(a.to_bits() == b.to_bits(), "{a} != {b}");
         }
+        // Streaming reference decoder is bit-identical to the array path.
+        let streamed: Vec<f64> = iter(&enc, vals.len()).map(|r| r.unwrap()).collect();
+        assert_eq!(streamed.len(), dec.len());
+        for (a, b) in streamed.iter().zip(&dec) {
+            assert!(a.to_bits() == b.to_bits(), "stream {a} != array {b}");
+        }
+        // decode_into reuses a dirty buffer without residue.
+        let mut buf = vec![f64::NAN; 2];
+        decode_into(&enc, vals.len(), &mut buf).unwrap();
+        assert_eq!(buf.len(), vals.len());
     }
 
     #[test]

@@ -29,30 +29,71 @@ pub fn encode(vals: &[i64]) -> Vec<u8> {
     out
 }
 
-/// Decode `count` integers.
+/// Decode `count` integers into a fresh vector.
 pub fn decode(data: &[u8], count: usize) -> Result<Vec<i64>> {
     let mut out = Vec::with_capacity(count);
+    decode_into(data, count, &mut out)?;
+    Ok(out)
+}
+
+/// Decode `count` integers into `out`, clearing it first (the array fast
+/// path; scans reuse the buffer so warm decodes never allocate).
+pub fn decode_into(data: &[u8], count: usize, out: &mut Vec<i64>) -> Result<()> {
+    out.clear();
+    out.reserve(count);
     let mut pos = 0usize;
     let mut prev = 0i64;
     for _ in 0..count {
-        let mut z: u64 = 0;
-        let mut shift = 0u32;
-        loop {
-            let b = *data.get(pos).ok_or_else(|| Error::Corrupt("int column truncated".into()))?;
-            pos += 1;
-            z |= ((b & 0x7F) as u64) << shift;
-            if b & 0x80 == 0 {
-                break;
-            }
-            shift += 7;
-            if shift > 63 {
-                return Err(Error::Corrupt("int varint overlong".into()));
-            }
-        }
-        prev = prev.wrapping_add(unzigzag(z));
+        prev = prev.wrapping_add(unzigzag(read_varint(data, &mut pos)?));
         out.push(prev);
     }
-    Ok(out)
+    Ok(())
+}
+
+fn read_varint(data: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut z: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let b = *data.get(*pos).ok_or_else(|| Error::Corrupt("int column truncated".into()))?;
+        *pos += 1;
+        z |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(z);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(Error::Corrupt("int varint overlong".into()));
+        }
+    }
+}
+
+/// Point-at-a-time streaming decoder — the reference implementation the
+/// array path is proptested against.
+pub struct Iter<'a> {
+    data: &'a [u8],
+    pos: usize,
+    remaining: usize,
+    prev: i64,
+}
+
+/// Stream `count` integers out of an encoded block one at a time.
+pub fn iter(data: &[u8], count: usize) -> Iter<'_> {
+    Iter { data, pos: 0, remaining: count, prev: 0 }
+}
+
+impl Iterator for Iter<'_> {
+    type Item = Result<i64>;
+
+    fn next(&mut self) -> Option<Result<i64>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(read_varint(self.data, &mut self.pos).map(|z| {
+            self.prev = self.prev.wrapping_add(unzigzag(z));
+            self.prev
+        }))
+    }
 }
 
 #[cfg(test)]
@@ -60,7 +101,13 @@ mod tests {
     use super::*;
 
     fn rt(vals: &[i64]) {
-        assert_eq!(decode(&encode(vals), vals.len()).unwrap(), vals);
+        let enc = encode(vals);
+        assert_eq!(decode(&enc, vals.len()).unwrap(), vals);
+        let streamed: Vec<i64> = iter(&enc, vals.len()).map(|r| r.unwrap()).collect();
+        assert_eq!(streamed, vals);
+        let mut buf = vec![7i64; 5];
+        decode_into(&enc, vals.len(), &mut buf).unwrap();
+        assert_eq!(buf, vals);
     }
 
     #[test]

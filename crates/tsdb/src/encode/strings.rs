@@ -106,29 +106,31 @@ fn read_string(data: &[u8], pos: &mut usize) -> Result<String> {
     Ok(s.to_string())
 }
 
-/// Decode `count` strings.
+/// Decode `count` strings into a fresh vector.
 pub fn decode(data: &[u8], count: usize) -> Result<Vec<String>> {
+    let mut out = Vec::with_capacity(count);
+    decode_into(data, count, &mut out)?;
+    Ok(out)
+}
+
+/// Decode `count` strings into `out`, clearing it first. String payloads
+/// still allocate (each value owns its bytes), but the outer vector is
+/// reused by scan scratch buffers like the numeric codecs.
+pub fn decode_into(data: &[u8], count: usize, out: &mut Vec<String>) -> Result<()> {
+    out.clear();
+    out.reserve(count);
     let mut pos = 0usize;
     let mode = *data.first().ok_or_else(|| Error::Corrupt("string column empty".into()))?;
     pos += 1;
     match mode {
         MODE_RAW => {
-            let mut out = Vec::with_capacity(count);
             for _ in 0..count {
                 out.push(read_string(data, &mut pos)?);
             }
-            Ok(out)
+            Ok(())
         }
         MODE_DICT => {
-            let dict_len = read_varint(data, &mut pos)? as usize;
-            if dict_len > data.len() {
-                return Err(Error::Corrupt("string dict length implausible".into()));
-            }
-            let mut dict: Vec<String> = Vec::with_capacity(dict_len);
-            for _ in 0..dict_len {
-                dict.push(read_string(data, &mut pos)?);
-            }
-            let mut out = Vec::with_capacity(count);
+            let dict = read_dict(data, &mut pos)?;
             for _ in 0..count {
                 let idx = read_varint(data, &mut pos)? as usize;
                 let s = dict
@@ -136,9 +138,78 @@ pub fn decode(data: &[u8], count: usize) -> Result<Vec<String>> {
                     .ok_or_else(|| Error::Corrupt("string index out of range".into()))?;
                 out.push(s.clone());
             }
-            Ok(out)
+            Ok(())
         }
         other => Err(Error::Corrupt(format!("unknown string column mode {other:#04x}"))),
+    }
+}
+
+fn read_dict(data: &[u8], pos: &mut usize) -> Result<Vec<String>> {
+    let dict_len = read_varint(data, pos)? as usize;
+    if dict_len > data.len() {
+        return Err(Error::Corrupt("string dict length implausible".into()));
+    }
+    let mut dict: Vec<String> = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        dict.push(read_string(data, pos)?);
+    }
+    Ok(dict)
+}
+
+/// Point-at-a-time streaming decoder. Dictionary blocks materialize the
+/// dictionary once up front, then stream indices; raw blocks stream
+/// straight off the wire. The reference the array path is proptested
+/// against.
+pub struct Iter<'a> {
+    data: &'a [u8],
+    pos: usize,
+    remaining: usize,
+    /// `Some(dict)` in dictionary mode, `None` in raw mode.
+    dict: Option<Vec<String>>,
+    /// A header parse error to surface on the first `next` call.
+    failed: Option<Error>,
+}
+
+/// Stream `count` strings out of an encoded block one at a time.
+pub fn iter(data: &[u8], count: usize) -> Iter<'_> {
+    let mut it = Iter { data, pos: 0, remaining: count, dict: None, failed: None };
+    match data.first() {
+        None => it.failed = Some(Error::Corrupt("string column empty".into())),
+        Some(&MODE_RAW) => it.pos = 1,
+        Some(&MODE_DICT) => {
+            it.pos = 1;
+            match read_dict(data, &mut it.pos) {
+                Ok(dict) => it.dict = Some(dict),
+                Err(e) => it.failed = Some(e),
+            }
+        }
+        Some(&other) => {
+            it.failed = Some(Error::Corrupt(format!("unknown string column mode {other:#04x}")))
+        }
+    }
+    it
+}
+
+impl Iterator for Iter<'_> {
+    type Item = Result<String>;
+
+    fn next(&mut self) -> Option<Result<String>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        if let Some(e) = self.failed.take() {
+            self.remaining = 0;
+            return Some(Err(e));
+        }
+        Some(match &self.dict {
+            None => read_string(self.data, &mut self.pos),
+            Some(dict) => read_varint(self.data, &mut self.pos).and_then(|idx| {
+                dict.get(idx as usize)
+                    .cloned()
+                    .ok_or_else(|| Error::Corrupt("string index out of range".into()))
+            }),
+        })
     }
 }
 
@@ -148,7 +219,13 @@ mod tests {
 
     fn rt(vals: &[&str]) {
         let owned: Vec<String> = vals.iter().map(|s| s.to_string()).collect();
-        assert_eq!(decode(&encode(&owned), owned.len()).unwrap(), owned);
+        let enc = encode(&owned);
+        assert_eq!(decode(&enc, owned.len()).unwrap(), owned);
+        let streamed: Vec<String> = iter(&enc, owned.len()).map(|r| r.unwrap()).collect();
+        assert_eq!(streamed, owned);
+        let mut buf = vec!["residue".to_string()];
+        decode_into(&enc, owned.len(), &mut buf).unwrap();
+        assert_eq!(buf, owned);
     }
 
     #[test]

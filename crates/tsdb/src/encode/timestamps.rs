@@ -56,40 +56,102 @@ pub fn encode(ts: &[i64]) -> Vec<u8> {
     w.finish()
 }
 
-/// Decode `count` timestamps.
+/// Decode `count` timestamps into a fresh vector.
 pub fn decode(data: &[u8], count: usize) -> Result<Vec<i64>> {
     let mut out = Vec::with_capacity(count);
+    decode_into(data, count, &mut out)?;
+    Ok(out)
+}
+
+/// Decode `count` timestamps into `out`, clearing it first. The whole
+/// block is materialized in one pass over the bit stream — this is the
+/// array fast path scans reuse a scratch buffer with, so steady-state
+/// block decodes never allocate once the buffer has grown to block size.
+pub fn decode_into(data: &[u8], count: usize, out: &mut Vec<i64>) -> Result<()> {
+    out.clear();
+    out.reserve(count);
     if count == 0 {
-        return Ok(out);
+        return Ok(());
     }
     let mut r = BitReader::new(data);
     let first = sign_extend(r.read(57)?, 57);
     out.push(first);
     if count == 1 {
-        return Ok(out);
+        return Ok(());
     }
     let first_delta = unzigzag(r.read(40)?);
     let mut prev = first + first_delta;
     out.push(prev);
     let mut prev_delta = first_delta;
     while out.len() < count {
-        let dod = if r.read_bit()? == 0 {
-            0
-        } else if r.read_bit()? == 0 {
-            r.read(7)? as i64 - 63
-        } else if r.read_bit()? == 0 {
-            r.read(9)? as i64 - 255
-        } else if r.read_bit()? == 0 {
-            r.read(12)? as i64 - 2047
-        } else {
-            unzigzag(r.read(57)?)
-        };
+        let dod = read_dod(&mut r)?;
         let delta = prev_delta + dod;
         prev += delta;
         out.push(prev);
         prev_delta = delta;
     }
-    Ok(out)
+    Ok(())
+}
+
+fn read_dod(r: &mut BitReader<'_>) -> Result<i64> {
+    Ok(if r.read_bit()? == 0 {
+        0
+    } else if r.read_bit()? == 0 {
+        r.read(7)? as i64 - 63
+    } else if r.read_bit()? == 0 {
+        r.read(9)? as i64 - 255
+    } else if r.read_bit()? == 0 {
+        r.read(12)? as i64 - 2047
+    } else {
+        unzigzag(r.read(57)?)
+    })
+}
+
+/// Point-at-a-time streaming decoder: yields one timestamp per `next`
+/// call without materializing the block. The reference implementation the
+/// batch path is proptested against, and the baseline the
+/// `tsdb/batch_codecs` criterion group measures the array win over.
+pub struct Iter<'a> {
+    r: BitReader<'a>,
+    remaining: usize,
+    emitted: usize,
+    prev: i64,
+    prev_delta: i64,
+}
+
+/// Stream `count` timestamps out of an encoded block one at a time.
+pub fn iter(data: &[u8], count: usize) -> Iter<'_> {
+    Iter { r: BitReader::new(data), remaining: count, emitted: 0, prev: 0, prev_delta: 0 }
+}
+
+impl Iter<'_> {
+    fn step(&mut self) -> Result<i64> {
+        match self.emitted {
+            0 => self.prev = sign_extend(self.r.read(57)?, 57),
+            1 => {
+                self.prev_delta = unzigzag(self.r.read(40)?);
+                self.prev += self.prev_delta;
+            }
+            _ => {
+                self.prev_delta += read_dod(&mut self.r)?;
+                self.prev += self.prev_delta;
+            }
+        }
+        self.emitted += 1;
+        Ok(self.prev)
+    }
+}
+
+impl Iterator for Iter<'_> {
+    type Item = Result<i64>;
+
+    fn next(&mut self) -> Option<Result<i64>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(self.step())
+    }
 }
 
 pub(crate) fn zigzag(v: i64) -> u64 {
@@ -113,6 +175,13 @@ mod tests {
         let enc = encode(ts);
         let dec = decode(&enc, ts.len()).unwrap();
         assert_eq!(dec, ts);
+        // The streaming reference decoder agrees with the array path.
+        let streamed: Vec<i64> = iter(&enc, ts.len()).map(|r| r.unwrap()).collect();
+        assert_eq!(streamed, ts);
+        // decode_into reuses a dirty buffer without residue.
+        let mut buf = vec![i64::MIN; 3];
+        decode_into(&enc, ts.len(), &mut buf).unwrap();
+        assert_eq!(buf, ts);
     }
 
     #[test]

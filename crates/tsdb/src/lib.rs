@@ -61,8 +61,9 @@ pub mod retention;
 pub mod series;
 pub mod shard;
 pub mod snapshot;
+pub mod staging;
 
-pub use column::{AggScan, BlockSummary, NumericSummary, ScanItem};
+pub use column::{AggScan, BlockSummary, DecodeScratch, NumericSummary, RunSlice, ScanItem};
 pub use cost::{CostParams, QueryCost};
 pub use db::{Db, DbConfig, DbStats};
 pub use field::FieldValue;
@@ -70,3 +71,4 @@ pub use point::DataPoint;
 pub use query::{Aggregation, Fill, Query, ResultSet};
 pub use retention::{ContinuousQuery, RetentionPolicy};
 pub use series::{FieldId, SeriesId, SeriesKey};
+pub use staging::WriteStager;

@@ -1,0 +1,525 @@
+//! Per-writer append staging: batch ingest without shard-lock contention.
+//!
+//! The sharded-lock engine made writers to *different* shards independent,
+//! but writers hammering the *same* shard still serialize their entire
+//! per-point append loop inside the shard's write lock. On real hardware
+//! that critical section — hash lookups, tail pushes, occasional block
+//! seals — is where the modeled speedup went to die.
+//!
+//! A [`WriteStager`] moves everything except the final publish out of the
+//! lock. Each writer owns one stager (they are deliberately `!Sync` —
+//! one per thread, like a statsd client). `stage_batch`:
+//!
+//! 1. validates the batch and resolves all series/field ids once (one
+//!    index read-lock acquisition; a write acquisition only for new
+//!    names), reusing the stager's scratch buffers;
+//! 2. appends each field value to a typed *run* keyed by
+//!    `(shard, series, field)` — plain `Vec` pushes into arena-backed
+//!    buffers retained across flushes, **no shard lock held**.
+//!
+//! [`WriteStager::flush`] (called automatically past the staging
+//! threshold) publishes: for each touched shard it takes the write lock
+//! once and bulk-appends every staged run via
+//! [`crate::shard::Shard::append_run`] — `extend_from_slice` into column
+//! tails plus any block seals that fall at run boundaries. The critical
+//! section is short but honest: seals that land inside a staged run are
+//! compressed under the shard lock, exactly as the point-at-a-time path
+//! would.
+//!
+//! Lock order is unchanged (**shard-map → index → shard**): staging takes
+//! the index lock only (step 1), publishing takes the shard-map then one
+//! shard lock at a time, and the tombstone retry loop from `write_batch`
+//! is preserved — a shard dropped by retention between lookup and lock is
+//! re-fetched, never appended to as an orphan.
+//!
+//! In the steady state (warm arenas, no new series) a
+//! stage-and-flush cycle performs **zero heap allocations** — proven by
+//! `tests/alloc_steady_state.rs`. Consequently the flush path skips the
+//! per-shard `monster_tsdb_shard_points{shard="..."}` gauges (their names
+//! are formatted per shard start); those continue to be refreshed by the
+//! locked write path and retention.
+//!
+//! Visibility: staged points are invisible to queries until `flush`. Stats
+//! follow the same split — `batches`/`wire_bytes` advance at stage time,
+//! `points`/`encoded_bytes` at flush — so after a flush the totals are
+//! indistinguishable from the same batches written through
+//! [`Db::write_batch`].
+
+use crate::column::RunSlice;
+use crate::db::Db;
+use crate::field::FieldValue;
+use crate::point::DataPoint;
+use crate::series::{FieldId, SeriesId};
+use monster_util::{Error, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default auto-flush threshold in staged field values — a few collector
+/// sweeps' worth, sized so staging arenas stay cache-friendly while still
+/// amortizing the shard lock over thousands of points.
+pub const DEFAULT_MAX_STAGED_POINTS: usize = 32_768;
+
+/// Typed value storage of one staged run.
+#[derive(Debug)]
+enum RunVals {
+    Float(Vec<f64>),
+    Int(Vec<i64>),
+    Bool(Vec<bool>),
+    Str(Vec<String>),
+}
+
+impl RunVals {
+    fn new_for(value: &FieldValue) -> RunVals {
+        match value {
+            FieldValue::Float(_) => RunVals::Float(Vec::new()),
+            FieldValue::Int(_) => RunVals::Int(Vec::new()),
+            FieldValue::Bool(_) => RunVals::Bool(Vec::new()),
+            FieldValue::Str(_) => RunVals::Str(Vec::new()),
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            RunVals::Float(_) => "float",
+            RunVals::Int(_) => "integer",
+            RunVals::Bool(_) => "boolean",
+            RunVals::Str(_) => "string",
+        }
+    }
+
+    fn as_slice(&self) -> RunSlice<'_> {
+        match self {
+            RunVals::Float(v) => RunSlice::Float(v),
+            RunVals::Int(v) => RunSlice::Int(v),
+            RunVals::Bool(v) => RunSlice::Bool(v),
+            RunVals::Str(v) => RunSlice::Str(v),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            RunVals::Float(v) => v.clear(),
+            RunVals::Int(v) => v.clear(),
+            RunVals::Bool(v) => v.clear(),
+            RunVals::Str(v) => v.clear(),
+        }
+    }
+}
+
+/// One staged `(shard, series, field)` run: timestamps plus typed values,
+/// arena-recycled across flushes (cleared, never shrunk).
+#[derive(Debug)]
+struct RunBuf {
+    shard_start: i64,
+    sid: SeriesId,
+    fid: FieldId,
+    ts: Vec<i64>,
+    vals: RunVals,
+}
+
+/// A per-writer staging buffer in front of a [`Db`]'s shards. Create via
+/// [`Db::stager`]; see the [module docs](self) for the full protocol.
+pub struct WriteStager<'a> {
+    db: &'a Db,
+    max_staged_points: usize,
+    staged_points: usize,
+    /// Run arena: the first `live` entries are this cycle's active runs.
+    runs: Vec<RunBuf>,
+    live: usize,
+    /// `(shard start, series, field)` → arena slot, cleared (capacity
+    /// retained) at flush.
+    slots: HashMap<(i64, SeriesId, FieldId), usize>,
+    /// Reusable flush ordering of `0..live`, sorted by shard.
+    order: Vec<usize>,
+    /// Id-resolution scratch, reused across batches.
+    sids: Vec<Option<SeriesId>>,
+    fids: Vec<Option<FieldId>>,
+    // Pre-resolved self-monitoring handles: the flush path touches no
+    // registry locks and formats no names.
+    depth: Arc<monster_obs::Gauge>,
+    flushes: Arc<monster_obs::Counter>,
+    flush_points: Arc<monster_obs::Histo>,
+}
+
+impl<'a> WriteStager<'a> {
+    /// A stager with the default auto-flush threshold.
+    pub fn new(db: &'a Db) -> WriteStager<'a> {
+        WriteStager::with_capacity(db, DEFAULT_MAX_STAGED_POINTS)
+    }
+
+    /// A stager that auto-flushes once `max_staged_points` field values are
+    /// staged (minimum 1).
+    pub fn with_capacity(db: &'a Db, max_staged_points: usize) -> WriteStager<'a> {
+        WriteStager {
+            db,
+            max_staged_points: max_staged_points.max(1),
+            staged_points: 0,
+            runs: Vec::new(),
+            live: 0,
+            slots: HashMap::new(),
+            order: Vec::new(),
+            sids: Vec::new(),
+            fids: Vec::new(),
+            depth: monster_obs::gauge_help(
+                "monster_tsdb_staging_depth",
+                "Field values currently staged in write stagers, not yet published to shards.",
+            ),
+            flushes: monster_obs::counter_help(
+                "monster_tsdb_staging_flushes_total",
+                "Staging buffer publishes into shards.",
+            ),
+            flush_points: monster_obs::histo_help(
+                "monster_tsdb_staging_flush_points",
+                "Field values published per staging flush.",
+            ),
+        }
+    }
+
+    /// Field values currently staged (invisible to queries until
+    /// [`Self::flush`]).
+    pub fn staged_points(&self) -> usize {
+        self.staged_points
+    }
+
+    /// Validate, resolve and stage a batch without touching any shard lock.
+    /// Auto-flushes when the staging threshold is reached.
+    ///
+    /// A type conflict *within staged data* fails the offending point here;
+    /// earlier points of the batch stay staged (mirroring the locked path's
+    /// partial-apply semantics). Conflicts against data already in the
+    /// shards surface from the flush instead.
+    pub fn stage_batch(&mut self, points: &[DataPoint]) -> Result<()> {
+        Db::validate_points(points)?;
+        // Split borrows: resolve_ids wants &mut on the scratch vectors only.
+        let (sids, fids) = (&mut self.sids, &mut self.fids);
+        self.db.resolve_ids(points, sids, fids);
+
+        let duration = self.db.config().shard_duration;
+        let mut staged_now = 0usize;
+        let mut result: Result<()> = Ok(());
+        let mut fi = 0usize;
+        'points: for (i, p) in points.iter().enumerate() {
+            let ts = p.time.as_secs();
+            let shard_start = ts.div_euclid(duration) * duration;
+            let sid = self.sids[i].expect("series id resolved above");
+            for (_, value) in &p.fields {
+                let fid = self.fids[fi].expect("field id resolved above");
+                fi += 1;
+                let slot = match self.slots.get(&(shard_start, sid, fid)) {
+                    Some(&s) => s,
+                    None => {
+                        let s = self.live;
+                        if s == self.runs.len() {
+                            self.runs.push(RunBuf {
+                                shard_start,
+                                sid,
+                                fid,
+                                ts: Vec::new(),
+                                vals: RunVals::new_for(value),
+                            });
+                        } else {
+                            // Recycle an arena slot; the typed vector is
+                            // replaced only if the value type changed.
+                            let buf = &mut self.runs[s];
+                            buf.shard_start = shard_start;
+                            buf.sid = sid;
+                            buf.fid = fid;
+                            debug_assert!(buf.ts.is_empty(), "recycled run not cleared");
+                            match (&buf.vals, value) {
+                                (RunVals::Float(_), FieldValue::Float(_))
+                                | (RunVals::Int(_), FieldValue::Int(_))
+                                | (RunVals::Bool(_), FieldValue::Bool(_))
+                                | (RunVals::Str(_), FieldValue::Str(_)) => {}
+                                _ => buf.vals = RunVals::new_for(value),
+                            }
+                        }
+                        self.live += 1;
+                        self.slots.insert((shard_start, sid, fid), s);
+                        s
+                    }
+                };
+                let buf = &mut self.runs[slot];
+                match (&mut buf.vals, value) {
+                    (RunVals::Float(v), FieldValue::Float(x)) => v.push(*x),
+                    (RunVals::Int(v), FieldValue::Int(x)) => v.push(*x),
+                    (RunVals::Bool(v), FieldValue::Bool(x)) => v.push(*x),
+                    (RunVals::Str(v), FieldValue::Str(x)) => v.push(x.clone()),
+                    (vals, v) => {
+                        result = Err(Error::invalid(format!(
+                            "field type conflict: staged run is {}, point has {}",
+                            vals.type_name(),
+                            v.type_name()
+                        )));
+                        break 'points;
+                    }
+                }
+                buf.ts.push(ts);
+                staged_now += 1;
+            }
+        }
+
+        self.staged_points += staged_now;
+        self.depth.add(staged_now as i64);
+        let wire: usize = points.iter().map(DataPoint::wire_size).sum();
+        self.db.note_batch(points.len(), wire);
+        result?;
+        if self.staged_points >= self.max_staged_points {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Publish every staged run into the shards: one write-lock acquisition
+    /// per touched shard, bulk [`append_run`](crate::shard::Shard::append_run)
+    /// per run inside it.
+    ///
+    /// On a type conflict against existing column data the offending run is
+    /// dropped (its points are unwritable) but **every other run is still
+    /// published**; the first error is returned after the flush completes.
+    /// The staging buffer is empty afterwards either way.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.live == 0 {
+            return Ok(());
+        }
+        self.order.clear();
+        self.order.extend(0..self.live);
+        // Group runs by shard (stable within a shard by arrival order —
+        // sort_unstable is fine because (shard, slot) keys are unique).
+        self.order.sort_unstable_by_key(|&s| (self.runs[s].shard_start, s));
+
+        let mut result: Result<()> = Ok(());
+        let mut applied = 0usize;
+        let mut encoded_delta = 0i64;
+        let mut i = 0usize;
+        while i < self.order.len() {
+            let start = self.runs[self.order[i]].shard_start;
+            let mut j = i + 1;
+            while j < self.order.len() && self.runs[self.order[j]].shard_start == start {
+                j += 1;
+            }
+            // Tombstone retry loop, as in `write_batch`: retention may drop
+            // the shard between lookup and lock; re-fetch rather than append
+            // into an orphan.
+            loop {
+                let shard_arc = self.db.shard_for(start);
+                let wait = Instant::now();
+                let mut shard = shard_arc.write();
+                let acquired = Instant::now();
+                if shard.is_dropped() {
+                    drop(shard);
+                    self.db.observe_lock(wait, acquired);
+                    continue;
+                }
+                let bytes_before = shard.encoded_bytes();
+                for &s in &self.order[i..j] {
+                    let run = &self.runs[s];
+                    match shard.append_run(run.sid, run.fid, &run.ts, run.vals.as_slice()) {
+                        Ok(()) => applied += run.ts.len(),
+                        // All-or-nothing per run: drop it, keep publishing.
+                        Err(e) => result = result.and(Err(e)),
+                    }
+                }
+                encoded_delta += shard.encoded_bytes() as i64 - bytes_before as i64;
+                drop(shard);
+                self.db.observe_lock(wait, acquired);
+                break;
+            }
+            i = j;
+        }
+
+        let staged = self.staged_points;
+        for run in &mut self.runs[..self.live] {
+            run.ts.clear();
+            run.vals.clear();
+        }
+        self.slots.clear();
+        self.live = 0;
+        self.staged_points = 0;
+
+        self.db.note_applied(applied, encoded_delta);
+        self.db.update_topology_gauges();
+        self.depth.sub(staged as i64);
+        self.flushes.inc();
+        self.flush_points.observe(staged as f64);
+        result
+    }
+}
+
+impl Drop for WriteStager<'_> {
+    /// Best-effort publish of anything still staged; errors (unwritable
+    /// type-conflicted runs) are dropped with the stager. Call
+    /// [`Self::flush`] explicitly to observe them.
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::DbConfig;
+    use crate::query::{Aggregation, Query};
+    use monster_util::EpochSecs;
+
+    fn point(node: &str, ts: i64, reading: f64) -> DataPoint {
+        DataPoint::new("Power", EpochSecs::new(ts))
+            .tag("NodeId", node)
+            .field_f64("Reading", reading)
+            .field_i64("Health", ts % 3)
+    }
+
+    fn count_all(db: &Db, end: i64) -> f64 {
+        let q = Query::select("Power", "Reading", EpochSecs::new(0), EpochSecs::new(end))
+            .aggregate(Aggregation::Count);
+        let (rs, _) = db.query(&q).unwrap();
+        rs.series.iter().flat_map(|s| s.points.iter()).filter_map(|(_, v)| v.as_f64()).sum()
+    }
+
+    #[test]
+    fn staged_points_invisible_until_flush() {
+        let db = Db::new(DbConfig::default());
+        let mut stager = db.stager();
+        stager.stage_batch(&[point("n1", 100, 1.0), point("n2", 200, 2.0)]).unwrap();
+        assert_eq!(stager.staged_points(), 4); // 2 points × 2 fields
+        assert_eq!(count_all(&db, 1000), 0.0);
+        assert_eq!(db.stats().points, 0);
+        // Wire/batch stats advance at stage time.
+        assert_eq!(db.stats().batches, 1);
+        assert!(db.stats().wire_bytes > 0);
+        stager.flush().unwrap();
+        assert_eq!(stager.staged_points(), 0);
+        assert_eq!(count_all(&db, 1000), 2.0);
+        assert_eq!(db.stats().points, 4);
+    }
+
+    #[test]
+    fn staged_writes_equal_locked_writes() {
+        let staged_db = Db::new(DbConfig { shard_duration: 3600, ..DbConfig::default() });
+        let locked_db = Db::new(DbConfig { shard_duration: 3600, ..DbConfig::default() });
+        // Several batches spanning multiple shards and sealing boundaries.
+        let mk_batch = |b: i64| -> Vec<DataPoint> {
+            (0..500)
+                .map(|i| point(if i % 2 == 0 { "n1" } else { "n2" }, b * 3000 + i * 7, i as f64))
+                .collect()
+        };
+        let mut stager = staged_db.stager();
+        for b in 0..6 {
+            let batch = mk_batch(b);
+            stager.stage_batch(&batch).unwrap();
+            locked_db.write_batch(&batch).unwrap();
+        }
+        stager.flush().unwrap();
+
+        let (s, l) = (staged_db.stats(), locked_db.stats());
+        assert_eq!(s, l, "staged and locked stats must agree");
+        assert_eq!(staged_db.stats(), staged_db.recompute_stats());
+        for field in ["Reading", "Health"] {
+            let q = Query::select("Power", field, EpochSecs::new(0), EpochSecs::new(i64::MAX / 2));
+            let (rs_s, _) = staged_db.query(&q).unwrap();
+            let (rs_l, _) = locked_db.query(&q).unwrap();
+            assert_eq!(rs_s, rs_l, "query results diverged on {field}");
+        }
+    }
+
+    #[test]
+    fn auto_flush_at_threshold() {
+        let db = Db::new(DbConfig::default());
+        let mut stager = db.stager_with_capacity(8);
+        for i in 0..3 {
+            stager.stage_batch(&[point("n1", 100 + i, 1.0)]).unwrap(); // 2 fields per point
+        }
+        assert_eq!(db.stats().points, 0);
+        stager.stage_batch(&[point("n1", 200, 1.0)]).unwrap(); // reaches 8 → flush
+        assert_eq!(db.stats().points, 8);
+        assert_eq!(stager.staged_points(), 0);
+    }
+
+    #[test]
+    fn drop_flushes_remaining_points() {
+        let db = Db::new(DbConfig::default());
+        {
+            let mut stager = db.stager();
+            stager.stage_batch(&[point("n1", 100, 1.0)]).unwrap();
+        }
+        assert_eq!(db.stats().points, 2);
+    }
+
+    #[test]
+    fn stage_time_type_conflict_is_partial_like_write_batch() {
+        let db = Db::new(DbConfig::default());
+        let mut stager = db.stager();
+        let good = DataPoint::new("m", EpochSecs::new(1)).tag("n", "a").field_f64("v", 1.0);
+        let bad = DataPoint::new("m", EpochSecs::new(2)).tag("n", "a").field_str("v", "x");
+        let err = stager.stage_batch(&[good, bad]).unwrap_err();
+        assert!(err.to_string().contains("type conflict"));
+        stager.flush().unwrap();
+        assert_eq!(db.stats().points, 1, "points before the conflict still land");
+    }
+
+    #[test]
+    fn flush_time_conflict_drops_run_keeps_others() {
+        let db = Db::new(DbConfig::default());
+        // Column "v" for series a is a float in the shards already.
+        db.write(DataPoint::new("m", EpochSecs::new(1)).tag("n", "a").field_f64("v", 1.0)).unwrap();
+        let mut stager = db.stager();
+        // Staged run conflicts with the shard's column type; the other
+        // series' run must still publish.
+        stager
+            .stage_batch(&[
+                DataPoint::new("m", EpochSecs::new(2)).tag("n", "a").field_i64("v", 7),
+                DataPoint::new("m", EpochSecs::new(3)).tag("n", "b").field_f64("v", 2.0),
+            ])
+            .unwrap();
+        let err = stager.flush().unwrap_err();
+        assert!(err.to_string().contains("type conflict"));
+        assert_eq!(db.stats().points, 2, "clean run published, conflicted run dropped");
+        assert_eq!(db.stats(), db.recompute_stats());
+    }
+
+    #[test]
+    fn concurrent_stagers_conserve_points() {
+        let db = std::sync::Arc::new(Db::new(DbConfig::default()));
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let db = std::sync::Arc::clone(&db);
+                s.spawn(move || {
+                    let mut stager = db.stager_with_capacity(64);
+                    for i in 0..100 {
+                        stager
+                            .stage_batch(&[point(&format!("n{w}"), 1000 + i * 60, i as f64)])
+                            .unwrap();
+                    }
+                    stager.flush().unwrap();
+                });
+            }
+        });
+        assert_eq!(db.stats().points, 4 * 100 * 2);
+        assert_eq!(db.stats(), db.recompute_stats());
+        assert_eq!(count_all(&db, i64::MAX / 2), 400.0);
+    }
+
+    #[test]
+    fn staging_metrics_advance() {
+        let db = Db::new(DbConfig::default());
+        let before = monster_obs::counter("monster_tsdb_staging_flushes_total").get();
+        let mut stager = db.stager();
+        stager.stage_batch(&[point("n1", 100, 1.0)]).unwrap();
+        assert!(monster_obs::gauge("monster_tsdb_staging_depth").get() >= 2);
+        stager.flush().unwrap();
+        assert_eq!(monster_obs::counter("monster_tsdb_staging_flushes_total").get(), before + 1);
+    }
+
+    #[test]
+    fn arena_recycles_across_flushes() {
+        let db = Db::new(DbConfig::default());
+        let mut stager = db.stager();
+        for cycle in 0..3 {
+            stager.stage_batch(&[point("n1", 100 + cycle, 1.0)]).unwrap();
+            stager.flush().unwrap();
+            assert_eq!(stager.runs.len(), 2, "arena must not grow across cycles");
+            assert_eq!(stager.live, 0);
+        }
+        assert_eq!(db.stats().points, 6);
+    }
+}

@@ -91,6 +91,50 @@ fn steady_state_ingest_does_not_allocate_per_point() {
     );
 }
 
+/// The staged write path is *strictly* allocation-free once warm: scratch
+/// id buffers, run arenas, the slot map, and the flush ordering are all
+/// retained across flushes, and no column seals inside the window (60
+/// points per column < BLOCK_SIZE), so a whole stage-and-flush cycle
+/// performs zero heap allocations.
+#[test]
+fn warm_staging_cycle_does_not_allocate() {
+    let _gate = GATE.lock().unwrap();
+    let db = Db::new(DbConfig::default());
+    let mut stager = db.stager(); // default threshold ≫ this test's volume
+
+    // Warm-up: materialize series/fields/columns, grow every run arena and
+    // column tail past what the counting window needs, and complete full
+    // flush cycles so the slot map and ordering buffers reach capacity.
+    // Three cycles of 20 leave each column tail at len 60 / capacity 80
+    // (amortized doubling: 20 → 40 → 80), so the counted cycle's 20 points
+    // land exactly at capacity without a growth step.
+    for cycle in 0..3 {
+        for i in 0..20 {
+            stager.stage_batch(&batch_at((cycle * 20 + i) * 60)).unwrap();
+        }
+        stager.flush().unwrap();
+    }
+
+    // Steady state: the same shape staged and flushed again.
+    let batches: Vec<Vec<DataPoint>> = (60..80).map(|i| batch_at(i * 60)).collect();
+    let points_written: usize = batches.iter().map(Vec::len).sum::<usize>() * 2; // 2 fields
+
+    ALLOCS.store(0, Ordering::Relaxed);
+    COUNTING.store(true, Ordering::Relaxed);
+    for b in &batches {
+        stager.stage_batch(b).unwrap();
+    }
+    stager.flush().unwrap();
+    COUNTING.store(false, Ordering::Relaxed);
+    let allocs = ALLOCS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        allocs, 0,
+        "warm staging cycle allocated {allocs} times for {points_written} points"
+    );
+    assert_eq!(db.stats().points, points_written + 3 * points_written); // warm + counted
+}
+
 /// Per-stage proof: resolution, append, and wire accounting are each
 /// individually allocation-free once warm (the batch-level test above
 /// bounds what's left: grouping buffers and obs bookkeeping).
