@@ -218,7 +218,7 @@ fn main() {
     let server = m.serve_api(0).expect("api server");
     let resp =
         Client::new().send_ok(server.addr(), &Request::get("/metrics")).expect("GET /metrics");
-    let text = String::from_utf8(resp.body).expect("utf-8 exposition");
+    let text = String::from_utf8(resp.body.to_vec()).expect("utf-8 exposition");
 
     let budget: usize = std::env::var("METRICS_SERIES_BUDGET")
         .ok()

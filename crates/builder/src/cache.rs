@@ -1,181 +1,348 @@
-//! A small versioned response cache for the API service.
+//! Watermark-validity response cache.
 //!
-//! Entries are keyed by the full request (range, window, aggregation,
-//! compression) and stamped with the database's write-batch count at
-//! build time; any subsequent write invalidates every cached response, so
-//! consumers never see stale data after a collection interval lands.
+//! Dashboards are *repeated* queries over sliding windows, so the cache is
+//! where a serving tier lives or dies. The first-generation cache stamped
+//! every entry with the database's global write-batch count — any write
+//! anywhere invalidated everything, so under a 60 s collection cadence the
+//! hit rate was effectively zero. This version derives validity from the
+//! per-measurement ingest watermarks the TSDB now tracks
+//! ([`monster_tsdb::MeasurementMark`]):
 //!
-//! Eviction is LRU: every hit stamps the entry with a monotonic tick, and
-//! a full cache evicts the least-recently-used entry — after first
-//! purging entries whose stamped version no longer matches (stale entries
-//! can never be served again, so they are the cheapest victims). Lookups
-//! that find a stale entry drop it eagerly instead of letting it squat in
-//! the map until capacity pressure.
+//! * an entry records, per measurement its plan touched, the mark observed
+//!   *before* execution, plus the query's exclusive `end` bound;
+//! * on probe, a measurement whose mark is unchanged proves nothing moved;
+//! * if the mark advanced but only by in-order appends (`backfills`
+//!   unchanged) and the entry's window was already **closed** (`end <=
+//!   max_ts` at build time), the entry is still byte-valid — new points
+//!   land strictly above the old watermark, outside `[start, end)`. Closed
+//!   historical windows therefore never expire;
+//! * any backfill, retention pass, or measurement drop invalidates.
+//!
+//! Bodies are shared: entries hold `Arc<Response>` and the response body
+//! itself is a shared [`monster_http::Body`], so serving a hit clones a
+//! reference count and a small header map — never the payload.
+//!
+//! Deterministic request rejections (unparsable parameters) are cached
+//! too, with [`Validity::Always`] — the negative cache. They depend on no
+//! data, only on the URL, and are capacity-bounded like everything else.
 
 use monster_http::Response;
+use monster_tsdb::{Db, MeasurementMark};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
 
-struct Entry {
-    version: u64,
-    last_used: u64,
-    response: Response,
+/// The watermark state a cached entry was built against: one mark per
+/// measurement the plan touched, the query's exclusive `end` bound, and
+/// the database's retention epoch.
+#[derive(Debug, Clone)]
+pub struct ValiditySnapshot {
+    retention_epoch: u64,
+    end: i64,
+    marks: Vec<(String, MeasurementMark)>,
 }
 
+impl ValiditySnapshot {
+    /// Snapshot the current marks for `measurements` (deduplicated) and
+    /// the window's exclusive `end`. Must be taken **before** the query
+    /// executes: a write racing the execution then at worst invalidates a
+    /// correct entry, never validates a stale one.
+    pub fn capture<'m>(
+        db: &Db,
+        measurements: impl IntoIterator<Item = &'m str>,
+        end: i64,
+    ) -> ValiditySnapshot {
+        let mut marks: Vec<(String, MeasurementMark)> = Vec::new();
+        for m in measurements {
+            if marks.iter().any(|(name, _)| name == m) {
+                continue;
+            }
+            marks.push((m.to_string(), db.measurement_mark(m)));
+        }
+        ValiditySnapshot { retention_epoch: db.retention_epoch(), end, marks }
+    }
+
+    /// Is an entry built against this snapshot still byte-valid?
+    pub fn still_valid(&self, db: &Db) -> bool {
+        if db.retention_epoch() != self.retention_epoch {
+            return false;
+        }
+        for (measurement, stamp) in &self.marks {
+            let cur = db.measurement_mark(measurement);
+            if cur == *stamp {
+                continue;
+            }
+            if cur.backfills != stamp.backfills {
+                return false;
+            }
+            // Closed window: everything since the snapshot was an in-order
+            // append at a timestamp strictly above `stamp.max_ts >= end`,
+            // outside this entry's half-open range.
+            if self.end <= stamp.max_ts {
+                continue;
+            }
+            return false;
+        }
+        true
+    }
+}
+
+/// How long a cache entry stays servable.
+#[derive(Debug, Clone)]
+pub enum Validity {
+    /// Forever (deterministic, data-independent responses — the negative
+    /// cache for known-invalid requests). Bounded only by LRU capacity.
+    Always,
+    /// Until the watermark snapshot stops validating.
+    Watermarks(ValiditySnapshot),
+}
+
+#[derive(Debug)]
+struct Entry {
+    validity: Validity,
+    last_used: u64,
+    response: Arc<Response>,
+}
+
+#[derive(Default)]
 struct Inner {
+    /// Monotonic use counter backing LRU ordering.
     tick: u64,
     entries: HashMap<String, Entry>,
 }
 
-/// Versioned store of pre-built HTTP responses with LRU eviction.
+/// A capacity-bounded LRU response cache with watermark validity. All
+/// methods take `&self` (interior mutex); hits are clone-free on the body.
 pub struct ResponseCache {
     capacity: usize,
     inner: Mutex<Inner>,
+    hits: Arc<monster_obs::Counter>,
+    misses: Arc<monster_obs::Counter>,
+    evictions: Arc<monster_obs::Counter>,
 }
 
 impl ResponseCache {
-    /// A cache holding at most `capacity` responses (0 disables caching).
+    /// A cache holding at most `capacity` entries (0 disables caching).
     pub fn new(capacity: usize) -> ResponseCache {
-        ResponseCache { capacity, inner: Mutex::new(Inner { tick: 0, entries: HashMap::new() }) }
-    }
-
-    /// Fetch a response cached for `key` at data version `version`. A hit
-    /// refreshes the entry's recency; a stale entry (older version) is
-    /// removed on the spot.
-    pub fn get(&self, key: &str, version: u64) -> Option<Response> {
-        let mut inner = self.inner.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
-        match inner.entries.get_mut(key) {
-            Some(e) if e.version == version => {
-                e.last_used = tick;
-                let resp = e.response.clone();
-                drop(inner);
-                monster_obs::counter("monster_builder_cache_hits_total").inc();
-                Some(resp)
-            }
-            Some(_) => {
-                // Stale: a write already invalidated it; free the slot now.
-                inner.entries.remove(key);
-                drop(inner);
-                monster_obs::counter("monster_builder_cache_misses_total").inc();
-                None
-            }
-            None => {
-                drop(inner);
-                monster_obs::counter("monster_builder_cache_misses_total").inc();
-                None
-            }
+        ResponseCache {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+            hits: monster_obs::counter_help(
+                "monster_builder_cache_hits_total",
+                "Requests served from the response cache without executing.",
+            ),
+            misses: monster_obs::counter_help(
+                "monster_builder_cache_misses_total",
+                "Cache probes that found no still-valid entry.",
+            ),
+            evictions: monster_obs::counter_help(
+                "monster_builder_cache_evictions_total",
+                "Response-cache entries evicted (LRU pressure or staleness).",
+            ),
         }
     }
 
-    /// Store a response for `key` at data version `version`.
-    pub fn put(&self, key: &str, version: u64, response: Response) {
+    /// Look up `key`, validating the entry's watermark snapshot against
+    /// `db`. Invalid entries are dropped eagerly. A hit shares the stored
+    /// response — no body bytes are copied.
+    pub fn get(&self, key: &str, db: &Db) -> Option<Arc<Response>> {
         if self.capacity == 0 {
-            return;
+            self.misses.inc();
+            return None;
         }
-        let mut inner = self.inner.lock();
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        let valid = match inner.entries.get(key) {
+            Some(entry) => match &entry.validity {
+                Validity::Always => true,
+                Validity::Watermarks(snap) => snap.still_valid(db),
+            },
+            None => {
+                self.misses.inc();
+                return None;
+            }
+        };
+        if !valid {
+            inner.entries.remove(key);
+            self.misses.inc();
+            return None;
+        }
         inner.tick += 1;
         let tick = inner.tick;
-        if inner.entries.len() >= self.capacity && !inner.entries.contains_key(key) {
-            // Stale versions can never be served again — purge them first.
-            inner.entries.retain(|_, e| e.version == version);
-            // Still full: evict the least-recently-used survivor.
-            while inner.entries.len() >= self.capacity {
-                let victim = inner
-                    .entries
-                    .iter()
-                    .min_by_key(|(_, e)| e.last_used)
-                    .map(|(k, _)| k.clone())
-                    .expect("non-empty map has a minimum");
-                inner.entries.remove(&victim);
-                monster_obs::counter("monster_builder_cache_evictions_total").inc();
-            }
-        }
-        inner.entries.insert(key.to_string(), Entry { version, last_used: tick, response });
+        let entry = inner.entries.get_mut(key).expect("checked above");
+        entry.last_used = tick;
+        self.hits.inc();
+        Some(Arc::clone(&entry.response))
     }
 
-    /// Number of cached entries (test instrumentation).
-    #[cfg(test)]
-    fn len(&self) -> usize {
+    /// Insert a response under `key`, evicting the least-recently-used
+    /// entry if at capacity. Returns the shared handle (callers complete
+    /// coalesced flights with it). With capacity 0 the response is still
+    /// wrapped and returned, just not retained.
+    pub fn put(&self, key: &str, validity: Validity, response: Response) -> Arc<Response> {
+        let response = Arc::new(response);
+        if self.capacity == 0 {
+            return response;
+        }
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.entries.contains_key(key) && inner.entries.len() >= self.capacity {
+            if let Some(victim) =
+                inner.entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            {
+                inner.entries.remove(&victim);
+                self.evictions.inc();
+            }
+        }
+        inner.entries.insert(
+            key.to_string(),
+            Entry { validity, last_used: tick, response: Arc::clone(&response) },
+        );
+        response
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
         self.inner.lock().entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use monster_http::{Response, Status};
+    use monster_tsdb::{DataPoint, DbConfig};
+    use monster_util::EpochSecs;
 
     fn resp(body: &str) -> Response {
         Response::bytes(body.as_bytes().to_vec(), "text/plain")
     }
 
+    fn power_point(ts: i64) -> DataPoint {
+        DataPoint::new("Power", EpochSecs::new(ts))
+            .tag("NodeId", "10.101.1.1")
+            .field_f64("Reading", 250.0)
+    }
+
+    fn snap(db: &Db, end: i64) -> Validity {
+        Validity::Watermarks(ValiditySnapshot::capture(db, ["Power"], end))
+    }
+
     #[test]
-    fn version_mismatch_is_a_miss() {
+    fn open_window_invalidated_by_any_append() {
+        let db = Db::new(DbConfig::default());
+        db.write(power_point(100)).unwrap();
         let cache = ResponseCache::new(4);
-        assert!(cache.get("k", 1).is_none());
-        cache.put("k", 1, resp("a"));
-        let hit = cache.get("k", 1).unwrap();
-        assert_eq!(hit.status, Status::OK);
+        // Open window: end (1000) is above the watermark (100).
+        cache.put("k", snap(&db, 1000), resp("a"));
+        assert!(cache.get("k", &db).is_some());
+        db.write(power_point(200)).unwrap();
+        assert!(cache.get("k", &db).is_none(), "append into the open window must invalidate");
+    }
+
+    #[test]
+    fn closed_window_survives_in_order_appends() {
+        let db = Db::new(DbConfig::default());
+        db.write(power_point(500)).unwrap();
+        let cache = ResponseCache::new(4);
+        // Closed window: end (300) is at/below the watermark (500).
+        cache.put("k", snap(&db, 300), resp("a"));
+        db.write(power_point(600)).unwrap();
+        db.write(power_point(700)).unwrap();
+        let hit = cache.get("k", &db).expect("closed window never expires on appends");
         assert_eq!(hit.body, b"a");
-        // Same key, newer data version: stale entry is not served.
-        assert!(cache.get("k", 2).is_none());
-        cache.put("k", 2, resp("b"));
-        assert_eq!(cache.get("k", 2).unwrap().body, b"b");
     }
 
     #[test]
-    fn capacity_bounds_entries() {
-        let cache = ResponseCache::new(2);
-        cache.put("a", 1, resp("a"));
-        cache.put("b", 1, resp("b"));
-        cache.put("c", 1, resp("c"));
-        assert!(cache.get("c", 1).is_some());
-        assert_eq!(cache.len(), 2);
-        let zero = ResponseCache::new(0);
-        zero.put("a", 1, resp("a"));
-        assert!(zero.get("a", 1).is_none());
-    }
-
-    #[test]
-    fn eviction_is_lru_not_arbitrary() {
-        let cache = ResponseCache::new(3);
-        cache.put("a", 1, resp("a"));
-        cache.put("b", 1, resp("b"));
-        cache.put("c", 1, resp("c"));
-        // Touch "a" and "c": "b" becomes the least recently used.
-        assert!(cache.get("a", 1).is_some());
-        assert!(cache.get("c", 1).is_some());
-        cache.put("d", 1, resp("d"));
-        assert!(cache.get("b", 1).is_none(), "LRU victim should be b");
-        assert!(cache.get("a", 1).is_some());
-        assert!(cache.get("c", 1).is_some());
-        assert!(cache.get("d", 1).is_some());
-    }
-
-    #[test]
-    fn stale_versions_are_purged_before_live_entries() {
-        let cache = ResponseCache::new(3);
-        cache.put("old1", 1, resp("x"));
-        cache.put("old2", 1, resp("y"));
-        cache.put("live", 2, resp("z"));
-        // Full cache, new key at version 2: the two stale v1 entries go,
-        // the live v2 entry survives even though it is not the newest.
-        cache.put("new", 2, resp("w"));
-        assert!(cache.get("live", 2).is_some());
-        assert!(cache.get("new", 2).is_some());
-        assert!(cache.get("old1", 1).is_none());
-        assert!(cache.get("old2", 1).is_none());
-    }
-
-    #[test]
-    fn stale_entries_are_dropped_eagerly_on_lookup() {
+    fn closed_window_invalidated_by_backfill() {
+        let db = Db::new(DbConfig::default());
+        db.write(power_point(500)).unwrap();
         let cache = ResponseCache::new(4);
-        cache.put("k", 1, resp("a"));
-        assert_eq!(cache.len(), 1);
-        // The version moved on; the lookup itself frees the slot.
-        assert!(cache.get("k", 2).is_none());
-        assert_eq!(cache.len(), 0);
+        cache.put("k", snap(&db, 300), resp("a"));
+        // Backfill at ts=100, inside history: rewrites the closed window.
+        db.write(power_point(100)).unwrap();
+        assert!(cache.get("k", &db).is_none(), "backfill must invalidate closed windows");
+    }
+
+    #[test]
+    fn unrelated_measurement_writes_do_not_invalidate() {
+        let db = Db::new(DbConfig::default());
+        db.write(power_point(100)).unwrap();
+        let cache = ResponseCache::new(4);
+        cache.put("k", snap(&db, 1000), resp("a"));
+        db.write(
+            DataPoint::new("Thermal", EpochSecs::new(50))
+                .tag("NodeId", "10.101.1.1")
+                .field_f64("Reading", 40.0),
+        )
+        .unwrap();
+        assert!(cache.get("k", &db).is_some(), "other measurements are irrelevant");
+    }
+
+    #[test]
+    fn retention_invalidates_watermark_entries_only() {
+        let db = Db::new(DbConfig::default());
+        db.write(power_point(500)).unwrap();
+        let cache = ResponseCache::new(4);
+        cache.put("closed", snap(&db, 300), resp("a"));
+        cache.put("negative", Validity::Always, resp("bad"));
+        db.drop_shards_before(EpochSecs::new(90_000));
+        assert!(cache.get("closed", &db).is_none(), "retention drops invalidate watermarks");
+        assert!(cache.get("negative", &db).is_some(), "negative entries are data-independent");
+    }
+
+    #[test]
+    fn negative_entries_valid_across_any_writes() {
+        let db = Db::new(DbConfig::default());
+        let cache = ResponseCache::new(4);
+        cache.put("bad", Validity::Always, resp("nope"));
+        db.write(power_point(100)).unwrap();
+        db.write(power_point(50)).unwrap();
+        assert_eq!(cache.get("bad", &db).unwrap().body, b"nope");
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let db = Db::new(DbConfig::default());
+        let cache = ResponseCache::new(2);
+        cache.put("a", Validity::Always, resp("a"));
+        cache.put("b", Validity::Always, resp("b"));
+        // Touch "a" so "b" is the LRU victim.
+        assert!(cache.get("a", &db).is_some());
+        cache.put("c", Validity::Always, resp("c"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("a", &db).is_some());
+        assert!(cache.get("b", &db).is_none());
+        assert!(cache.get("c", &db).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let db = Db::new(DbConfig::default());
+        let cache = ResponseCache::new(0);
+        let shared = cache.put("k", Validity::Always, resp("a"));
+        assert_eq!(shared.body, b"a", "put still returns the shared handle");
+        assert!(cache.get("k", &db).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn hits_share_one_body_allocation() {
+        let db = Db::new(DbConfig::default());
+        let cache = ResponseCache::new(4);
+        cache.put("k", Validity::Always, resp("shared-body"));
+        let a = cache.get("k", &db).unwrap();
+        let b = cache.get("k", &db).unwrap();
+        // Same Arc<Response>: the body bytes exist exactly once.
+        assert!(Arc::ptr_eq(&a, &b));
+        // And a per-request clone still shares the body storage.
+        let served = (*a).clone();
+        assert_eq!(served.body.as_ptr(), a.body.as_ptr());
     }
 }

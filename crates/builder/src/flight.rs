@@ -1,0 +1,203 @@
+//! Request coalescing (single-flight).
+//!
+//! 10 000 dashboards refreshing the same panel in the same instant are
+//! 10 000 identical requests; only one of them needs to touch storage.
+//! The first request to [`FlightGroup::join`] a key becomes the **leader**
+//! and executes; everyone arriving while the flight is open blocks on its
+//! condvar and receives the leader's shared response (`X-Cache:
+//! coalesced`). If the leader fails — execution error, panic (via the
+//! `Drop` backstop), or an admission rejection it chooses not to share —
+//! followers wake with `None` and fall back to executing themselves, so a
+//! failed leader never wedges the key.
+//!
+//! Admission control runs on the *leader only*, after the join: a
+//! coalesced burst drains one admission token, not one per request —
+//! coalescing is exactly the mechanism that makes the burst cheap.
+
+use monster_http::Response;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One in-flight execution: `None` while pending, `Some(result)` once the
+/// leader completes (`result == None` means the leader failed).
+#[derive(Default)]
+struct Flight {
+    state: Mutex<Option<Option<Arc<Response>>>>,
+    done: Condvar,
+}
+
+type FlightMap = Arc<Mutex<HashMap<String, Arc<Flight>>>>;
+
+/// The per-router registry of open flights.
+#[derive(Default)]
+pub struct FlightGroup {
+    flights: FlightMap,
+}
+
+/// The outcome of joining a key.
+pub enum Join {
+    /// This request leads: execute, then call [`Leader::complete`].
+    Leader(Leader),
+    /// Another request led. `Some` carries its shared response; `None`
+    /// means the leader failed and this request should execute directly.
+    Follower(Option<Arc<Response>>),
+}
+
+impl FlightGroup {
+    /// An empty flight group.
+    pub fn new() -> FlightGroup {
+        FlightGroup::default()
+    }
+
+    /// Join the flight for `key`: lead it if nobody else is, otherwise
+    /// block until the leader completes and share its result.
+    pub fn join(&self, key: &str) -> Join {
+        let flight = {
+            let mut map = self.flights.lock().unwrap_or_else(|e| e.into_inner());
+            match map.get(key) {
+                Some(f) => Arc::clone(f),
+                None => {
+                    let f = Arc::new(Flight::default());
+                    map.insert(key.to_string(), Arc::clone(&f));
+                    return Join::Leader(Leader {
+                        flights: Arc::clone(&self.flights),
+                        key: key.to_string(),
+                        flight: f,
+                        completed: false,
+                    });
+                }
+            }
+        };
+        let mut state = flight.state.lock().unwrap_or_else(|e| e.into_inner());
+        while state.is_none() {
+            state = flight.done.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+        Join::Follower(state.clone().expect("loop exits only once set"))
+    }
+
+    /// Number of currently open flights (for tests/metrics).
+    pub fn open(&self) -> usize {
+        self.flights.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+/// The leader's completion handle. Dropping it without calling
+/// [`Leader::complete`] (an early return or panic on the execution path)
+/// completes the flight with `None`, releasing followers to execute
+/// themselves.
+pub struct Leader {
+    flights: FlightMap,
+    key: String,
+    flight: Arc<Flight>,
+    completed: bool,
+}
+
+impl Leader {
+    /// Publish the flight's result to every waiting follower and close
+    /// the flight. `None` tells followers to execute directly.
+    pub fn complete(mut self, result: Option<Arc<Response>>) {
+        self.finish(result);
+    }
+
+    fn finish(&mut self, result: Option<Arc<Response>>) {
+        if self.completed {
+            return;
+        }
+        self.completed = true;
+        // Remove the key first: requests arriving from here on start a new
+        // flight instead of piling onto a finished one.
+        self.flights.lock().unwrap_or_else(|e| e.into_inner()).remove(&self.key);
+        let mut state = self.flight.state.lock().unwrap_or_else(|e| e.into_inner());
+        *state = Some(result);
+        self.flight.done.notify_all();
+    }
+}
+
+impl Drop for Leader {
+    fn drop(&mut self) {
+        self.finish(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monster_http::Response as Resp;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    fn resp(body: &str) -> Arc<Resp> {
+        Arc::new(Resp::bytes(body.as_bytes().to_vec(), "text/plain"))
+    }
+
+    #[test]
+    fn first_join_leads_later_joins_follow() {
+        let group = Arc::new(FlightGroup::new());
+        let leader = match group.join("k") {
+            Join::Leader(l) => l,
+            Join::Follower(_) => panic!("first join must lead"),
+        };
+        assert_eq!(group.open(), 1);
+
+        let executions = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let group = Arc::clone(&group);
+            let executions = Arc::clone(&executions);
+            handles.push(thread::spawn(move || match group.join("k") {
+                Join::Leader(_) => {
+                    executions.fetch_add(1, Ordering::SeqCst);
+                    String::new()
+                }
+                Join::Follower(Some(shared)) => String::from_utf8(shared.body.to_vec()).unwrap(),
+                Join::Follower(None) => panic!("leader completed successfully"),
+            }));
+        }
+        // Give the followers a moment to park, then publish.
+        thread::sleep(std::time::Duration::from_millis(20));
+        leader.complete(Some(resp("the-answer")));
+        for h in handles {
+            assert_eq!(h.join().unwrap(), "the-answer");
+        }
+        assert_eq!(executions.load(Ordering::SeqCst), 0, "nobody re-executed");
+        assert_eq!(group.open(), 0, "flight closed");
+    }
+
+    #[test]
+    fn dropped_leader_releases_followers_to_execute() {
+        let group = Arc::new(FlightGroup::new());
+        let leader = match group.join("k") {
+            Join::Leader(l) => l,
+            Join::Follower(_) => panic!("first join must lead"),
+        };
+        let follower = {
+            let group = Arc::clone(&group);
+            thread::spawn(move || match group.join("k") {
+                Join::Follower(result) => result.is_none(),
+                Join::Leader(_) => false,
+            })
+        };
+        thread::sleep(std::time::Duration::from_millis(20));
+        drop(leader); // early return / panic path
+        assert!(follower.join().unwrap(), "follower must get None and self-serve");
+        // The key is free again: the next join leads.
+        assert!(matches!(group.join("k"), Join::Leader(_)));
+    }
+
+    #[test]
+    fn distinct_keys_fly_independently() {
+        let group = FlightGroup::new();
+        let a = match group.join("a") {
+            Join::Leader(l) => l,
+            Join::Follower(_) => panic!(),
+        };
+        let b = match group.join("b") {
+            Join::Leader(l) => l,
+            Join::Follower(_) => panic!(),
+        };
+        assert_eq!(group.open(), 2);
+        a.complete(Some(resp("a")));
+        b.complete(None);
+        assert_eq!(group.open(), 0);
+    }
+}

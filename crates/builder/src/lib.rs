@@ -16,16 +16,21 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod cache;
 pub mod exec;
+pub mod flight;
 pub mod materializer;
 pub mod plan;
 pub mod response;
 pub mod rollup;
 pub mod service;
 
+pub use admission::{Admission, AdmissionConfig, AdmissionController};
+pub use cache::{ResponseCache, Validity, ValiditySnapshot};
 pub use exec::{execute, BuilderOutcome, ExecMode};
+pub use flight::{FlightGroup, Join};
 pub use materializer::{Materializer, RollupSpec};
-pub use plan::{build_plan, BuilderRequest, PlannedQuery, QueryGroup};
+pub use plan::{build_plan, estimate_plan_cost, BuilderRequest, PlannedQuery, QueryGroup};
 pub use response::{encode_response, EncodedResponse};
 pub use rollup::RollupRoute;

@@ -9,7 +9,7 @@
 //! them into 5.
 
 use monster_collector::SchemaVersion;
-use monster_tsdb::{Aggregation, Query};
+use monster_tsdb::{Aggregation, Query, QueryCost};
 use monster_util::EpochSecs;
 use monster_util::{Error, NodeId, Result};
 
@@ -110,6 +110,18 @@ fn windowed(measurement: &str, field: &str, node: NodeId, req: &BuilderRequest) 
 fn job_list(measurement: &str, node: NodeId, req: &BuilderRequest) -> Query {
     let start = (req.end - req.interval_secs).max(req.start);
     Query::select(measurement, "JobList", start, req.end).where_tag("NodeId", node.bmc_addr())
+}
+
+/// Price a whole plan in modelled cost *without executing it*: the sum of
+/// [`monster_tsdb::Db::estimate_cost`] over every planned query. Feed the
+/// result through [`monster_tsdb::Db::simulate_elapsed`] to get the
+/// modelled seconds that cost-based admission classifies on.
+pub fn estimate_plan_cost(db: &monster_tsdb::Db, plan: &[PlannedQuery]) -> QueryCost {
+    let mut total = QueryCost::default();
+    for pq in plan {
+        total.absorb(&db.estimate_cost(&pq.query));
+    }
+    total
 }
 
 /// Expand a request into the full per-node query plan for `schema`.

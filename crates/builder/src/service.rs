@@ -22,9 +22,11 @@
 //!   reading (join it against `GET /debug/trace`).
 //! * `GET /v1/silences` — unexpired alert silences.
 
-use crate::cache::ResponseCache;
+use crate::admission::{Admission, AdmissionConfig, AdmissionController};
+use crate::cache::{ResponseCache, Validity, ValiditySnapshot};
 use crate::exec::{execute, ExecMode};
-use crate::plan::{build_plan, BuilderRequest};
+use crate::flight::{FlightGroup, Join};
+use crate::plan::{build_plan, estimate_plan_cost, BuilderRequest};
 use monster_collector::SchemaVersion;
 use monster_compress::Level;
 use monster_http::{Method, Request, Response, Router, Status};
@@ -44,6 +46,12 @@ pub struct ServiceConfig {
     pub level: Level,
     /// Response-cache capacity (entries); 0 disables caching.
     pub cache_entries: usize,
+    /// Request coalescing (single-flight): concurrent identical requests
+    /// share one execution. `false` is the benchmark baseline.
+    pub coalesce: bool,
+    /// Cost-based admission control (`AdmissionConfig { enabled: false,
+    /// .. }` admits everything).
+    pub admission: AdmissionConfig,
     /// Maintained roll-ups that coarse queries are rerouted to (see
     /// [`crate::rollup::reroute`]); typically
     /// [`crate::materializer::Materializer::routes`]. Empty disables
@@ -61,6 +69,8 @@ impl Default for ServiceConfig {
             exec: ExecMode::Concurrent { workers: 8 },
             level: Level::default(),
             cache_entries: 64,
+            coalesce: true,
+            admission: AdmissionConfig::default(),
             rollup_routes: Vec::new(),
             alerts: None,
         }
@@ -69,6 +79,39 @@ impl Default for ServiceConfig {
 
 fn bad_request(msg: &str) -> Response {
     Response::error(Status::BAD_REQUEST, msg)
+}
+
+/// Build the per-request response from a shared (cached/coalesced) one:
+/// headers are cloned so the `X-Cache` disposition and trace headers can
+/// be stamped per request, the body is reference-shared — zero byte
+/// copies.
+fn serve_shared(shared: &Response, cache_status: &str) -> Response {
+    let mut resp = shared.clone();
+    resp.headers.set("X-Cache", cache_status);
+    resp
+}
+
+/// The tenant/client id admission buckets are keyed by. Dashboards and
+/// batch consumers identify themselves with `X-Tenant`; anonymous traffic
+/// shares one bucket.
+fn tenant_of(req: &Request) -> &str {
+    req.headers.get("X-Tenant").unwrap_or("anonymous")
+}
+
+/// RAII increment of the in-flight-queries gauge; panic-safe decrement.
+struct InflightGuard(Arc<monster_obs::Gauge>);
+
+impl InflightGuard {
+    fn enter(gauge: &Arc<monster_obs::Gauge>) -> InflightGuard {
+        gauge.add(1);
+        InflightGuard(Arc::clone(gauge))
+    }
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.0.sub(1);
+    }
 }
 
 /// Stamp the trace/freshness headers every `/v1/metrics` response carries:
@@ -116,6 +159,16 @@ fn parse_metrics_request(req: &Request) -> Result<BuilderRequest, Response> {
 /// Build the service router over `db` for the given node inventory.
 pub fn router(db: Arc<Db>, nodes: Vec<NodeId>, config: ServiceConfig) -> Router {
     let cache = Arc::new(ResponseCache::new(config.cache_entries));
+    let flights = Arc::new(FlightGroup::new());
+    let admission = Arc::new(AdmissionController::new(config.admission));
+    let coalesced = monster_obs::counter_help(
+        "monster_builder_cache_coalesced_total",
+        "Requests served by joining another request's in-flight execution.",
+    );
+    let inflight = monster_obs::gauge_help(
+        "monster_builder_inflight_queries",
+        "Metrics queries currently executing against storage.",
+    );
     let node_list: Vec<Value> = nodes.iter().map(|n| Value::from(n.bmc_addr())).collect();
     let nodes_doc = jobj! { "nodes" => Value::Array(node_list) };
 
@@ -141,27 +194,94 @@ pub fn router(db: Arc<Db>, nodes: Vec<NodeId>, config: ServiceConfig) -> Router 
             // Install the context so the execute/query/lock spans and
             // exemplars underneath this request join its trace.
             let _trace_guard = monster_obs::trace::set_current(ctx);
+            let key = format!("{}?{}", req.path, req.query);
+
+            // Layer 1: the result cache. Positive entries validate their
+            // watermark snapshot; negative entries (deterministic 400s)
+            // are data-independent and always valid.
+            if let Some(shared) = cache.get(&key, &metrics_db) {
+                span.set_attr("cache", "hit");
+                span.finish();
+                return stamp_trace_headers(serve_shared(&shared, "hit"), ctx);
+            }
             let builder_req = match parse_metrics_request(req) {
                 Ok(r) => r,
                 Err(resp) => {
+                    // A parse rejection depends only on the URL: cache it
+                    // so malformed dashboards don't re-parse forever.
+                    let shared = cache.put(&key, Validity::Always, resp);
                     span.set_attr("outcome", "bad_request");
                     span.finish();
-                    return stamp_trace_headers(resp, ctx);
+                    return stamp_trace_headers(serve_shared(&shared, "miss"), ctx);
                 }
             };
-            let key = format!("{}?{}", req.path, req.query);
-            let version = metrics_db.stats().batches as u64;
-            if let Some(mut cached) = cache.get(&key, version) {
-                cached.headers.set("X-Cache", "hit");
-                span.set_attr("cache", "hit");
-                span.finish();
-                return stamp_trace_headers(cached, ctx);
-            }
+
+            // Layer 2: single-flight. The first identical request leads
+            // and executes; the rest block and share its response.
+            let leader = if metrics_config.coalesce {
+                match flights.join(&key) {
+                    Join::Follower(Some(shared)) => {
+                        coalesced.inc();
+                        span.set_attr("cache", "coalesced");
+                        span.finish();
+                        return stamp_trace_headers(serve_shared(&shared, "coalesced"), ctx);
+                    }
+                    // The leader failed: execute directly, unshared.
+                    Join::Follower(None) => None,
+                    Join::Leader(l) => Some(l),
+                }
+            } else {
+                None
+            };
+
             let mut plan = build_plan(metrics_config.schema, &metrics_nodes, &builder_req);
             crate::rollup::reroute(&mut plan, &metrics_config.rollup_routes);
+
+            // Layer 3: cost-based admission, leaders only — a coalesced
+            // burst debits one token, not one per request. The plan is
+            // priced without executing anything.
+            let est = estimate_plan_cost(&metrics_db, &plan);
+            let est_secs = metrics_db.simulate_elapsed(&est).as_secs_f64();
+            match admission.admit(tenant_of(req), est_secs) {
+                Admission::Admitted { .. } => {}
+                Admission::Rejected { retry_after_secs, reason } => {
+                    let mut resp = Response::error(
+                        Status::TOO_MANY_REQUESTS,
+                        &format!(
+                            "admission control rejected this query ({reason}): \
+                             estimated cost {est_secs:.3}s modelled; retry later"
+                        ),
+                    );
+                    resp.headers.set("Retry-After", retry_after_secs.to_string());
+                    let shared = Arc::new(resp);
+                    // Followers share the 429 (they are the same query),
+                    // but it is never cached: the budget refills.
+                    if let Some(l) = leader {
+                        l.complete(Some(Arc::clone(&shared)));
+                    }
+                    span.set_attr("outcome", "admission_rejected");
+                    span.finish();
+                    return stamp_trace_headers(serve_shared(&shared, "miss"), ctx);
+                }
+            }
+
+            // Snapshot validity *before* executing: a write racing the
+            // scan can then only invalidate the entry spuriously, never
+            // leave a stale one validating.
+            let validity = ValiditySnapshot::capture(
+                &metrics_db,
+                plan.iter().map(|pq| pq.query.measurement.as_str()),
+                builder_req.end.as_secs(),
+            );
+
+            let guard = InflightGuard::enter(&inflight);
             let outcome = match execute(&metrics_db, &plan, metrics_config.exec) {
                 Ok(o) => o,
                 Err(e) => {
+                    drop(guard);
+                    // Dropping the leader (if any) completes the flight
+                    // with None; followers execute for themselves.
+                    drop(leader);
                     span.set_attr("outcome", "error");
                     span.finish();
                     return stamp_trace_headers(
@@ -173,6 +293,7 @@ pub fn router(db: Arc<Db>, nodes: Vec<NodeId>, config: ServiceConfig) -> Router 
                     );
                 }
             };
+            drop(guard);
             let mut resp = Response::json(&outcome.document);
             if builder_req.compress {
                 resp = resp.compressed(metrics_config.level);
@@ -181,7 +302,6 @@ pub fn router(db: Arc<Db>, nodes: Vec<NodeId>, config: ServiceConfig) -> Router 
                 "X-Query-Processing-Ms",
                 format!("{:.3}", outcome.query_processing_time().as_millis_f64()),
             );
-            resp.headers.set("X-Cache", "miss");
             span.set_attr("cache", "miss");
             monster_obs::histo_help(
                 "monster_builder_request_seconds",
@@ -189,8 +309,11 @@ pub fn router(db: Arc<Db>, nodes: Vec<NodeId>, config: ServiceConfig) -> Router 
             )
             .observe_vdur_traced(outcome.query_processing_time(), Some(ctx));
             span.finish_after(outcome.query_processing_time());
-            cache.put(&key, version, resp.clone());
-            stamp_trace_headers(resp, ctx)
+            let shared = cache.put(&key, Validity::Watermarks(validity), resp);
+            if let Some(l) = leader {
+                l.complete(Some(Arc::clone(&shared)));
+            }
+            stamp_trace_headers(serve_shared(&shared, "miss"), ctx)
         })
         .route(Method::Get, "/metrics", |_req, _params| {
             Response::bytes(
@@ -393,6 +516,135 @@ mod tests {
     }
 
     #[test]
+    fn closed_window_cache_survives_new_interval_writes() {
+        // The tentpole behavior: under the old global-version cache, every
+        // collection interval nuked every entry. With watermark validity a
+        // closed historical window stays served from cache while new
+        // intervals land — and a backfill still invalidates it.
+        let (db, router) = service(); // data at ts 0..3540
+                                      // Close the window: the watermark must reach past `end` (3600),
+                                      // otherwise a later in-order point could still land inside it.
+        db.write(
+            DataPoint::new("Power", EpochSecs::new(3600))
+                .tag("NodeId", "10.101.1.1")
+                .tag("Label", "NodePower")
+                .field_f64("Reading", 260.0),
+        )
+        .unwrap();
+        let url = "/v1/metrics?start=1970-01-01T00:00:00Z&end=1970-01-01T01:00:00Z&interval=5m";
+        assert_eq!(get(&router, url).headers.get("X-Cache"), Some("miss"));
+
+        // A new collection interval arrives above the queried window.
+        db.write(
+            DataPoint::new("Power", EpochSecs::new(7200))
+                .tag("NodeId", "10.101.1.1")
+                .tag("Label", "NodePower")
+                .field_f64("Reading", 300.0),
+        )
+        .unwrap();
+        let resp = get(&router, url);
+        assert_eq!(
+            resp.headers.get("X-Cache"),
+            Some("hit"),
+            "closed window must survive in-order appends"
+        );
+
+        // A backfill inside the window rewrites history: must invalidate.
+        db.write(
+            DataPoint::new("Power", EpochSecs::new(600))
+                .tag("NodeId", "10.101.1.1")
+                .tag("Label", "NodePower")
+                .field_f64("Reading", 999.0),
+        )
+        .unwrap();
+        let resp = get(&router, url);
+        assert_eq!(resp.headers.get("X-Cache"), Some("miss"), "backfill must invalidate");
+        let doc = resp.json_body().unwrap();
+        // And the re-executed document sees the backfilled reading.
+        let text = doc.to_string_compact();
+        assert!(text.contains("999"), "re-execution must observe the backfill");
+    }
+
+    #[test]
+    fn admission_rejects_expensive_queries_with_retry_after() {
+        let db = Arc::new(Db::new(DbConfig::default()));
+        let ids = NodeId::enumerate(2, 4);
+        let mut batch = Vec::new();
+        for i in 0..60i64 {
+            for &n in &ids {
+                batch.push(
+                    DataPoint::new("Power", EpochSecs::new(i * 60))
+                        .tag("NodeId", n.bmc_addr())
+                        .tag("Label", "NodePower")
+                        .field_f64("Reading", 250.0 + i as f64),
+                );
+            }
+        }
+        db.write_batch(&batch).unwrap();
+        // Everything is "expensive" and nothing is affordable: the
+        // admission layer must turn the query away before it executes.
+        let config = ServiceConfig {
+            admission: AdmissionConfig {
+                enabled: true,
+                cheap_secs: 0.0,
+                reject_secs: 0.0,
+                ..AdmissionConfig::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let router = router(Arc::clone(&db), ids, config);
+        let url = "/v1/metrics?start=1970-01-01T00:00:00Z&end=1970-01-01T01:00:00Z&interval=5m";
+        let resp = get(&router, url);
+        assert_eq!(resp.status, Status::TOO_MANY_REQUESTS);
+        let retry: u64 =
+            resp.headers.get("Retry-After").expect("Retry-After header").parse().unwrap();
+        assert!(retry >= 1);
+        assert!(resp.headers.get("traceparent").is_some(), "429s carry trace headers too");
+        // Rejections are not cached: the next attempt is re-evaluated.
+        assert_eq!(get(&router, url).status, Status::TOO_MANY_REQUESTS);
+    }
+
+    #[test]
+    fn repeated_bad_requests_hit_the_negative_cache() {
+        let (_db, router) = service();
+        let url = "/v1/metrics?start=bogus&end=2020-01-01T01:00:00Z";
+        let first = get(&router, url);
+        assert_eq!(first.status, Status::BAD_REQUEST);
+        assert_eq!(first.headers.get("X-Cache"), Some("miss"));
+        let second = get(&router, url);
+        assert_eq!(second.status, Status::BAD_REQUEST);
+        assert_eq!(second.headers.get("X-Cache"), Some("hit"), "deterministic 400s are cached");
+        assert_eq!(first.body, second.body);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_serve_identical_bytes() {
+        // Coalescing plus caching under concurrency: every response for
+        // the same URL must be byte-identical, whatever its disposition.
+        let (_db, router) = service();
+        let router = Arc::new(router);
+        let url = "/v1/metrics?start=1970-01-01T00:00:00Z&end=1970-01-01T01:00:00Z&interval=5m";
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let router = Arc::clone(&router);
+            handles.push(std::thread::spawn(move || {
+                let resp = router.dispatch(&Request::get(url));
+                assert_eq!(resp.status, Status::OK);
+                let disposition = resp.headers.get("X-Cache").unwrap().to_string();
+                assert!(
+                    ["hit", "miss", "coalesced"].contains(&disposition.as_str()),
+                    "unexpected X-Cache: {disposition}"
+                );
+                resp.body.to_vec()
+            }));
+        }
+        let bodies: Vec<Vec<u8>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for b in &bodies[1..] {
+            assert_eq!(b, &bodies[0]);
+        }
+    }
+
+    #[test]
     fn pipeline_endpoint_reports_freshness() {
         let (_db, router) = service();
         monster_obs::freshness().record_ingest("10.101.9.9", "Thermal", 0.0);
@@ -469,7 +721,7 @@ mod tests {
         assert_eq!(get(&router, url).status, Status::OK);
         let metrics = get(&router, "/metrics");
         assert_eq!(metrics.status, Status::OK);
-        let text = String::from_utf8(metrics.body).unwrap();
+        let text = String::from_utf8(metrics.body.to_vec()).unwrap();
         assert!(monster_obs::sample(&text, "monster_builder_requests_total").unwrap() >= 1.0);
         let trace = get(&router, "/debug/trace");
         assert_eq!(trace.status, Status::OK);

@@ -1,0 +1,173 @@
+//! Property test: the cached + coalescing service is observationally
+//! identical to a cache-off service.
+//!
+//! Both routers share ONE `Db`. The baseline router (`cache_entries: 0`,
+//! `coalesce: false`) executes every request fresh; the cached router may
+//! serve from its watermark-validity cache. For any interleaving of
+//! writes (in-order appends and backfills) and queries, every response —
+//! including 400s served by the negative cache — must be **byte
+//! identical** to a fresh execution at the same point in time. If the
+//! watermark validity rule ever held an entry past a write that changed
+//! its window, the bodies would diverge and this test would shrink to the
+//! offending interleaving.
+//!
+//! Admission is disabled on both sides: it rejects by modelled cost, not
+//! by result, so it is equivalence-irrelevant and would only inject 429s.
+
+use monster_builder::service::{router, ServiceConfig};
+use monster_builder::AdmissionConfig;
+use monster_http::{Request, Router};
+use monster_tsdb::{DataPoint, Db, DbConfig};
+use monster_util::{EpochSecs, NodeId};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const HORIZON: i64 = 7_200; // two hours of writable timestamps
+
+/// `1970-01-01T..Z` for a small epoch-seconds value (< 86 400).
+fn rfc3339(ts: i64) -> String {
+    format!("1970-01-01T{:02}:{:02}:{:02}Z", ts / 3600, (ts % 3600) / 60, ts % 60)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write a batch. Timestamps are arbitrary within the horizon, so
+    /// interleavings naturally include backfills below the watermark.
+    Write(Vec<PointSpec>),
+    /// Dispatch the same URL against both routers, twice against the
+    /// cached one (the second round exercises the hit path).
+    Query(QuerySpec),
+}
+
+#[derive(Debug, Clone)]
+struct PointSpec {
+    measurement: &'static str,
+    node: usize,
+    ts: i64,
+    value: f64,
+}
+
+#[derive(Debug, Clone)]
+struct QuerySpec {
+    start: i64,
+    len: i64,
+    interval: &'static str,
+    aggregation: &'static str, // "median" is invalid → deterministic 400
+}
+
+impl QuerySpec {
+    fn url(&self) -> String {
+        format!(
+            "/v1/metrics?start={}&end={}&interval={}&aggregation={}",
+            rfc3339(self.start),
+            rfc3339(self.start + self.len),
+            self.interval,
+            self.aggregation
+        )
+    }
+}
+
+fn arb_point() -> impl Strategy<Value = PointSpec> {
+    (
+        prop_oneof![Just("Power"), Just("Thermal"), Just("UGE")],
+        0..3usize,
+        0..HORIZON,
+        -1000.0..1000.0f64,
+    )
+        .prop_map(|(measurement, node, ts, value)| PointSpec { measurement, node, ts, value })
+}
+
+fn arb_query() -> impl Strategy<Value = QuerySpec> {
+    (
+        0..HORIZON,
+        60..HORIZON,
+        prop_oneof![Just("1m"), Just("5m"), Just("10m")],
+        prop_oneof![Just("max"), Just("max"), Just("mean"), Just("median")],
+    )
+        .prop_map(|(start, len, interval, aggregation)| QuerySpec {
+            start,
+            len,
+            interval,
+            aggregation,
+        })
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        prop::collection::vec(arb_point(), 1..12).prop_map(Op::Write),
+        arb_query().prop_map(Op::Query),
+    ]
+}
+
+fn build(spec: &PointSpec, nodes: &[NodeId]) -> DataPoint {
+    let node = nodes[spec.node];
+    let p =
+        DataPoint::new(spec.measurement, EpochSecs::new(spec.ts)).tag("NodeId", node.bmc_addr());
+    match spec.measurement {
+        "Power" => p.tag("Label", "NodePower").field_f64("Reading", spec.value),
+        "Thermal" => p.tag("Label", "CPU1 Temp").field_f64("Reading", spec.value),
+        _ => p.field_f64("CPUUsage", spec.value).field_f64("MemUsed", spec.value.abs()),
+    }
+}
+
+fn service_pair(db: &Arc<Db>, nodes: &[NodeId]) -> (Router, Router) {
+    let off = AdmissionConfig { enabled: false, ..AdmissionConfig::default() };
+    let cached = router(
+        Arc::clone(db),
+        nodes.to_vec(),
+        ServiceConfig { admission: off, ..ServiceConfig::default() },
+    );
+    let baseline = router(
+        Arc::clone(db),
+        nodes.to_vec(),
+        ServiceConfig {
+            cache_entries: 0,
+            coalesce: false,
+            admission: off,
+            ..ServiceConfig::default()
+        },
+    );
+    (cached, baseline)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cached_service_is_byte_identical_to_cache_off(
+        ops in prop::collection::vec(arb_op(), 1..24),
+    ) {
+        let db = Arc::new(Db::new(DbConfig::default()));
+        let nodes = NodeId::enumerate(3, 4);
+        let (cached, baseline) = service_pair(&db, &nodes);
+        for op in &ops {
+            match op {
+                Op::Write(points) => {
+                    let batch: Vec<DataPoint> =
+                        points.iter().map(|s| build(s, &nodes)).collect();
+                    db.write_batch(&batch).unwrap();
+                }
+                Op::Query(spec) => {
+                    let url = spec.url();
+                    let fresh = baseline.dispatch(&Request::get(&url));
+                    prop_assert!(
+                        fresh.headers.get("X-Cache") == Some("miss"),
+                        "baseline must never cache"
+                    );
+                    // First cached dispatch may hit or miss depending on
+                    // what earlier ops did; either way the bytes must
+                    // match a fresh execution.
+                    let first = cached.dispatch(&Request::get(&url));
+                    prop_assert!(first.status == fresh.status, "url {}", &url);
+                    prop_assert!(first.body == fresh.body, "url {}", &url);
+                    // Second dispatch is a guaranteed cache hit (nothing
+                    // was written in between) and must serve the same
+                    // bytes again.
+                    let second = cached.dispatch(&Request::get(&url));
+                    prop_assert!(second.headers.get("X-Cache") == Some("hit"), "url {}", &url);
+                    prop_assert!(second.body == fresh.body, "url {}", &url);
+                }
+            }
+        }
+    }
+}

@@ -27,7 +27,7 @@ mod router;
 mod server;
 
 pub use client::{Client, PersistentClient};
-pub use message::{Headers, Method, Request, Response, Status};
+pub use message::{Body, Headers, Method, Request, Response, Status};
 pub use parse::{parse_request, parse_response};
 pub use router::{PathParams, Router};
 pub use server::Server;

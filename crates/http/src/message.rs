@@ -2,6 +2,8 @@
 
 use monster_json::Value;
 use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
 
 /// Request methods MonSTer uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -56,6 +58,9 @@ impl Status {
     pub const NOT_FOUND: Status = Status(404);
     /// 405.
     pub const METHOD_NOT_ALLOWED: Status = Status(405);
+    /// 429 — cost-based admission control turning work away; comes with a
+    /// `Retry-After` header.
+    pub const TOO_MANY_REQUESTS: Status = Status(429);
     /// 500.
     pub const INTERNAL_ERROR: Status = Status(500);
     /// 503 — what an overloaded iDRAC answers (§III-B1's retry motivation).
@@ -69,6 +74,7 @@ impl Status {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            429 => "Too Many Requests",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
             _ => "Unknown",
@@ -219,6 +225,86 @@ fn split_query(s: &str) -> (String, String) {
     }
 }
 
+/// Response body bytes behind a shared, immutable buffer.
+///
+/// Cloning a `Body` (and therefore a [`Response`]) bumps a reference
+/// count instead of copying the payload — the builder's response cache
+/// serves one stored body to any number of concurrent dashboard requests
+/// with zero byte copies. Reads go through `Deref<Target = [u8]>`, so
+/// `&resp.body` works anywhere a byte slice is expected.
+#[derive(Debug, Clone)]
+pub struct Body(Arc<[u8]>);
+
+impl Body {
+    /// An empty body.
+    pub fn empty() -> Body {
+        Body(Arc::from(&[][..]))
+    }
+
+    /// Copy the bytes out into an owned vector (the one place a copy is
+    /// explicit).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+}
+
+impl Default for Body {
+    fn default() -> Self {
+        Body::empty()
+    }
+}
+
+impl Deref for Body {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Body {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Body {
+    fn from(bytes: Vec<u8>) -> Body {
+        Body(Arc::from(bytes))
+    }
+}
+
+impl From<&[u8]> for Body {
+    fn from(bytes: &[u8]) -> Body {
+        Body(Arc::from(bytes))
+    }
+}
+
+impl PartialEq for Body {
+    fn eq(&self, other: &Body) -> bool {
+        self.0[..] == other.0[..]
+    }
+}
+
+impl Eq for Body {}
+
+impl PartialEq<Vec<u8>> for Body {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.0[..] == other[..]
+    }
+}
+
+impl PartialEq<&[u8]> for Body {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.0[..] == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Body {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.0[..] == other[..]
+    }
+}
+
 /// An HTTP response.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
@@ -226,8 +312,8 @@ pub struct Response {
     pub status: Status,
     /// Headers.
     pub headers: Headers,
-    /// Body bytes.
-    pub body: Vec<u8>,
+    /// Body bytes (shared; see [`Body`]).
+    pub body: Body,
 }
 
 impl Response {
@@ -235,21 +321,21 @@ impl Response {
     pub fn json(v: &Value) -> Response {
         let mut headers = Headers::new();
         headers.set("Content-Type", "application/json");
-        Response { status: Status::OK, headers, body: v.to_string_compact().into_bytes() }
+        Response { status: Status::OK, headers, body: v.to_string_compact().into_bytes().into() }
     }
 
     /// 200 with raw bytes and a content type.
     pub fn bytes(body: Vec<u8>, content_type: &str) -> Response {
         let mut headers = Headers::new();
         headers.set("Content-Type", content_type.to_string());
-        Response { status: Status::OK, headers, body }
+        Response { status: Status::OK, headers, body: body.into() }
     }
 
     /// An error response with a plain-text body.
     pub fn error(status: Status, msg: &str) -> Response {
         let mut headers = Headers::new();
         headers.set("Content-Type", "text/plain");
-        Response { status, headers, body: msg.as_bytes().to_vec() }
+        Response { status, headers, body: msg.as_bytes().into() }
     }
 
     /// Parse the body as JSON (after transparent `mz1` decoding if the
@@ -267,13 +353,13 @@ impl Response {
         if self.headers.get("Content-Encoding") == Some("mz1") {
             monster_compress::decompress(&self.body)
         } else {
-            Ok(self.body.clone())
+            Ok(self.body.to_vec())
         }
     }
 
     /// Compress the body in place with `mz1` and tag the header.
     pub fn compressed(mut self, level: monster_compress::Level) -> Response {
-        self.body = monster_compress::compress(&self.body, level);
+        self.body = monster_compress::compress(&self.body, level).into();
         self.headers.set("Content-Encoding", "mz1");
         self
     }

@@ -29,12 +29,13 @@ use crate::query::exec::WindowAggregator;
 use crate::query::{parse_query, Aggregation, Query, ResultSet, SeriesResult};
 use crate::series::{FieldId, SeriesId, SeriesIndex, SeriesKey};
 use crate::shard::Shard;
+use crate::watermark::{MeasurementMark, WatermarkRegistry};
 use monster_sim::DiskModel;
 use monster_util::pool::ThreadPool;
 use monster_util::{Error, Result};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -110,6 +111,13 @@ pub struct Db {
     wire_bytes: AtomicUsize,
     encoded_bytes: AtomicI64,
     batches: AtomicUsize,
+    /// Per-measurement ingest watermarks (see [`crate::watermark`]);
+    /// updated after each batch applies, read by cache-validity checks.
+    watermarks: WatermarkRegistry,
+    /// Bumped whenever retention or a measurement drop removes data
+    /// without advancing any watermark; cache snapshots taken before the
+    /// bump must be considered invalid.
+    retention_epoch: AtomicU64,
     /// Pre-resolved lock instrumentation handles (`monster_tsdb_lock_*`),
     /// updated lock-free outside critical sections.
     lock_wait: Arc<monster_obs::Histo>,
@@ -129,6 +137,8 @@ impl Db {
             wire_bytes: AtomicUsize::new(0),
             encoded_bytes: AtomicI64::new(0),
             batches: AtomicUsize::new(0),
+            watermarks: WatermarkRegistry::default(),
+            retention_epoch: AtomicU64::new(0),
             lock_wait: monster_obs::histo("monster_tsdb_lock_wait_seconds"),
             lock_hold: monster_obs::histo("monster_tsdb_lock_hold_seconds"),
         }
@@ -231,10 +241,21 @@ impl Db {
         let mut groups: BTreeMap<i64, Vec<(SeriesId, FieldId, i64, &crate::FieldValue)>> =
             BTreeMap::new();
         let mut fi = 0usize;
+        // Per-measurement [min, max] timestamp spans for the watermark
+        // registry; batches touch a handful of measurements, so a linear
+        // scan beats a map.
+        let mut spans: Vec<(&str, i64, i64)> = Vec::new();
         for (i, p) in points.iter().enumerate() {
             let ts = p.time.as_secs();
             let shard_start = ts.div_euclid(duration) * duration;
             let sid = sids[i].expect("series id resolved above");
+            match spans.iter_mut().find(|(m, _, _)| *m == p.measurement) {
+                Some((_, lo, hi)) => {
+                    *lo = (*lo).min(ts);
+                    *hi = (*hi).max(ts);
+                }
+                None => spans.push((&p.measurement, ts, ts)),
+            }
             // Capacity for the whole batch: nearly every batch lands in one
             // shard (collector intervals share a timestamp), and the map is
             // batch-lived, so over-reserving beats reallocating.
@@ -301,6 +322,12 @@ impl Db {
             self.wire_bytes.fetch_add(wire, Ordering::Relaxed);
         }
         self.note_applied(applied, encoded_delta);
+        // Watermarks advance only after shard data is visible to readers
+        // (a concurrent cache-validity snapshot may go spuriously stale,
+        // never stale-but-valid). A failed batch may still have applied a
+        // prefix, so note the spans unconditionally — over-invalidation is
+        // safe.
+        self.note_measurement_spans(&spans);
 
         monster_obs::counter("monster_tsdb_write_batches_total").inc();
         monster_obs::histo("monster_tsdb_write_batch_points").observe(points.len() as f64);
@@ -401,6 +428,81 @@ impl Db {
         self.points.fetch_add(applied, Ordering::Relaxed);
         self.encoded_bytes.fetch_add(encoded_delta, Ordering::Relaxed);
         monster_obs::counter("monster_tsdb_points_written_total").add(applied as u64);
+    }
+
+    /// Fold one applied batch's per-measurement `[min_ts, max_ts]` spans
+    /// into the watermark registry. Called after the data is readable
+    /// (end of [`Db::write_batch`]; `WriteStager::flush` after its runs
+    /// publish).
+    pub(crate) fn note_measurement_spans<S: AsRef<str>>(&self, spans: &[(S, i64, i64)]) {
+        self.watermarks.note_spans(spans);
+    }
+
+    /// Current ingest watermark for `measurement` (default mark if never
+    /// written). A shared-lock map lookup — cheap enough to call once per
+    /// covered measurement on every cache probe.
+    pub fn measurement_mark(&self, measurement: &str) -> MeasurementMark {
+        self.watermarks.get(measurement)
+    }
+
+    /// Monotone counter bumped whenever retention or a measurement drop
+    /// removes data. Cache-validity snapshots record it; a mismatch means
+    /// data disappeared without any watermark advancing.
+    pub fn retention_epoch(&self) -> u64 {
+        self.retention_epoch.load(Ordering::Acquire)
+    }
+
+    /// Estimate a query's physical cost *without executing it* — the
+    /// planning-time input to cost-based admission. Index cardinality and
+    /// series selection are exact (one index read); points/blocks/bytes
+    /// are scaled from the incremental statistics by the selected-series
+    /// and overlapping-shard fractions. Deterministic for a given database
+    /// state, monotone in range width and series count, and intentionally
+    /// conservative rather than precise — admission thresholds are set
+    /// relative to the same model.
+    pub fn estimate_cost(&self, q: &Query) -> QueryCost {
+        let mut cost = QueryCost { queries: 1, ..QueryCost::default() };
+        if q.validate().is_err() {
+            return cost;
+        }
+        let (card, series) = {
+            let idx = self.index.read();
+            (idx.cardinality(), idx.select(&q.measurement, &q.predicates).len())
+        };
+        cost.index_entries = card;
+        cost.series = series;
+        let (qs, qe) = (q.start.as_secs(), q.end.as_secs());
+        let duration = self.config.shard_duration;
+        // Prorate each overlapping shard by how much of it the range
+        // actually covers, so a 30-minute window prices below a
+        // whole-shard scan even when every shard spans a day.
+        let (overlap, covered, total_shards) = {
+            let map = self.shards.read();
+            let mut overlap = 0usize;
+            let mut covered = 0.0f64;
+            for &start in map.keys() {
+                let lo = qs.max(start);
+                let hi = qe.min(start + duration);
+                if lo < hi {
+                    overlap += 1;
+                    covered += (hi - lo) as f64 / duration as f64;
+                }
+            }
+            (overlap, covered, map.len())
+        };
+        cost.shards_scanned = overlap;
+        if series == 0 || overlap == 0 {
+            return cost;
+        }
+        let series_frac = series as f64 / card.max(1) as f64;
+        let shard_frac = covered / total_shards.max(1) as f64;
+        let total_points = self.points.load(Ordering::Relaxed) as f64;
+        let total_bytes = self.encoded_bytes.load(Ordering::Relaxed).max(0) as f64;
+        cost.points = (total_points * series_frac * shard_frac).ceil() as usize;
+        // One partial block per (series, shard) plus the sealed interior.
+        cost.blocks = cost.points / crate::column::BLOCK_SIZE + series * overlap;
+        cost.bytes = (total_bytes * series_frac * shard_frac).ceil() as usize;
+        cost
     }
 
     /// Refresh the series/shard-count gauges (short index + shard-map
@@ -716,6 +818,9 @@ impl Db {
             self.encoded_bytes.fetch_sub(b as i64, Ordering::Relaxed);
             monster_obs::gauge(&format!("monster_tsdb_shard_points{{shard=\"{start}\"}}")).set(0);
         }
+        if count > 0 {
+            self.retention_epoch.fetch_add(1, Ordering::AcqRel);
+        }
         (count, points_removed)
     }
 
@@ -787,6 +892,7 @@ impl Db {
             self.points.fetch_sub(p, Ordering::Relaxed);
             self.encoded_bytes.fetch_sub(b as i64, Ordering::Relaxed);
         }
+        self.retention_epoch.fetch_add(1, Ordering::AcqRel);
         victims.len()
     }
 

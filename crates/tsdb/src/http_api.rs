@@ -36,7 +36,7 @@ pub fn router(db: Arc<Db>) -> Router {
         .route(Method::Get, "/ping", |_, _| Response {
             status: Status::NO_CONTENT,
             headers: Default::default(),
-            body: Vec::new(),
+            body: monster_http::Body::empty(),
         })
         .route(Method::Post, "/write", move |req, _| {
             let Ok(text) = std::str::from_utf8(&req.body) else {
@@ -47,7 +47,7 @@ pub fn router(db: Arc<Db>) -> Router {
                     Ok(()) => Response {
                         status: Status::NO_CONTENT,
                         headers: Default::default(),
-                        body: Vec::new(),
+                        body: monster_http::Body::empty(),
                     },
                     Err(e) => Response::error(Status::BAD_REQUEST, &e.to_string()),
                 },

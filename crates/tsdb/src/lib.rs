@@ -62,6 +62,7 @@ pub mod series;
 pub mod shard;
 pub mod snapshot;
 pub mod staging;
+pub mod watermark;
 
 pub use column::{AggScan, BlockSummary, DecodeScratch, NumericSummary, RunSlice, ScanItem};
 pub use cost::{CostParams, QueryCost};
@@ -72,3 +73,4 @@ pub use query::{Aggregation, Fill, Query, ResultSet};
 pub use retention::{ContinuousQuery, RetentionPolicy};
 pub use series::{FieldId, SeriesId, SeriesKey};
 pub use staging::WriteStager;
+pub use watermark::MeasurementMark;

@@ -135,6 +135,11 @@ pub struct WriteStager<'a> {
     /// Id-resolution scratch, reused across batches.
     sids: Vec<Option<SeriesId>>,
     fids: Vec<Option<FieldId>>,
+    /// Per-measurement `[min, max]` staged-timestamp spans, published to
+    /// the watermark registry at flush. Entries persist across flushes
+    /// (reset to the empty sentinel, strings kept), so the warm path never
+    /// allocates; a linear scan suffices for a handful of measurements.
+    marks: Vec<(String, i64, i64)>,
     // Pre-resolved self-monitoring handles: the flush path touches no
     // registry locks and formats no names.
     depth: Arc<monster_obs::Gauge>,
@@ -161,6 +166,7 @@ impl<'a> WriteStager<'a> {
             order: Vec::new(),
             sids: Vec::new(),
             fids: Vec::new(),
+            marks: Vec::new(),
             depth: monster_obs::gauge_help(
                 "monster_tsdb_staging_depth",
                 "Field values currently staged in write stagers, not yet published to shards.",
@@ -203,6 +209,15 @@ impl<'a> WriteStager<'a> {
             let ts = p.time.as_secs();
             let shard_start = ts.div_euclid(duration) * duration;
             let sid = self.sids[i].expect("series id resolved above");
+            match self.marks.iter_mut().find(|(m, _, _)| *m == p.measurement) {
+                Some((_, lo, hi)) => {
+                    *lo = (*lo).min(ts);
+                    *hi = (*hi).max(ts);
+                }
+                // First sighting of a measurement: the one allocation this
+                // path ever makes, and only while the set is still growing.
+                None => self.marks.push((p.measurement.clone(), ts, ts)),
+            }
             for (_, value) in &p.fields {
                 let fid = self.fids[fi].expect("field id resolved above");
                 fi += 1;
@@ -338,6 +353,14 @@ impl<'a> WriteStager<'a> {
         self.staged_points = 0;
 
         self.db.note_applied(applied, encoded_delta);
+        // Published runs are now readable; advance the watermarks and reset
+        // the spans to the empty sentinel (strings retained — no warm-path
+        // allocation).
+        self.db.note_measurement_spans(&self.marks);
+        for (_, lo, hi) in &mut self.marks {
+            *lo = i64::MAX;
+            *hi = i64::MIN;
+        }
         self.db.update_topology_gauges();
         self.depth.sub(staged as i64);
         self.flushes.inc();

@@ -243,6 +243,66 @@ fn main() {
         f(&["staleness_secs", "p50"]),
         f(&["staleness_secs", "p99"])
     );
-    println!("(serve these live: `deployment.serve_api(port)` then GET /metrics,");
+    // The serving layer in front of the Metrics Builder: a watermark-
+    // validity response cache (closed historical windows never expire),
+    // request coalescing, and cost-based admission. Drive one dashboard
+    // URL through miss -> hit, a malformed URL through the negative
+    // cache, and an expensive request into a 429 — every outcome lands
+    // in the monster_builder_cache_* counters below.
+    {
+        use monster::builder::service::{router, ServiceConfig};
+        use monster::builder::AdmissionConfig;
+        use monster::http::Request;
+        let serving = router(poll.db().clone(), poll.node_ids().to_vec(), ServiceConfig::default());
+        let url = "/v1/metrics?start=1970-01-01T00:05:00Z&end=1970-01-01T00:20:00Z&interval=5m";
+        println!("\n== Serving layer (cache / coalescing / admission) ==");
+        for _ in 0..3 {
+            let resp = serving.dispatch(&Request::get(url));
+            println!(
+                "  GET /v1/metrics -> {} (X-Cache: {})",
+                resp.status.0,
+                resp.headers.get("X-Cache").unwrap_or("-")
+            );
+        }
+        // Deterministic 400s are cached too (negative cache).
+        let bad =
+            "/v1/metrics?start=1970-01-01T00:00:00Z&end=1970-01-01T01:00:00Z&aggregation=median";
+        for _ in 0..2 {
+            serving.dispatch(&Request::get(bad));
+        }
+        // An admission controller with a zero budget rejects everything
+        // non-trivial with 429 + Retry-After.
+        let strict = router(
+            poll.db().clone(),
+            poll.node_ids().to_vec(),
+            ServiceConfig {
+                admission: AdmissionConfig {
+                    cheap_secs: 0.0,
+                    reject_secs: 0.0,
+                    ..AdmissionConfig::default()
+                },
+                ..ServiceConfig::default()
+            },
+        );
+        let rejected = strict.dispatch(&Request::get(url));
+        println!(
+            "  rogue tenant    -> {} (Retry-After: {}s)",
+            rejected.status.0,
+            rejected.headers.get("Retry-After").unwrap_or("-")
+        );
+    }
+    let text = monster::obs::global().text_exposition();
+    for name in [
+        "monster_builder_cache_hits_total",
+        "monster_builder_cache_misses_total",
+        "monster_builder_cache_coalesced_total",
+        "monster_builder_cache_evictions_total",
+        "monster_builder_cache_admission_rejected_total",
+        "monster_builder_inflight_queries",
+    ] {
+        println!("{name:46} {}", monster::obs::sample(&text, name).unwrap_or(0.0));
+    }
+
+    println!("\n(serve these live: `deployment.serve_api(port)` then GET /metrics,");
     println!(" /debug/trace, /debug/pipeline)");
 }

@@ -105,10 +105,28 @@ fn repeated_requests_hit_the_response_cache() {
     let second = client.send_ok(server.addr(), &Request::get(&url)).unwrap();
     assert_eq!(second.headers.get("X-Cache"), Some("hit"));
     assert_eq!(first.json_body().unwrap(), second.json_body().unwrap());
-    // A new collection interval invalidates the cache.
+    // A new collection interval does NOT invalidate this entry: its
+    // window closed at the ingest watermark, and in-order appends land
+    // strictly above it (watermark validity), so the bytes cannot change.
     m.run_intervals_bulk(1);
     let third = client.send_ok(server.addr(), &Request::get(&url)).unwrap();
-    assert_eq!(third.headers.get("X-Cache"), Some("miss"));
+    assert_eq!(third.headers.get("X-Cache"), Some("hit"));
+    assert_eq!(first.json_body().unwrap(), third.json_body().unwrap());
+
+    // An OPEN window — end beyond the watermark — is invalidated by the
+    // next interval's writes, which land inside it.
+    let open_url = format!(
+        "/v1/metrics?start={}&end={}&interval=5m&aggregation=max",
+        (m.now() - 600).to_rfc3339(),
+        (m.now() + 3600).to_rfc3339()
+    );
+    let a = client.send_ok(server.addr(), &Request::get(&open_url)).unwrap();
+    assert_eq!(a.headers.get("X-Cache"), Some("miss"));
+    let b = client.send_ok(server.addr(), &Request::get(&open_url)).unwrap();
+    assert_eq!(b.headers.get("X-Cache"), Some("hit"));
+    m.run_intervals_bulk(1);
+    let c = client.send_ok(server.addr(), &Request::get(&open_url)).unwrap();
+    assert_eq!(c.headers.get("X-Cache"), Some("miss"));
 }
 
 #[test]

@@ -123,7 +123,7 @@ fn metrics_endpoint_exposes_resilience_series() {
     let server = m.serve_api(0).unwrap();
     let client = Client::new();
     let resp = client.send_ok(server.addr(), &Request::get("/metrics")).unwrap();
-    let text = String::from_utf8(resp.body.clone()).unwrap();
+    let text = String::from_utf8(resp.body.to_vec()).unwrap();
     let scrape = |name: &str| {
         obs::sample(&text, name).unwrap_or_else(|| panic!("{name} missing from exposition"))
     };

@@ -167,7 +167,7 @@ fn metrics_endpoint_serves_live_pipeline_counters() {
 
     // Scrape the exposition exactly as a Prometheus agent would.
     let resp = client.send_ok(server.addr(), &Request::get("/metrics")).unwrap();
-    let text = String::from_utf8(resp.body.clone()).unwrap();
+    let text = String::from_utf8(resp.body.to_vec()).unwrap();
     let scrape = |name: &str| {
         obs::sample(&text, name).unwrap_or_else(|| panic!("{name} missing from exposition"))
     };
