@@ -44,6 +44,11 @@ pub struct QueryCost {
     pub points: usize,
     /// Encoded bytes read from storage.
     pub bytes: usize,
+    /// Of `blocks`, the ones read from cold-tiered shards (priced by the
+    /// cold disk model when tiering is configured).
+    pub blocks_cold: usize,
+    /// Of `bytes`, the ones read from cold-tiered shards.
+    pub bytes_cold: usize,
     /// Shards overlapping the query range (the fan-out width available to
     /// intra-query parallel scans — see [`CostParams::scan_workers`]).
     pub shards_scanned: usize,
@@ -60,6 +65,8 @@ impl QueryCost {
         self.blocks_summarized += other.blocks_summarized;
         self.points += other.points;
         self.bytes += other.bytes;
+        self.blocks_cold += other.blocks_cold;
+        self.bytes_cold += other.bytes_cold;
         self.shards_scanned += other.shards_scanned;
         self.queries += other.queries;
     }
@@ -135,11 +142,33 @@ impl CostParams {
     ///
     /// CPU parallelizes across query workers; I/O serializes on the single
     /// storage backend — the distinction the concurrent-query simulation
-    /// (Fig. 15) depends on.
+    /// (Fig. 15) depends on. Equivalent to [`CostParams::split_tiered`]
+    /// with both tiers on the same device, so the historical calibration
+    /// (Figs. 10/12/14/15) is unchanged when tiering is off.
     pub fn split(&self, cost: &QueryCost, disk: &DiskModel) -> (VDuration, VDuration) {
+        self.split_tiered(cost, disk, disk)
+    }
+
+    /// Like [`CostParams::split`], but I/O charged against two devices:
+    /// `blocks_cold`/`bytes_cold` (a subset of `blocks`/`bytes`, accounted
+    /// per shard by the scan path) price against `cold`, the rest against
+    /// `hot`. This is the live version of the paper's Fig. 12 / Table III
+    /// media comparison: one query pays SSD rates on recent shards and HDD
+    /// rates on tiered history.
+    pub fn split_tiered(
+        &self,
+        cost: &QueryCost,
+        hot: &DiskModel,
+        cold: &DiskModel,
+    ) -> (VDuration, VDuration) {
         let a = self.amplification;
-        let transfer = cost.bytes as f64 * a / disk.read_bw;
-        let accesses = cost.blocks as f64 * a * disk.access_latency * self.block_access_factor;
+        let hot_bytes = cost.bytes.saturating_sub(cost.bytes_cold) as f64;
+        let hot_blocks = cost.blocks.saturating_sub(cost.blocks_cold) as f64;
+        let transfer = hot_bytes * a / hot.read_bw + cost.bytes_cold as f64 * a / cold.read_bw;
+        let accesses = (hot_blocks * hot.access_latency
+            + cost.blocks_cold as f64 * cold.access_latency)
+            * a
+            * self.block_access_factor;
         let io = VDuration::from_secs_f64(transfer + accesses);
         // Scan-side CPU divides across the modelled intra-query workers —
         // bounded by the shard fan-out actually available to the query.
@@ -159,6 +188,13 @@ impl CostParams {
         let (cpu, io) = self.split(cost, disk);
         cpu + io
     }
+
+    /// Sequential elapsed time with tiered I/O pricing (see
+    /// [`CostParams::split_tiered`]).
+    pub fn elapsed_tiered(&self, cost: &QueryCost, hot: &DiskModel, cold: &DiskModel) -> VDuration {
+        let (cpu, io) = self.split_tiered(cost, hot, cold);
+        cpu + io
+    }
 }
 
 #[cfg(test)]
@@ -176,6 +212,7 @@ mod tests {
             bytes: 5,
             shards_scanned: 1,
             queries: 1,
+            ..QueryCost::default()
         };
         let b = QueryCost {
             index_entries: 10,
@@ -186,6 +223,7 @@ mod tests {
             bytes: 50,
             shards_scanned: 2,
             queries: 1,
+            ..QueryCost::default()
         };
         a.absorb(&b);
         assert_eq!(a.points, 44);
@@ -234,6 +272,7 @@ mod tests {
             bytes: 100_000,
             shards_scanned: 1,
             queries: 1,
+            ..QueryCost::default()
         };
         let t0 = p.elapsed(&base, &DiskModel::SSD);
         for bump in [
@@ -285,6 +324,7 @@ mod tests {
             bytes: 10_000_000,
             shards_scanned: 3,
             queries: 5,
+            ..QueryCost::default()
         };
         let t1 = p1.elapsed(&cost, &DiskModel::HDD).as_secs_f64();
         let t4 = p4.elapsed(&cost, &DiskModel::HDD).as_secs_f64();
@@ -303,10 +343,48 @@ mod tests {
             bytes: 40_000_000,
             shards_scanned: 4,
             queries: 13,
+            ..QueryCost::default()
         };
         let (cpu, io) = p.split(&cost, &DiskModel::HDD);
         assert!(cpu > VDuration::ZERO && io > VDuration::ZERO);
         assert_eq!(cpu + io, p.elapsed(&cost, &DiskModel::HDD));
+    }
+
+    #[test]
+    fn tiered_pricing_brackets_and_degenerates_correctly() {
+        let p = CostParams::default();
+        let io_heavy = QueryCost {
+            blocks: 4_000,
+            bytes: 80_000_000,
+            shards_scanned: 4,
+            queries: 1,
+            ..QueryCost::default()
+        };
+        // All hot / all cold: split_tiered degenerates to single-device
+        // pricing on the respective tier.
+        let all_hot = p.elapsed_tiered(&io_heavy, &DiskModel::SSD, &DiskModel::HDD);
+        assert_eq!(all_hot, p.elapsed(&io_heavy, &DiskModel::SSD));
+        let all_cold =
+            QueryCost { blocks_cold: io_heavy.blocks, bytes_cold: io_heavy.bytes, ..io_heavy };
+        assert_eq!(
+            p.elapsed_tiered(&all_cold, &DiskModel::SSD, &DiskModel::HDD),
+            p.elapsed(&all_cold, &DiskModel::HDD)
+        );
+        // A half-cold query lands strictly between the pure-SSD and
+        // pure-HDD prices — the live Fig. 12 gradient.
+        let half = QueryCost {
+            blocks_cold: io_heavy.blocks / 2,
+            bytes_cold: io_heavy.bytes / 2,
+            ..io_heavy
+        };
+        let mixed = p.elapsed_tiered(&half, &DiskModel::SSD, &DiskModel::HDD);
+        assert!(all_hot < mixed && mixed < p.elapsed(&io_heavy, &DiskModel::HDD));
+        // Same device on both tiers reproduces the untiered model exactly,
+        // whatever the cold counters say — calibration is unchanged.
+        assert_eq!(
+            p.elapsed_tiered(&half, &DiskModel::HDD, &DiskModel::HDD),
+            p.elapsed(&io_heavy, &DiskModel::HDD)
+        );
     }
 
     #[test]

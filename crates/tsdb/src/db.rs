@@ -27,6 +27,7 @@ use crate::cost::{CostParams, QueryCost};
 use crate::point::DataPoint;
 use crate::query::exec::WindowAggregator;
 use crate::query::{parse_query, Aggregation, Query, ResultSet, SeriesResult};
+use crate::retention::{TierConfig, TierReport};
 use crate::series::{FieldId, SeriesId, SeriesIndex, SeriesKey};
 use crate::shard::Shard;
 use crate::watermark::{MeasurementMark, WatermarkRegistry};
@@ -60,6 +61,17 @@ pub struct DbConfig {
     /// either way (the forced-decode path folds the same per-block partial
     /// from decoded points); `false` exists as the benchmark baseline.
     pub pushdown: bool,
+    /// Write-ahead-log tuning: group-commit thresholds and segment size.
+    /// The WAL itself is enabled by opening the database against a
+    /// directory via [`Db::recover`]; [`Db::new`] stays memory-only and
+    /// these knobs are inert.
+    pub wal: crate::wal::WalTuning,
+    /// Age-based storage tiering (`None` = single-tier, the historical
+    /// behavior): shards older than [`TierConfig::hot_secs`] are compacted
+    /// into immutable segment files and their scans priced by
+    /// [`TierConfig::cold_disk`] instead of [`DbConfig::disk`]. See
+    /// [`Db::tier_cold_shards`].
+    pub tiering: Option<TierConfig>,
 }
 
 impl Default for DbConfig {
@@ -70,6 +82,8 @@ impl Default for DbConfig {
             cost: CostParams::default(),
             scan_workers: 4,
             pushdown: true,
+            wal: crate::wal::WalTuning::default(),
+            tiering: None,
         }
     }
 }
@@ -122,6 +136,11 @@ pub struct Db {
     /// updated lock-free outside critical sections.
     lock_wait: Arc<monster_obs::Histo>,
     lock_hold: Arc<monster_obs::Histo>,
+    /// Write-ahead log, present when the database was opened against a
+    /// directory ([`Db::recover`]). Appended *before* batches publish;
+    /// its mutex is independent of the engine's lock hierarchy (taken
+    /// while holding no engine lock).
+    wal: Option<crate::wal::Wal>,
 }
 
 impl Db {
@@ -141,6 +160,44 @@ impl Db {
             retention_epoch: AtomicU64::new(0),
             lock_wait: monster_obs::histo("monster_tsdb_lock_wait_seconds"),
             lock_hold: monster_obs::histo("monster_tsdb_lock_hold_seconds"),
+            wal: None,
+        }
+    }
+
+    /// Attach the write-ahead log after recovery replay (replay must not
+    /// re-log the records it is applying).
+    pub(crate) fn set_wal(&mut self, wal: crate::wal::Wal) {
+        self.wal = Some(wal);
+    }
+
+    /// The write-ahead log, when this database is durable.
+    pub(crate) fn wal(&self) -> Option<&crate::wal::Wal> {
+        self.wal.as_ref()
+    }
+
+    /// The series index lock (staging's WAL renderer resolves ids → names
+    /// under one read acquisition; lock order: after the shard map, before
+    /// any shard).
+    pub(crate) fn index(&self) -> &RwLock<SeriesIndex> {
+        &self.index
+    }
+
+    /// True when writes are logged to a write-ahead log.
+    pub fn wal_enabled(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Appender state of the write-ahead log, if one is attached.
+    pub fn wal_status(&self) -> Option<crate::wal::WalStatus> {
+        self.wal.as_ref().map(crate::wal::Wal::status)
+    }
+
+    /// Force a WAL group commit: every accepted batch is durable when this
+    /// returns. No-op without a WAL.
+    pub fn wal_sync(&self) -> Result<()> {
+        match &self.wal {
+            Some(wal) => wal.sync(),
+            None => Ok(()),
         }
     }
 
@@ -229,6 +286,22 @@ impl Db {
             s
         });
         Self::validate_points(points)?;
+
+        // --- write-ahead: log the batch before any of it becomes visible --
+        // An I/O failure rejects the batch wholesale (nothing applied, so
+        // nothing unlogged is readable). One render allocation per batch —
+        // the same order of overhead as the pre-grouping below.
+        if let Some(wal) = &self.wal {
+            let wire_estimate: usize = points.iter().map(DataPoint::wire_size).sum();
+            let mut payload = String::with_capacity(wire_estimate + points.len());
+            let mut max_ts = i64::MIN;
+            for p in points {
+                crate::lineproto::encode_into(p, &mut payload);
+                payload.push('\n');
+                max_ts = max_ts.max(p.time.as_secs());
+            }
+            wal.append(payload.as_bytes(), max_ts)?;
+        }
 
         // --- resolve all series & field ids up front ---------------------
         let total_fields: usize = points.iter().map(|p| p.fields.len()).sum();
@@ -445,6 +518,13 @@ impl Db {
         self.watermarks.get(measurement)
     }
 
+    /// Every measurement's current ingest watermark, sorted by name.
+    /// Recovery must republish these exactly (the builder's response cache
+    /// keys on them); tests compare whole tables. Not a hot-path call.
+    pub fn measurement_marks(&self) -> Vec<(String, MeasurementMark)> {
+        self.watermarks.snapshot()
+    }
+
     /// Monotone counter bumped whenever retention or a measurement drop
     /// removes data. Cache-validity snapshots record it; a mismatch means
     /// data disappeared without any watermark advancing.
@@ -600,7 +680,7 @@ impl Db {
         });
         let items: Vec<(SeriesId, Arc<RwLock<Shard>>)> =
             ids.iter().flat_map(|&sid| shards.iter().map(move |s| (sid, Arc::clone(s)))).collect();
-        type ScanOut = (Vec<ScanItem>, ScanStats);
+        type ScanOut = (Vec<ScanItem>, ScanStats, bool);
         let scan_one = |(sid, shard_arc): (SeriesId, Arc<RwLock<Shard>>)| -> Result<ScanOut> {
             let mut buf: Vec<ScanItem> = Vec::new();
             let wait = Instant::now();
@@ -613,9 +693,10 @@ impl Db {
                 }
                 (None, _) => ScanStats::default(),
             };
+            let cold = shard.is_cold();
             drop(shard);
             self.observe_lock(wait, acquired);
-            Ok((buf, stats))
+            Ok((buf, stats, cold))
         };
         let workers = self.config.scan_workers.min(items.len().max(1));
         let outputs: Vec<Result<ScanOut>> = if workers > 1 && items.len() > 1 {
@@ -634,7 +715,7 @@ impl Db {
             match q.agg {
                 Some(agg) => {
                     let mut w = WindowAggregator::new(agg, q.group_by, qs);
-                    for (buf, stats) in slots.iter_mut() {
+                    for (buf, stats, cold) in slots.iter_mut() {
                         for item in buf.drain(..) {
                             match item {
                                 ScanItem::Point(t, v) => w.push(t, &v),
@@ -648,12 +729,16 @@ impl Db {
                         cost.blocks_summarized += stats.blocks_summarized;
                         cost.points += stats.points;
                         cost.bytes += stats.bytes;
+                        if *cold {
+                            cost.blocks_cold += stats.blocks;
+                            cost.bytes_cold += stats.bytes;
+                        }
                     }
                     points = w.finish_filled(q.fill, qs, qe);
                 }
                 None => {
                     points = Vec::new();
-                    for (buf, stats) in slots.iter_mut() {
+                    for (buf, stats, cold) in slots.iter_mut() {
                         points.extend(buf.drain(..).map(|item| match item {
                             ScanItem::Point(t, v) => (monster_util::EpochSecs::new(t), v),
                             // Raw selects never carry an AggScan spec.
@@ -665,6 +750,10 @@ impl Db {
                         cost.blocks += stats.blocks;
                         cost.points += stats.points;
                         cost.bytes += stats.bytes;
+                        if *cold {
+                            cost.blocks_cold += stats.blocks;
+                            cost.bytes_cold += stats.bytes;
+                        }
                     }
                     points.sort_by_key(|(t, _)| *t);
                 }
@@ -688,7 +777,7 @@ impl Db {
         monster_obs::counter("monster_tsdb_blocks_decoded_total").add(cost.blocks as u64);
         monster_obs::counter("monster_tsdb_blocks_summarized_total")
             .add(cost.blocks_summarized as u64);
-        let elapsed = self.config.cost.elapsed(&cost, &self.config.disk);
+        let elapsed = self.simulate_elapsed(&cost);
         monster_obs::histo("monster_tsdb_query_seconds")
             .observe_vdur_traced(elapsed, Some(span_ctx));
         span.set_attr("shards_scanned", cost.shards_scanned.to_string());
@@ -700,9 +789,14 @@ impl Db {
     }
 
     /// Simulated elapsed time for a cost under this database's disk and
-    /// cost parameters.
+    /// cost parameters. With tiering configured, the cold share of the
+    /// cost (`blocks_cold`/`bytes_cold`) is priced against the archive
+    /// device instead of the hot disk.
     pub fn simulate_elapsed(&self, cost: &QueryCost) -> monster_sim::VDuration {
-        self.config.cost.elapsed(cost, &self.config.disk)
+        match &self.config.tiering {
+            Some(tier) => self.config.cost.elapsed_tiered(cost, &self.config.disk, &tier.cold_disk),
+            None => self.config.cost.elapsed(cost, &self.config.disk),
+        }
     }
 
     /// Snapshot of write-path statistics. O(1): every field is either an
@@ -817,6 +911,13 @@ impl Db {
             self.points.fetch_sub(p, Ordering::Relaxed);
             self.encoded_bytes.fetch_sub(b as i64, Ordering::Relaxed);
             monster_obs::gauge(&format!("monster_tsdb_shard_points{{shard=\"{start}\"}}")).set(0);
+            // A dropped shard's cold-tier segment file must go with it, or
+            // recovery would resurrect data retention already removed. (WAL
+            // records of dropped shards that were never tiered can still
+            // replay; the collector re-enforces retention after recovery.)
+            if let Some(wal) = &self.wal {
+                let _ = std::fs::remove_file(wal.dir().join(format!("shard-{start}.seg")));
+            }
         }
         if count > 0 {
             self.retention_epoch.fetch_add(1, Ordering::AcqRel);
@@ -851,6 +952,112 @@ impl Db {
             saved -= delta;
         }
         (sealed, saved)
+    }
+
+    /// Migrate shards older than the tiering threshold to the cold tier.
+    ///
+    /// For every shard whose range lies entirely before
+    /// `now - tiering.hot_secs` (rounded down to a shard boundary), the
+    /// pass compacts the shard, renders it to an immutable segment file
+    /// (`shard-<start>.seg`, compressed line protocol) next to the WAL,
+    /// and marks it cold so scans are priced by the cold-tier disk model.
+    /// Once every such shard is durable as a segment, WAL segments whose
+    /// records all predate the cut are reclaimed — the tiered data no
+    /// longer needs replay.
+    ///
+    /// Without a WAL the pass only re-prices (marks cold, writes nothing).
+    /// No-op unless [`DbConfig::tiering`] is set. The pass holds each
+    /// shard's write lock across its segment-file write, so a racing
+    /// writer to that shard cannot slip points between the export and the
+    /// cold mark; out-of-order ingest older than the hot horizon that
+    /// arrives *after* a shard was tiered is not re-exported and survives
+    /// only as long as its WAL segment (live deployments ingest current
+    /// data, so the horizon — days — dwarfs collector skew — seconds).
+    pub fn tier_cold_shards(&self, now: monster_util::EpochSecs) -> Result<TierReport> {
+        let Some(tier) = self.config.tiering else {
+            return Ok(TierReport::default());
+        };
+        let dur = self.config.shard_duration;
+        let cut = (now.as_secs() - tier.hot_secs).div_euclid(dur) * dur;
+        let mut report = TierReport::default();
+        let candidates: Vec<(i64, Arc<RwLock<Shard>>)> = {
+            let wait = Instant::now();
+            let map = self.shards.read();
+            let acquired = Instant::now();
+            let out = map.range(..cut).map(|(k, v)| (*k, Arc::clone(v))).collect();
+            drop(map);
+            self.observe_lock(wait, acquired);
+            out
+        };
+        for (start, handle) in candidates {
+            // Index read before shard write: the sanctioned nesting. The
+            // index lock is only needed while rendering; the shard lock is
+            // held through the durable segment write (see above).
+            let idx = self.index.read();
+            let wait = Instant::now();
+            let mut shard = handle.write();
+            let acquired = Instant::now();
+            if shard.is_dropped() || shard.is_cold() {
+                drop(shard);
+                drop(idx);
+                self.observe_lock(wait, acquired);
+                continue;
+            }
+            let before = shard.encoded_bytes() as i64;
+            shard.compact();
+            let delta = shard.encoded_bytes() as i64 - before;
+            let mut text = String::new();
+            shard.export(|sid, fid, ts, v| {
+                let key = idx.key_of(sid);
+                let mut p = DataPoint::new(&key.measurement, monster_util::EpochSecs::new(ts));
+                for (k, val) in &key.tags {
+                    p = p.tag(k, val);
+                }
+                p = p.field(idx.field_name(fid), v);
+                crate::lineproto::encode_into(&p, &mut text);
+                text.push('\n');
+            })?;
+            drop(idx);
+            if let Some(wal) = &self.wal {
+                let bytes = crate::snapshot::encode_segment(&text);
+                let path = wal.dir().join(format!("shard-{start}.seg"));
+                let tmp = wal.dir().join(format!("shard-{start}.seg.tmp"));
+                let res = (|| -> Result<()> {
+                    let mut f = std::fs::File::create(&tmp)?;
+                    std::io::Write::write_all(&mut f, &bytes)?;
+                    f.sync_all()?;
+                    std::fs::rename(&tmp, &path)?;
+                    Ok(())
+                })();
+                if let Err(e) = res {
+                    // Leave the shard hot: a later pass retries, and the
+                    // WAL keeps covering it (reclaim below never runs).
+                    drop(shard);
+                    self.observe_lock(wait, acquired);
+                    let _ = std::fs::remove_file(&tmp);
+                    return Err(e);
+                }
+                report.segment_bytes_written += bytes.len() as u64;
+            }
+            let pts = shard.point_count();
+            shard.mark_cold();
+            drop(shard);
+            self.observe_lock(wait, acquired);
+            self.encoded_bytes.fetch_add(delta, Ordering::Relaxed);
+            report.shards_tiered += 1;
+            report.points_tiered += pts;
+        }
+        if report.shards_tiered > 0 {
+            monster_obs::counter("monster_tsdb_shards_tiered_total")
+                .add(report.shards_tiered as u64);
+        }
+        // Every point in a cold shard has ts < cut, so WAL segments whose
+        // max record timestamp predates the cut replay nothing that is not
+        // already durable in a segment file.
+        if let Some(wal) = &self.wal {
+            report.wal_segments_reclaimed = wal.reclaim_before(cut)?;
+        }
+        Ok(report)
     }
 
     /// Raw (unsealed) points awaiting compaction.

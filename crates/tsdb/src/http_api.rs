@@ -155,6 +155,8 @@ fn attach_cost(resp: &mut Response, cost: &QueryCost) {
     resp.headers.set("X-Cost-Points", cost.points.to_string());
     resp.headers.set("X-Cost-Bytes", cost.bytes.to_string());
     resp.headers.set("X-Cost-Blocks", cost.blocks.to_string());
+    resp.headers.set("X-Cost-Bytes-Cold", cost.bytes_cold.to_string());
+    resp.headers.set("X-Cost-Blocks-Cold", cost.blocks_cold.to_string());
     resp.headers.set("X-Cost-Summarized", cost.blocks_summarized.to_string());
     resp.headers.set("X-Cost-Series", cost.series.to_string());
     resp.headers.set("X-Cost-Index", cost.index_entries.to_string());
@@ -167,6 +169,8 @@ fn extract_cost(resp: &Response) -> QueryCost {
         points: get("X-Cost-Points"),
         bytes: get("X-Cost-Bytes"),
         blocks: get("X-Cost-Blocks"),
+        bytes_cold: get("X-Cost-Bytes-Cold"),
+        blocks_cold: get("X-Cost-Blocks-Cold"),
         blocks_summarized: get("X-Cost-Summarized"),
         series: get("X-Cost-Series"),
         index_entries: get("X-Cost-Index"),

@@ -57,11 +57,13 @@ pub mod http_api;
 pub mod lineproto;
 pub mod point;
 pub mod query;
+pub mod recover;
 pub mod retention;
 pub mod series;
 pub mod shard;
 pub mod snapshot;
 pub mod staging;
+pub mod wal;
 pub mod watermark;
 
 pub use column::{AggScan, BlockSummary, DecodeScratch, NumericSummary, RunSlice, ScanItem};
@@ -70,7 +72,9 @@ pub use db::{Db, DbConfig, DbStats};
 pub use field::FieldValue;
 pub use point::DataPoint;
 pub use query::{Aggregation, Fill, Query, ResultSet};
-pub use retention::{ContinuousQuery, RetentionPolicy};
+pub use recover::RecoveryReport;
+pub use retention::{ContinuousQuery, RetentionPolicy, TierConfig, TierReport};
 pub use series::{FieldId, SeriesId, SeriesKey};
 pub use staging::WriteStager;
+pub use wal::{WalStatus, WalTuning};
 pub use watermark::MeasurementMark;

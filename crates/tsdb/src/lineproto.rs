@@ -9,7 +9,10 @@ use crate::field::FieldValue;
 use crate::point::DataPoint;
 use monster_util::{EpochSecs, Error, Result};
 
-fn escape_ident(s: &str, out: &mut String) {
+/// Append `s` to `out` with line-protocol identifier escaping (commas,
+/// spaces and equals signs are backslash-escaped). Shared with the WAL
+/// writer, which renders staged runs without materializing `DataPoint`s.
+pub(crate) fn push_escaped(s: &str, out: &mut String) {
     for c in s.chars() {
         if matches!(c, ',' | ' ' | '=') {
             out.push('\\');
@@ -18,40 +21,55 @@ fn escape_ident(s: &str, out: &mut String) {
     }
 }
 
+/// Append a double-quoted string field value with `\"` / `\\` escapes.
+pub(crate) fn push_string_field(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        if c == '"' || c == '\\' {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out.push('"');
+}
+
 /// Encode one point as a line (no trailing newline).
 pub fn encode(p: &DataPoint) -> String {
     let mut out = String::with_capacity(64);
-    escape_ident(&p.measurement, &mut out);
+    encode_into(p, &mut out);
+    out
+}
+
+/// Encode one point into an existing buffer (no trailing newline, nothing
+/// cleared first). The WAL's append path reuses one buffer across batches,
+/// so steady-state logging stays allocation-free.
+pub fn encode_into(p: &DataPoint, out: &mut String) {
+    use std::fmt::Write;
+    push_escaped(&p.measurement, out);
     for (k, v) in &p.tags {
         out.push(',');
-        escape_ident(k, &mut out);
+        push_escaped(k, out);
         out.push('=');
-        escape_ident(v, &mut out);
+        push_escaped(v, out);
     }
     out.push(' ');
     for (i, (k, v)) in p.fields.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        escape_ident(k, &mut out);
+        push_escaped(k, out);
         out.push('=');
         match v {
-            FieldValue::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    if c == '"' || c == '\\' {
-                        out.push('\\');
-                    }
-                    out.push(c);
-                }
-                out.push('"');
+            FieldValue::Str(s) => push_string_field(s, out),
+            // Integer/float/bool `Display` renders digits through stack
+            // buffers — no heap allocation.
+            other => {
+                let _ = write!(out, "{other}");
             }
-            other => out.push_str(&other.to_string()),
         }
     }
     out.push(' ');
-    out.push_str(&p.time.as_secs().to_string());
-    out
+    let _ = write!(out, "{}", p.time.as_secs());
 }
 
 /// Encode a batch, newline-separated.

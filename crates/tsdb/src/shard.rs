@@ -36,13 +36,25 @@ pub struct Shard {
     /// before the drop) sees the flag after acquiring the shard lock and
     /// re-fetches instead of appending into an orphan.
     dropped: bool,
+    /// Set once tiering has exported this shard to an immutable segment
+    /// file: scans of a cold shard are priced by the cold-tier disk model
+    /// and its WAL records are reclaimable. Data stays readable in place.
+    cold: bool,
 }
 
 impl Shard {
     /// An empty shard covering `[start, end)`.
     pub fn new(start: i64, end: i64) -> Self {
         assert!(end > start);
-        Shard { start, end, columns: HashMap::new(), point_count: 0, encoded: 0, dropped: false }
+        Shard {
+            start,
+            end,
+            columns: HashMap::new(),
+            point_count: 0,
+            encoded: 0,
+            dropped: false,
+            cold: false,
+        }
     }
 
     /// True when `ts` belongs to this shard.
@@ -218,6 +230,17 @@ impl Shard {
     /// True once retention has removed this shard from the shard map.
     pub fn is_dropped(&self) -> bool {
         self.dropped
+    }
+
+    /// Mark the shard as tiered to cold storage (see `cold`).
+    pub fn mark_cold(&mut self) {
+        self.cold = true;
+    }
+
+    /// True once tiering has exported this shard to an immutable segment
+    /// file on the cold tier.
+    pub fn is_cold(&self) -> bool {
+        self.cold
     }
 
     /// The (series, field) keys of every column in this shard.

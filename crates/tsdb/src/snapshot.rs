@@ -24,6 +24,33 @@ use std::path::Path;
 
 const MAGIC: &[u8] = b"MTSDB1\n";
 
+/// Magic bytes opening an immutable per-shard segment file (`shard-<start>.seg`),
+/// written by tiering ([`crate::db::Db::tier_cold_shards`]) and loaded
+/// first during recovery. Same body format as a snapshot: compressed
+/// line-protocol text.
+pub(crate) const SEG_MAGIC: &[u8] = b"MSEG1\n";
+
+/// Encode line-protocol `text` as an immutable segment file body.
+pub(crate) fn encode_segment(text: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(text.len() / 4 + SEG_MAGIC.len());
+    out.extend_from_slice(SEG_MAGIC);
+    out.extend_from_slice(&monster_compress::compress(text.as_bytes(), Level::default()));
+    out
+}
+
+/// Decode an immutable segment file back into points. Segment files are
+/// written with an fsync-then-rename protocol, so corruption here is real
+/// data loss and surfaces as an error (unlike a torn WAL tail).
+pub(crate) fn decode_segment(bytes: &[u8]) -> Result<Vec<DataPoint>> {
+    let body = bytes
+        .strip_prefix(SEG_MAGIC)
+        .ok_or_else(|| Error::Corrupt("not a MSEG1 segment file".into()))?;
+    let text = monster_compress::decompress(body)?;
+    let text = String::from_utf8(text)
+        .map_err(|_| Error::Corrupt("segment payload is not UTF-8".into()))?;
+    lineproto::parse_batch(&text)
+}
+
 /// Snapshot statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SnapshotStats {

@@ -39,6 +39,13 @@
 //! are formatted per shard start); those continue to be refreshed by the
 //! locked write path and retention.
 //!
+//! Durability: when the database carries a write-ahead log
+//! ([`crate::db::Db::recover`]), the whole flush is rendered as one WAL
+//! record and appended — group-committed — *before* any run publishes, so
+//! there is never a moment where a reader can see points a crash could
+//! lose without the WAL covering them. The render reuses a stager-owned
+//! buffer; the zero-allocation steady state holds with the WAL enabled.
+//!
 //! Visibility: staged points are invisible to queries until `flush`. Stats
 //! follow the same split — `batches`/`wire_bytes` advance at stage time,
 //! `points`/`encoded_bytes` at flush — so after a flush the totals are
@@ -140,6 +147,10 @@ pub struct WriteStager<'a> {
     /// (reset to the empty sentinel, strings kept), so the warm path never
     /// allocates; a linear scan suffices for a handful of measurements.
     marks: Vec<(String, i64, i64)>,
+    /// Reusable WAL render buffer (cleared, capacity retained): when the
+    /// database is durable, the whole flush is rendered as one
+    /// line-protocol record and appended *before* any run publishes.
+    wal_buf: String,
     // Pre-resolved self-monitoring handles: the flush path touches no
     // registry locks and formats no names.
     depth: Arc<monster_obs::Gauge>,
@@ -167,6 +178,7 @@ impl<'a> WriteStager<'a> {
             sids: Vec::new(),
             fids: Vec::new(),
             marks: Vec::new(),
+            wal_buf: String::new(),
             depth: monster_obs::gauge_help(
                 "monster_tsdb_staging_depth",
                 "Field values currently staged in write stagers, not yet published to shards.",
@@ -303,6 +315,57 @@ impl<'a> WriteStager<'a> {
         // sort_unstable is fine because (shard, slot) keys are unique).
         self.order.sort_unstable_by_key(|&s| (self.runs[s].shard_start, s));
 
+        // --- write-ahead: log the whole flush before anything publishes --
+        // Rendered in `order` (shard-sorted, run by run), which is exactly
+        // the per-column append order both of the publish below and of a
+        // `write_batch` replay of the record — so a recovered database
+        // answers queries byte-identically to an uninterrupted one. An I/O
+        // failure returns here with the buffer still staged (nothing
+        // published, so nothing unlogged is readable); the caller may
+        // retry the flush. Renders into the stager-owned buffer under one
+        // index read acquisition — no steady-state allocation.
+        if let Some(wal) = self.db.wal() {
+            use std::fmt::Write as _;
+            self.wal_buf.clear();
+            let mut max_ts = i64::MIN;
+            let idx = self.db.index().read();
+            for &s in &self.order {
+                let run = &self.runs[s];
+                let key = idx.key_of(run.sid);
+                let field = idx.field_name(run.fid);
+                for (k, t) in run.ts.iter().enumerate() {
+                    crate::lineproto::push_escaped(&key.measurement, &mut self.wal_buf);
+                    for (tk, tv) in &key.tags {
+                        self.wal_buf.push(',');
+                        crate::lineproto::push_escaped(tk, &mut self.wal_buf);
+                        self.wal_buf.push('=');
+                        crate::lineproto::push_escaped(tv, &mut self.wal_buf);
+                    }
+                    self.wal_buf.push(' ');
+                    crate::lineproto::push_escaped(field, &mut self.wal_buf);
+                    self.wal_buf.push('=');
+                    match &run.vals {
+                        RunVals::Float(v) => {
+                            let _ = write!(self.wal_buf, "{}", v[k]);
+                        }
+                        RunVals::Int(v) => {
+                            let _ = write!(self.wal_buf, "{}i", v[k]);
+                        }
+                        RunVals::Bool(v) => {
+                            let _ = write!(self.wal_buf, "{}", v[k]);
+                        }
+                        RunVals::Str(v) => {
+                            crate::lineproto::push_string_field(&v[k], &mut self.wal_buf)
+                        }
+                    }
+                    let _ = writeln!(self.wal_buf, " {t}");
+                    max_ts = max_ts.max(*t);
+                }
+            }
+            drop(idx);
+            wal.append(self.wal_buf.as_bytes(), max_ts)?;
+        }
+
         let mut result: Result<()> = Ok(());
         let mut applied = 0usize;
         let mut encoded_delta = 0i64;
@@ -373,8 +436,18 @@ impl Drop for WriteStager<'_> {
     /// Best-effort publish of anything still staged; errors (unwritable
     /// type-conflicted runs) are dropped with the stager. Call
     /// [`Self::flush`] explicitly to observe them.
+    ///
+    /// On a durable database the drop also forces a WAL group commit:
+    /// a stager going out of scope is a writer shutting down, and its
+    /// points must not sit in an acked-but-unsynced window while the
+    /// owning thread believes they landed.
     fn drop(&mut self) {
-        let _ = self.flush();
+        let flushed = self.flush().is_ok();
+        if flushed {
+            if let Some(wal) = self.db.wal() {
+                let _ = wal.sync();
+            }
+        }
     }
 }
 

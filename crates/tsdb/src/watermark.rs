@@ -60,6 +60,18 @@ impl WatermarkRegistry {
         self.marks.read().get(measurement).copied().unwrap_or_default()
     }
 
+    /// Every measurement's current mark, sorted by name. Recovery
+    /// equivalence tests compare a replayed database's whole mark table
+    /// against an uninterrupted twin's; not on any hot path (allocates,
+    /// holds the read lock for the full walk).
+    pub fn snapshot(&self) -> Vec<(String, MeasurementMark)> {
+        let marks = self.marks.read();
+        let mut out: Vec<(String, MeasurementMark)> =
+            marks.iter().map(|(m, mark)| (m.clone(), *mark)).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Fold one applied batch's per-measurement `[min_ts, max_ts]` spans
     /// into the table. Spans with `lo > hi` are empty sentinels and are
     /// skipped, so callers can keep reusable scratch entries around.

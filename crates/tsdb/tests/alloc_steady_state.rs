@@ -135,6 +135,52 @@ fn warm_staging_cycle_does_not_allocate() {
     assert_eq!(db.stats().points, points_written + 3 * points_written); // warm + counted
 }
 
+/// Durability does not cost the zero-allocation property: with the WAL
+/// on, a warm stage-and-flush cycle renders its log record into a
+/// retained `wal_buf`, frames it through the WAL's reusable scratch, and
+/// issues plain `write(2)`s — still zero heap allocations. (Group-commit
+/// syncs and segment rolls are syscall-only and amortized outside the
+/// window: the default 8 MiB segment never rolls on this volume.)
+#[test]
+fn warm_staging_cycle_with_wal_does_not_allocate() {
+    let _gate = GATE.lock().unwrap();
+    let dir = std::env::temp_dir().join(format!("monster-alloc-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (db, _) = Db::recover(DbConfig::default(), &dir).unwrap();
+    {
+        let mut stager = db.stager();
+
+        // Same warm-up math as the in-memory test, plus one extra flush so
+        // `wal_buf` and the WAL frame scratch reach their steady capacity.
+        for cycle in 0..3 {
+            for i in 0..20 {
+                stager.stage_batch(&batch_at((cycle * 20 + i) * 60)).unwrap();
+            }
+            stager.flush().unwrap();
+        }
+
+        let batches: Vec<Vec<DataPoint>> = (60..80).map(|i| batch_at(i * 60)).collect();
+        let points_written: usize = batches.iter().map(Vec::len).sum::<usize>() * 2;
+
+        ALLOCS.store(0, Ordering::Relaxed);
+        COUNTING.store(true, Ordering::Relaxed);
+        for b in &batches {
+            stager.stage_batch(b).unwrap();
+        }
+        stager.flush().unwrap();
+        COUNTING.store(false, Ordering::Relaxed);
+        let allocs = ALLOCS.load(Ordering::Relaxed);
+
+        assert_eq!(
+            allocs, 0,
+            "warm WAL-backed staging cycle allocated {allocs} times for {points_written} points"
+        );
+    }
+    assert!(db.wal_status().unwrap().appended_records >= 4);
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Per-stage proof: resolution, append, and wire accounting are each
 /// individually allocation-free once warm (the batch-level test above
 /// bounds what's left: grouping buffers and obs bookkeeping).
