@@ -32,186 +32,24 @@
 //! Usage: `dashboard_storm [--quick]` — quick mode shrinks the fleet for
 //! CI smoke runs; the committed `BENCH_serve.json` comes from a full run.
 
+use monster_bench::storm::{
+    catalog, modelled_secs, percentile, rfc3339, sample_batch, splitmix, subscriber, HISTORY_SECS,
+    NODES, STORM_WORKERS, TICK_SECS,
+};
 use monster_builder::service::{router, ServiceConfig};
-use monster_builder::{build_plan, estimate_plan_cost, AdmissionConfig, BuilderRequest, ExecMode};
+use monster_builder::{AdmissionConfig, BuilderRequest, ExecMode};
 use monster_http::{Request, Status};
 use monster_json::jobj;
-use monster_tsdb::{Aggregation, DataPoint, Db, DbConfig};
+use monster_tsdb::{Aggregation, Db, DbConfig};
 use monster_util::pool::ThreadPool;
 use monster_util::{EpochSecs, NodeId};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-const NODES: usize = 4;
-const HISTORY_SECS: i64 = 4 * 3600; // seeded history before the storm
-const CADENCE_SECS: i64 = 10; // sample cadence, seed and live
-const TICK_SECS: i64 = 60;
-const STORM_WORKERS: usize = 8;
-
 struct Workload {
     subscribers: usize,
     ticks: usize,
-}
-
-/// One dashboard panel. Sliding panels end at the current tick (their
-/// URL changes every tick, so subscribers of the same panel share one
-/// cache entry per tick); fixed panels are closed historical windows
-/// whose URL never changes — under watermark validity they stay cached
-/// across every tick's writes.
-#[derive(Clone, Copy)]
-struct Panel {
-    window_secs: i64,
-    interval: &'static str,
-    aggregation: &'static str,
-    /// `None` → sliding (end = now); `Some(end)` → fixed historical.
-    fixed_end: Option<i64>,
-}
-
-fn catalog() -> Vec<Panel> {
-    let mut panels = Vec::new();
-    for window_secs in [300, 900, 1800] {
-        for interval in ["1m", "5m"] {
-            for aggregation in ["max", "mean"] {
-                panels.push(Panel { window_secs, interval, aggregation, fixed_end: None });
-            }
-        }
-    }
-    // Closed historical windows, fully inside the seeded history.
-    panels.push(Panel {
-        window_secs: 1800,
-        interval: "5m",
-        aggregation: "max",
-        fixed_end: Some(1800),
-    });
-    panels.push(Panel {
-        window_secs: 1800,
-        interval: "1m",
-        aggregation: "mean",
-        fixed_end: Some(3600),
-    });
-    panels.push(Panel {
-        window_secs: 900,
-        interval: "5m",
-        aggregation: "max",
-        fixed_end: Some(7200),
-    });
-    panels.push(Panel {
-        window_secs: 1800,
-        interval: "5m",
-        aggregation: "mean",
-        fixed_end: Some(10800),
-    });
-    panels
-}
-
-impl Panel {
-    fn range(&self, now: i64) -> (i64, i64) {
-        let end = self.fixed_end.unwrap_or(now);
-        (end - self.window_secs, end)
-    }
-
-    fn url(&self, now: i64) -> String {
-        let (start, end) = self.range(now);
-        format!(
-            "/v1/metrics?start={}&end={}&interval={}&aggregation={}",
-            rfc3339(start),
-            rfc3339(end),
-            self.interval,
-            self.aggregation
-        )
-    }
-
-    fn request(&self, now: i64) -> BuilderRequest {
-        let (start, end) = self.range(now);
-        let agg = if self.aggregation == "max" { Aggregation::Max } else { Aggregation::Mean };
-        let interval = if self.interval == "1m" { 60 } else { 300 };
-        BuilderRequest::new(EpochSecs::new(start), EpochSecs::new(end), interval, agg).unwrap()
-    }
-}
-
-/// `1970-01-01T..Z` for epoch seconds < 86 400.
-fn rfc3339(ts: i64) -> String {
-    format!("1970-01-01T{:02}:{:02}:{:02}Z", ts / 3600, (ts % 3600) / 60, ts % 60)
-}
-
-/// SplitMix64: all per-subscriber attributes derive from this, so the
-/// fleet is deterministic without a rand dependency in the hot loop.
-fn splitmix(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
-
-struct Subscriber {
-    panel: usize,
-    refresh_secs: i64,
-    phase: i64,
-}
-
-fn subscriber(id: u64, panels: usize) -> Subscriber {
-    let h = splitmix(id);
-    // Square the unit hash to skew panel popularity: a few panels take
-    // most of the fleet, the tail stays warm — the dashboard reality.
-    let unit = (h % 10_000) as f64 / 10_000.0;
-    let panel = ((unit * unit) * panels as f64) as usize;
-    let refresh_secs = [30, 45, 60][(h >> 17) as usize % 3];
-    Subscriber { panel: panel.min(panels - 1), refresh_secs, phase: (h >> 33) as i64 }
-}
-
-impl Subscriber {
-    /// Open-loop arrivals: how many refreshes land in [t0, t0 + TICK).
-    fn due(&self, t0: i64) -> usize {
-        let fires = |t: i64| (t + self.phase % self.refresh_secs) / self.refresh_secs;
-        (fires(t0 + TICK_SECS) - fires(t0)) as usize
-    }
-}
-
-fn sample_batch(nodes: &[NodeId], from: i64, to: i64) -> Vec<DataPoint> {
-    let mut batch = Vec::new();
-    let mut ts = from;
-    while ts < to {
-        for (i, n) in nodes.iter().enumerate() {
-            let v = 250.0 + ((ts + i as i64 * 13) % 359) as f64 * 0.25;
-            batch.push(
-                DataPoint::new("Power", EpochSecs::new(ts))
-                    .tag("NodeId", n.bmc_addr())
-                    .tag("Label", "NodePower")
-                    .field_f64("Reading", v),
-            );
-            for label in ["CPU1 Temp", "CPU2 Temp"] {
-                batch.push(
-                    DataPoint::new("Thermal", EpochSecs::new(ts))
-                        .tag("NodeId", n.bmc_addr())
-                        .tag("Label", label)
-                        .field_f64("Reading", 40.0 + (v % 17.0)),
-                );
-            }
-            batch.push(
-                DataPoint::new("UGE", EpochSecs::new(ts))
-                    .tag("NodeId", n.bmc_addr())
-                    .field_f64("CPUUsage", v % 36.0)
-                    .field_f64("MemUsed", v % 128.0),
-            );
-        }
-        ts += CADENCE_SECS;
-    }
-    batch
-}
-
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx]
-}
-
-/// Modelled seconds for one URL's plan against the current db state.
-fn modelled_secs(db: &Db, nodes: &[NodeId], req: &BuilderRequest) -> f64 {
-    let plan = build_plan(monster_collector::SchemaVersion::Optimized, nodes, req);
-    db.simulate_elapsed(&estimate_plan_cost(db, &plan)).as_secs_f64()
 }
 
 fn main() {

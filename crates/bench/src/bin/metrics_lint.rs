@@ -4,7 +4,8 @@
 //! assume:
 //!
 //! * counters end in `_total`; nothing else may use that suffix;
-//! * histograms end in a unit suffix (`_seconds`, `_points`, `_bytes`);
+//! * histograms end in a unit suffix (`_seconds`, `_points`, `_bytes`,
+//!   or `_ratio` for dimensionless distributions);
 //! * no name is registered as two different kinds (duplicate
 //!   registration), checked both in the registry and in the scraped
 //!   `# TYPE` lines;
@@ -24,7 +25,9 @@ use monster_tsdb::{Aggregation, Query};
 use std::time::Instant;
 
 /// Unit suffixes histograms (and unit-carrying gauges) may end with.
-const UNIT_SUFFIXES: [&str; 3] = ["_seconds", "_points", "_bytes"];
+/// `_ratio` is the OpenMetrics convention for dimensionless quantities
+/// (the estimator-accuracy histograms are actual/estimated ratios).
+const UNIT_SUFFIXES: [&str; 4] = ["_seconds", "_points", "_bytes", "_ratio"];
 
 /// Strip a `{labels}` clause: `m_shard_points{shard="0"}` → `m_shard_points`.
 fn base_name(name: &str) -> &str {

@@ -7,6 +7,8 @@
 //! simulated timings are comparable to the paper's while the harness runs
 //! in seconds.
 
+pub mod storm;
+
 use monster_collector::SchemaVersion;
 use monster_core::{Monster, MonsterConfig};
 use monster_redfish::bmc::BmcConfig;

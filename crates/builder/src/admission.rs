@@ -23,6 +23,7 @@
 //! The wall clock is injected (`with_clock`) so tests drive time
 //! deterministically; the default reads a monotonic [`std::time::Instant`].
 
+use crate::qlog::{AdmissionDecision, AdmissionSnapshot};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -112,19 +113,49 @@ impl AdmissionController {
         }
     }
 
+    /// The configuration this controller was built with.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
     /// Decide whether `tenant` may run a query estimated at
     /// `modelled_secs`.
     pub fn admit(&self, tenant: &str, modelled_secs: f64) -> Admission {
+        self.admit_observed(tenant, modelled_secs).0
+    }
+
+    /// [`AdmissionController::admit`] plus the token-bucket arithmetic
+    /// behind the decision, for the flight recorder's `?explain=true`
+    /// view. Token fields are `NaN` when no bucket was consulted.
+    pub fn admit_observed(
+        &self,
+        tenant: &str,
+        modelled_secs: f64,
+    ) -> (Admission, AdmissionSnapshot) {
         let cfg = &self.config;
+        let mut snap = AdmissionSnapshot {
+            decision: AdmissionDecision::Disabled,
+            estimated_secs: modelled_secs,
+            tokens_before: f64::NAN,
+            tokens_after: f64::NAN,
+            rate: cfg.tenant_rate,
+            burst: cfg.tenant_burst,
+            retry_after_secs: 0,
+        };
         if !cfg.enabled || modelled_secs <= cfg.cheap_secs {
-            return Admission::Admitted { expensive: false };
+            if cfg.enabled {
+                snap.decision = AdmissionDecision::Cheap;
+            }
+            return (Admission::Admitted { expensive: false }, snap);
         }
         if modelled_secs > cfg.reject_secs {
             self.rejected.inc();
             // No bucket will ever cover this; tell the client when enough
             // budget *would* have accrued, bounded to something humane.
             let retry = ((modelled_secs / cfg.tenant_rate.max(1e-9)).ceil() as u64).clamp(1, 300);
-            return Admission::Rejected { retry_after_secs: retry, reason: "over_budget" };
+            snap.decision = AdmissionDecision::RejectedOverBudget;
+            snap.retry_after_secs = retry;
+            return (Admission::Rejected { retry_after_secs: retry, reason: "over_budget" }, snap);
         }
         let now = (self.clock)();
         let mut buckets = self.buckets.lock();
@@ -134,15 +165,21 @@ impl AdmissionController {
         bucket.tokens = (bucket.tokens + (now - bucket.last_refill).max(0.0) * cfg.tenant_rate)
             .min(cfg.tenant_burst);
         bucket.last_refill = now;
+        snap.tokens_before = bucket.tokens;
         if bucket.tokens >= modelled_secs {
             bucket.tokens -= modelled_secs;
-            return Admission::Admitted { expensive: true };
+            snap.decision = AdmissionDecision::Charged;
+            snap.tokens_after = bucket.tokens;
+            return (Admission::Admitted { expensive: true }, snap);
         }
         let deficit = modelled_secs - bucket.tokens;
+        snap.tokens_after = bucket.tokens;
         drop(buckets);
         self.rejected.inc();
         let retry = ((deficit / cfg.tenant_rate.max(1e-9)).ceil() as u64).max(1);
-        Admission::Rejected { retry_after_secs: retry, reason: "tenant_budget" }
+        snap.decision = AdmissionDecision::RejectedTenantBudget;
+        snap.retry_after_secs = retry;
+        (Admission::Rejected { retry_after_secs: retry, reason: "tenant_budget" }, snap)
     }
 }
 
@@ -211,6 +248,42 @@ mod tests {
         assert!(matches!(ctl.admit("greedy", 4.0), Admission::Rejected { .. }));
         // …while "polite" is untouched.
         assert_eq!(ctl.admit("polite", 4.0), Admission::Admitted { expensive: true });
+    }
+
+    #[test]
+    fn observed_snapshot_exposes_bucket_math() {
+        let (_, ctl) = manual();
+        // Cheap: no bucket consulted.
+        let (_, snap) = ctl.admit_observed("t", 0.05);
+        assert_eq!(snap.decision, AdmissionDecision::Cheap);
+        assert!(snap.tokens_before.is_nan());
+
+        // Charged: burst 4.0 debited by 2.0.
+        let (adm, snap) = ctl.admit_observed("t", 2.0);
+        assert_eq!(adm, Admission::Admitted { expensive: true });
+        assert_eq!(snap.decision, AdmissionDecision::Charged);
+        assert_eq!(snap.tokens_before, 4.0);
+        assert_eq!(snap.tokens_after, 2.0);
+        assert_eq!(snap.rate, 1.0);
+        assert_eq!(snap.burst, 4.0);
+
+        // Tenant-budget rejection: tokens untouched, retry covers the
+        // deficit at the configured rate.
+        ctl.admit("t", 2.0);
+        let (adm, snap) = ctl.admit_observed("t", 2.0);
+        let retry = match adm {
+            Admission::Rejected { retry_after_secs, .. } => retry_after_secs,
+            other => panic!("expected rejection, got {other:?}"),
+        };
+        assert_eq!(snap.decision, AdmissionDecision::RejectedTenantBudget);
+        assert_eq!(snap.tokens_before, snap.tokens_after);
+        assert_eq!(snap.retry_after_secs, retry);
+
+        // Over-budget: rejected before any bucket exists.
+        let (_, snap) = ctl.admit_observed("fresh", 50.0);
+        assert_eq!(snap.decision, AdmissionDecision::RejectedOverBudget);
+        assert!(snap.tokens_before.is_nan());
+        assert!(snap.retry_after_secs >= 1);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! too, with [`Validity::Always`] — the negative cache. They depend on no
 //! data, only on the URL, and are capacity-bounded like everything else.
 
+use crate::qlog::CacheVerdict;
 use monster_http::Response;
 use monster_tsdb::{Db, MeasurementMark};
 use parking_lot::Mutex;
@@ -146,33 +147,41 @@ impl ResponseCache {
     /// `db`. Invalid entries are dropped eagerly. A hit shares the stored
     /// response — no body bytes are copied.
     pub fn get(&self, key: &str, db: &Db) -> Option<Arc<Response>> {
+        self.probe(key, db).0
+    }
+
+    /// [`ResponseCache::get`] plus *why*: the [`CacheVerdict`] the flight
+    /// recorder and `?explain=true` report. The response is `Some` exactly
+    /// for [`CacheVerdict::Valid`] and [`CacheVerdict::Negative`].
+    pub fn probe(&self, key: &str, db: &Db) -> (Option<Arc<Response>>, CacheVerdict) {
         if self.capacity == 0 {
             self.misses.inc();
-            return None;
+            return (None, CacheVerdict::Absent);
         }
         let mut guard = self.inner.lock();
         let inner = &mut *guard;
-        let valid = match inner.entries.get(key) {
+        let verdict = match inner.entries.get(key) {
             Some(entry) => match &entry.validity {
-                Validity::Always => true,
-                Validity::Watermarks(snap) => snap.still_valid(db),
+                Validity::Always => CacheVerdict::Negative,
+                Validity::Watermarks(snap) if snap.still_valid(db) => CacheVerdict::Valid,
+                Validity::Watermarks(_) => CacheVerdict::Invalidated,
             },
             None => {
                 self.misses.inc();
-                return None;
+                return (None, CacheVerdict::Absent);
             }
         };
-        if !valid {
+        if verdict == CacheVerdict::Invalidated {
             inner.entries.remove(key);
             self.misses.inc();
-            return None;
+            return (None, verdict);
         }
         inner.tick += 1;
         let tick = inner.tick;
         let entry = inner.entries.get_mut(key).expect("checked above");
         entry.last_used = tick;
         self.hits.inc();
-        Some(Arc::clone(&entry.response))
+        (Some(Arc::clone(&entry.response)), verdict)
     }
 
     /// Insert a response under `key`, evicting the least-recently-used
@@ -330,6 +339,34 @@ mod tests {
         assert_eq!(shared.body, b"a", "put still returns the shared handle");
         assert!(cache.get("k", &db).is_none());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn probe_verdicts_name_the_reason() {
+        let db = Db::new(DbConfig::default());
+        db.write(power_point(100)).unwrap();
+        let cache = ResponseCache::new(4);
+
+        let (resp0, verdict) = cache.probe("k", &db);
+        assert!(resp0.is_none());
+        assert_eq!(verdict, CacheVerdict::Absent);
+
+        cache.put("k", snap(&db, 1000), resp("a"));
+        let (resp1, verdict) = cache.probe("k", &db);
+        assert!(resp1.is_some());
+        assert_eq!(verdict, CacheVerdict::Valid);
+
+        cache.put("bad", Validity::Always, resp("nope"));
+        let (resp2, verdict) = cache.probe("bad", &db);
+        assert!(resp2.is_some());
+        assert_eq!(verdict, CacheVerdict::Negative);
+
+        // Append into the open window: invalidated, then gone.
+        db.write(power_point(200)).unwrap();
+        let (resp3, verdict) = cache.probe("k", &db);
+        assert!(resp3.is_none());
+        assert_eq!(verdict, CacheVerdict::Invalidated);
+        assert_eq!(cache.probe("k", &db).1, CacheVerdict::Absent, "invalid entries drop eagerly");
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod exec;
 pub mod flight;
 pub mod materializer;
 pub mod plan;
+pub mod qlog;
 pub mod response;
 pub mod rollup;
 pub mod service;
@@ -32,5 +33,6 @@ pub use exec::{execute, BuilderOutcome, ExecMode};
 pub use flight::{FlightGroup, Join};
 pub use materializer::{Materializer, RollupSpec};
 pub use plan::{build_plan, estimate_plan_cost, BuilderRequest, PlannedQuery, QueryGroup};
+pub use qlog::{Disposition, QueryRecorder, RecordFilter, RequestRecord};
 pub use response::{encode_response, EncodedResponse};
 pub use rollup::RollupRoute;

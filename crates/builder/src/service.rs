@@ -4,15 +4,28 @@
 //!
 //! * `GET /v1/nodes` — the monitored node inventory.
 //! * `GET /v1/metrics?start=..&end=..[&interval=5m][&aggregation=max]`
-//!   `[&compress=true]` — the assembled response document, with
-//!   `X-Query-Processing-Ms`, `X-Cache`, `traceparent`, and
+//!   `[&compress=true][&explain=true]` — the assembled response document,
+//!   with `X-Query-Processing-Ms`, `X-Cache`, `traceparent`, and
 //!   `X-Freshness-Lag-Seconds` observability headers. Requests carrying a
 //!   well-formed W3C `traceparent` header join that trace; malformed
-//!   headers are ignored (a new root trace is started).
+//!   headers are ignored (a new root trace is started). `explain=true`
+//!   wraps the response in a JSON envelope carrying the request's
+//!   flight-recorder record (estimate vs actual cost, cache verdict,
+//!   admission math) next to the base64-coded payload — which stays
+//!   byte-identical to the explain-off response, whatever the disposition
+//!   (`explain` is stripped from the cache key, so both forms share one
+//!   cache entry and one flight).
 //! * `GET /metrics` — Prometheus/OpenMetrics text exposition of the
 //!   pipeline's own metrics (self-monitoring), exemplars included.
-//! * `GET /debug/trace` — recent vtime-stamped spans as chrome-trace
-//!   JSON with trace/span/parent lineage in `args`.
+//! * `GET /debug/trace[?trace_id=<32-hex>]` — recent vtime-stamped spans
+//!   as chrome-trace JSON with trace/span/parent lineage in `args`,
+//!   optionally restricted to one trace.
+//! * `GET /debug/requests[?disposition=..&min_ms=..&tenant=..&limit=..]`
+//!   — the query flight recorder ([`crate::qlog`]): recent per-request
+//!   wide events, newest first, plus the pinned slow-query log. 404 when
+//!   the recorder is disabled.
+//! * `GET /debug/requests/:trace_id` — symptom→request drill-down: every
+//!   live record of one trace (join the id against `/debug/trace`).
 //! * `GET /debug/pipeline` — the freshness SLO report: staleness
 //!   percentiles, attainment, and multi-window burn rates.
 //! * `GET /v1/alerts` — active and recently resolved alerts with severity
@@ -27,13 +40,40 @@ use crate::cache::{ResponseCache, Validity, ValiditySnapshot};
 use crate::exec::{execute, ExecMode};
 use crate::flight::{FlightGroup, Join};
 use crate::plan::{build_plan, estimate_plan_cost, BuilderRequest};
+use crate::qlog::{
+    self, CacheVerdict, CostPair, Disposition, Draft, QueryRecorder, RecordFilter, RequestRecord,
+    STAGE_ADMISSION, STAGE_CACHE, STAGE_ENCODE, STAGE_EXECUTE, STAGE_PARSE, STAGE_PLAN,
+};
 use monster_collector::SchemaVersion;
 use monster_compress::Level;
 use monster_http::{Method, Request, Response, Router, Status};
 use monster_json::{jarr, jobj, Value};
+use monster_obs::TraceId;
 use monster_tsdb::{Aggregation, Db};
 use monster_util::{EpochSecs, NodeId};
 use std::sync::Arc;
+
+/// Flight-recorder tuning (see [`crate::qlog`]).
+#[derive(Debug, Clone, Copy)]
+pub struct QlogConfig {
+    /// Master switch. `false` skips recorder construction entirely: no
+    /// ring, no qlog/slow-query metric registration, `/debug/requests`
+    /// serves 404, and `/v1/metrics` takes no timestamps (only
+    /// `?explain=true` still assembles a per-request record, inline).
+    pub enabled: bool,
+    /// Ring capacity in records (rounded up to a power of two, min 16).
+    pub capacity: usize,
+    /// Requests at or above this many milliseconds — wall *or* modelled —
+    /// are counted in `monster_builder_slow_queries_total` and pinned in
+    /// the slow log. `0` disables slow-query tracking.
+    pub slow_ms: f64,
+}
+
+impl Default for QlogConfig {
+    fn default() -> QlogConfig {
+        QlogConfig { enabled: true, capacity: 512, slow_ms: 250.0 }
+    }
+}
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
@@ -60,6 +100,9 @@ pub struct ServiceConfig {
     /// The deployment's alert engine, when alerting is on; backs
     /// `/v1/alerts` and `/v1/silences`. `None` serves 404s there.
     pub alerts: Option<Arc<monster_alert::AlertEngine>>,
+    /// Query flight recorder (`/debug/requests`, `?explain=true`,
+    /// estimator-accuracy metrics).
+    pub qlog: QlogConfig,
 }
 
 impl Default for ServiceConfig {
@@ -73,6 +116,7 @@ impl Default for ServiceConfig {
             admission: AdmissionConfig::default(),
             rollup_routes: Vec::new(),
             alerts: None,
+            qlog: QlogConfig::default(),
         }
     }
 }
@@ -126,6 +170,64 @@ fn stamp_trace_headers(mut resp: Response, ctx: monster_obs::TraceContext) -> Re
     resp
 }
 
+/// A recorder tick when observing, else 0 — keeps the recorder-off path
+/// free of clock reads.
+#[inline]
+fn stamp(observing: bool) -> u64 {
+    if observing {
+        qlog::ticks_now()
+    } else {
+        0
+    }
+}
+
+/// The normalized request key: path + query with the per-request
+/// `explain` parameter stripped, plus whether `explain=true` was asked.
+/// Explain-on and explain-off forms of a request share one cache entry
+/// and one flight under this key — which is what makes the explain
+/// payload byte-identical by construction. Callers pre-check
+/// `req.query.contains("explain")` so the common path never splits.
+fn normalize_key(req: &Request) -> (String, bool) {
+    let explain = req.query_param("explain") == Some("true");
+    let kept: Vec<&str> = req
+        .query
+        .split('&')
+        .filter(|kv| {
+            let name = kv.split('=').next().unwrap_or(kv);
+            name != "explain"
+        })
+        .collect();
+    (format!("{}?{}", req.path, kept.join("&")), explain)
+}
+
+/// Wrap a finished response in the `?explain=true` envelope: the
+/// flight-recorder record inline, the payload carried byte-exact as
+/// base64. Original status and headers (sans the entity headers the
+/// envelope re-derives) are preserved, so a 429 explain is still a 429
+/// with its `Retry-After`.
+fn explain_envelope(resp: &Response, record: &RequestRecord) -> Response {
+    let payload_encoding = resp.headers.get("Content-Encoding").unwrap_or("identity").to_string();
+    let doc = jobj! {
+        "explain" => record.to_json(),
+        "payload_status" => resp.status.0 as i64,
+        "payload_content_type" => resp.headers.get("Content-Type").unwrap_or(""),
+        "payload_encoding" => payload_encoding,
+        "payload_base64" => qlog::base64_encode(&resp.body),
+    };
+    let mut out = Response::json(&doc);
+    out.status = resp.status;
+    for (name, value) in resp.headers.iter() {
+        if name.eq_ignore_ascii_case("Content-Type")
+            || name.eq_ignore_ascii_case("Content-Length")
+            || name.eq_ignore_ascii_case("Content-Encoding")
+        {
+            continue;
+        }
+        out.headers.set(name, value);
+    }
+    out
+}
+
 /// Parse `/v1/metrics` query parameters into a request. The `start` and
 /// `end` parameters are required RFC 3339 timestamps; `interval` (default
 /// `5m`) and `aggregation` (default `max`) are optional.
@@ -156,6 +258,231 @@ fn parse_metrics_request(req: &Request) -> Result<BuilderRequest, Response> {
     })
 }
 
+/// Everything the `/v1/metrics` handler closes over, so the serving logic
+/// can live in a named function instead of a 150-line closure.
+struct MetricsState {
+    db: Arc<Db>,
+    nodes: Vec<NodeId>,
+    config: ServiceConfig,
+    cache: Arc<ResponseCache>,
+    flights: Arc<FlightGroup>,
+    admission: Arc<AdmissionController>,
+    coalesced: Arc<monster_obs::Counter>,
+    inflight: Arc<monster_obs::Gauge>,
+    recorder: Option<Arc<QueryRecorder>>,
+}
+
+/// Serve one `/v1/metrics` request through the cache → flight → admission
+/// → execute layers, filling the flight-recorder draft as it goes. Stage
+/// timings accumulate in `d.stages_ns` as raw *ticks* (the caller
+/// converts once at the end); `t_in` is the tick at entry. Trace headers
+/// and explain wrapping are the caller's job.
+#[allow(clippy::too_many_arguments)]
+fn serve_metrics(
+    st: &MetricsState,
+    req: &Request,
+    key: &str,
+    mut span: monster_obs::Span,
+    ctx: monster_obs::TraceContext,
+    d: &mut Draft<'_>,
+    observing: bool,
+    t_in: u64,
+) -> Response {
+    // Layer 1: the result cache. Positive entries validate their
+    // watermark snapshot; negative entries (deterministic 400s) are
+    // data-independent and always valid.
+    let (cached, verdict) = st.cache.probe(key, &st.db);
+    d.verdict = verdict;
+    if let Some(shared) = cached {
+        // No stamps here: a hit is one probe plus a header clone, so the
+        // caller charges its whole wall time to the cache stage. Two
+        // rdtsc per hit (entry + total) is the entire clock budget.
+        d.disposition = if verdict == CacheVerdict::Negative {
+            Disposition::Negative
+        } else {
+            Disposition::Hit
+        };
+        span.set_attr("cache", "hit");
+        span.finish();
+        return serve_shared(&shared, "hit");
+    }
+    let t_parse = stamp(observing);
+    d.stages_ns[STAGE_CACHE] = t_parse.wrapping_sub(t_in);
+
+    let builder_req = match parse_metrics_request(req) {
+        Ok(r) => r,
+        Err(resp) => {
+            let t = stamp(observing);
+            d.stages_ns[STAGE_PARSE] = t.wrapping_sub(t_parse);
+            d.disposition = Disposition::Negative;
+            // A parse rejection depends only on the URL: cache it so
+            // malformed dashboards don't re-parse forever.
+            let shared = st.cache.put(key, Validity::Always, resp);
+            span.set_attr("outcome", "bad_request");
+            span.finish();
+            let resp = serve_shared(&shared, "miss");
+            d.stages_ns[STAGE_ENCODE] = stamp(observing).wrapping_sub(t);
+            return resp;
+        }
+    };
+    let t_join = stamp(observing);
+    d.stages_ns[STAGE_PARSE] = t_join.wrapping_sub(t_parse);
+
+    // Layer 2: single-flight. The first identical request leads and
+    // executes; the rest block and share its response. A follower's wait
+    // is charged to the cache stage — it is served from shared state.
+    let leader = if st.config.coalesce {
+        match st.flights.join(key) {
+            Join::Follower(Some(shared)) => {
+                st.coalesced.inc();
+                let t = stamp(observing);
+                d.stages_ns[STAGE_CACHE] += t.wrapping_sub(t_join);
+                d.disposition = Disposition::Coalesced;
+                span.set_attr("cache", "coalesced");
+                span.finish();
+                let resp = serve_shared(&shared, "coalesced");
+                d.stages_ns[STAGE_ENCODE] = stamp(observing).wrapping_sub(t);
+                return resp;
+            }
+            // The leader failed: execute directly, unshared.
+            Join::Follower(None) => None,
+            Join::Leader(l) => Some(l),
+        }
+    } else {
+        None
+    };
+
+    let t_plan = stamp(observing);
+    let mut plan = build_plan(st.config.schema, &st.nodes, &builder_req);
+    crate::rollup::reroute(&mut plan, &st.config.rollup_routes);
+
+    // Layer 3: cost-based admission, leaders only — a coalesced burst
+    // debits one token, not one per request. The plan is priced without
+    // executing anything.
+    let est = estimate_plan_cost(&st.db, &plan);
+    let est_secs = st.db.simulate_elapsed(&est).as_secs_f64();
+    let t_admit = stamp(observing);
+    d.stages_ns[STAGE_PLAN] = t_admit.wrapping_sub(t_plan);
+    let (admission, adm_snap) = st.admission.admit_observed(tenant_of(req), est_secs);
+    d.admission = Some(adm_snap);
+    d.stages_ns[STAGE_ADMISSION] = stamp(observing).wrapping_sub(t_admit);
+    match admission {
+        Admission::Admitted { .. } => {}
+        Admission::Rejected { retry_after_secs, reason } => {
+            let t = stamp(observing);
+            d.disposition = Disposition::Rejected;
+            let mut resp = Response::error(
+                Status::TOO_MANY_REQUESTS,
+                &format!(
+                    "admission control rejected this query ({reason}): \
+                     estimated cost {est_secs:.3}s modelled; retry later"
+                ),
+            );
+            resp.headers.set("Retry-After", retry_after_secs.to_string());
+            let shared = Arc::new(resp);
+            // Followers share the 429 (they are the same query), but it
+            // is never cached: the budget refills.
+            if let Some(l) = leader {
+                l.complete(Some(Arc::clone(&shared)));
+            }
+            span.set_attr("outcome", "admission_rejected");
+            span.finish();
+            let resp = serve_shared(&shared, "miss");
+            d.stages_ns[STAGE_ENCODE] = stamp(observing).wrapping_sub(t);
+            return resp;
+        }
+    }
+
+    // Snapshot validity *before* executing: a write racing the scan can
+    // then only invalidate the entry spuriously, never leave a stale one
+    // validating.
+    let validity = ValiditySnapshot::capture(
+        &st.db,
+        plan.iter().map(|pq| pq.query.measurement.as_str()),
+        builder_req.end.as_secs(),
+    );
+
+    let t_exec = stamp(observing);
+    let guard = InflightGuard::enter(&st.inflight);
+    let outcome = match execute(&st.db, &plan, st.config.exec) {
+        Ok(o) => o,
+        Err(e) => {
+            drop(guard);
+            // Dropping the leader (if any) completes the flight with
+            // None; followers execute for themselves.
+            drop(leader);
+            d.stages_ns[STAGE_EXECUTE] = stamp(observing).wrapping_sub(t_exec);
+            d.disposition = Disposition::Error;
+            span.set_attr("outcome", "error");
+            span.finish();
+            return Response::error(
+                Status::INTERNAL_ERROR,
+                &format!("query execution failed: {e}"),
+            );
+        }
+    };
+    drop(guard);
+    let t_enc = stamp(observing);
+    d.stages_ns[STAGE_EXECUTE] = t_enc.wrapping_sub(t_exec);
+    if observing {
+        d.cost = Some(CostPair {
+            estimated: est,
+            actual: outcome.cost,
+            estimated_ns: (est_secs * 1e9) as u64,
+            actual_ns: st.db.simulate_elapsed(&outcome.cost).as_nanos(),
+        });
+        d.vtime_execute_ns = outcome.query_time.as_nanos();
+        d.vtime_encode_ns = outcome.processing_time.as_nanos();
+    }
+
+    let mut resp = Response::json(&outcome.document);
+    if builder_req.compress {
+        resp = resp.compressed(st.config.level);
+    }
+    resp.headers.set(
+        "X-Query-Processing-Ms",
+        format!("{:.3}", outcome.query_processing_time().as_millis_f64()),
+    );
+    span.set_attr("cache", "miss");
+    monster_obs::histo_help(
+        "monster_builder_request_seconds",
+        "End-to-end simulated latency of /v1/metrics requests.",
+    )
+    .observe_vdur_traced(outcome.query_processing_time(), Some(ctx));
+    span.finish_after(outcome.query_processing_time());
+    let shared = st.cache.put(key, Validity::Watermarks(validity), resp);
+    if let Some(l) = leader {
+        l.complete(Some(Arc::clone(&shared)));
+    }
+    d.disposition = Disposition::Miss;
+    let out = serve_shared(&shared, "miss");
+    d.stages_ns[STAGE_ENCODE] = stamp(observing).wrapping_sub(t_enc);
+    out
+}
+
+/// Parse the `/debug/requests` filter parameters; `Err` is the 400.
+fn parse_record_filter(req: &Request) -> Result<RecordFilter, Response> {
+    let mut filter = RecordFilter::default();
+    if let Some(s) = req.query_param("disposition") {
+        filter.disposition = Some(Disposition::parse(s).ok_or_else(|| {
+            bad_request(&format!(
+                "unknown disposition {s:?} (expected hit|miss|coalesced|negative|rejected|error)"
+            ))
+        })?);
+    }
+    if let Some(s) = req.query_param("min_ms") {
+        filter.min_ms = Some(s.parse::<f64>().map_err(|_| bad_request("min_ms must be a number"))?);
+    }
+    if let Some(s) = req.query_param("tenant") {
+        filter.tenant = Some(s.to_string());
+    }
+    if let Some(s) = req.query_param("limit") {
+        filter.limit =
+            Some(s.parse::<usize>().map_err(|_| bad_request("limit must be an integer"))?);
+    }
+    Ok(filter)
+}
+
 /// Build the service router over `db` for the given node inventory.
 pub fn router(db: Arc<Db>, nodes: Vec<NodeId>, config: ServiceConfig) -> Router {
     let cache = Arc::new(ResponseCache::new(config.cache_entries));
@@ -169,12 +496,29 @@ pub fn router(db: Arc<Db>, nodes: Vec<NodeId>, config: ServiceConfig) -> Router 
         "monster_builder_inflight_queries",
         "Metrics queries currently executing against storage.",
     );
+    // The recorder — and its metrics — exist only when enabled; a
+    // disabled deployment keeps its `/metrics` series budget untouched.
+    let recorder = config
+        .qlog
+        .enabled
+        .then(|| Arc::new(QueryRecorder::new(config.qlog.capacity, config.qlog.slow_ms)));
     let node_list: Vec<Value> = nodes.iter().map(|n| Value::from(n.bmc_addr())).collect();
     let nodes_doc = jobj! { "nodes" => Value::Array(node_list) };
 
-    let metrics_db = Arc::clone(&db);
-    let metrics_nodes = nodes.clone();
-    let metrics_config = config.clone();
+    let state = Arc::new(MetricsState {
+        db: Arc::clone(&db),
+        nodes: nodes.clone(),
+        config: config.clone(),
+        cache,
+        flights,
+        admission,
+        coalesced,
+        inflight,
+        recorder,
+    });
+    let requests_state = Arc::clone(&state);
+    let drill_state = Arc::clone(&state);
+    let scrape_recorder = state.recorder.clone();
 
     Router::new()
         .route(Method::Get, "/v1/nodes", move |_req, _params| Response::json(&nodes_doc))
@@ -186,7 +530,7 @@ pub fn router(db: Arc<Db>, nodes: Vec<NodeId>, config: ServiceConfig) -> Router 
                 .headers
                 .get("traceparent")
                 .and_then(monster_obs::TraceContext::parse_traceparent);
-            let mut span = match parent {
+            let span = match parent {
                 Some(parent) => monster_obs::Span::child_of("builder.api_request", parent),
                 None => monster_obs::Span::root("builder.api_request"),
             };
@@ -194,135 +538,105 @@ pub fn router(db: Arc<Db>, nodes: Vec<NodeId>, config: ServiceConfig) -> Router 
             // Install the context so the execute/query/lock spans and
             // exemplars underneath this request join its trace.
             let _trace_guard = monster_obs::trace::set_current(ctx);
-            let key = format!("{}?{}", req.path, req.query);
 
-            // Layer 1: the result cache. Positive entries validate their
-            // watermark snapshot; negative entries (deterministic 400s)
-            // are data-independent and always valid.
-            if let Some(shared) = cache.get(&key, &metrics_db) {
-                span.set_attr("cache", "hit");
-                span.finish();
-                return stamp_trace_headers(serve_shared(&shared, "hit"), ctx);
+            // The substring pre-check keeps explain-off requests from
+            // paying the query split; `observing` gates every timestamp.
+            let may_explain = req.query.contains("explain");
+            let observing = state.recorder.is_some() || may_explain;
+            if let Some(r) = &state.recorder {
+                // Warm the ring slot this request will record into; the
+                // prefetch overlaps the whole serve (see qlog docs).
+                r.prefetch_next();
             }
-            let builder_req = match parse_metrics_request(req) {
-                Ok(r) => r,
-                Err(resp) => {
-                    // A parse rejection depends only on the URL: cache it
-                    // so malformed dashboards don't re-parse forever.
-                    let shared = cache.put(&key, Validity::Always, resp);
-                    span.set_attr("outcome", "bad_request");
-                    span.finish();
-                    return stamp_trace_headers(serve_shared(&shared, "miss"), ctx);
-                }
-            };
-
-            // Layer 2: single-flight. The first identical request leads
-            // and executes; the rest block and share its response.
-            let leader = if metrics_config.coalesce {
-                match flights.join(&key) {
-                    Join::Follower(Some(shared)) => {
-                        coalesced.inc();
-                        span.set_attr("cache", "coalesced");
-                        span.finish();
-                        return stamp_trace_headers(serve_shared(&shared, "coalesced"), ctx);
-                    }
-                    // The leader failed: execute directly, unshared.
-                    Join::Follower(None) => None,
-                    Join::Leader(l) => Some(l),
-                }
+            let t0 = stamp(observing);
+            let (key, explain) = if may_explain {
+                normalize_key(req)
             } else {
-                None
+                (format!("{}?{}", req.path, req.query), false)
             };
+            let tenant = tenant_of(req);
+            let mut draft = Draft::new(&key, tenant, ctx.trace, ctx.span);
+            draft.explain = explain;
+            if explain {
+                // Only the explain envelope needs the fingerprint now;
+                // ring records leave it 0 and the decoder recomputes it
+                // from the stored key, off the hot path.
+                draft.fingerprint = qlog::fingerprint64(&key);
+            }
 
-            let mut plan = build_plan(metrics_config.schema, &metrics_nodes, &builder_req);
-            crate::rollup::reroute(&mut plan, &metrics_config.rollup_routes);
+            let mut resp = serve_metrics(&state, req, &key, span, ctx, &mut draft, observing, t0);
 
-            // Layer 3: cost-based admission, leaders only — a coalesced
-            // burst debits one token, not one per request. The plan is
-            // priced without executing anything.
-            let est = estimate_plan_cost(&metrics_db, &plan);
-            let est_secs = metrics_db.simulate_elapsed(&est).as_secs_f64();
-            match admission.admit(tenant_of(req), est_secs) {
-                Admission::Admitted { .. } => {}
-                Admission::Rejected { retry_after_secs, reason } => {
-                    let mut resp = Response::error(
-                        Status::TOO_MANY_REQUESTS,
-                        &format!(
-                            "admission control rejected this query ({reason}): \
-                             estimated cost {est_secs:.3}s modelled; retry later"
-                        ),
-                    );
-                    resp.headers.set("Retry-After", retry_after_secs.to_string());
-                    let shared = Arc::new(resp);
-                    // Followers share the 429 (they are the same query),
-                    // but it is never cached: the budget refills.
-                    if let Some(l) = leader {
-                        l.complete(Some(Arc::clone(&shared)));
+            if observing {
+                let total = qlog::ticks_to_ns(stamp(observing).wrapping_sub(t0));
+                if draft.stages_ns == [0; qlog::STAGES.len()] {
+                    // Cache hit: no stage boundary was stamped inside —
+                    // the whole request IS the cache stage.
+                    draft.stages_ns[STAGE_CACHE] = total;
+                } else {
+                    for ticks in draft.stages_ns.iter_mut() {
+                        if *ticks != 0 {
+                            *ticks = qlog::ticks_to_ns(*ticks);
+                        }
                     }
-                    span.set_attr("outcome", "admission_rejected");
-                    span.finish();
-                    return stamp_trace_headers(serve_shared(&shared, "miss"), ctx);
+                }
+                draft.total_ns = total;
+                draft.status = resp.status.0;
+                draft.bytes_out = resp.body.len() as u64;
+                let (seq, slow) = match &state.recorder {
+                    Some(r) => r.record(&draft),
+                    None => (0, false),
+                };
+                if explain {
+                    resp = explain_envelope(&resp, &draft.to_record(seq, slow));
                 }
             }
-
-            // Snapshot validity *before* executing: a write racing the
-            // scan can then only invalidate the entry spuriously, never
-            // leave a stale one validating.
-            let validity = ValiditySnapshot::capture(
-                &metrics_db,
-                plan.iter().map(|pq| pq.query.measurement.as_str()),
-                builder_req.end.as_secs(),
-            );
-
-            let guard = InflightGuard::enter(&inflight);
-            let outcome = match execute(&metrics_db, &plan, metrics_config.exec) {
-                Ok(o) => o,
-                Err(e) => {
-                    drop(guard);
-                    // Dropping the leader (if any) completes the flight
-                    // with None; followers execute for themselves.
-                    drop(leader);
-                    span.set_attr("outcome", "error");
-                    span.finish();
-                    return stamp_trace_headers(
-                        Response::error(
-                            Status::INTERNAL_ERROR,
-                            &format!("query execution failed: {e}"),
-                        ),
-                        ctx,
-                    );
-                }
-            };
-            drop(guard);
-            let mut resp = Response::json(&outcome.document);
-            if builder_req.compress {
-                resp = resp.compressed(metrics_config.level);
-            }
-            resp.headers.set(
-                "X-Query-Processing-Ms",
-                format!("{:.3}", outcome.query_processing_time().as_millis_f64()),
-            );
-            span.set_attr("cache", "miss");
-            monster_obs::histo_help(
-                "monster_builder_request_seconds",
-                "End-to-end simulated latency of /v1/metrics requests.",
-            )
-            .observe_vdur_traced(outcome.query_processing_time(), Some(ctx));
-            span.finish_after(outcome.query_processing_time());
-            let shared = cache.put(&key, Validity::Watermarks(validity), resp);
-            if let Some(l) = leader {
-                l.complete(Some(Arc::clone(&shared)));
-            }
-            stamp_trace_headers(serve_shared(&shared, "miss"), ctx)
+            stamp_trace_headers(resp, ctx)
         })
-        .route(Method::Get, "/metrics", |_req, _params| {
+        .route(Method::Get, "/metrics", move |_req, _params| {
+            // The hot path never pays for the records counter; it is
+            // reconciled with the ring head here, at scrape time.
+            if let Some(r) = &scrape_recorder {
+                r.sync_counters();
+            }
             Response::bytes(
                 monster_obs::global().text_exposition().into_bytes(),
                 "text/plain; version=0.0.4",
             )
         })
-        .route(Method::Get, "/debug/trace", |_req, _params| {
-            Response::json(&monster_obs::global().trace_json())
+        .route(Method::Get, "/debug/trace", |req, _params| match req.query_param("trace_id") {
+            None => Response::json(&monster_obs::global().trace_json()),
+            Some(s) => match TraceId::parse_hex(s) {
+                Some(id) => Response::json(&monster_obs::global().trace_json_filtered(Some(id))),
+                None => bad_request("trace_id must be 32 hex digits"),
+            },
+        })
+        .route(Method::Get, "/debug/requests", move |req, _params| {
+            let Some(recorder) = &requests_state.recorder else {
+                return Response::error(Status::NOT_FOUND, "query flight recorder is disabled");
+            };
+            match parse_record_filter(req) {
+                Ok(filter) => Response::json(&recorder.debug_json(&filter)),
+                Err(resp) => resp,
+            }
+        })
+        .route(Method::Get, "/debug/requests/:trace_id", move |_req, params| {
+            let Some(recorder) = &drill_state.recorder else {
+                return Response::error(Status::NOT_FOUND, "query flight recorder is disabled");
+            };
+            let Some(id) = params.get("trace_id").and_then(TraceId::parse_hex) else {
+                return bad_request("trace_id must be 32 hex digits");
+            };
+            let records: Vec<Value> = recorder.by_trace(id).iter().map(|r| r.to_json()).collect();
+            if records.is_empty() {
+                return Response::error(
+                    Status::NOT_FOUND,
+                    &format!("no live flight-recorder records for trace {id}"),
+                );
+            }
+            Response::json(&jobj! {
+                "trace_id" => id.to_string(),
+                "requests" => Value::Array(records),
+            })
         })
         .route(Method::Get, "/debug/pipeline", |_req, _params| {
             Response::json(&monster_obs::freshness().report())
@@ -711,6 +1025,269 @@ mod tests {
             ],
             "GET /debug/pipeline shape drifted"
         );
+    }
+
+    const URL: &str = "/v1/metrics?start=1970-01-01T00:00:00Z&end=1970-01-01T01:00:00Z&interval=5m";
+
+    fn payload_of(envelope: &Response) -> Vec<u8> {
+        let doc = envelope.json_body().expect("envelope is JSON");
+        qlog::base64_decode(doc.get("payload_base64").unwrap().as_str().unwrap())
+            .expect("payload decodes")
+    }
+
+    #[test]
+    fn explain_wraps_but_payload_is_byte_identical() {
+        let (_db, router) = service();
+        // Explain-off first: this is the reference payload (a miss).
+        let plain = get(&router, URL);
+        assert_eq!(plain.status, Status::OK);
+
+        // Explain-on shares the same (normalized) cache entry: a hit.
+        let wrapped = get(&router, &format!("{URL}&explain=true"));
+        assert_eq!(wrapped.status, Status::OK);
+        assert_eq!(wrapped.headers.get("X-Cache"), Some("hit"), "explain shares the cache key");
+        assert_eq!(payload_of(&wrapped), plain.body.to_vec(), "payload must be byte-identical");
+
+        let doc = wrapped.json_body().unwrap();
+        let explain = doc.get("explain").expect("explain block");
+        assert_eq!(explain.get("disposition").unwrap().as_str(), Some("hit"));
+        assert_eq!(explain.get("cache").unwrap().get("verdict").unwrap().as_str(), Some("valid"));
+        assert_eq!(
+            explain.get("bytes_out").unwrap().as_i64().unwrap() as usize,
+            plain.body.len(),
+            "bytes_out counts the payload, not the envelope"
+        );
+        // And the explain request itself was recorded as explain=true.
+        assert_eq!(explain.get("explain").unwrap(), &Value::Bool(true));
+
+        // explain=false (or any other value) is stripped but not wrapped.
+        let off = get(&router, &format!("{URL}&explain=false"));
+        assert_eq!(off.headers.get("X-Cache"), Some("hit"));
+        assert_eq!(off.body, plain.body);
+    }
+
+    #[test]
+    fn explain_covers_negative_and_rejected_dispositions() {
+        let (_db, router) = service();
+        // Negative: parse rejection, still a 400 under explain.
+        let bad = "/v1/metrics?start=bogus&end=2020-01-01T01:00:00Z";
+        let plain = get(&router, bad);
+        assert_eq!(plain.status, Status::BAD_REQUEST);
+        let wrapped = get(&router, &format!("{bad}&explain=true"));
+        assert_eq!(wrapped.status, Status::BAD_REQUEST, "explain preserves the status");
+        assert_eq!(payload_of(&wrapped), plain.body.to_vec());
+        let doc = wrapped.json_body().unwrap();
+        assert_eq!(
+            doc.get("explain").unwrap().get("disposition").unwrap().as_str(),
+            Some("negative")
+        );
+
+        // Rejected: 429 with Retry-After and the bucket math inline.
+        let (db2, _) = service();
+        let config = ServiceConfig {
+            admission: AdmissionConfig {
+                enabled: true,
+                cheap_secs: 0.0,
+                reject_secs: 0.0,
+                ..AdmissionConfig::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let strict = super::router(Arc::clone(&db2), NodeId::enumerate(2, 4), config);
+        let plain = get(&strict, URL);
+        assert_eq!(plain.status, Status::TOO_MANY_REQUESTS);
+        let wrapped = get(&strict, &format!("{URL}&explain=true"));
+        assert_eq!(wrapped.status, Status::TOO_MANY_REQUESTS);
+        let retry = wrapped.headers.get("Retry-After").expect("Retry-After survives explain");
+        assert_eq!(payload_of(&wrapped), plain.body.to_vec());
+        let doc = wrapped.json_body().unwrap();
+        let explain = doc.get("explain").unwrap();
+        assert_eq!(explain.get("disposition").unwrap().as_str(), Some("rejected"));
+        let adm = explain.get("admission").expect("admission math inline");
+        assert_eq!(adm.get("decision").unwrap().as_str(), Some("rejected_over_budget"));
+        assert_eq!(
+            adm.get("retry_after_secs").unwrap().as_i64().unwrap().to_string(),
+            retry,
+            "the explain math must reproduce the Retry-After header"
+        );
+    }
+
+    #[test]
+    fn debug_requests_lists_filters_and_drills_down() {
+        let (_db, router) = service();
+        let miss = get(&router, URL);
+        let hit = get(&router, URL);
+        assert_eq!(hit.headers.get("X-Cache"), Some("hit"));
+        let tenant_req = Request::get(URL).with_header("X-Tenant", "dash-7");
+        router.dispatch(&tenant_req);
+
+        let doc = get(&router, "/debug/requests").json_body().unwrap();
+        let requests = doc.get("requests").unwrap().as_array().unwrap();
+        assert!(requests.len() >= 3);
+        assert!(doc.get("recorded_total").unwrap().as_i64().unwrap() >= 3);
+
+        // Filter: dispositions.
+        let doc = get(&router, "/debug/requests?disposition=miss").json_body().unwrap();
+        let misses = doc.get("requests").unwrap().as_array().unwrap();
+        assert!(!misses.is_empty());
+        for r in misses {
+            assert_eq!(r.get("disposition").unwrap().as_str(), Some("miss"));
+        }
+
+        // Filter: tenant.
+        let doc = get(&router, "/debug/requests?tenant=dash-7").json_body().unwrap();
+        let tenant_rows = doc.get("requests").unwrap().as_array().unwrap();
+        assert_eq!(tenant_rows.len(), 1);
+        assert_eq!(tenant_rows[0].get("tenant").unwrap().as_str(), Some("dash-7"));
+        assert_eq!(tenant_rows[0].get("disposition").unwrap().as_str(), Some("hit"));
+
+        // Filter: limit, and the same fingerprint across dispositions.
+        let doc = get(&router, "/debug/requests?limit=2").json_body().unwrap();
+        assert_eq!(doc.get("requests").unwrap().as_array().unwrap().len(), 2);
+        let doc = get(&router, "/debug/requests").json_body().unwrap();
+        let all = doc.get("requests").unwrap().as_array().unwrap();
+        let fps: Vec<&str> =
+            all.iter().map(|r| r.get("fingerprint").unwrap().as_str().unwrap()).collect();
+        assert!(fps.windows(2).all(|w| w[0] == w[1]), "one plan, one fingerprint: {fps:?}");
+
+        // Malformed filters are 400s.
+        assert_eq!(
+            get(&router, "/debug/requests?disposition=sideways").status,
+            Status::BAD_REQUEST
+        );
+        assert_eq!(get(&router, "/debug/requests?min_ms=soon").status, Status::BAD_REQUEST);
+
+        // Drill-down by the trace id the response advertised.
+        let tp = miss.headers.get("traceparent").unwrap();
+        let trace_hex = tp.split('-').nth(1).unwrap();
+        let drill = get(&router, &format!("/debug/requests/{trace_hex}"));
+        assert_eq!(drill.status, Status::OK);
+        let doc = drill.json_body().unwrap();
+        assert_eq!(doc.get("trace_id").unwrap().as_str(), Some(trace_hex));
+        let rows = doc.get("requests").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("disposition").unwrap().as_str(), Some("miss"));
+
+        // And the same id filters the span ring.
+        let spans = get(&router, &format!("/debug/trace?trace_id={trace_hex}"));
+        let events = spans.json_body().unwrap();
+        let events = events.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(!events.is_empty(), "the request's spans are reachable from its record");
+        for ev in events {
+            assert_eq!(ev.get("args").unwrap().get("trace_id").unwrap().as_str(), Some(trace_hex));
+        }
+
+        assert_eq!(get(&router, "/debug/requests/not-hex").status, Status::BAD_REQUEST);
+        assert_eq!(get(&router, "/debug/trace?trace_id=not-hex").status, Status::BAD_REQUEST);
+        assert_eq!(
+            get(&router, &format!("/debug/requests/{}", "f".repeat(32))).status,
+            Status::NOT_FOUND
+        );
+    }
+
+    #[test]
+    fn debug_requests_record_shape_is_golden() {
+        // Like the /debug/pipeline golden: consumers key into records by
+        // path. This is the contract for an executed (miss) record —
+        // update it deliberately, with the consumer, in one commit.
+        let (_db, router) = service();
+        get(&router, URL);
+        let doc = get(&router, "/debug/requests?disposition=miss").json_body().unwrap();
+        let record = &doc.get("requests").unwrap().as_array().unwrap()[0];
+        let mut got = Vec::new();
+        shape_of(record, "", &mut got);
+        assert_eq!(
+            got,
+            [
+                "seq:number",
+                "trace_id:string",
+                "span_id:string",
+                "disposition:string",
+                "status:number",
+                "tenant:string",
+                "url:string",
+                "fingerprint:string",
+                "explain:bool",
+                "slow:bool",
+                "truncated:bool",
+                "bytes_out:number",
+                "wall_ms.total:number",
+                "wall_ms.parse:number",
+                "wall_ms.plan:number",
+                "wall_ms.cache:number",
+                "wall_ms.admission:number",
+                "wall_ms.execute:number",
+                "wall_ms.encode:number",
+                "vtime_ms.execute:number",
+                "vtime_ms.encode:number",
+                "vtime_ms.total:number",
+                "cache.verdict:string",
+                "cost.estimated.index_entries:number",
+                "cost.estimated.series:number",
+                "cost.estimated.blocks:number",
+                "cost.estimated.blocks_summarized:number",
+                "cost.estimated.points:number",
+                "cost.estimated.bytes:number",
+                "cost.estimated.blocks_cold:number",
+                "cost.estimated.bytes_cold:number",
+                "cost.estimated.shards_scanned:number",
+                "cost.estimated.queries:number",
+                "cost.actual.index_entries:number",
+                "cost.actual.series:number",
+                "cost.actual.blocks:number",
+                "cost.actual.blocks_summarized:number",
+                "cost.actual.points:number",
+                "cost.actual.bytes:number",
+                "cost.actual.blocks_cold:number",
+                "cost.actual.bytes_cold:number",
+                "cost.actual.shards_scanned:number",
+                "cost.actual.queries:number",
+                "cost.estimated_modelled_ms:number",
+                "cost.actual_modelled_ms:number",
+                "cost.ratio.seconds:number",
+                "cost.ratio.points:number",
+                "cost.ratio.bytes:number",
+                "cost.ratio.blocks:number",
+                "admission.decision:string",
+                "admission.estimated_secs:number",
+                "admission.tokens_before:null",
+                "admission.tokens_after:null",
+                "admission.rate:number",
+                "admission.burst:number",
+                "admission.retry_after_secs:number",
+            ],
+            "GET /debug/requests record shape drifted"
+        );
+        // The top-level document shape, one level deep.
+        assert!(doc.get("capacity").unwrap().as_i64().unwrap() >= 16);
+        assert!(doc.get("dropped_total").unwrap().as_i64().is_some());
+        assert!(doc.get("slow_threshold_ms").unwrap().as_f64().is_some());
+        assert!(doc.get("slow").unwrap().as_array().is_some());
+    }
+
+    #[test]
+    fn slow_queries_pin_past_the_threshold() {
+        let (db, _) = service();
+        // The fixture's miss models ~21 ms of storage work — over a 5 ms
+        // threshold on modelled time. A cache hit models nothing and
+        // serves in well under 5 ms of wall: it must not pin.
+        let config = ServiceConfig {
+            qlog: QlogConfig { slow_ms: 5.0, ..QlogConfig::default() },
+            ..ServiceConfig::default()
+        };
+        let router = router(Arc::clone(&db), NodeId::enumerate(2, 4), config);
+        get(&router, URL);
+        let hit = get(&router, URL);
+        assert_eq!(hit.headers.get("X-Cache"), Some("hit"));
+        let doc = get(&router, "/debug/requests").json_body().unwrap();
+        let slow = doc.get("slow").unwrap().as_array().unwrap();
+        assert_eq!(slow.len(), 1, "the miss pins; the hit does not");
+        assert_eq!(slow[0].get("disposition").unwrap().as_str(), Some("miss"));
+        assert_eq!(slow[0].get("slow").unwrap(), &Value::Bool(true));
+        // The counter moved (global registry: at least this one).
+        let metrics = get(&router, "/metrics");
+        let text = String::from_utf8(metrics.body.to_vec()).unwrap();
+        assert!(monster_obs::sample(&text, "monster_builder_slow_queries_total").unwrap() >= 1.0);
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //! per-request serve (header clone + `X-Cache` stamp) allocates orders of
 //! magnitude less than the body size.
 
+use monster_builder::qlog::{self, Disposition, Draft, QueryRecorder, STAGE_CACHE};
 use monster_builder::{ResponseCache, Validity};
 use monster_http::Response;
+use monster_obs::{SpanId, TraceId};
 use monster_tsdb::{Db, DbConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -78,6 +80,55 @@ fn cache_hits_copy_zero_body_bytes() {
         (0, 0),
         "the cache hit path must be allocation-free: {HITS} hits allocated {bytes} bytes in {allocs} allocations"
     );
+}
+
+#[test]
+fn flight_recording_on_the_hit_path_is_allocation_free() {
+    // The PR-10 recorder rides the same warm path the test above
+    // protects: timing stamps, fingerprint, and the seqlock ring write
+    // must all stay off the heap, or recording would regress the
+    // zero-copy hit guarantee.
+    let db = Db::new(DbConfig::default());
+    let cache = ResponseCache::new(8);
+    let recorder = QueryRecorder::new(64, 0.0);
+    let key = "/v1/metrics?start=1970-01-01T00:00:00Z&end=1970-01-01T01:00:00Z&interval=5m";
+    let body = vec![0x5Au8; BODY_LEN];
+    cache.put(key, Validity::Always, Response::bytes(body, "application/json"));
+    // Warm: first probe + first record touch registry/calibration state.
+    let (warm, _) = cache.probe(key, &db);
+    assert_eq!(warm.expect("present").body.len(), BODY_LEN);
+    {
+        let d = Draft::new(key, "anonymous", TraceId(1), SpanId(1));
+        recorder.record(&d);
+    }
+
+    const HITS: usize = 100;
+    let (allocs, bytes) = counted(|| {
+        for i in 0..HITS {
+            // Exactly what the service's hit disposition does per
+            // request, minus the (pre-existing) header clone.
+            let t0 = qlog::ticks_now();
+            let (hit, verdict) = cache.probe(key, &db);
+            assert_eq!(hit.expect("present").body.len(), BODY_LEN);
+            let mut d = Draft::new(key, "anonymous", TraceId(i as u128 + 2), SpanId(7));
+            d.fingerprint = qlog::fingerprint64(key);
+            d.disposition = Disposition::Hit;
+            d.verdict = verdict;
+            d.status = 200;
+            d.stages_ns[STAGE_CACHE] = qlog::ticks_to_ns(qlog::ticks_now().wrapping_sub(t0));
+            d.total_ns = d.stages_ns[STAGE_CACHE];
+            d.bytes_out = BODY_LEN as u64;
+            recorder.record(&d);
+        }
+    });
+    assert_eq!(
+        (allocs, bytes),
+        (0, 0),
+        "recording a hit must be allocation-free: {HITS} recorded hits \
+         allocated {bytes} bytes in {allocs} allocations"
+    );
+    assert_eq!(recorder.recorded(), HITS as u64 + 1);
+    assert_eq!(recorder.dropped(), 0);
 }
 
 #[test]

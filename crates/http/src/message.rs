@@ -116,6 +116,12 @@ impl Headers {
         self.entries.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
     }
 
+    /// Remove a header (case-insensitive), returning its value if present.
+    pub fn remove(&mut self, name: &str) -> Option<String> {
+        let idx = self.entries.iter().position(|(n, _)| n.eq_ignore_ascii_case(name))?;
+        Some(self.entries.remove(idx).1)
+    }
+
     /// Iterate entries in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
         self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
@@ -406,6 +412,17 @@ mod tests {
         assert_eq!(h.len(), 1);
         assert_eq!(h.get("CONTENT-TYPE"), Some("b"));
         assert_eq!(h.get("missing"), None);
+    }
+
+    #[test]
+    fn headers_remove_is_case_insensitive() {
+        let mut h = Headers::new();
+        h.set("Content-Type", "a");
+        h.set("X-Cache", "hit");
+        assert_eq!(h.remove("content-type"), Some("a".to_string()));
+        assert_eq!(h.remove("content-type"), None);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.get("X-Cache"), Some("hit"));
     }
 
     #[test]

@@ -261,9 +261,17 @@ impl Registry {
     /// virtual timestamps). Trace lineage and attributes ride in each
     /// event's `args`. Load it in `chrome://tracing` or Perfetto.
     pub fn trace_json(&self) -> Value {
+        self.trace_json_filtered(None)
+    }
+
+    /// [`Registry::trace_json`], optionally restricted to the spans of a
+    /// single trace — the `GET /debug/trace?trace_id=<id>` drill-down from
+    /// a flight-recorder record to its spans.
+    pub fn trace_json_filtered(&self, trace: Option<crate::TraceId>) -> Value {
         let events: Vec<Value> = self
             .recent_spans()
             .iter()
+            .filter(|s| trace.is_none_or(|t| s.trace == t))
             .map(|s| {
                 let mut args = monster_json::Object::new();
                 args.insert("trace_id", Value::Str(s.trace.to_string()));
@@ -472,5 +480,34 @@ mod tests {
         assert_eq!(args.get("trace_id").unwrap().as_str(), Some(expected_trace.as_str()));
         assert_eq!(args.get("SkipReason").unwrap().as_str(), Some("BreakerOpen"));
         assert!(args.get("parent_span_id").is_none());
+    }
+
+    #[test]
+    fn trace_json_filters_to_one_trace() {
+        let r = Registry::new();
+        let a = rec("api", VInstant::from_nanos(1_000), VInstant::from_nanos(2_000));
+        let wanted = a.trace;
+        let mut a2 = rec("execute", VInstant::from_nanos(2_000), VInstant::from_nanos(3_000));
+        a2.trace = wanted;
+        r.record_span(a);
+        r.record_span(a2);
+        r.record_span(rec("other", VInstant::from_nanos(1_000), VInstant::from_nanos(9_000)));
+
+        let all = r.trace_json();
+        assert_eq!(all.get("traceEvents").unwrap().as_array().unwrap().len(), 3);
+
+        let one = r.trace_json_filtered(Some(wanted));
+        let events = one.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 2, "only the requested trace's spans survive");
+        let hex = wanted.to_string();
+        for ev in events {
+            assert_eq!(
+                ev.get("args").unwrap().get("trace_id").unwrap().as_str(),
+                Some(hex.as_str())
+            );
+        }
+
+        let none = r.trace_json_filtered(Some(crate::TraceId(0xdead)));
+        assert!(none.get("traceEvents").unwrap().as_array().unwrap().is_empty());
     }
 }

@@ -77,6 +77,21 @@ impl TraceId {
     pub fn mint() -> TraceId {
         TraceId(((next_nonzero() as u128) << 64) | next_nonzero() as u128)
     }
+
+    /// Parse the 32-hex-digit form [`TraceId`] displays as (the id part
+    /// of a `traceparent`, or a flight-recorder record's `trace_id`).
+    /// `None` on wrong length, non-hex digits, or the forbidden all-zero
+    /// id.
+    pub fn parse_hex(s: &str) -> Option<TraceId> {
+        if s.len() != 32 {
+            return None;
+        }
+        let id = u128::from_str_radix(s, 16).ok()?;
+        if id == 0 {
+            return None;
+        }
+        Some(TraceId(id))
+    }
 }
 
 impl SpanId {
@@ -227,6 +242,21 @@ mod tests {
             "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
         )
         .is_some());
+    }
+
+    #[test]
+    fn trace_ids_roundtrip_through_hex() {
+        let id = TraceId::mint();
+        assert_eq!(TraceId::parse_hex(&id.to_string()), Some(id));
+        assert_eq!(
+            TraceId::parse_hex("4bf92f3577b34da6a3ce929d0e0e4736"),
+            Some(TraceId(0x4bf92f3577b34da6a3ce929d0e0e4736))
+        );
+        for bad in
+            ["", "abc", "zzf92f3577b34da6a3ce929d0e0e4736", "00000000000000000000000000000000"]
+        {
+            assert!(TraceId::parse_hex(bad).is_none(), "accepted {bad:?}");
+        }
     }
 
     #[test]

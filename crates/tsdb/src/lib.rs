@@ -67,7 +67,7 @@ pub mod wal;
 pub mod watermark;
 
 pub use column::{AggScan, BlockSummary, DecodeScratch, NumericSummary, RunSlice, ScanItem};
-pub use cost::{CostParams, QueryCost};
+pub use cost::{CostParams, QueryCost, COST_WORDS};
 pub use db::{Db, DbConfig, DbStats};
 pub use field::FieldValue;
 pub use point::DataPoint;

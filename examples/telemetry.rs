@@ -303,6 +303,68 @@ fn main() {
         println!("{name:46} {}", monster::obs::sample(&text, name).unwrap_or(0.0));
     }
 
+    // The query flight recorder: every /v1/metrics request leaves one
+    // wide event in a pre-allocated lock-free ring — disposition,
+    // per-stage wall+vtime timings, estimated-vs-actual cost, admission
+    // math. `?explain=true` returns the record inline with the payload
+    // byte-identical (base64 in the envelope); `GET /debug/requests`
+    // serves the recent ring plus the pinned slow-query log.
+    {
+        use monster::builder::service::{router, QlogConfig, ServiceConfig};
+        use monster::http::Request;
+        let observed = router(
+            poll.db().clone(),
+            poll.node_ids().to_vec(),
+            ServiceConfig {
+                qlog: QlogConfig { slow_ms: 5.0, ..QlogConfig::default() },
+                ..ServiceConfig::default()
+            },
+        );
+        let url = "/v1/metrics?start=1970-01-01T00:05:00Z&end=1970-01-01T00:20:00Z&interval=5m";
+        println!("\n== Query flight recorder (?explain=true, /debug/requests) ==");
+        let num = |v: &monster::json::Value, k: &str| {
+            v.get(k).and_then(|x| x.as_f64()).unwrap_or(f64::NAN)
+        };
+        // First sighting executes: the explain envelope carries the
+        // estimate the admission controller priced next to what the
+        // scans actually cost.
+        let miss = observed.dispatch(&Request::get(&format!("{url}&explain=true")));
+        let envelope = miss.json_body().expect("explain envelope");
+        let record = envelope.get("explain").expect("record in envelope");
+        println!(
+            "  explain(first): disposition={} modelled {:.2} ms, \
+             actual/estimated seconds {:.3}x",
+            record.get("disposition").unwrap().as_str().unwrap_or("-"),
+            num(record.get("vtime_ms").unwrap(), "total"),
+            record.get("cost").map_or(f64::NAN, |c| num(c.get("ratio").unwrap(), "seconds")),
+        );
+        // The repeat is a cache hit; both land in the ring.
+        observed.dispatch(&Request::get(url));
+        let debug = observed.dispatch(&Request::get("/debug/requests?limit=4"));
+        let doc = debug.json_body().expect("debug requests");
+        for r in doc.get("requests").unwrap().as_array().unwrap() {
+            println!(
+                "  [{:9}] {} wall {:.3} ms  {}",
+                r.get("disposition").unwrap().as_str().unwrap_or("-"),
+                r.get("status").unwrap().as_i64().unwrap_or(0),
+                num(r.get("wall_ms").unwrap(), "total"),
+                r.get("url").unwrap().as_str().unwrap_or("-"),
+            );
+        }
+        // The executed miss crossed the 5 ms modelled threshold above, so
+        // it is also pinned in the slow log, safe from ring recycling.
+        let slow = doc.get("slow").unwrap().as_array().unwrap();
+        println!("  slow log: {} record(s) pinned over the 5 ms modelled threshold", slow.len());
+    }
+    let text = monster::obs::global().text_exposition();
+    for name in [
+        "monster_builder_qlog_records_total",
+        "monster_builder_slow_queries_total",
+        "monster_builder_cost_estimate_ratio{stage=\"seconds\"}_count",
+    ] {
+        println!("{name:52} {}", monster::obs::sample(&text, name).unwrap_or(0.0));
+    }
+
     println!("\n(serve these live: `deployment.serve_api(port)` then GET /metrics,");
-    println!(" /debug/trace, /debug/pipeline)");
+    println!(" /debug/trace, /debug/requests, /debug/pipeline)");
 }
